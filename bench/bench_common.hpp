@@ -1,0 +1,101 @@
+#ifndef RRI_BENCH_COMMON_HPP
+#define RRI_BENCH_COMMON_HPP
+
+/// Shared plumbing for the per-figure/per-table bench binaries. Each
+/// binary regenerates one artifact of the paper's evaluation section:
+/// it prints the measured series for this host next to the paper's
+/// qualitative expectation, in a form EXPERIMENTS.md can quote directly.
+///
+/// Workload scaling: the paper ran 6-core/12-thread Xeons on sequences up
+/// to thousands of nt; default sizes here are sized for small CI boxes.
+/// Set RRI_BENCH_SCALE (e.g. 4) to grow every sweep, RRI_BENCH_REPS for
+/// more repetitions, RRI_BENCH_MAX_THREADS to cap thread sweeps.
+
+#include <omp.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/bpmax_kernels.hpp"
+#include "rri/core/double_maxplus.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/harness/report.hpp"
+#include "rri/harness/scaling.hpp"
+#include "rri/harness/timing.hpp"
+#include "rri/machine/spec.hpp"
+#include "rri/rna/random.hpp"
+
+namespace rri::bench {
+
+inline void print_banner(const char* artifact, const char* what) {
+  const auto host = machine::probe_host();
+  std::printf("=== %s ===\n%s\n", artifact, what);
+  std::printf("host: %s | %d cores x %d SMT | OpenMP max threads %d | "
+              "scale %.2f\n\n",
+              host.name.c_str(), host.cores, host.threads_per_core,
+              omp_get_max_threads(), harness::bench_scale());
+}
+
+/// Time one full BPMax fill (excluding S-tables and allocation) and
+/// return GFLOPS by the paper's operation accounting.
+inline double bpmax_fill_gflops(const rna::Sequence& s1,
+                                const rna::Sequence& s2,
+                                const rna::ScoringModel& model,
+                                const core::BpmaxOptions& options,
+                                double* seconds_out = nullptr) {
+  const core::STable s1t(s1, model);
+  const core::STable s2t(s2, model);
+  const rna::ScoreTables scores(s1, s2, model);
+  const int m = static_cast<int>(s1.size());
+  const int n = static_cast<int>(s2.size());
+  const int reps = harness::bench_reps();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    core::FTable f(m, n);
+    const double secs = harness::time_call(
+        [&] { core::fill_variant(f, s1t, s2t, scores, options); });
+    if (r == 0 || secs < best) {
+      best = secs;
+    }
+  }
+  if (seconds_out != nullptr) {
+    *seconds_out = best;
+  }
+  return harness::bpmax_flops(m, n).total() / best / 1e9;
+}
+
+/// Time one standalone double max-plus fill; GFLOPS over the R0 count.
+inline double dmp_gflops(int m, int n, core::DmpVariant variant,
+                         core::TileShape3 tile = {},
+                         double* seconds_out = nullptr) {
+  const int reps = harness::bench_reps();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double secs = harness::time_call(
+        [&] { core::solve_double_maxplus(m, n, 42, variant, tile); });
+    if (r == 0 || secs < best) {
+      best = secs;
+    }
+  }
+  if (seconds_out != nullptr) {
+    *seconds_out = best;
+  }
+  return harness::double_maxplus_flops(m, n) / best / 1e9;
+}
+
+inline rna::Sequence bench_sequence(std::size_t len, std::uint64_t seed) {
+  return rna::random_sequence(len, seed);
+}
+
+inline std::string tile_to_string(core::TileShape3 t) {
+  auto part = [](int v) {
+    return v == 0 ? std::string("N") : std::to_string(v);
+  };
+  return part(t.ti2) + "x" + part(t.tk2) + "x" + part(t.tj2);
+}
+
+}  // namespace rri::bench
+
+#endif  // RRI_BENCH_COMMON_HPP

@@ -1,0 +1,36 @@
+/// Fig. 13: double max-plus performance comparison — GFLOPS of every
+/// schedule/parallelization variant of the standalone Θ(M³N³) kernel as
+/// sequence length grows. Paper shape: coarse-grain collapses (DRAM
+/// traffic), permuted/fine improve on the original, tiling wins and
+/// reaches 117 GFLOPS (~97% of the micro-benchmark target).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rri;
+  bench::print_banner("Fig. 13 - double max-plus performance",
+                      "standalone Eq. 4 kernel, GFLOPS per variant");
+
+  // The paper benchmarks short-strand x long-strand instances (its
+  // Fig. 18 instance is 16 x 2500): fix M small and sweep the inner N.
+  const int m = harness::scaled_lengths({16})[0];
+  const auto lengths = harness::scaled_lengths({64, 128, 192, 256});
+  harness::ReportTable table(
+      {"M x N", "baseline", "permuted", "coarse", "fine", "tiled"});
+  for (const int n : lengths) {
+    std::vector<std::string> row = {std::to_string(m) + "x" +
+                                    std::to_string(n)};
+    for (const core::DmpVariant v : core::all_dmp_variants()) {
+      row.push_back(harness::fmt_double(
+          bench::dmp_gflops(m, n, v, core::TileShape3{32, 4, 0}), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper (6 threads, lengths to 2500): tiled best at 117 GFLOPS;\n"
+      "coarse-grain performs very poorly at scale; loop permutation alone\n"
+      "already beats the original order. Expect the same ordering here\n"
+      "(absolute numbers scale with this host's cores/SIMD).\n");
+  return 0;
+}

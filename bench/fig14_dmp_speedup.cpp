@@ -1,0 +1,37 @@
+/// Fig. 14: double max-plus speedup comparison — the Fig. 13 sweep
+/// normalized to the original program order. The paper reports up to
+/// ~178x for the tiled variant over the base implementation.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rri;
+  bench::print_banner("Fig. 14 - double max-plus speedup",
+                      "speedup of each variant over the original order");
+
+  const int m = harness::scaled_lengths({16})[0];
+  const auto lengths = harness::scaled_lengths({64, 128, 192, 256});
+  harness::ReportTable table(
+      {"M x N", "permuted", "coarse", "fine", "tiled"});
+  for (const int n : lengths) {
+    double base_secs = 0.0;
+    bench::dmp_gflops(m, n, core::DmpVariant::kBaseline, {}, &base_secs);
+    std::vector<std::string> row = {std::to_string(m) + "x" +
+                                    std::to_string(n)};
+    for (const core::DmpVariant v :
+         {core::DmpVariant::kPermuted, core::DmpVariant::kCoarse,
+          core::DmpVariant::kFine, core::DmpVariant::kTiled}) {
+      double secs = 0.0;
+      bench::dmp_gflops(m, n, v, core::TileShape3{32, 4, 0}, &secs);
+      row.push_back(harness::fmt_double(base_secs / secs, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper: tiled reaches ~178x over the base implementation at long\n"
+      "lengths with 6 threads; speedup grows with sequence length. The\n"
+      "single-thread component of that factor (vectorization + locality)\n"
+      "is what reproduces on any host.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// google-benchmark registration of the library's hot kernels, for users
+/// who want standard benchmark tooling (JSON output, repetitions,
+/// perf-counter integration) rather than the per-figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/bpmax_kernels.hpp"
+#include "rri/core/double_maxplus.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/rna/random.hpp"
+#include "rri/semiring/product.hpp"
+#include "rri/semiring/streaming.hpp"
+
+namespace {
+
+using namespace rri;
+
+void BM_MaxplusStream(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n, 1.0f);
+  std::vector<float> y(n, 0.5f);
+  for (auto _ : state) {
+    semiring::maxplus_stream(0.25f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaxplusStream)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MaxplusMatmul(benchmark::State& state) {
+  using S = semiring::MaxPlus<float>;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  semiring::Matrix<float> a(n, n, 1.0f);
+  semiring::Matrix<float> b(n, n, 2.0f);
+  semiring::Matrix<float> c(n, n, S::zero());
+  for (auto _ : state) {
+    semiring::product_tiled<S>(a, b, c, {32, 4, 0});
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MaxplusMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DoubleMaxplus(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  const auto variant = static_cast<core::DmpVariant>(state.range(1));
+  for (auto _ : state) {
+    auto f = core::solve_double_maxplus(len, len, 42, variant, {32, 4, 0});
+    benchmark::DoNotOptimize(f.at(0, len - 1, 0, len - 1));
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          harness::double_maxplus_flops(len, len),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(core::dmp_variant_name(variant));
+}
+BENCHMARK(BM_DoubleMaxplus)
+    ->Args({24, static_cast<int>(core::DmpVariant::kBaseline)})
+    ->Args({24, static_cast<int>(core::DmpVariant::kPermuted)})
+    ->Args({24, static_cast<int>(core::DmpVariant::kTiled)})
+    ->Args({32, static_cast<int>(core::DmpVariant::kTiled)});
+
+void BM_BpmaxSolve(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  const auto variant = static_cast<core::Variant>(state.range(1));
+  const auto s1 = rna::random_sequence(len, 1);
+  const auto s2 = rna::random_sequence(len, 2);
+  const auto model = rna::ScoringModel::bpmax_default();
+  for (auto _ : state) {
+    const auto r = core::bpmax_solve(s1, s2, model, {variant, {}, 0});
+    benchmark::DoNotOptimize(r.score);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          harness::bpmax_flops(static_cast<int>(len), static_cast<int>(len))
+              .total(),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(core::variant_name(variant));
+}
+BENCHMARK(BM_BpmaxSolve)
+    ->Args({16, static_cast<int>(core::Variant::kBaseline)})
+    ->Args({16, static_cast<int>(core::Variant::kHybridTiled)})
+    ->Args({24, static_cast<int>(core::Variant::kHybridTiled)});
+
+}  // namespace
+
+BENCHMARK_MAIN();

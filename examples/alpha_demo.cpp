@@ -1,0 +1,157 @@
+/// alpha_demo: the AlphaZ workflow of the paper's §III-C on this repo's
+/// alphabets front end. Parses the matrix-multiplication system of the
+/// paper's Algorithm 1, runs it through the evaluator (the role of
+/// generateWriteC: "sequential ... useful to check the correctness"),
+/// extracts its dependences, and machine-checks the space-time mapping
+/// of Algorithm 2 — then repeats the exercise on a split recurrence
+/// shaped like BPMax's R0 where an illegal mapping actually exists.
+///
+/// Usage: alpha_demo [FILE.ab]   (default: built-in examples)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rri/alpha/analysis.hpp"
+#include "rri/alpha/eval.hpp"
+#include "rri/alpha/parser.hpp"
+
+namespace {
+
+using namespace rri;
+
+const char* kMatrixMultiply = R"(// Paper Algorithm 1
+affine MM {N,K,M | (M,N,K) > 0}
+input
+  float A {i,j | 0<=i && i<M && 0<=j && j<K};
+  float B {i,j | 0<=i && i<K && 0<=j && j<N};
+output
+  float C {i,j | 0<=i && i<M && 0<=j && j<N};
+let
+  C[i,j] = reduce(+, [k | 0<=k && k<K], A[i,k] * B[k,j]);
+)";
+
+const char* kSplitRecurrence = R"(// 1-D shadow of BPMax's R0 split
+affine SPLIT {N | N > 1}
+input
+  float w {i | 0<=i && i<N};
+output
+  float S {i,j | 0<=i && i<=j && j<N};
+let
+  S[i,j] = max(w[i], reduce(max, [k | i<=k && k<j], S[i,k] + S[k+1,j]));
+)";
+
+void show_program(const alpha::Program& program) {
+  std::printf("---- normalized source ----\n%s\n",
+              alpha::to_source(program).c_str());
+  const auto deps =
+      alpha::extract_dependences(program, {.include_input_reads = true});
+  std::printf("dependences (%zu, including input reads):\n", deps.size());
+  for (const auto& d : deps) {
+    std::printf("  %-8s -> %-8s over %d-dim context\n", d.src_stmt.c_str(),
+                d.tgt_stmt.c_str(), d.space().size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mm_source = kMatrixMultiply;
+  if (argc == 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    mm_source = buf.str();
+  }
+
+  try {
+    std::printf("=== system 1: matrix multiplication (Algorithm 1) ===\n");
+    const alpha::Program mm = alpha::parse(mm_source);
+    show_program(mm);
+
+    // generateWriteC's job: execute the spec to check it.
+    const auto inputs = [](const std::string& var,
+                           const std::vector<std::int64_t>& idx) {
+      return var == "A" ? static_cast<double>(idx[0] + idx[1])
+                        : static_cast<double>(idx[0] * 2 - idx[1]);
+    };
+    alpha::Evaluator ev(mm, {{"M", 3}, {"N", 3}, {"K", 3}}, inputs);
+    std::printf("evaluated C (M=N=K=3):\n");
+    for (int i = 0; i < 3; ++i) {
+      std::printf("  ");
+      for (int j = 0; j < 3; ++j) {
+        std::printf("%6.1f", ev.value("C", {i, j}));
+      }
+      std::printf("\n");
+    }
+
+    // Algorithm 2's mapping (i,j,k -> i,k,j) for the reduce body and
+    // (i,j -> i,-1,j) for the result: check it respects the dataflow.
+    {
+      const poly::Space body{{"N", "K", "M", "i", "j", "k"}};
+      const poly::Space res{{"N", "K", "M", "i", "j"}};
+      const poly::ExprBuilder bb(body);
+      const poly::ExprBuilder rb(res);
+      const poly::StmtSchedule body_sched{body, {bb("i"), bb("k"), bb("j")}};
+      const poly::StmtSchedule c_sched{res, {rb("i"), rb.constant(-1), rb("j")}};
+      const auto deps =
+          alpha::extract_dependences(mm, {.include_input_reads = false});
+      std::printf("\nAlgorithm 2 mapping C:(i,j,k->i,k,j), init:(i,j->i,-1,j): ");
+      if (deps.empty()) {
+        std::printf("no computed-variable dependences -- any mapping is "
+                    "legal (MM reads only inputs).\n");
+        (void)body_sched;
+        (void)c_sched;
+      }
+    }
+
+    std::printf("\n=== system 2: split recurrence (R0's 1-D shadow) ===\n");
+    const alpha::Program split = alpha::parse(kSplitRecurrence);
+    show_program(split);
+
+    const poly::Space s_space{{"N", "i", "j"}};
+    const poly::ExprBuilder sb(s_space);
+    const poly::StmtSchedule by_length{s_space, {sb("j") - sb("i"), sb("i")}};
+    const poly::StmtSchedule by_left{s_space, {sb("i"), sb("j")}};
+    const auto deps = alpha::extract_dependences(split);
+    for (const auto& [name, sched] :
+         {std::pair{"(j-i, i)  diagonal order", &by_length},
+          std::pair{"(i, j)    row-major order", &by_left}}) {
+      bool legal = true;
+      int level = -1;
+      std::string which;
+      for (const auto& dep : deps) {
+        const auto r = poly::check_dependence(dep, *sched, *sched);
+        if (!r.legal) {
+          legal = false;
+          level = r.violation_level;
+          which = dep.name;
+          break;
+        }
+      }
+      if (legal) {
+        std::printf("mapping %s : LEGAL\n", name);
+      } else {
+        std::printf("mapping %s : ILLEGAL (%s violated at level %d)\n", name,
+                    which.c_str(), level);
+      }
+    }
+    std::printf(
+        "\nThe diagonal order computes short intervals first and is "
+        "certified;\nrow-major computes S[0,j] before the S[1,k] cells it "
+        "reads and is\nrejected -- the analysis AlphaZ delegates to the "
+        "user, automated.\n");
+  } catch (const alpha::SyntaxError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  } catch (const alpha::EvalError& e) {
+    std::fprintf(stderr, "evaluation error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// rri_scan: find candidate interaction sites of a short regulator RNA
+/// (e.g. an sRNA or miRNA-like guide) along a long target, the workload
+/// the paper's introduction motivates. Slides a window over the target
+/// and solves the full BPMax problem of each window against the guide.
+///
+/// Usage:
+///   rri_scan                          # synthetic demo with planted sites
+///   rri_scan TARGET.fa GUIDE.fa [window stride]
+///
+/// FASTA inputs use the first record of each file; both 5'->3' (the scan
+/// reverses the guide internally).
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+#include "rri/core/windowed.hpp"
+#include "rri/rna/fasta.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+
+/// Build a synthetic target with two planted binding sites for `guide`:
+/// one perfect, one mutated. Returns the target and prints the truth.
+rna::Sequence synthesize_target(const rna::Sequence& guide_fwd,
+                                std::mt19937_64& rng) {
+  const std::size_t len = 400;
+  auto target_bases = rna::random_sequence(len, rng, 0.5).bases();
+  const auto perfect = guide_fwd.reversed().complemented();
+  const auto noisy = rna::mutated_reverse_complement(guide_fwd, rng, 0.25);
+  const std::size_t at1 = 90;
+  const std::size_t at2 = 270;
+  for (std::size_t i = 0; i < perfect.size(); ++i) {
+    target_bases[at1 + i] = perfect[i];
+    target_bases[at2 + i] = noisy[i];
+  }
+  std::printf("synthetic target: %zu nt, perfect site at %zu, mutated "
+              "(25%%) site at %zu\n\n",
+              len, at1, at2);
+  return rna::Sequence(std::move(target_bases));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rna::Sequence target;
+  rna::Sequence guide_fwd;
+
+  try {
+    if (argc >= 3) {
+      const auto target_records = rna::read_fasta_file(argv[1]);
+      const auto guide_records = rna::read_fasta_file(argv[2]);
+      if (target_records.empty() || guide_records.empty()) {
+        std::fprintf(stderr, "error: empty FASTA input\n");
+        return 2;
+      }
+      target = target_records.front().sequence;
+      guide_fwd = guide_records.front().sequence;
+    } else {
+      std::mt19937_64 rng(2021);
+      guide_fwd = rna::random_sequence(18, rng, 0.6);
+      std::printf("guide (synthetic, 18 nt): %s\n",
+                  guide_fwd.to_string().c_str());
+      target = synthesize_target(guide_fwd, rng);
+    }
+  } catch (const rna::ParseError& e) {
+    std::fprintf(stderr, "input error: %s\n", e.what());
+    return 2;
+  }
+
+  core::ScanOptions options;
+  options.window = argc >= 4 ? std::atoi(argv[3])
+                             : static_cast<int>(guide_fwd.size()) + 6;
+  options.stride = argc >= 5 ? std::atoi(argv[4]) : 4;
+  if (options.window <= 0 || options.stride <= 0) {
+    std::fprintf(stderr, "error: window and stride must be positive\n");
+    return 2;
+  }
+
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto scores = core::scan_windows(target, guide_fwd.reversed(), model,
+                                         options);
+  const auto top = core::top_windows(scores, 8);
+
+  // Baseline for "how good is a hit": the guide folding alone plus
+  // nothing — i.e. a window with zero interaction still scores its own
+  // intramolecular structure, so report the minimum window score too.
+  float floor_score = top.empty() ? 0.0f : top.front().score;
+  for (const auto& w : scores) {
+    floor_score = std::min(floor_score, w.score);
+  }
+
+  std::printf("scanned %zu windows (window=%d, stride=%d)\n",
+              scores.size(), options.window, options.stride);
+  std::printf("background (min window score): %.0f\n\n",
+              static_cast<double>(floor_score));
+  std::printf("top candidate sites:\n");
+  std::printf("  %-8s %-8s %-7s %s\n", "offset", "length", "score",
+              "delta_vs_background");
+  for (const auto& w : top) {
+    std::printf("  %-8d %-8d %-7.0f +%.0f\n", w.offset, w.length,
+                static_cast<double>(w.score),
+                static_cast<double>(w.score - floor_score));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// schedule_explorer: the AlphaZ-style design-space view of BPMax.
+/// Prints the statements, the 13 dependence relations, every schedule set
+/// transcribed from the paper's tables, and a machine-checked legality
+/// verdict for each — including the deliberately broken negative control.
+///
+/// Usage: schedule_explorer
+
+#include <cstdio>
+
+#include "rri/poly/bpmax_catalog.hpp"
+#include "rri/poly/search.hpp"
+
+namespace {
+
+using namespace rri::poly;
+
+void print_schedule_set(const ScheduleSet& set,
+                        const std::vector<Dependence>& deps) {
+  std::printf("schedule set '%s'%s\n  %s\n", set.name.c_str(),
+              set.vectorizable ? "  [vectorizable]" : "  [k2 innermost]",
+              set.description.c_str());
+  for (const auto& [stmt, schedule] : set.by_stmt) {
+    std::string mapping = "(";
+    for (std::size_t t = 0; t < schedule.time.size(); ++t) {
+      if (t != 0) {
+        mapping += ", ";
+      }
+      mapping += schedule.time[t].to_string(schedule.domain);
+    }
+    mapping += ")";
+    std::printf("    theta_%-3s = %s\n", stmt.c_str(), mapping.c_str());
+  }
+  int illegal = 0;
+  for (const auto& v : verify_schedule_set(set, deps)) {
+    if (!v.legal) {
+      std::printf("    VIOLATION: %s at lexicographic level %d\n",
+                  v.dependence.c_str(), v.violation_level);
+      ++illegal;
+    }
+  }
+  std::printf("  verdict: %s\n\n",
+              illegal == 0 ? "LEGAL (all dependences respected)"
+                           : "ILLEGAL");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("BPMax polyhedral schedule explorer\n");
+  std::printf("==================================\n\n");
+
+  const auto deps = bpmax_dependences();
+  std::printf("dependence relations of the full recurrence (%zu):\n",
+              deps.size());
+  for (const auto& dep : deps) {
+    std::printf("  %-10s -> %-4s  %s\n", dep.src_stmt.c_str(),
+                dep.tgt_stmt.c_str(), dep.name.c_str());
+  }
+  std::printf("\n--- full-BPMax schedule sets (paper Tables II-IV) ---\n\n");
+  for (const auto& set : bpmax_schedule_catalog()) {
+    print_schedule_set(set, deps);
+  }
+
+  const auto dmp_deps = dmp_dependences();
+  std::printf("--- double max-plus schedule sets (paper Table I) ---\n\n");
+  for (const auto& set : dmp_schedule_catalog()) {
+    print_schedule_set(set, dmp_deps);
+  }
+
+  std::printf("--- automatic schedule search (double max-plus system) ---\n\n");
+  {
+    const std::map<std::string, Space> spaces = {
+        {"F", statement_space("F")}, {"R0", statement_space("R0")}};
+    SearchOptions opt;
+    opt.max_active_dims = 2;
+    const auto found = find_schedules(spaces, dmp_deps, opt);
+    if (found.found) {
+      std::printf("found a certified %d-level schedule automatically:\n",
+                  found.levels);
+      for (const auto& [stmt, schedule] : found.schedules) {
+        std::string mapping = "(";
+        for (std::size_t t = 0; t < schedule.time.size(); ++t) {
+          if (t != 0) {
+            mapping += ", ";
+          }
+          mapping += schedule.time[t].to_string(schedule.domain);
+        }
+        mapping += ")";
+        std::printf("    theta_%-3s = %s\n", stmt.c_str(), mapping.c_str());
+      }
+    } else {
+      std::printf("search failed (unexpected)\n");
+    }
+  }
+
+  std::printf(
+      "\nNote: AlphaZ leaves schedule validity to the user; this library\n"
+      "proves it per dependence by Fourier-Motzkin emptiness of each\n"
+      "lexicographic violation polyhedron, and can search the same\n"
+      "small-coefficient space the paper's schedules live in.\n");
+  return 0;
+}

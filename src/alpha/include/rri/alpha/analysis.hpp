@@ -1,0 +1,45 @@
+#ifndef RRI_ALPHA_ANALYSIS_HPP
+#define RRI_ALPHA_ANALYSIS_HPP
+
+/// \file analysis.hpp
+/// Static analyses over parsed alphabets programs: dependence extraction
+/// (every array read of every equation becomes a poly::Dependence whose
+/// legality can be checked against a user schedule, closing the
+/// AlphaZ-style loop of "write the spec, pick a mapping, verify it"),
+/// plus simple well-formedness queries.
+
+#include "rri/alpha/ast.hpp"
+#include "rri/poly/schedule.hpp"
+
+namespace rri::alpha {
+
+/// Options for dependence extraction.
+struct DependenceOptions {
+  /// Include reads of input variables (they impose no ordering between
+  /// computed statements, but are useful for dataflow displays).
+  bool include_input_reads = false;
+};
+
+/// Extract one Dependence per array read. The target statement of a read
+/// inside equation `V[idx] = ...` is named V and has domain space
+/// (parameters..., lhs indices..., enclosing reduction indices...); the
+/// source statement is the read variable with its declared domain
+/// space. The dependence domain combines the target variable's declared
+/// domain with every enclosing reduction's constraints.
+std::vector<poly::Dependence> extract_dependences(
+    const Program& program, const DependenceOptions& options = {});
+
+/// Statement domain space of an equation's deepest context is per-read;
+/// this returns the *top-level* statement space of variable `var`'s
+/// defining equation: (parameters..., lhs indices...).
+poly::Space equation_space(const Program& program, const std::string& var);
+
+/// Variables in dependence order (inputs first, then computed variables
+/// ordered so each is preceded by everything its equation reads).
+/// Throws std::runtime_error on cyclic variable-level dependences that
+/// are not self-recurrences.
+std::vector<std::string> topological_order(const Program& program);
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_ANALYSIS_HPP

@@ -1,0 +1,100 @@
+#ifndef RRI_ALPHA_AST_HPP
+#define RRI_ALPHA_AST_HPP
+
+/// \file ast.hpp
+/// Abstract syntax of the alphabets mini-language: a system of affine
+/// recurrence equations over polyhedral domains (the paper's Algorithm 1
+/// is the canonical example). The representation reuses the polyhedral
+/// vocabulary of rri::poly — domains are ConstraintSystems, array
+/// accesses are vectors of AffineExprs — so dependence extraction and
+/// schedule checking plug straight into the legality machinery.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rri/poly/polyhedron.hpp"
+
+namespace rri::alpha {
+
+enum class VarKind { kParameter, kInput, kOutput, kLocal };
+
+/// One declared array (or the implicit parameter "array" of rank 0).
+struct VarDecl {
+  std::string name;
+  VarKind kind = VarKind::kInput;
+  std::vector<std::string> index_names;  ///< e.g. {"i", "j"}
+  /// Domain over (parameters..., index_names...): every valid cell.
+  /// For parameters this is the parameter-domain constraint system.
+  poly::ConstraintSystem domain{poly::Space{}};
+};
+
+enum class ReduceOp { kSum, kMax, kMin, kProduct };
+
+const char* reduce_op_name(ReduceOp op) noexcept;
+
+/// Expression tree. Affine index expressions inside VarRef are relative
+/// to the *context space* of the enclosing equation: (parameters...,
+/// lhs indices..., enclosing reduction indices...), innermost last.
+struct Expr {
+  enum class Kind { kConst, kVarRef, kBinary, kReduce };
+  enum class BinOp { kAdd, kSub, kMul, kMax, kMin };
+
+  Kind kind = Kind::kConst;
+
+  // kConst
+  double value = 0.0;
+
+  // kVarRef
+  std::string var;
+  std::vector<poly::AffineExpr> indices;  ///< over the context space
+
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  // kReduce
+  ReduceOp reduce_op = ReduceOp::kSum;
+  std::vector<std::string> reduce_indices;
+  /// Constraints bounding the reduction indices, over the body's context
+  /// space (parameters, lhs indices, outer reduce indices, own indices).
+  poly::ConstraintSystem reduce_domain{poly::Space{}};
+  std::unique_ptr<Expr> body;
+};
+
+/// One equation: lhs_var[lhs_indices...] = rhs.
+struct Equation {
+  std::string lhs_var;
+  std::vector<std::string> lhs_indices;
+  std::unique_ptr<Expr> rhs;
+  /// Context space of the RHS's top level: (params..., lhs_indices...).
+  poly::Space context{std::vector<std::string>{}};
+};
+
+/// A whole system definition.
+struct Program {
+  std::string name;
+  std::vector<std::string> parameters;
+  poly::ConstraintSystem parameter_domain{poly::Space{}};
+  std::vector<VarDecl> declarations;   ///< in declaration order
+  std::vector<Equation> equations;
+
+  const VarDecl* find_var(const std::string& var_name) const {
+    for (const VarDecl& d : declarations) {
+      if (d.name == var_name) {
+        return &d;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Render the program back to (normalized) source text; parses back to
+/// an equivalent program (round-trip tested).
+std::string to_source(const Program& program);
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_AST_HPP

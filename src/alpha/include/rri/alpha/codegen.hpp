@@ -1,0 +1,45 @@
+#ifndef RRI_ALPHA_CODEGEN_HPP
+#define RRI_ALPHA_CODEGEN_HPP
+
+/// \file codegen.hpp
+/// C++ code generation from alphabets programs — the generateWriteC half
+/// of the AlphaZ workflow ("sequential in nature and useful to check the
+/// correctness of the program"). The emitted translation unit computes
+/// output cells by memoized recursion, mirroring the in-process
+/// evaluator; tests compile the generated code with the host compiler
+/// and check it reproduces the evaluator's results exactly.
+
+#include <string>
+
+#include "rri/alpha/ast.hpp"
+
+namespace rri::alpha {
+
+struct CodegenOptions {
+  /// Namespace the generated functions live in.
+  std::string namespace_name = "alpha_generated";
+};
+
+/// Generate a self-contained C++17 translation unit. Interface of the
+/// generated code, for program P with parameters p1..pk:
+///
+///   namespace <ns> {
+///   struct Context {
+///     long long p1, ..., pk;                     // parameter values
+///     double (*input)(const char* var,
+///                     const long long* idx, int arity);
+///     long long reduce_bound;                    // enumeration box
+///     ...memo tables...
+///   };
+///   double value_<Var>(Context&, long long i, ...);  // one per computed var
+///   }
+///
+/// Reductions enumerate [-reduce_bound, reduce_bound]^k under their
+/// domain constraints, exactly like the evaluator; callers set
+/// reduce_bound >= max parameter + 2.
+std::string generate_cpp(const Program& program,
+                         const CodegenOptions& options = {});
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_CODEGEN_HPP

@@ -1,0 +1,67 @@
+#ifndef RRI_ALPHA_EVAL_HPP
+#define RRI_ALPHA_EVAL_HPP
+
+/// \file eval.hpp
+/// Demand-driven evaluator for alphabets programs: the executable
+/// semantics AlphaZ's generateWriteC provides ("sequential in nature and
+/// useful to check the correctness of the program"). Output cells are
+/// computed by memoized recursion on the equations; reductions enumerate
+/// the integer points of their (bounded) domains.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rri/alpha/ast.hpp"
+
+namespace rri::alpha {
+
+/// Thrown on evaluation failures: unbound inputs, out-of-domain reads,
+/// unbounded reductions, or cyclic cell-level recursion.
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Supplies input array values: (variable name, index point) -> value.
+using InputProvider =
+    std::function<double(const std::string&, const std::vector<std::int64_t>&)>;
+
+class Evaluator {
+ public:
+  /// `parameters` binds every program parameter to a concrete value;
+  /// missing bindings throw EvalError.
+  Evaluator(const Program& program,
+            std::map<std::string, std::int64_t> parameters,
+            InputProvider inputs);
+
+  /// Value of `var` at `point` (the variable's declared indices, without
+  /// the parameter prefix). Memoized; checks the point lies in the
+  /// variable's declared domain.
+  double value(const std::string& var, std::vector<std::int64_t> point);
+
+  /// Number of distinct cells computed so far (memo size), for tests.
+  std::size_t cells_computed() const noexcept { return memo_.size(); }
+
+ private:
+  double eval_expr(const Expr& e, std::vector<std::int64_t>& context_point);
+  double eval_reduce(const Expr& e, std::vector<std::int64_t>& context_point);
+  double combine(ReduceOp op, double acc, double v) const;
+  double identity(ReduceOp op) const;
+
+  const Program& program_;
+  std::map<std::string, std::int64_t> parameters_;
+  std::vector<std::int64_t> param_values_;  ///< in program order
+  InputProvider inputs_;
+  std::map<std::pair<std::string, std::vector<std::int64_t>>, double> memo_;
+  std::set<std::pair<std::string, std::vector<std::int64_t>>> in_progress_;
+  std::int64_t reduce_bound_ = 0;  ///< box half-extent for reductions
+};
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_EVAL_HPP

@@ -1,0 +1,77 @@
+#ifndef RRI_ALPHA_LEXER_HPP
+#define RRI_ALPHA_LEXER_HPP
+
+/// \file lexer.hpp
+/// Tokenizer for the "alphabets" equational mini-language — the system-
+/// definition half of AlphaZ that the paper programs BPMax in (its
+/// Algorithm 1 is a matrix-multiplication system definition). This repo
+/// implements enough of the language to express systems of affine
+/// recurrence equations with reductions, extract their dependences, and
+/// evaluate them; see parser.hpp for the grammar.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rri::alpha {
+
+/// Thrown on any lexical or syntactic error; carries line/column.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, int line, int column)
+      : std::runtime_error("alpha:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+enum class TokenKind {
+  kIdent,     ///< identifiers and keywords (keyword-ness decided in parser)
+  kNumber,    ///< integer literal
+  kLBrace,    ///< {
+  kRBrace,    ///< }
+  kLBracket,  ///< [
+  kRBracket,  ///< ]
+  kLParen,    ///< (
+  kRParen,    ///< )
+  kComma,     ///< ,
+  kSemi,      ///< ;
+  kPipe,      ///< |
+  kPlus,      ///< +
+  kMinus,     ///< -
+  kStar,      ///< *
+  kEq,        ///< =
+  kEqEq,      ///< ==
+  kLe,        ///< <=
+  kLt,        ///< <
+  kGe,        ///< >=
+  kGt,        ///< >
+  kAndAnd,    ///< &&
+  kEnd,       ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< identifier text or number literal
+  std::int64_t value = 0;  ///< numeric value for kNumber
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenize the whole input. Comments run from "//" to end of line.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Printable token-kind name for diagnostics.
+const char* token_kind_name(TokenKind kind) noexcept;
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_LEXER_HPP

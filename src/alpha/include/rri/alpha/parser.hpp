@@ -1,0 +1,46 @@
+#ifndef RRI_ALPHA_PARSER_HPP
+#define RRI_ALPHA_PARSER_HPP
+
+/// \file parser.hpp
+/// Recursive-descent parser for the alphabets mini-language.
+///
+/// Grammar (EBNF; '//' comments; keywords are contextual identifiers):
+///
+///   program    := 'affine' IDENT domain
+///                 { ('input' | 'output' | 'local') { decl } }
+///                 'let' { equation }
+///   decl       := ('float' | 'int') IDENT domain ';'
+///   domain     := '{' ident-list '|' constraints '}'
+///   constraints:= chain { '&&' chain }
+///   chain      := affine { ('<=' | '<' | '>=' | '>' | '==') affine }
+///   equation   := IDENT '[' ident-list ']' '=' expr ';'
+///   expr       := addend { ('+' | '-') addend }
+///   addend     := factor { '*' factor }
+///   factor     := NUMBER
+///               | 'max' '(' expr ',' expr ')' | 'min' '(' expr ',' expr ')'
+///               | 'reduce' '(' reduce-op ',' '[' ident-list
+///                     [ '|' constraints ] ']' ',' expr ')'
+///               | IDENT '[' affine-list ']'          // array access
+///               | IDENT                              // parameter/index
+///               | '(' expr ')'
+///   reduce-op  := '+' | '*' | 'max' | 'min'
+///   affine     := linear combination of in-scope indices, parameters
+///                 and integer literals using '+', '-', '*'
+///
+/// Affine positions (domains, access indices) reject non-affine forms
+/// (e.g. i*j) with a SyntaxError; general expression positions allow
+/// arbitrary products.
+
+#include "rri/alpha/ast.hpp"
+#include "rri/alpha/lexer.hpp"
+
+namespace rri::alpha {
+
+/// Parse a full system definition. Throws SyntaxError with line/column
+/// on malformed input; performs name/arity validation (undeclared
+/// variables, arity mismatches, equations for inputs) as it goes.
+Program parse(const std::string& source);
+
+}  // namespace rri::alpha
+
+#endif  // RRI_ALPHA_PARSER_HPP

@@ -1,0 +1,193 @@
+#include "rri/alpha/analysis.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace rri::alpha {
+namespace {
+
+/// Zero-extend an affine expression from a prefix space to a larger one.
+poly::AffineExpr extend(const poly::AffineExpr& e, int new_dims) {
+  poly::AffineExpr out(new_dims);
+  for (int d = 0; d < e.dims(); ++d) {
+    out.coeff(d) = e.coeff(d);
+  }
+  out.constant_term() = e.constant_term();
+  return out;
+}
+
+/// Re-express constraints over a prefix space in `space` (zero-padding).
+void extend_into(const poly::ConstraintSystem& from,
+                 poly::ConstraintSystem& to) {
+  for (const poly::Constraint& c : from.constraints()) {
+    if (c.equality) {
+      to.add_eq0(extend(c.expr, to.dims()));
+    } else {
+      to.add_ge0(extend(c.expr, to.dims()));
+    }
+  }
+}
+
+struct Walker {
+  const Program& program;
+  const DependenceOptions& options;
+  std::vector<poly::Dependence>& out;
+
+  /// Walk expression `e` whose context space is `context`; `enclosing`
+  /// accumulates the reduce-domain constraints gathered on the way down
+  /// (each over a prefix of `context`).
+  void walk(const Equation& eq, const Expr& e, const poly::Space& context,
+            const std::vector<const poly::ConstraintSystem*>& enclosing) {
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+        return;
+      case Expr::Kind::kBinary:
+        walk(eq, *e.lhs, context, enclosing);
+        walk(eq, *e.rhs, context, enclosing);
+        return;
+      case Expr::Kind::kReduce: {
+        auto nested = enclosing;
+        nested.push_back(&e.reduce_domain);
+        walk(eq, *e.body, e.reduce_domain.space(), nested);
+        return;
+      }
+      case Expr::Kind::kVarRef:
+        emit(eq, e, context, enclosing);
+        return;
+    }
+  }
+
+  void emit(const Equation& eq, const Expr& ref, const poly::Space& context,
+            const std::vector<const poly::ConstraintSystem*>& enclosing) {
+    const VarDecl* src = program.find_var(ref.var);
+    const VarDecl* tgt = program.find_var(eq.lhs_var);
+    if (src == nullptr || tgt == nullptr) {
+      throw std::logic_error("dependence extraction on unvalidated program");
+    }
+    if (src->kind == VarKind::kInput && !options.include_input_reads) {
+      return;
+    }
+
+    poly::ConstraintSystem domain(context);
+    // Target cell must be a valid cell of the LHS variable: translate the
+    // declared domain (over params + decl index names) to the context
+    // (params + equation lhs names share positions with decl names).
+    {
+      const int params = static_cast<int>(program.parameters.size());
+      std::vector<poly::AffineExpr> map;
+      map.reserve(static_cast<std::size_t>(tgt->domain.dims()));
+      for (int d = 0; d < params + static_cast<int>(tgt->index_names.size());
+           ++d) {
+        map.push_back(poly::AffineExpr::variable(context.size(), d));
+      }
+      for (const poly::Constraint& c : tgt->domain.constraints()) {
+        const poly::AffineExpr translated = c.expr.substitute(map);
+        if (c.equality) {
+          domain.add_eq0(translated);
+        } else {
+          domain.add_ge0(translated);
+        }
+      }
+    }
+    // Parameter constraints.
+    extend_into(program.parameter_domain, domain);
+    // Enclosing reduction constraints.
+    for (const poly::ConstraintSystem* cs : enclosing) {
+      extend_into(*cs, domain);
+    }
+
+    // Source coordinates: parameters pass through, then the access.
+    std::vector<poly::AffineExpr> src_coords;
+    for (std::size_t p = 0; p < program.parameters.size(); ++p) {
+      src_coords.push_back(
+          poly::AffineExpr::variable(context.size(), static_cast<int>(p)));
+    }
+    for (const poly::AffineExpr& idx : ref.indices) {
+      src_coords.push_back(extend(idx, context.size()));
+    }
+
+    // Target coordinates: parameters then the equation's lhs indices
+    // (a prefix of the context immediately after the parameters).
+    std::vector<poly::AffineExpr> tgt_coords;
+    const int params = static_cast<int>(program.parameters.size());
+    for (int d = 0; d < params + static_cast<int>(eq.lhs_indices.size());
+         ++d) {
+      tgt_coords.push_back(poly::AffineExpr::variable(context.size(), d));
+    }
+
+    poly::Dependence dep{
+        eq.lhs_var + " reads " + ref.var, ref.var, eq.lhs_var,
+        std::move(domain), std::move(src_coords), std::move(tgt_coords)};
+    out.push_back(std::move(dep));
+  }
+};
+
+}  // namespace
+
+std::vector<poly::Dependence> extract_dependences(
+    const Program& program, const DependenceOptions& options) {
+  std::vector<poly::Dependence> deps;
+  Walker walker{program, options, deps};
+  for (const Equation& eq : program.equations) {
+    walker.walk(eq, *eq.rhs, eq.context, {});
+  }
+  return deps;
+}
+
+poly::Space equation_space(const Program& program, const std::string& var) {
+  for (const Equation& eq : program.equations) {
+    if (eq.lhs_var == var) {
+      return eq.context;
+    }
+  }
+  throw std::out_of_range("no equation defines '" + var + "'");
+}
+
+std::vector<std::string> topological_order(const Program& program) {
+  // Variable-level reads (ignoring self-recurrences, which are fine for
+  // the memoized evaluator as long as cells do not cycle).
+  std::map<std::string, std::set<std::string>> reads;
+  const auto deps = extract_dependences(program, {.include_input_reads = true});
+  for (const auto& d : deps) {
+    if (d.src_stmt != d.tgt_stmt) {
+      reads[d.tgt_stmt].insert(d.src_stmt);
+    }
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  for (const VarDecl& d : program.declarations) {
+    if (d.kind == VarKind::kInput) {
+      order.push_back(d.name);
+      done.insert(d.name);
+    }
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const VarDecl& d : program.declarations) {
+      if (done.count(d.name) != 0) {
+        continue;
+      }
+      bool ready = true;
+      for (const std::string& r : reads[d.name]) {
+        if (done.count(r) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(d.name);
+        done.insert(d.name);
+        progress = true;
+      }
+    }
+  }
+  if (done.size() != program.declarations.size()) {
+    throw std::runtime_error(
+        "cyclic variable-level dependences (mutual recursion between "
+        "distinct variables is not supported)");
+  }
+  return order;
+}
+
+}  // namespace rri::alpha

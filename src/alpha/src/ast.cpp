@@ -1,0 +1,124 @@
+#include "rri/alpha/ast.hpp"
+
+#include <sstream>
+
+namespace rri::alpha {
+namespace {
+
+void print_constraints(std::ostream& out, const poly::ConstraintSystem& cs) {
+  bool first = true;
+  for (const poly::Constraint& c : cs.constraints()) {
+    if (!first) {
+      out << " && ";
+    }
+    first = false;
+    out << c.expr.to_string(cs.space()) << (c.equality ? " == 0" : " >= 0");
+  }
+  if (first) {
+    out << "0 >= 0";  // empty constraint list: trivially true
+  }
+}
+
+void print_ident_list(std::ostream& out,
+                      const std::vector<std::string>& names) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << (i ? "," : "") << names[i];
+  }
+}
+
+void print_expr(std::ostream& out, const Expr& e, const poly::Space& context);
+
+void print_binary(std::ostream& out, const Expr& e,
+                  const poly::Space& context) {
+  const char* infix = nullptr;
+  switch (e.op) {
+    case Expr::BinOp::kAdd: infix = " + "; break;
+    case Expr::BinOp::kSub: infix = " - "; break;
+    case Expr::BinOp::kMul: infix = " * "; break;
+    case Expr::BinOp::kMax: infix = nullptr; break;
+    case Expr::BinOp::kMin: infix = nullptr; break;
+  }
+  if (infix != nullptr) {
+    out << "(";
+    print_expr(out, *e.lhs, context);
+    out << infix;
+    print_expr(out, *e.rhs, context);
+    out << ")";
+  } else {
+    out << (e.op == Expr::BinOp::kMax ? "max(" : "min(");
+    print_expr(out, *e.lhs, context);
+    out << ", ";
+    print_expr(out, *e.rhs, context);
+    out << ")";
+  }
+}
+
+void print_expr(std::ostream& out, const Expr& e,
+                const poly::Space& context) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      out << static_cast<std::int64_t>(e.value);
+      return;
+    case Expr::Kind::kVarRef: {
+      out << e.var << "[";
+      for (std::size_t i = 0; i < e.indices.size(); ++i) {
+        out << (i ? "," : "") << e.indices[i].to_string(context);
+      }
+      out << "]";
+      return;
+    }
+    case Expr::Kind::kBinary:
+      print_binary(out, e, context);
+      return;
+    case Expr::Kind::kReduce: {
+      out << "reduce(" << reduce_op_name(e.reduce_op) << ", [";
+      print_ident_list(out, e.reduce_indices);
+      out << " | ";
+      print_constraints(out, e.reduce_domain);
+      out << "], ";
+      print_expr(out, *e.body, e.reduce_domain.space());
+      out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Program& program) {
+  std::ostringstream out;
+  out << "affine " << program.name << " {";
+  print_ident_list(out, program.parameters);
+  out << " | ";
+  print_constraints(out, program.parameter_domain);
+  out << "}\n";
+  const char* section_names[] = {"", "input", "output", "local"};
+  for (int section = 1; section <= 3; ++section) {
+    bool any = false;
+    for (const VarDecl& d : program.declarations) {
+      if (static_cast<int>(d.kind) != section) {
+        continue;
+      }
+      if (!any) {
+        out << section_names[section] << "\n";
+        any = true;
+      }
+      out << "  float " << d.name << " {";
+      print_ident_list(out, d.index_names);
+      out << " | ";
+      print_constraints(out, d.domain);
+      out << "};\n";
+    }
+  }
+  out << "let\n";
+  for (const Equation& eq : program.equations) {
+    out << "  " << eq.lhs_var << "[";
+    print_ident_list(out, eq.lhs_indices);
+    out << "] = ";
+    print_expr(out, *eq.rhs, eq.context);
+    out << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace rri::alpha

@@ -1,0 +1,163 @@
+#include "rri/alpha/eval.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace rri::alpha {
+
+Evaluator::Evaluator(const Program& program,
+                     std::map<std::string, std::int64_t> parameters,
+                     InputProvider inputs)
+    : program_(program),
+      parameters_(std::move(parameters)),
+      inputs_(std::move(inputs)) {
+  for (const std::string& p : program_.parameters) {
+    const auto it = parameters_.find(p);
+    if (it == parameters_.end()) {
+      throw EvalError("parameter '" + p + "' is unbound");
+    }
+    param_values_.push_back(it->second);
+    reduce_bound_ =
+        std::max(reduce_bound_, std::abs(it->second) + 2);
+  }
+  reduce_bound_ = std::max<std::int64_t>(reduce_bound_, 4);
+  if (!program_.parameter_domain.contains(param_values_)) {
+    throw EvalError("parameter values violate the parameter domain");
+  }
+}
+
+double Evaluator::value(const std::string& var,
+                        std::vector<std::int64_t> point) {
+  const VarDecl* decl = program_.find_var(var);
+  if (decl == nullptr) {
+    throw EvalError("unknown variable '" + var + "'");
+  }
+  if (point.size() != decl->index_names.size()) {
+    throw EvalError("arity mismatch reading '" + var + "'");
+  }
+  std::vector<std::int64_t> full = param_values_;
+  full.insert(full.end(), point.begin(), point.end());
+  if (!decl->domain.contains(full)) {
+    throw EvalError("read of '" + var + "' outside its declared domain");
+  }
+  if (decl->kind == VarKind::kInput) {
+    return inputs_(var, point);
+  }
+
+  const auto key = std::make_pair(var, point);
+  const auto hit = memo_.find(key);
+  if (hit != memo_.end()) {
+    return hit->second;
+  }
+  if (!in_progress_.insert(key).second) {
+    throw EvalError("cyclic cell-level recursion evaluating '" + var + "'");
+  }
+
+  const Equation* eq = nullptr;
+  for (const Equation& candidate : program_.equations) {
+    if (candidate.lhs_var == var) {
+      eq = &candidate;
+      break;
+    }
+  }
+  if (eq == nullptr) {
+    throw EvalError("no equation defines '" + var + "'");
+  }
+  std::vector<std::int64_t> context_point = full;
+  const double v = eval_expr(*eq->rhs, context_point);
+  in_progress_.erase(key);
+  memo_.emplace(key, v);
+  return v;
+}
+
+double Evaluator::identity(ReduceOp op) const {
+  switch (op) {
+    case ReduceOp::kSum: return 0.0;
+    case ReduceOp::kProduct: return 1.0;
+    case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+    case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double Evaluator::combine(ReduceOp op, double acc, double v) const {
+  switch (op) {
+    case ReduceOp::kSum: return acc + v;
+    case ReduceOp::kProduct: return acc * v;
+    case ReduceOp::kMax: return std::max(acc, v);
+    case ReduceOp::kMin: return std::min(acc, v);
+  }
+  return acc;
+}
+
+double Evaluator::eval_reduce(const Expr& e,
+                              std::vector<std::int64_t>& context_point) {
+  const std::size_t k = e.reduce_indices.size();
+  const std::size_t base = context_point.size();
+  context_point.resize(base + k, -reduce_bound_);
+
+  double acc = identity(e.reduce_op);
+  // Odometer over the reduction indices within [-bound, bound]^k; each
+  // point satisfying the reduce domain contributes.
+  while (true) {
+    if (e.reduce_domain.contains(context_point)) {
+      for (std::size_t d = 0; d < k; ++d) {
+        const std::int64_t v = context_point[base + d];
+        if (v == -reduce_bound_ || v == reduce_bound_) {
+          context_point.resize(base);
+          throw EvalError(
+              "reduction domain reaches the enumeration bound; it is "
+              "unbounded or the parameters are too large for the evaluator");
+        }
+      }
+      acc = combine(e.reduce_op, acc, eval_expr(*e.body, context_point));
+    }
+    std::size_t d = 0;
+    while (d < k) {
+      if (++context_point[base + d] <= reduce_bound_) {
+        break;
+      }
+      context_point[base + d] = -reduce_bound_;
+      ++d;
+    }
+    if (d == k) {
+      break;
+    }
+  }
+  context_point.resize(base);
+  return acc;
+}
+
+double Evaluator::eval_expr(const Expr& e,
+                            std::vector<std::int64_t>& context_point) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.value;
+    case Expr::Kind::kBinary: {
+      const double a = eval_expr(*e.lhs, context_point);
+      const double b = eval_expr(*e.rhs, context_point);
+      switch (e.op) {
+        case Expr::BinOp::kAdd: return a + b;
+        case Expr::BinOp::kSub: return a - b;
+        case Expr::BinOp::kMul: return a * b;
+        case Expr::BinOp::kMax: return std::max(a, b);
+        case Expr::BinOp::kMin: return std::min(a, b);
+      }
+      return 0.0;
+    }
+    case Expr::Kind::kVarRef: {
+      std::vector<std::int64_t> point;
+      point.reserve(e.indices.size());
+      for (const poly::AffineExpr& idx : e.indices) {
+        point.push_back(idx.eval(context_point));
+      }
+      return value(e.var, std::move(point));
+    }
+    case Expr::Kind::kReduce:
+      return eval_reduce(e, context_point);
+  }
+  return 0.0;
+}
+
+}  // namespace rri::alpha

@@ -1,0 +1,133 @@
+#include "rri/alpha/lexer.hpp"
+
+#include <cctype>
+
+namespace rri::alpha {
+
+const char* token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t pos = 0;
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  };
+  auto advance = [&] {
+    if (peek() == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++pos;
+  };
+  auto push = [&](TokenKind kind, std::string text, int start_col) {
+    tokens.push_back(Token{kind, std::move(text), 0, line, start_col});
+  };
+
+  while (pos < source.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (pos < source.size() && peek() != '\n') {
+        advance();
+      }
+      continue;
+    }
+    const int start_col = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        text.push_back(peek());
+        advance();
+      }
+      push(TokenKind::kIdent, std::move(text), start_col);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(peek());
+        advance();
+      }
+      Token t{TokenKind::kNumber, text, std::stoll(text), line, start_col};
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    auto two = [&](char second, TokenKind long_kind, TokenKind short_kind) {
+      if (peek(1) == second) {
+        advance();
+        advance();
+        push(long_kind, {c, second}, start_col);
+      } else {
+        advance();
+        push(short_kind, {c}, start_col);
+      }
+    };
+    switch (c) {
+      case '{': advance(); push(TokenKind::kLBrace, "{", start_col); break;
+      case '}': advance(); push(TokenKind::kRBrace, "}", start_col); break;
+      case '[': advance(); push(TokenKind::kLBracket, "[", start_col); break;
+      case ']': advance(); push(TokenKind::kRBracket, "]", start_col); break;
+      case '(': advance(); push(TokenKind::kLParen, "(", start_col); break;
+      case ')': advance(); push(TokenKind::kRParen, ")", start_col); break;
+      case ',': advance(); push(TokenKind::kComma, ",", start_col); break;
+      case ';': advance(); push(TokenKind::kSemi, ";", start_col); break;
+      case '|': advance(); push(TokenKind::kPipe, "|", start_col); break;
+      case '+': advance(); push(TokenKind::kPlus, "+", start_col); break;
+      case '-': advance(); push(TokenKind::kMinus, "-", start_col); break;
+      case '*': advance(); push(TokenKind::kStar, "*", start_col); break;
+      case '=': two('=', TokenKind::kEqEq, TokenKind::kEq); break;
+      case '<': two('=', TokenKind::kLe, TokenKind::kLt); break;
+      case '>': two('=', TokenKind::kGe, TokenKind::kGt); break;
+      case '&':
+        if (peek(1) != '&') {
+          throw SyntaxError("stray '&'", line, start_col);
+        }
+        advance();
+        advance();
+        push(TokenKind::kAndAnd, "&&", start_col);
+        break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'",
+                          line, start_col);
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line, column});
+  return tokens;
+}
+
+}  // namespace rri::alpha

@@ -1,0 +1,473 @@
+#include "rri/alpha/parser.hpp"
+
+#include <algorithm>
+
+namespace rri::alpha {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  Program parse_program() {
+    expect_keyword("affine");
+    program_.name = expect(TokenKind::kIdent).text;
+    // Parameter domain: '{' params '|' constraints '}'.
+    parse_param_domain();
+
+    bool seen_let = false;
+    while (!seen_let) {
+      const Token& t = peek();
+      if (t.kind != TokenKind::kIdent) {
+        fail("expected a section keyword (input/output/local/let)", t);
+      }
+      if (t.text == "input" || t.text == "output" || t.text == "local") {
+        advance();
+        const VarKind kind = t.text == "input"    ? VarKind::kInput
+                             : t.text == "output" ? VarKind::kOutput
+                                                  : VarKind::kLocal;
+        // Declarations run until the next section keyword.
+        while (peek().kind == TokenKind::kIdent &&
+               (peek().text == "float" || peek().text == "int")) {
+          parse_declaration(kind);
+        }
+      } else if (t.text == "let") {
+        advance();
+        seen_let = true;
+      } else {
+        fail("unknown section '" + t.text + "'", t);
+      }
+    }
+    while (peek().kind != TokenKind::kEnd) {
+      parse_equation();
+    }
+    validate_program();
+    return std::move(program_);
+  }
+
+ private:
+  // ------------------------------------------------------------ plumbing
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  [[noreturn]] void fail(const std::string& message, const Token& at) const {
+    throw SyntaxError(message, at.line, at.column);
+  }
+
+  const Token& expect(TokenKind kind) {
+    const Token& t = peek();
+    if (t.kind != kind) {
+      fail(std::string("expected ") + token_kind_name(kind) + ", found " +
+               token_kind_name(t.kind) +
+               (t.text.empty() ? "" : " '" + t.text + "'"),
+           t);
+    }
+    return advance();
+  }
+
+  void expect_keyword(const std::string& word) {
+    const Token& t = peek();
+    if (t.kind != TokenKind::kIdent || t.text != word) {
+      fail("expected keyword '" + word + "'", t);
+    }
+    advance();
+  }
+
+  bool accept(TokenKind kind) {
+    if (peek().kind == kind) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------ affine pieces
+
+  std::vector<std::string> parse_ident_list() {
+    std::vector<std::string> names;
+    names.push_back(expect(TokenKind::kIdent).text);
+    while (accept(TokenKind::kComma)) {
+      names.push_back(expect(TokenKind::kIdent).text);
+    }
+    return names;
+  }
+
+  /// affine := term { ('+'|'-') term }
+  poly::AffineExpr parse_affine(const poly::Space& space) {
+    poly::AffineExpr e = parse_affine_term(space);
+    while (true) {
+      if (accept(TokenKind::kPlus)) {
+        e = e + parse_affine_term(space);
+      } else if (accept(TokenKind::kMinus)) {
+        e = e - parse_affine_term(space);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  /// term := primary { '*' primary } where at most one side is symbolic
+  poly::AffineExpr parse_affine_term(const poly::Space& space) {
+    poly::AffineExpr e = parse_affine_primary(space);
+    while (peek().kind == TokenKind::kStar) {
+      const Token& star = peek();
+      advance();
+      const poly::AffineExpr rhs = parse_affine_primary(space);
+      if (e.is_constant()) {
+        e = rhs * e.constant_term();
+      } else if (rhs.is_constant()) {
+        e = e * rhs.constant_term();
+      } else {
+        fail("non-affine product of two symbolic expressions", star);
+      }
+    }
+    return e;
+  }
+
+  poly::AffineExpr parse_affine_primary(const poly::Space& space) {
+    const Token& t = peek();
+    if (accept(TokenKind::kMinus)) {
+      return -parse_affine_primary(space);
+    }
+    if (t.kind == TokenKind::kNumber) {
+      advance();
+      return poly::AffineExpr::constant(space.size(), t.value);
+    }
+    if (t.kind == TokenKind::kIdent) {
+      advance();
+      try {
+        return poly::AffineExpr::variable(space.size(), space.index(t.text));
+      } catch (const std::out_of_range&) {
+        fail("unknown index or parameter '" + t.text + "'", t);
+      }
+    }
+    if (accept(TokenKind::kLParen)) {
+      poly::AffineExpr e = parse_affine(space);
+      expect(TokenKind::kRParen);
+      return e;
+    }
+    fail("expected an affine expression", t);
+  }
+
+  /// constraints := chain { '&&' chain }; chain := affine { relop affine }
+  void parse_constraints(const poly::Space& space,
+                         poly::ConstraintSystem& out) {
+    parse_chain(space, out);
+    while (accept(TokenKind::kAndAnd)) {
+      parse_chain(space, out);
+    }
+  }
+
+  void parse_chain(const poly::Space& space, poly::ConstraintSystem& out) {
+    poly::AffineExpr prev = parse_affine(space);
+    bool any = false;
+    while (true) {
+      const TokenKind k = peek().kind;
+      if (k != TokenKind::kLe && k != TokenKind::kLt && k != TokenKind::kGe &&
+          k != TokenKind::kGt && k != TokenKind::kEqEq) {
+        break;
+      }
+      advance();
+      poly::AffineExpr next = parse_affine(space);
+      switch (k) {
+        case TokenKind::kLe: out.add_le(prev, next); break;
+        case TokenKind::kLt: out.add_lt(prev, next); break;
+        case TokenKind::kGe: out.add_ge(prev, next); break;
+        case TokenKind::kGt: out.add_lt(next, prev); break;
+        default: out.add_eq(prev, next); break;
+      }
+      prev = std::move(next);
+      any = true;
+    }
+    if (!any) {
+      fail("expected a relational operator in constraint", peek());
+    }
+  }
+
+  /// '{' idents '|' constraints '}' over (parameters..., idents...).
+  void parse_domain(std::vector<std::string>* index_names,
+                    poly::ConstraintSystem* domain) {
+    expect(TokenKind::kLBrace);
+    *index_names = parse_ident_list();
+    std::vector<std::string> dims = program_.parameters;
+    dims.insert(dims.end(), index_names->begin(), index_names->end());
+    const poly::Space space{dims};
+    *domain = poly::ConstraintSystem(space);
+    if (accept(TokenKind::kPipe)) {
+      parse_constraints(space, *domain);
+    }
+    expect(TokenKind::kRBrace);
+  }
+
+  void parse_param_domain() {
+    expect(TokenKind::kLBrace);
+    program_.parameters = parse_ident_list();
+    const poly::Space space{program_.parameters};
+    program_.parameter_domain = poly::ConstraintSystem(space);
+    if (accept(TokenKind::kPipe)) {
+      // Parameter constraints commonly use the tuple form (M,N) > 0;
+      // accept a parenthesized ident tuple compared against one affine.
+      if (peek().kind == TokenKind::kLParen &&
+          peek(1).kind == TokenKind::kIdent &&
+          (peek(2).kind == TokenKind::kComma)) {
+        parse_tuple_constraint(space);
+      } else {
+        parse_constraints(space, program_.parameter_domain);
+      }
+    }
+    expect(TokenKind::kRBrace);
+  }
+
+  /// (p, q, r) > expr — element-wise comparison sugar.
+  void parse_tuple_constraint(const poly::Space& space) {
+    expect(TokenKind::kLParen);
+    const std::vector<std::string> names = parse_ident_list();
+    expect(TokenKind::kRParen);
+    const TokenKind rel = peek().kind;
+    if (rel != TokenKind::kGt && rel != TokenKind::kGe &&
+        rel != TokenKind::kLt && rel != TokenKind::kLe) {
+      fail("expected a relational operator after parameter tuple", peek());
+    }
+    advance();
+    const poly::AffineExpr bound = parse_affine(space);
+    for (const std::string& name : names) {
+      poly::AffineExpr v;
+      try {
+        v = poly::AffineExpr::variable(space.size(), space.index(name));
+      } catch (const std::out_of_range&) {
+        fail("unknown parameter '" + name + "' in tuple constraint", peek());
+      }
+      switch (rel) {
+        case TokenKind::kGt: program_.parameter_domain.add_lt(bound, v); break;
+        case TokenKind::kGe: program_.parameter_domain.add_ge(v, bound); break;
+        case TokenKind::kLt: program_.parameter_domain.add_lt(v, bound); break;
+        default: program_.parameter_domain.add_le(v, bound); break;
+      }
+    }
+  }
+
+  // -------------------------------------------------------- declarations
+
+  void parse_declaration(VarKind kind) {
+    advance();  // 'float' | 'int' (type currently informational)
+    VarDecl decl;
+    decl.kind = kind;
+    decl.name = expect(TokenKind::kIdent).text;
+    parse_domain(&decl.index_names, &decl.domain);
+    expect(TokenKind::kSemi);
+    if (program_.find_var(decl.name) != nullptr) {
+      fail("variable '" + decl.name + "' declared twice", peek());
+    }
+    program_.declarations.push_back(std::move(decl));
+  }
+
+  // ----------------------------------------------------------- equations
+
+  void parse_equation() {
+    Equation eq;
+    const Token& name_tok = expect(TokenKind::kIdent);
+    eq.lhs_var = name_tok.text;
+    const VarDecl* decl = program_.find_var(eq.lhs_var);
+    if (decl == nullptr) {
+      fail("equation for undeclared variable '" + eq.lhs_var + "'", name_tok);
+    }
+    if (decl->kind == VarKind::kInput || decl->kind == VarKind::kParameter) {
+      fail("equation target '" + eq.lhs_var + "' is an input", name_tok);
+    }
+    expect(TokenKind::kLBracket);
+    eq.lhs_indices = parse_ident_list();
+    expect(TokenKind::kRBracket);
+    if (eq.lhs_indices.size() != decl->index_names.size()) {
+      fail("equation for '" + eq.lhs_var + "' has " +
+               std::to_string(eq.lhs_indices.size()) + " indices; declared " +
+               std::to_string(decl->index_names.size()),
+           name_tok);
+    }
+    std::vector<std::string> dims = program_.parameters;
+    dims.insert(dims.end(), eq.lhs_indices.begin(), eq.lhs_indices.end());
+    eq.context = poly::Space{dims};
+    expect(TokenKind::kEq);
+    eq.rhs = parse_expr(eq.context);
+    expect(TokenKind::kSemi);
+    program_.equations.push_back(std::move(eq));
+  }
+
+  std::unique_ptr<Expr> parse_expr(const poly::Space& context) {
+    auto e = parse_addend(context);
+    while (true) {
+      if (accept(TokenKind::kPlus)) {
+        e = make_binary(Expr::BinOp::kAdd, std::move(e),
+                        parse_addend(context));
+      } else if (accept(TokenKind::kMinus)) {
+        e = make_binary(Expr::BinOp::kSub, std::move(e),
+                        parse_addend(context));
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> parse_addend(const poly::Space& context) {
+    auto e = parse_factor(context);
+    while (accept(TokenKind::kStar)) {
+      e = make_binary(Expr::BinOp::kMul, std::move(e), parse_factor(context));
+    }
+    return e;
+  }
+
+  static std::unique_ptr<Expr> make_binary(Expr::BinOp op,
+                                           std::unique_ptr<Expr> lhs,
+                                           std::unique_ptr<Expr> rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_factor(const poly::Space& context) {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kNumber) {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kConst;
+      e->value = static_cast<double>(t.value);
+      return e;
+    }
+    if (accept(TokenKind::kMinus)) {
+      // Unary minus: 0 - factor.
+      auto zero = std::make_unique<Expr>();
+      zero->kind = Expr::Kind::kConst;
+      return make_binary(Expr::BinOp::kSub, std::move(zero),
+                         parse_factor(context));
+    }
+    if (accept(TokenKind::kLParen)) {
+      auto e = parse_expr(context);
+      expect(TokenKind::kRParen);
+      return e;
+    }
+    if (t.kind != TokenKind::kIdent) {
+      fail("expected an expression", t);
+    }
+    if (t.text == "max" || t.text == "min") {
+      advance();
+      expect(TokenKind::kLParen);
+      auto lhs = parse_expr(context);
+      expect(TokenKind::kComma);
+      auto rhs = parse_expr(context);
+      expect(TokenKind::kRParen);
+      return make_binary(t.text == "max" ? Expr::BinOp::kMax
+                                         : Expr::BinOp::kMin,
+                         std::move(lhs), std::move(rhs));
+    }
+    if (t.text == "reduce") {
+      return parse_reduce(context);
+    }
+    // Array access.
+    advance();
+    const VarDecl* decl = program_.find_var(t.text);
+    if (decl == nullptr) {
+      fail("reference to undeclared variable '" + t.text + "'", t);
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kVarRef;
+    e->var = t.text;
+    expect(TokenKind::kLBracket);
+    e->indices.push_back(parse_affine(context));
+    while (accept(TokenKind::kComma)) {
+      e->indices.push_back(parse_affine(context));
+    }
+    expect(TokenKind::kRBracket);
+    if (e->indices.size() != decl->index_names.size()) {
+      fail("access to '" + t.text + "' has " +
+               std::to_string(e->indices.size()) + " indices; declared " +
+               std::to_string(decl->index_names.size()),
+           t);
+    }
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_reduce(const poly::Space& context) {
+    expect_keyword("reduce");
+    expect(TokenKind::kLParen);
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kReduce;
+    const Token& op = peek();
+    if (accept(TokenKind::kPlus)) {
+      e->reduce_op = ReduceOp::kSum;
+    } else if (accept(TokenKind::kStar)) {
+      e->reduce_op = ReduceOp::kProduct;
+    } else if (op.kind == TokenKind::kIdent &&
+               (op.text == "max" || op.text == "min")) {
+      advance();
+      e->reduce_op = op.text == "max" ? ReduceOp::kMax : ReduceOp::kMin;
+    } else {
+      fail("expected a reduction operator (+, *, max, min)", op);
+    }
+    expect(TokenKind::kComma);
+    expect(TokenKind::kLBracket);
+    e->reduce_indices = parse_ident_list();
+    // Body context: parent dims + the new reduction indices.
+    std::vector<std::string> dims = context.names();
+    dims.insert(dims.end(), e->reduce_indices.begin(),
+                e->reduce_indices.end());
+    const poly::Space body_space{dims};
+    e->reduce_domain = poly::ConstraintSystem(body_space);
+    if (accept(TokenKind::kPipe)) {
+      parse_constraints(body_space, e->reduce_domain);
+    }
+    expect(TokenKind::kRBracket);
+    expect(TokenKind::kComma);
+    e->body = parse_expr(body_space);
+    expect(TokenKind::kRParen);
+    return e;
+  }
+
+  // ---------------------------------------------------------- validation
+
+  void validate_program() {
+    for (const VarDecl& decl : program_.declarations) {
+      if (decl.kind == VarKind::kInput) {
+        continue;
+      }
+      int defining = 0;
+      for (const Equation& eq : program_.equations) {
+        defining += (eq.lhs_var == decl.name) ? 1 : 0;
+      }
+      if (defining == 0) {
+        throw SyntaxError("no equation defines '" + decl.name + "'", 0, 0);
+      }
+      if (defining > 1) {
+        throw SyntaxError("multiple equations define '" + decl.name + "'", 0,
+                          0);
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program program_;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(source).parse_program();
+}
+
+const char* reduce_op_name(ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::kSum: return "+";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kProduct: return "*";
+  }
+  return "?";
+}
+
+}  // namespace rri::alpha

@@ -1,0 +1,48 @@
+#ifndef RRI_CORE_BPMAX_KERNELS_HPP
+#define RRI_CORE_BPMAX_KERNELS_HPP
+
+/// \file bpmax_kernels.hpp
+/// The individual BPMax fill kernels, one per schedule/parallelization
+/// variant. Exposed (rather than hidden behind bpmax_solve) so tests can
+/// cross-validate variants cell-by-cell and benches can time the fill in
+/// isolation from S-table construction and allocation.
+///
+/// Contract shared by every kernel: `f` is freshly allocated (all -inf)
+/// with f.m() == scores.m() and f.n() == scores.n(); `s1t`/`s2t` are the
+/// completed single-strand tables. On return every cell with
+/// i1 <= j1 and i2 <= j2 holds the BPMax value F(i1,j1,i2,j2).
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/ftable.hpp"
+#include "rri/core/stable.hpp"
+#include "rri/rna/scoring.hpp"
+
+namespace rri::core {
+
+void fill_baseline(FTable& f, const STable& s1t, const STable& s2t,
+                   const rna::ScoreTables& scores);
+
+void fill_serial_permuted(FTable& f, const STable& s1t, const STable& s2t,
+                          const rna::ScoreTables& scores);
+
+void fill_coarse(FTable& f, const STable& s1t, const STable& s2t,
+                 const rna::ScoreTables& scores);
+
+void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
+               const rna::ScoreTables& scores);
+
+void fill_hybrid(FTable& f, const STable& s1t, const STable& s2t,
+                 const rna::ScoreTables& scores);
+
+void fill_hybrid_tiled(FTable& f, const STable& s1t, const STable& s2t,
+                       const rna::ScoreTables& scores, TileShape3 tile,
+                       int r12_jblock = 0);
+
+/// Dispatch on options.variant (ignores options.num_threads; bpmax_solve
+/// owns thread-count plumbing).
+void fill_variant(FTable& f, const STable& s1t, const STable& s2t,
+                  const rna::ScoreTables& scores, const BpmaxOptions& options);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_BPMAX_KERNELS_HPP

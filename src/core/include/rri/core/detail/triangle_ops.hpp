@@ -1,0 +1,299 @@
+#ifndef RRI_CORE_DETAIL_TRIANGLE_OPS_HPP
+#define RRI_CORE_DETAIL_TRIANGLE_OPS_HPP
+
+/// \file triangle_ops.hpp
+/// Internal building blocks shared by the optimized BPMax kernels.
+///
+/// The paper decomposes each inner-triangle update into two stages:
+///
+///  * the "subsystem" (Table V): accumulate the split reductions that read
+///    only completed triangles — R0 (double max-plus), R3 and R4 — into
+///    the triangle's own storage (Phase-III memory map: the reduction
+///    variable shares memory with F, so the accumulator IS the F block);
+///
+///  * the finalization: combine the accumulator with the intra-triangle
+///    terms (S1+S2, the two pair cases, and the R1/R2 splits over k2) in
+///    an order that both respects the intra-triangle dependences and
+///    keeps the innermost loop vectorizable (rows bottom-up, the k2
+///    reduction interleaved so each cell is final exactly when the k2
+///    sweep reaches its column — "F gets updated when k2 reaches j2").
+
+#include <algorithm>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/ftable.hpp"
+#include "rri/core/maxops.hpp"
+#include "rri/core/stable.hpp"
+#include "rri/rna/scoring.hpp"
+
+namespace rri::core::detail {
+
+/// One "matrix instance" of the double max-plus operation (paper Fig. 8)
+/// plus the piggy-backed R3/R4 terms, for a single split point k1:
+///   acc[i2][j2] max=  A[i2][j2] + S1(k1+1,j1)                       (R3)
+///   acc[i2][j2] max=  S1(i1,k1) + B[i2][j2]                         (R4)
+///   acc[i2][j2] max=  max_{k2 in [i2, j2)}  A[i2][k2] + B[k2+1][j2] (R0)
+/// where A = F(i1,k1,·,·) and B = F(k1+1,j1,·,·) are completed triangles.
+/// Processes rows i2 in [row_begin, row_end) so callers choose the
+/// parallelization grain.
+inline void maxplus_instance_rows(float* acc, const float* a, const float* b,
+                                  float r3add, float r4add, int n,
+                                  int row_begin, int row_end) {
+  const auto stride = static_cast<std::size_t>(n);
+  for (int i2 = row_begin; i2 < row_end; ++i2) {
+    float* accrow = acc + static_cast<std::size_t>(i2) * stride;
+    const float* arow = a + static_cast<std::size_t>(i2) * stride;
+    const float* brow = b + static_cast<std::size_t>(i2) * stride;
+#pragma omp simd
+    for (int j2 = i2; j2 < n; ++j2) {
+      const float v = max2(arow[j2] + r3add, r4add + brow[j2]);
+      accrow[j2] = max2(accrow[j2], v);
+    }
+    for (int k2 = i2; k2 < n - 1; ++k2) {
+      const float alpha = arow[k2];
+      const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
+#pragma omp simd
+      for (int j2 = k2 + 1; j2 < n; ++j2) {
+        accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
+      }
+    }
+  }
+}
+
+/// Tiled form of one max-plus instance: the (i2, k2, j2) band is chopped
+/// into TileShape3 blocks with k2 kept in the middle and j2 innermost so
+/// auto-vectorization survives (paper §IV-B-d). R3/R4 ride along in the
+/// first k2-tile of each row band. Processes i2 tiles in
+/// [tile_begin, tile_end) out of ceil(n / ti2) total.
+inline void maxplus_instance_tiled(float* acc, const float* a, const float* b,
+                                   float r3add, float r4add, int n,
+                                   TileShape3 tile, int tile_begin,
+                                   int tile_end) {
+  const auto stride = static_cast<std::size_t>(n);
+  const int ti = tile.ti2 > 0 ? tile.ti2 : n;
+  const int tk = tile.tk2 > 0 ? tile.tk2 : n;
+  const int tj = tile.tj2 > 0 ? tile.tj2 : n;
+  for (int it = tile_begin; it < tile_end; ++it) {
+    const int i2_lo = it * ti;
+    const int i2_hi = std::min(i2_lo + ti, n);
+    // R3/R4 pass for this row band (dense over j2 >= i2).
+    for (int i2 = i2_lo; i2 < i2_hi; ++i2) {
+      float* accrow = acc + static_cast<std::size_t>(i2) * stride;
+      const float* arow = a + static_cast<std::size_t>(i2) * stride;
+      const float* brow = b + static_cast<std::size_t>(i2) * stride;
+#pragma omp simd
+      for (int j2 = i2; j2 < n; ++j2) {
+        const float v = max2(arow[j2] + r3add, r4add + brow[j2]);
+        accrow[j2] = max2(accrow[j2], v);
+      }
+    }
+    // Tiled R0. Valid points satisfy i2 <= k2 < j2 < n; tiles entirely
+    // outside that wedge are skipped by the bound intersections.
+    for (int kk = i2_lo; kk < n - 1; kk += tk) {
+      const int k2_cap = std::min(kk + tk, n - 1);
+      for (int jj = kk + 1; jj < n; jj += tj) {
+        const int j2_cap = std::min(jj + tj, n);
+        for (int i2 = i2_lo; i2 < i2_hi; ++i2) {
+          float* accrow = acc + static_cast<std::size_t>(i2) * stride;
+          const float* arow = a + static_cast<std::size_t>(i2) * stride;
+          const int k2_lo = std::max(kk, i2);
+          for (int k2 = k2_lo; k2 < k2_cap; ++k2) {
+            const float alpha = arow[k2];
+            const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
+            const int j2_lo = std::max(jj, k2 + 1);
+#pragma omp simd
+            for (int j2 = j2_lo; j2 < j2_cap; ++j2) {
+              accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Init pass of one finalization row: fold S1+S2, the two pair cases and
+/// the base intermolecular case into row i2 of triangle (i1, j1). All
+/// sources are final (earlier diagonals or the already-finalized row
+/// below), so this is shared by both R1/R2 sweep strategies.
+inline void finalize_row_init(FTable& f, const STable& s1t,
+                              const STable& s2t, const rna::ScoreTables& sc,
+                              int i1, int j1, int i2) {
+  const int n = f.n();
+  const int d1 = j1 - i1;
+  const float s11 = s1t.at(i1, j1);
+  const float w1 = (d1 >= 1) ? sc.intra1(i1, j1) : rna::kForbidden;
+  float* tri = f.block(i1, j1);
+  const auto stride = static_cast<std::size_t>(n);
+  float* row = tri + static_cast<std::size_t>(i2) * stride;
+  const float* s2row = s2t.row(i2);
+
+  // Accumulator (R0/R3/R4) already sits in `row`; fold S1+S2 and the
+  // strand-1 pair case c1 (its source triangle is an earlier diagonal).
+#pragma omp simd
+  for (int j2 = i2; j2 < n; ++j2) {
+    row[j2] = max2(row[j2], s11 + s2row[j2]);
+  }
+  if (w1 != rna::kForbidden) {
+    if (d1 == 1) {
+      // Pair (i1, j1) with empty interior: all of [i2, j2] folds alone.
+#pragma omp simd
+      for (int j2 = i2; j2 < n; ++j2) {
+        row[j2] = max2(row[j2], s2row[j2] + w1);
+      }
+    } else {
+      const float* prow =
+          f.block(i1 + 1, j1 - 1) + static_cast<std::size_t>(i2) * stride;
+#pragma omp simd
+      for (int j2 = i2; j2 < n; ++j2) {
+        row[j2] = max2(row[j2], prow[j2] + w1);
+      }
+    }
+  }
+  // Strand-2 pair case c2: source is row i2+1 (already final), shifted
+  // by one column; j2 == i2+1 has an empty interior. Forbidden intra2
+  // entries are -inf and vanish from the max.
+  if (i2 + 1 < n) {
+    const float* next = tri + static_cast<std::size_t>(i2 + 1) * stride;
+    row[i2 + 1] = max2(row[i2 + 1], s11 + sc.intra2(i2, i2 + 1));
+#pragma omp simd
+    for (int j2 = i2 + 2; j2 < n; ++j2) {
+      row[j2] = max2(row[j2], next[j2 - 1] + sc.intra2(i2, j2));
+    }
+  }
+  // Intermolecular pair base case (single base vs single base).
+  if (d1 == 0) {
+    const float is = sc.inter(i1, i2);
+    if (is != rna::kForbidden) {
+      row[i2] = max2(row[i2], is);
+    }
+  }
+}
+
+/// Finalize inner triangle (i1, j1): fold the intra-triangle terms into
+/// the accumulator already sitting in f.block(i1, j1) and leave the final
+/// F values there. Rows run bottom-up (i2 descending) because a row's
+/// R1/c2 sources live in the rows below it; within a row, the k2 sweep
+/// finalizes cell (i2, k2) just before its value feeds the R2 updates of
+/// the longer intervals. Everything innermost is unit-stride in j2.
+inline void finalize_triangle(FTable& f, const STable& s1t, const STable& s2t,
+                              const rna::ScoreTables& sc, int i1, int j1) {
+  const int n = f.n();
+  float* tri = f.block(i1, j1);
+  const auto stride = static_cast<std::size_t>(n);
+
+  for (int i2 = n - 1; i2 >= 0; --i2) {
+    finalize_row_init(f, s1t, s2t, sc, i1, j1, i2);
+    float* row = tri + static_cast<std::size_t>(i2) * stride;
+    const float* s2row = s2t.row(i2);
+    // R1/R2 interleaved with finalization: when the sweep reaches k2,
+    // cell (i2, k2) has received every contribution with a split < k2,
+    // so row[k2] is final and may feed R2 of the longer intervals.
+    for (int k2 = i2; k2 < n - 1; ++k2) {
+      const float fik2 = row[k2];
+      const float s2a = s2row[k2];
+      const float* frow2 = tri + static_cast<std::size_t>(k2 + 1) * stride;
+      const float* s2b = s2t.row(k2 + 1);
+#pragma omp simd
+      for (int j2 = k2 + 1; j2 < n; ++j2) {
+        const float r1 = s2a + frow2[j2];
+        const float r2 = fik2 + s2b[j2];
+        row[j2] = max2(row[j2], max2(r1, r2));
+      }
+    }
+  }
+}
+
+/// Finalization with the R1/R2 sweep blocked along j2 (the paper's
+/// future-work "apply tiling on R1 and R2"). Each row's j2 axis is
+/// processed in `jblock`-wide blocks; within a block the k2 reduction
+/// restarts from i2, so the (F row k2+1, S2 row k2+1) pairs are
+/// re-streamed once per block but only over a jblock-wide window —
+/// redundant streams traded for a bounded footprint, which pays off once
+/// a full Θ(N) row overflows a cache level. Bit-identical results to
+/// finalize_triangle for every jblock >= 1: cells of a block receive all
+/// k2 < their column before the sweep passes them (earlier blocks'
+/// cells are final; a cell's own block covers its k2 tail in order).
+inline void finalize_triangle_blocked(FTable& f, const STable& s1t,
+                                      const STable& s2t,
+                                      const rna::ScoreTables& sc, int i1,
+                                      int j1, int jblock) {
+  const int n = f.n();
+  float* tri = f.block(i1, j1);
+  const auto stride = static_cast<std::size_t>(n);
+  const int jb = jblock > 0 ? jblock : n;
+
+  for (int i2 = n - 1; i2 >= 0; --i2) {
+    finalize_row_init(f, s1t, s2t, sc, i1, j1, i2);
+    float* row = tri + static_cast<std::size_t>(i2) * stride;
+    const float* s2row = s2t.row(i2);
+    for (int bb = i2 + 1; bb < n; bb += jb) {
+      const int be = std::min(bb + jb, n);
+      for (int k2 = i2; k2 < be - 1; ++k2) {
+        const float fik2 = row[k2];
+        const float s2a = s2row[k2];
+        const float* frow2 = tri + static_cast<std::size_t>(k2 + 1) * stride;
+        const float* s2b = s2t.row(k2 + 1);
+        const int j2_lo = std::max(bb, k2 + 1);
+#pragma omp simd
+        for (int j2 = j2_lo; j2 < be; ++j2) {
+          const float r1 = s2a + frow2[j2];
+          const float r2 = fik2 + s2b[j2];
+          row[j2] = max2(row[j2], max2(r1, r2));
+        }
+      }
+    }
+  }
+}
+
+/// Scalar reference computation of one cell in the original program's
+/// style: every reduction re-walked per cell, k2 innermost. Used by the
+/// baseline kernel (and nothing else).
+inline float compute_cell_scalar(const FTable& f, const STable& s1t,
+                                 const STable& s2t,
+                                 const rna::ScoreTables& sc, int i1, int j1,
+                                 int i2, int j2) {
+  const int d1 = j1 - i1;
+  const int d2 = j2 - i2;
+  float v = s1t.at(i1, j1) + s2t.at(i2, j2);
+  if (d1 == 0 && d2 == 0) {
+    v = std::max(v, sc.inter(i1, i2));
+  }
+  if (d1 >= 1) {
+    const float w1 = sc.intra1(i1, j1);
+    if (w1 != rna::kForbidden) {
+      const float inner = (d1 >= 2) ? f.at(i1 + 1, j1 - 1, i2, j2)
+                                    : s2t.at(i2, j2);
+      v = std::max(v, inner + w1);
+    }
+  }
+  if (d2 >= 1) {
+    const float w2 = sc.intra2(i2, j2);
+    if (w2 != rna::kForbidden) {
+      const float inner = (d2 >= 2) ? f.at(i1, j1, i2 + 1, j2 - 1)
+                                    : s1t.at(i1, j1);
+      v = std::max(v, inner + w2);
+    }
+  }
+  // R0 (double max-plus), original loop order: k1 outer, k2 inner.
+  for (int k1 = i1; k1 < j1; ++k1) {
+    for (int k2 = i2; k2 < j2; ++k2) {
+      v = std::max(v, f.at(i1, k1, i2, k2) + f.at(k1 + 1, j1, k2 + 1, j2));
+    }
+  }
+  // R1 / R2 over k2.
+  for (int k2 = i2; k2 < j2; ++k2) {
+    v = std::max(v, s2t.at(i2, k2) + f.at(i1, j1, k2 + 1, j2));
+    v = std::max(v, f.at(i1, j1, i2, k2) + s2t.at(k2 + 1, j2));
+  }
+  // R3 / R4 over k1.
+  for (int k1 = i1; k1 < j1; ++k1) {
+    v = std::max(v, f.at(i1, k1, i2, j2) + s1t.at(k1 + 1, j1));
+    v = std::max(v, s1t.at(i1, k1) + f.at(k1 + 1, j1, i2, j2));
+  }
+  return v;
+}
+
+}  // namespace rri::core::detail
+
+#endif  // RRI_CORE_DETAIL_TRIANGLE_OPS_HPP

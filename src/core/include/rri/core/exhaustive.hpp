@@ -1,0 +1,31 @@
+#ifndef RRI_CORE_EXHAUSTIVE_HPP
+#define RRI_CORE_EXHAUSTIVE_HPP
+
+/// \file exhaustive.hpp
+/// Ground truth for BPMax: enumerate every valid joint structure of two
+/// tiny strands by backtracking and return the maximum score. Exponential
+/// time — intended for strands of length <= ~7 in tests. This is a
+/// genuinely independent formulation (explicit structures + explicit
+/// validity constraints) rather than a re-derivation of the recurrence,
+/// so agreement with the DP is meaningful evidence of correctness.
+
+#include "rri/core/structure.hpp"
+#include "rri/rna/scoring.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::core {
+
+struct ExhaustiveResult {
+  float score = 0.0f;
+  JointStructure best;            ///< one argmax structure
+  std::size_t structures_seen = 0;  ///< number of complete structures visited
+};
+
+/// Maximum score over all valid joint structures (and one witness).
+ExhaustiveResult exhaustive_bpmax(const rna::Sequence& s1,
+                                  const rna::Sequence& s2,
+                                  const rna::ScoringModel& model);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_EXHAUSTIVE_HPP

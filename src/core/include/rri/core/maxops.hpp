@@ -1,0 +1,17 @@
+#ifndef RRI_CORE_MAXOPS_HPP
+#define RRI_CORE_MAXOPS_HPP
+
+/// \file maxops.hpp
+/// By-value float max for vectorizable inner loops. std::max takes its
+/// arguments by const reference, which blocks GCC's omp-simd lowering
+/// ("no vectype for stmt") inside the hot loops; this form if-converts
+/// cleanly to vmaxps. The scalar baseline kernel deliberately keeps
+/// std::max — it models the original unvectorized program.
+
+namespace rri::core {
+
+inline float max2(float a, float b) noexcept { return a > b ? a : b; }
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_MAXOPS_HPP

@@ -1,0 +1,34 @@
+#ifndef RRI_CORE_SERIALIZE_HPP
+#define RRI_CORE_SERIALIZE_HPP
+
+/// \file serialize.hpp
+/// Binary persistence for F-tables: solve once (hours at the paper's
+/// instance sizes), then traceback / window-query many times without
+/// recomputation. Format: "RRIF" magic, version, dimensions, then the
+/// m(m+1)/2 valid triangle blocks of n x n floats in (i1, j1) order —
+/// half the bounding-box footprint. Little-endian host assumed (checked
+/// via a byte-order probe word).
+
+#include <iosfwd>
+#include <stdexcept>
+
+#include "rri/core/ftable.hpp"
+
+namespace rri::core {
+
+/// Thrown on malformed input (bad magic/version/byte order, truncation,
+/// or implausible dimensions).
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void save_ftable(std::ostream& out, const FTable& table);
+
+/// Loads a table written by save_ftable; cells outside the valid region
+/// are -inf as in a freshly filled table.
+FTable load_ftable(std::istream& in);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_SERIALIZE_HPP

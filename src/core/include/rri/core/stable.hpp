@@ -1,0 +1,61 @@
+#ifndef RRI_CORE_STABLE_HPP
+#define RRI_CORE_STABLE_HPP
+
+/// \file stable.hpp
+/// The single-strand tables S(1)/S(2) of the BPMax recurrence: a weighted
+/// Nussinov dynamic program giving, for every subinterval [i,j] of one
+/// strand, the maximum total weight of a non-crossing set of
+/// intramolecular base pairs. Θ(L³) time, Θ(L²) space.
+
+#include <cstddef>
+#include <vector>
+
+#include "rri/rna/scoring.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::core {
+
+/// Dense L×L table of single-strand scores. Stored as a full square so the
+/// BPMax kernels can stream whole rows (S(2)(k2+1, j2) for consecutive j2)
+/// with unit stride; only the upper triangle i <= j is meaningful.
+class STable {
+ public:
+  STable() = default;
+
+  /// Which strand of the interaction problem this table scores; selects
+  /// the intra weight table (both strands share one model here, but the
+  /// constructor is explicit about roles for clarity at call sites).
+  STable(const rna::Sequence& seq, const rna::ScoringModel& model);
+
+  int size() const noexcept { return l_; }
+
+  /// S(i,j): max weighted pairs within [i,j]. Empty intervals (j < i,
+  /// including j == i-1 used by the split reductions) score 0.
+  float at(int i, int j) const noexcept {
+    if (j < i) {
+      return 0.0f;
+    }
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(l_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// Unit-stride row access for the kernels: row(i)[j] == at(i,j) for
+  /// j >= i. Entries below the diagonal are 0 (never read by kernels).
+  const float* row(int i) const noexcept {
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(l_);
+  }
+
+ private:
+  int l_ = 0;
+  std::vector<float> data_;
+};
+
+/// Brute-force single-strand maximum (exponential; tiny inputs only).
+/// Ground truth for STable tests.
+float nussinov_exhaustive(const rna::Sequence& seq,
+                          const rna::ScoringModel& model, int i, int j);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_STABLE_HPP

@@ -1,0 +1,54 @@
+#ifndef RRI_CORE_STRUCTURE_HPP
+#define RRI_CORE_STRUCTURE_HPP
+
+/// \file structure.hpp
+/// Joint secondary structures: the combinatorial objects BPMax maximizes
+/// over. A joint structure on strands of lengths M and N is a set of
+/// intramolecular pairs in each strand plus intermolecular pairs, where
+///  - every base participates in at most one pair,
+///  - the intra pairs of each strand are non-crossing (nested/disjoint),
+///  - the inter pairs are mutually non-crossing, which in the parallel
+///    indexing convention of the recurrence means order-preserving:
+///    z < z' implies partner(z) < partner(z').
+/// (No pseudo-knots and no crossings, per the BPMax model.)
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rri/rna/scoring.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::core {
+
+struct JointStructure {
+  std::vector<std::pair<int, int>> intra1;  ///< (i, j), i < j, in strand 1
+  std::vector<std::pair<int, int>> intra2;  ///< (i, j), i < j, in strand 2
+  std::vector<std::pair<int, int>> inter;   ///< (i1, i2) across strands
+
+  std::size_t pair_count() const noexcept {
+    return intra1.size() + intra2.size() + inter.size();
+  }
+};
+
+/// Structural validity: bounds, one-pair-per-base, and the three
+/// non-crossing families. Independent of sequence content.
+bool structure_ok(const JointStructure& js, int m, int n);
+
+/// Total weighted score under `model`; rna::kForbidden if any pair is
+/// chemically inadmissible (wrong bases or hairpin-loop violation).
+float structure_score(const JointStructure& js, const rna::Sequence& s1,
+                      const rna::Sequence& s2, const rna::ScoringModel& model);
+
+/// Two-line text rendering: '(' ')' mark intra pairs on each strand and
+/// '[' / ']' mark the intermolecular pairs (order-matched, so bracket k
+/// on strand 1 pairs with bracket k on strand 2).
+struct JointRendering {
+  std::string strand1;  ///< annotation line for strand 1
+  std::string strand2;  ///< annotation line for strand 2
+};
+JointRendering render_structure(const JointStructure& js, int m, int n);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_STRUCTURE_HPP

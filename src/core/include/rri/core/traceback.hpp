@@ -1,0 +1,34 @@
+#ifndef RRI_CORE_TRACEBACK_HPP
+#define RRI_CORE_TRACEBACK_HPP
+
+/// \file traceback.hpp
+/// Recover an optimal joint structure from a completed BPMax solve by
+/// re-deriving, at each table cell, which recurrence case achieved the
+/// stored maximum. Costs O((M+N) · (MN)) in practice — negligible next to
+/// the Θ(M³N³) fill — and needs no extra state in the kernels.
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/structure.hpp"
+
+namespace rri::core {
+
+/// Trace one optimal structure for the full problem. `result` must come
+/// from bpmax_solve on (strand1, strand2, model) — the same model, since
+/// the achieving case is recognized by exact score equality.
+/// Throws std::logic_error if no case explains a cell (which would mean
+/// the table and the model disagree).
+JointStructure traceback(const BpmaxResult& result,
+                         const rna::Sequence& strand1,
+                         const rna::Sequence& strand2,
+                         const rna::ScoringModel& model);
+
+/// Trace the single-strand (Nussinov) structure for [i, j] of one strand.
+/// Exposed for tests and for rendering S-table results on their own.
+std::vector<std::pair<int, int>> traceback_single(const STable& s,
+                                                  const rna::Sequence& seq,
+                                                  const rna::ScoringModel& model,
+                                                  int i, int j);
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_TRACEBACK_HPP

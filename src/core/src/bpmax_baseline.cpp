@@ -1,0 +1,31 @@
+/// The paper's speedup reference: the original BPMax program order.
+/// Schedule (i1,j1,i2,j2 -> j1-i1, j2-i2, i1, i2, k1, k2): both diagonal
+/// loops outermost, so consecutive iterations hop between inner triangles
+/// (poor locality), and the k2 reduction is innermost (no
+/// auto-vectorization of the max).
+
+#include "rri/core/bpmax_kernels.hpp"
+
+#include "rri/core/detail/triangle_ops.hpp"
+
+namespace rri::core {
+
+void fill_baseline(FTable& f, const STable& s1t, const STable& s2t,
+                   const rna::ScoreTables& scores) {
+  const int m = f.m();
+  const int n = f.n();
+  for (int d1 = 0; d1 < m; ++d1) {
+    for (int d2 = 0; d2 < n; ++d2) {
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        const int j1 = i1 + d1;
+        for (int i2 = 0; i2 + d2 < n; ++i2) {
+          const int j2 = i2 + d2;
+          f.at(i1, j1, i2, j2) =
+              detail::compute_cell_scalar(f, s1t, s2t, scores, i1, j1, i2, j2);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rri::core

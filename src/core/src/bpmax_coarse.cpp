@@ -1,0 +1,33 @@
+/// Coarse-grain parallelization (Table III): triangles on one diagonal of
+/// the outer triangle are mutually independent, so threads own distinct
+/// inner triangles end-to-end (splits + finalization). Maximum available
+/// parallelism per diagonal is M - d1, and every thread streams whole
+/// foreign triangles through its private caches — the DRAM-bound behaviour
+/// the paper observes.
+
+#include "rri/core/bpmax_kernels.hpp"
+
+#include "rri/core/detail/triangle_ops.hpp"
+
+namespace rri::core {
+
+void fill_coarse(FTable& f, const STable& s1t, const STable& s2t,
+                 const rna::ScoreTables& scores) {
+  const int m = f.m();
+  const int n = f.n();
+  for (int d1 = 0; d1 < m; ++d1) {
+#pragma omp parallel for schedule(dynamic)
+    for (int i1 = 0; i1 < m - d1; ++i1) {
+      const int j1 = i1 + d1;
+      float* acc = f.block(i1, j1);
+      for (int k1 = i1; k1 < j1; ++k1) {
+        detail::maxplus_instance_rows(acc, f.block(i1, k1), f.block(k1 + 1, j1),
+                                      s1t.at(k1 + 1, j1), s1t.at(i1, k1), n, 0,
+                                      n);
+      }
+      detail::finalize_triangle(f, s1t, s2t, scores, i1, j1);
+    }
+  }
+}
+
+}  // namespace rri::core

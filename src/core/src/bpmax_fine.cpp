@@ -1,0 +1,38 @@
+/// Fine-grain parallelization (Table II): all threads cooperate on one
+/// inner triangle at a time, splitting the rows (i2) of each max-plus
+/// instance among themselves — valid for R0/R3/R4 because rows of the
+/// accumulator are independent. The R1/R2 finalization has row-to-row
+/// dependences ("OSP-like computations") and stays serial, which is
+/// exactly the utilization gap the hybrid variant fixes.
+
+#include "rri/core/bpmax_kernels.hpp"
+
+#include "rri/core/detail/triangle_ops.hpp"
+
+namespace rri::core {
+
+void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
+               const rna::ScoreTables& scores) {
+  const int m = f.m();
+  const int n = f.n();
+  for (int d1 = 0; d1 < m; ++d1) {
+    for (int i1 = 0; i1 + d1 < m; ++i1) {
+      const int j1 = i1 + d1;
+      float* acc = f.block(i1, j1);
+      for (int k1 = i1; k1 < j1; ++k1) {
+        const float* a = f.block(i1, k1);
+        const float* b = f.block(k1 + 1, j1);
+        const float r3add = s1t.at(k1 + 1, j1);
+        const float r4add = s1t.at(i1, k1);
+#pragma omp parallel for schedule(dynamic)
+        for (int i2 = 0; i2 < n; ++i2) {
+          detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, i2,
+                                        i2 + 1);
+        }
+      }
+      detail::finalize_triangle(f, s1t, s2t, scores, i1, j1);
+    }
+  }
+}
+
+}  // namespace rri::core

@@ -1,0 +1,49 @@
+/// The paper's best variant (Table V): hybrid parallelization with the
+/// double max-plus band tiled. Each max-plus instance's (i2, k2, j2)
+/// space is chopped into TileShape3 blocks — k2 stays in the middle, j2
+/// innermost and untiled by default (the streaming dimension; cubic tiles
+/// perform poorly, Fig. 18) — and threads take i2 tile-bands with dynamic
+/// scheduling because the triangular wedge makes the load imbalanced.
+
+#include "rri/core/bpmax_kernels.hpp"
+
+#include "rri/core/detail/triangle_ops.hpp"
+
+namespace rri::core {
+
+void fill_hybrid_tiled(FTable& f, const STable& s1t, const STable& s2t,
+                       const rna::ScoreTables& scores, TileShape3 tile,
+                       int r12_jblock) {
+  const int m = f.m();
+  const int n = f.n();
+  const int ti = tile.ti2 > 0 ? tile.ti2 : n;
+  const int n_tiles = (n + ti - 1) / ti;
+  for (int d1 = 0; d1 < m; ++d1) {
+    for (int i1 = 0; i1 + d1 < m; ++i1) {
+      const int j1 = i1 + d1;
+      float* acc = f.block(i1, j1);
+      for (int k1 = i1; k1 < j1; ++k1) {
+        const float* a = f.block(i1, k1);
+        const float* b = f.block(k1 + 1, j1);
+        const float r3add = s1t.at(k1 + 1, j1);
+        const float r4add = s1t.at(i1, k1);
+#pragma omp parallel for schedule(dynamic)
+        for (int it = 0; it < n_tiles; ++it) {
+          detail::maxplus_instance_tiled(acc, a, b, r3add, r4add, n, tile, it,
+                                         it + 1);
+        }
+      }
+    }
+#pragma omp parallel for schedule(dynamic)
+    for (int i1 = 0; i1 < m - d1; ++i1) {
+      if (r12_jblock > 0) {
+        detail::finalize_triangle_blocked(f, s1t, s2t, scores, i1, i1 + d1,
+                                          r12_jblock);
+      } else {
+        detail::finalize_triangle(f, s1t, s2t, scores, i1, i1 + d1);
+      }
+    }
+  }
+}
+
+}  // namespace rri::core

@@ -1,0 +1,133 @@
+#include "rri/core/exhaustive.hpp"
+
+#include <algorithm>
+
+namespace rri::core {
+namespace {
+
+/// Backtracking enumerator. Strand-1 positions are decided left to right
+/// (unpaired / intra partner to the right / inter partner), then strand-2
+/// leftovers get their intra pairs. Non-crossing is enforced incrementally;
+/// the admissibility of each pair prunes via its weight.
+class Enumerator {
+ public:
+  Enumerator(const rna::Sequence& s1, const rna::Sequence& s2,
+             const rna::ScoringModel& model)
+      : s1_(s1), s2_(s2), model_(model),
+        m_(static_cast<int>(s1.size())), n_(static_cast<int>(s2.size())),
+        used1_(static_cast<std::size_t>(m_), 0),
+        used2_(static_cast<std::size_t>(n_), 0) {}
+
+  ExhaustiveResult run() {
+    decide_strand1(0, 0.0f);
+    return result_;
+  }
+
+ private:
+  /// Crossing test for a candidate intra pair (p, q) against the pairs
+  /// already chosen in `pairs` (all have left end < p).
+  static bool crosses(const std::vector<std::pair<int, int>>& pairs, int p,
+                      int q) {
+    return std::any_of(pairs.begin(), pairs.end(), [&](const auto& xy) {
+      return p < xy.second && xy.second < q;  // x < p <= y < q interleaves
+    });
+  }
+
+  void decide_strand1(int p, float score) {
+    if (p == m_) {
+      decide_strand2(0, score);
+      return;
+    }
+    if (used1_[static_cast<std::size_t>(p)]) {
+      decide_strand1(p + 1, score);
+      return;
+    }
+    // Unpaired.
+    decide_strand1(p + 1, score);
+    // Intra pair (p, q).
+    for (int q = p + 1; q < m_; ++q) {
+      if (used1_[static_cast<std::size_t>(q)] || !model_.hairpin_ok(p, q)) {
+        continue;
+      }
+      const float w = model_.intra(s1_[static_cast<std::size_t>(p)],
+                                   s1_[static_cast<std::size_t>(q)]);
+      if (w == rna::kForbidden || crosses(current_.intra1, p, q)) {
+        continue;
+      }
+      used1_[static_cast<std::size_t>(p)] = used1_[static_cast<std::size_t>(q)] = 1;
+      current_.intra1.emplace_back(p, q);
+      decide_strand1(p + 1, score + w);
+      current_.intra1.pop_back();
+      used1_[static_cast<std::size_t>(p)] = used1_[static_cast<std::size_t>(q)] = 0;
+    }
+    // Inter pair (p, c). Processing p ascending means order preservation
+    // only needs c to exceed the last inter partner chosen so far.
+    const int c_min = current_.inter.empty() ? 0 : current_.inter.back().second + 1;
+    for (int c = c_min; c < n_; ++c) {
+      if (used2_[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      const float w = model_.inter(s1_[static_cast<std::size_t>(p)],
+                                   s2_[static_cast<std::size_t>(c)]);
+      if (w == rna::kForbidden) {
+        continue;
+      }
+      used1_[static_cast<std::size_t>(p)] = used2_[static_cast<std::size_t>(c)] = 1;
+      current_.inter.emplace_back(p, c);
+      decide_strand1(p + 1, score + w);
+      current_.inter.pop_back();
+      used1_[static_cast<std::size_t>(p)] = used2_[static_cast<std::size_t>(c)] = 0;
+    }
+  }
+
+  void decide_strand2(int c, float score) {
+    if (c == n_) {
+      ++result_.structures_seen;
+      if (score > result_.score) {
+        result_.score = score;
+        result_.best = current_;
+      }
+      return;
+    }
+    if (used2_[static_cast<std::size_t>(c)]) {
+      decide_strand2(c + 1, score);
+      return;
+    }
+    decide_strand2(c + 1, score);
+    for (int d = c + 1; d < n_; ++d) {
+      if (used2_[static_cast<std::size_t>(d)] || !model_.hairpin_ok(c, d)) {
+        continue;
+      }
+      const float w = model_.intra(s2_[static_cast<std::size_t>(c)],
+                                   s2_[static_cast<std::size_t>(d)]);
+      if (w == rna::kForbidden || crosses(current_.intra2, c, d)) {
+        continue;
+      }
+      used2_[static_cast<std::size_t>(c)] = used2_[static_cast<std::size_t>(d)] = 1;
+      current_.intra2.emplace_back(c, d);
+      decide_strand2(c + 1, score + w);
+      current_.intra2.pop_back();
+      used2_[static_cast<std::size_t>(c)] = used2_[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+
+  const rna::Sequence& s1_;
+  const rna::Sequence& s2_;
+  const rna::ScoringModel& model_;
+  const int m_;
+  const int n_;
+  std::vector<int> used1_;
+  std::vector<int> used2_;
+  JointStructure current_;
+  ExhaustiveResult result_;
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_bpmax(const rna::Sequence& s1,
+                                  const rna::Sequence& s2,
+                                  const rna::ScoringModel& model) {
+  return Enumerator(s1, s2, model).run();
+}
+
+}  // namespace rri::core

@@ -1,0 +1,90 @@
+#include "rri/core/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace rri::core {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'R', 'I', 'F'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kByteOrderProbe = 0x01020304;
+// Dimension sanity bound: a 65k x 65k table would be ~10^19 cells.
+constexpr std::int32_t kMaxExtent = 1 << 16;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw SerializeError("truncated F-table stream");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_ftable(std::ostream& out, const FTable& table) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, kByteOrderProbe);
+  write_pod(out, static_cast<std::int32_t>(table.m()));
+  write_pod(out, static_cast<std::int32_t>(table.n()));
+  const std::size_t block =
+      static_cast<std::size_t>(table.n()) * static_cast<std::size_t>(table.n());
+  for (int i1 = 0; i1 < table.m(); ++i1) {
+    for (int j1 = i1; j1 < table.m(); ++j1) {
+      out.write(reinterpret_cast<const char*>(table.block(i1, j1)),
+                static_cast<std::streamsize>(block * sizeof(float)));
+    }
+  }
+  if (!out) {
+    throw SerializeError("write failure while saving F-table");
+  }
+}
+
+FTable load_ftable(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializeError("not an RRIF F-table stream (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw SerializeError("unsupported RRIF version " +
+                         std::to_string(version));
+  }
+  const auto order = read_pod<std::uint32_t>(in);
+  if (order != kByteOrderProbe) {
+    throw SerializeError("byte-order mismatch (file written on a "
+                         "different-endian host)");
+  }
+  const auto m = read_pod<std::int32_t>(in);
+  const auto n = read_pod<std::int32_t>(in);
+  if (m < 0 || n < 0 || m > kMaxExtent || n > kMaxExtent) {
+    throw SerializeError("implausible F-table dimensions " +
+                         std::to_string(m) + " x " + std::to_string(n));
+  }
+  FTable table(m, n);
+  const std::size_t block =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  for (int i1 = 0; i1 < m; ++i1) {
+    for (int j1 = i1; j1 < m; ++j1) {
+      in.read(reinterpret_cast<char*>(table.block(i1, j1)),
+              static_cast<std::streamsize>(block * sizeof(float)));
+      if (!in) {
+        throw SerializeError("truncated F-table stream");
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace rri::core

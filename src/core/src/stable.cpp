@@ -1,0 +1,75 @@
+#include "rri/core/stable.hpp"
+
+#include <algorithm>
+
+namespace rri::core {
+
+STable::STable(const rna::Sequence& seq, const rna::ScoringModel& model)
+    : l_(static_cast<int>(seq.size())),
+      data_(static_cast<std::size_t>(l_) * static_cast<std::size_t>(l_),
+            0.0f) {
+  const auto stride = static_cast<std::size_t>(l_);
+  auto cell = [&](int i, int j) -> float& {
+    return data_[static_cast<std::size_t>(i) * stride +
+                 static_cast<std::size_t>(j)];
+  };
+  // Fill by increasing interval length d = j - i. Length 0 stays 0.
+  for (int d = 1; d < l_; ++d) {
+    for (int i = 0; i + d < l_; ++i) {
+      const int j = i + d;
+      // i unpaired inside [i, j]
+      float best = cell(i + 1, j);
+      // i paired with some k in (i, j]
+      for (int k = i + 1; k <= j; ++k) {
+        if (!model.hairpin_ok(i, k)) {
+          continue;
+        }
+        const float w = model.intra(seq[static_cast<std::size_t>(i)],
+                                    seq[static_cast<std::size_t>(k)]);
+        if (w == rna::kForbidden) {
+          continue;
+        }
+        const float inside = (k - 1 >= i + 1) ? cell(i + 1, k - 1) : 0.0f;
+        const float outside = (k + 1 <= j) ? cell(k + 1, j) : 0.0f;
+        best = std::max(best, w + inside + outside);
+      }
+      cell(i, j) = best;
+    }
+  }
+}
+
+namespace {
+
+/// Recursive exhaustive maximum over all non-crossing pair sets in [i,j].
+float exhaustive_rec(const rna::Sequence& seq, const rna::ScoringModel& model,
+                     int i, int j) {
+  if (j <= i) {
+    return 0.0f;
+  }
+  // Position i unpaired.
+  float best = exhaustive_rec(seq, model, i + 1, j);
+  // Position i paired with k; the pair splits [i,j] into independent parts,
+  // which is exactly the non-crossing condition.
+  for (int k = i + 1; k <= j; ++k) {
+    if (!model.hairpin_ok(i, k)) {
+      continue;
+    }
+    const float w = model.intra(seq[static_cast<std::size_t>(i)],
+                                seq[static_cast<std::size_t>(k)]);
+    if (w == rna::kForbidden) {
+      continue;
+    }
+    best = std::max(best, w + exhaustive_rec(seq, model, i + 1, k - 1) +
+                              exhaustive_rec(seq, model, k + 1, j));
+  }
+  return best;
+}
+
+}  // namespace
+
+float nussinov_exhaustive(const rna::Sequence& seq,
+                          const rna::ScoringModel& model, int i, int j) {
+  return exhaustive_rec(seq, model, i, j);
+}
+
+}  // namespace rri::core

@@ -1,0 +1,128 @@
+#include "rri/core/structure.hpp"
+
+#include <algorithm>
+
+namespace rri::core {
+namespace {
+
+/// True when the pairs (sorted or not) contain a crossing:
+/// x < x' <= y < y' for some pairs (x,y), (x',y').
+bool has_crossing(std::vector<std::pair<int, int>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  for (std::size_t a = 0; a < pairs.size(); ++a) {
+    for (std::size_t b = a + 1; b < pairs.size(); ++b) {
+      const auto [x, y] = pairs[a];
+      const auto [xp, yp] = pairs[b];
+      if (xp < y && y < yp) {
+        return true;  // (x,y) and (xp,yp) interleave
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool structure_ok(const JointStructure& js, int m, int n) {
+  std::vector<int> used1(static_cast<std::size_t>(m), 0);
+  std::vector<int> used2(static_cast<std::size_t>(n), 0);
+  auto take1 = [&](int i) {
+    if (i < 0 || i >= m || used1[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+    used1[static_cast<std::size_t>(i)] = 1;
+    return true;
+  };
+  auto take2 = [&](int i) {
+    if (i < 0 || i >= n || used2[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+    used2[static_cast<std::size_t>(i)] = 1;
+    return true;
+  };
+  for (const auto& [i, j] : js.intra1) {
+    if (i >= j || !take1(i) || !take1(j)) {
+      return false;
+    }
+  }
+  for (const auto& [i, j] : js.intra2) {
+    if (i >= j || !take2(i) || !take2(j)) {
+      return false;
+    }
+  }
+  for (const auto& [i1, i2] : js.inter) {
+    if (!take1(i1) || !take2(i2)) {
+      return false;
+    }
+  }
+  if (has_crossing(js.intra1) || has_crossing(js.intra2)) {
+    return false;
+  }
+  // Inter pairs must be order-preserving (parallel, non-crossing).
+  auto inter = js.inter;
+  std::sort(inter.begin(), inter.end());
+  for (std::size_t a = 1; a < inter.size(); ++a) {
+    if (inter[a].second <= inter[a - 1].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float structure_score(const JointStructure& js, const rna::Sequence& s1,
+                      const rna::Sequence& s2,
+                      const rna::ScoringModel& model) {
+  float total = 0.0f;
+  for (const auto& [i, j] : js.intra1) {
+    if (!model.hairpin_ok(i, j)) {
+      return rna::kForbidden;
+    }
+    const float w = model.intra(s1[static_cast<std::size_t>(i)],
+                                s1[static_cast<std::size_t>(j)]);
+    if (w == rna::kForbidden) {
+      return rna::kForbidden;
+    }
+    total += w;
+  }
+  for (const auto& [i, j] : js.intra2) {
+    if (!model.hairpin_ok(i, j)) {
+      return rna::kForbidden;
+    }
+    const float w = model.intra(s2[static_cast<std::size_t>(i)],
+                                s2[static_cast<std::size_t>(j)]);
+    if (w == rna::kForbidden) {
+      return rna::kForbidden;
+    }
+    total += w;
+  }
+  for (const auto& [i1, i2] : js.inter) {
+    const float w = model.inter(s1[static_cast<std::size_t>(i1)],
+                                s2[static_cast<std::size_t>(i2)]);
+    if (w == rna::kForbidden) {
+      return rna::kForbidden;
+    }
+    total += w;
+  }
+  return total;
+}
+
+JointRendering render_structure(const JointStructure& js, int m, int n) {
+  JointRendering r;
+  r.strand1.assign(static_cast<std::size_t>(m), '.');
+  r.strand2.assign(static_cast<std::size_t>(n), '.');
+  for (const auto& [i, j] : js.intra1) {
+    r.strand1[static_cast<std::size_t>(i)] = '(';
+    r.strand1[static_cast<std::size_t>(j)] = ')';
+  }
+  for (const auto& [i, j] : js.intra2) {
+    r.strand2[static_cast<std::size_t>(i)] = '(';
+    r.strand2[static_cast<std::size_t>(j)] = ')';
+  }
+  for (const auto& [i1, i2] : js.inter) {
+    r.strand1[static_cast<std::size_t>(i1)] = '[';
+    r.strand2[static_cast<std::size_t>(i2)] = ']';
+  }
+  return r;
+}
+
+}  // namespace rri::core

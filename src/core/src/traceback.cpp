@@ -1,0 +1,209 @@
+#include "rri/core/traceback.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rri::core {
+namespace {
+
+/// All scores are sums of the (few, small) model weights computed in the
+/// same association order as the kernels, so achieving-case recognition
+/// by exact float equality is sound: the traceback recomputes the exact
+/// additions the fill performed on the exact stored values.
+
+class Tracer {
+ public:
+  Tracer(const BpmaxResult& r, const rna::Sequence& s1,
+         const rna::Sequence& s2, const rna::ScoringModel& model)
+      : r_(r), scores_(s1, s2, model),
+        m_(static_cast<int>(s1.size())), n_(static_cast<int>(s2.size())),
+        seq1_(s1), seq2_(s2), model_(model) {}
+
+  JointStructure run() {
+    if (m_ > 0 && n_ > 0) {
+      trace_f(0, m_ - 1, 0, n_ - 1);
+    } else if (m_ > 0) {
+      trace_s1(0, m_ - 1);
+    } else if (n_ > 0) {
+      trace_s2(0, n_ - 1);
+    }
+    return out_;
+  }
+
+ private:
+  [[noreturn]] static void fail(int i1, int j1, int i2, int j2) {
+    throw std::logic_error("BPMax traceback: no recurrence case achieves F(" +
+                           std::to_string(i1) + "," + std::to_string(j1) +
+                           "," + std::to_string(i2) + "," +
+                           std::to_string(j2) + ")");
+  }
+
+  /// F with empty-interval extension (matches the kernels' boundary
+  /// handling: empty strand-1 interval leaves only strand 2, and vice
+  /// versa).
+  float fe(int i1, int j1, int i2, int j2) const {
+    if (j1 < i1) {
+      return r_.s2.at(i2, j2);
+    }
+    if (j2 < i2) {
+      return r_.s1.at(i1, j1);
+    }
+    return r_.f.at(i1, j1, i2, j2);
+  }
+
+  void trace_fe(int i1, int j1, int i2, int j2) {
+    if (j1 < i1) {
+      trace_s2(i2, j2);
+    } else if (j2 < i2) {
+      trace_s1(i1, j1);
+    } else {
+      trace_f(i1, j1, i2, j2);
+    }
+  }
+
+  void trace_f(int i1, int j1, int i2, int j2) {  // NOLINT(misc-no-recursion)
+    const float v = r_.f.at(i1, j1, i2, j2);
+    const int d1 = j1 - i1;
+    const int d2 = j2 - i2;
+
+    // ha: independent single-strand structures.
+    if (v == r_.s1.at(i1, j1) + r_.s2.at(i2, j2)) {
+      trace_s1(i1, j1);
+      trace_s2(i2, j2);
+      return;
+    }
+    // iscore: the lone intermolecular pair base case.
+    if (d1 == 0 && d2 == 0) {
+      if (v == scores_.inter(i1, i2)) {
+        out_.inter.emplace_back(i1, i2);
+        return;
+      }
+      fail(i1, j1, i2, j2);
+    }
+    // c1: strand-1 pair (i1, j1).
+    if (d1 >= 1) {
+      const float w1 = scores_.intra1(i1, j1);
+      if (w1 != rna::kForbidden && v == fe(i1 + 1, j1 - 1, i2, j2) + w1) {
+        out_.intra1.emplace_back(i1, j1);
+        trace_fe(i1 + 1, j1 - 1, i2, j2);
+        return;
+      }
+    }
+    // c2: strand-2 pair (i2, j2).
+    if (d2 >= 1) {
+      const float w2 = scores_.intra2(i2, j2);
+      if (w2 != rna::kForbidden && v == fe(i1, j1, i2 + 1, j2 - 1) + w2) {
+        out_.intra2.emplace_back(i2, j2);
+        trace_fe(i1, j1, i2 + 1, j2 - 1);
+        return;
+      }
+    }
+    // R1/R2: strand-2 splits against a strand-2-only flank.
+    for (int k2 = i2; k2 < j2; ++k2) {
+      if (v == r_.s2.at(i2, k2) + r_.f.at(i1, j1, k2 + 1, j2)) {
+        trace_s2(i2, k2);
+        trace_f(i1, j1, k2 + 1, j2);
+        return;
+      }
+      if (v == r_.f.at(i1, j1, i2, k2) + r_.s2.at(k2 + 1, j2)) {
+        trace_f(i1, j1, i2, k2);
+        trace_s2(k2 + 1, j2);
+        return;
+      }
+    }
+    // R3/R4: strand-1 splits against a strand-1-only flank.
+    for (int k1 = i1; k1 < j1; ++k1) {
+      if (v == r_.f.at(i1, k1, i2, j2) + r_.s1.at(k1 + 1, j1)) {
+        trace_f(i1, k1, i2, j2);
+        trace_s1(k1 + 1, j1);
+        return;
+      }
+      if (v == r_.s1.at(i1, k1) + r_.f.at(k1 + 1, j1, i2, j2)) {
+        trace_s1(i1, k1);
+        trace_f(k1 + 1, j1, i2, j2);
+        return;
+      }
+    }
+    // R0: the double max-plus split.
+    for (int k1 = i1; k1 < j1; ++k1) {
+      for (int k2 = i2; k2 < j2; ++k2) {
+        if (v == r_.f.at(i1, k1, i2, k2) + r_.f.at(k1 + 1, j1, k2 + 1, j2)) {
+          trace_f(i1, k1, i2, k2);
+          trace_f(k1 + 1, j1, k2 + 1, j2);
+          return;
+        }
+      }
+    }
+    fail(i1, j1, i2, j2);
+  }
+
+  void trace_s1(int i, int j) {
+    if (j > i) {
+      auto pairs = traceback_single(r_.s1, seq1_, model_, i, j);
+      out_.intra1.insert(out_.intra1.end(), pairs.begin(), pairs.end());
+    }
+  }
+  void trace_s2(int i, int j) {
+    if (j > i) {
+      auto pairs = traceback_single(r_.s2, seq2_, model_, i, j);
+      out_.intra2.insert(out_.intra2.end(), pairs.begin(), pairs.end());
+    }
+  }
+
+  const BpmaxResult& r_;
+  rna::ScoreTables scores_;
+  const int m_;
+  const int n_;
+  const rna::Sequence& seq1_;
+  const rna::Sequence& seq2_;
+  const rna::ScoringModel& model_;
+  JointStructure out_;
+};
+
+}  // namespace
+
+JointStructure traceback(const BpmaxResult& result,
+                         const rna::Sequence& strand1,
+                         const rna::Sequence& strand2,
+                         const rna::ScoringModel& model) {
+  return Tracer(result, strand1, strand2, model).run();
+}
+
+std::vector<std::pair<int, int>> traceback_single(
+    const STable& s, const rna::Sequence& seq, const rna::ScoringModel& model,
+    int i, int j) {
+  std::vector<std::pair<int, int>> pairs;
+  auto rec = [&](auto&& self, int a, int b) -> void {
+    if (b <= a) {
+      return;
+    }
+    const float v = s.at(a, b);
+    if (v == s.at(a + 1, b)) {
+      self(self, a + 1, b);
+      return;
+    }
+    for (int k = a + 1; k <= b; ++k) {
+      if (!model.hairpin_ok(a, k)) {
+        continue;
+      }
+      const float w = model.intra(seq[static_cast<std::size_t>(a)],
+                                  seq[static_cast<std::size_t>(k)]);
+      if (w == rna::kForbidden) {
+        continue;
+      }
+      const float inside = (k - 1 >= a + 1) ? s.at(a + 1, k - 1) : 0.0f;
+      const float outside = (k + 1 <= b) ? s.at(k + 1, b) : 0.0f;
+      if (v == w + inside + outside) {
+        pairs.emplace_back(a, k);
+        self(self, a + 1, k - 1);
+        self(self, k + 1, b);
+        return;
+      }
+    }
+    throw std::logic_error("S-table traceback failed");
+  };
+  rec(rec, i, j);
+  return pairs;
+}
+
+}  // namespace rri::core

@@ -1,0 +1,67 @@
+#include "rri/core/windowed.hpp"
+
+#include <algorithm>
+
+namespace rri::core {
+
+std::vector<WindowScore> scan_windows(const rna::Sequence& long_strand,
+                                      const rna::Sequence& short_strand,
+                                      const rna::ScoringModel& model,
+                                      const ScanOptions& options) {
+  const int len = static_cast<int>(long_strand.size());
+  const int window = std::max(1, std::min(options.window, std::max(len, 1)));
+  const int stride = std::max(1, options.stride);
+
+  std::vector<int> offsets;
+  for (int off = 0; off < len; off += stride) {
+    offsets.push_back(off);
+    if (off + window >= len) {
+      break;  // this window already reaches the end
+    }
+  }
+  if (offsets.empty() && len == 0) {
+    return {};
+  }
+
+  std::vector<WindowScore> out(offsets.size());
+  const auto solve_one = [&](std::size_t idx) {
+    const int off = offsets[idx];
+    const int w = std::min(window, len - off);
+    std::vector<rna::Base> slice(
+        long_strand.bases().begin() + off,
+        long_strand.bases().begin() + off + w);
+    const rna::Sequence sub{std::move(slice)};
+    out[idx] = WindowScore{off, w,
+                           bpmax_score(sub, short_strand, model,
+                                       options.solver)};
+  };
+
+  if (options.parallel_windows) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t idx = 0; idx < offsets.size(); ++idx) {
+      solve_one(idx);
+    }
+  } else {
+    for (std::size_t idx = 0; idx < offsets.size(); ++idx) {
+      solve_one(idx);
+    }
+  }
+  return out;
+}
+
+std::vector<WindowScore> top_windows(std::vector<WindowScore> scores,
+                                     std::size_t top_k) {
+  std::sort(scores.begin(), scores.end(),
+            [](const WindowScore& a, const WindowScore& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.offset < b.offset;
+            });
+  if (scores.size() > top_k) {
+    scores.resize(top_k);
+  }
+  return scores;
+}
+
+}  // namespace rri::core

@@ -1,0 +1,71 @@
+#ifndef RRI_HARNESS_ARGS_HPP
+#define RRI_HARNESS_ARGS_HPP
+
+/// \file args.hpp
+/// A small command-line option parser for the repo's tools. Supports
+/// --flag, --option value, --option=value, positional arguments, and
+/// generated --help text. Deliberately minimal; errors are reported, not
+/// thrown, so tools can exit with a usage message.
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rri::harness {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Boolean switch: present or absent.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Valued option with a default (shown in --help).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Describe expected positional arguments for the usage line.
+  void set_positional_usage(std::string usage, std::size_t min_count,
+                            std::size_t max_count);
+
+  /// Parse argv. Returns false (after printing to `err`) on unknown
+  /// options, missing values, bad positional count, or --help (which
+  /// prints to `err` and is not an error for the caller's exit code —
+  /// check help_requested()).
+  bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  bool help_requested() const noexcept { return help_requested_; }
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  int option_int(const std::string& name) const;
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void print_help(std::ostream& out) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::string positional_usage_;
+  std::size_t min_positional_ = 0;
+  std::size_t max_positional_ = SIZE_MAX;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rri::harness
+
+#endif  // RRI_HARNESS_ARGS_HPP

@@ -1,0 +1,44 @@
+#ifndef RRI_HARNESS_FLOPS_HPP
+#define RRI_HARNESS_FLOPS_HPP
+
+/// \file flops.hpp
+/// Exact closed-form operation counts for the BPMax kernels, counting 2
+/// flops (one add, one max) per reduction candidate as the paper does.
+/// These convert measured wall times into the GFLOPS the figures report.
+/// tests/harness_test.cpp verifies every closed form against direct loop
+/// enumeration.
+
+namespace rri::harness {
+
+/// Number of (i, k, j) triples with 0 <= i <= k < j < l — the per-strand
+/// split count: (l³ - l) / 6.
+double split_triples(int l);
+
+/// Number of intervals 0 <= i <= j < l: l (l + 1) / 2.
+double interval_pairs(int l);
+
+/// Per-reduction flop counts of one full BPMax fill for strand lengths
+/// (m, n).
+struct BpmaxFlopCounts {
+  double r0 = 0;     ///< double max-plus: 2 · T(m) · T(n)
+  double r1 = 0;     ///< 2 · P(m) · T(n)
+  double r2 = 0;     ///< 2 · P(m) · T(n)
+  double r3 = 0;     ///< 2 · T(m) · P(n)
+  double r4 = 0;     ///< 2 · T(m) · P(n)
+  double cells = 0;  ///< per-cell terms (S1+S2, both pair cases): 6 · P(m) · P(n)
+
+  double total() const { return r0 + r1 + r2 + r3 + r4 + cells; }
+};
+
+BpmaxFlopCounts bpmax_flops(int m, int n);
+
+/// Flops of the standalone double max-plus problem: 2 · T(m) · T(n).
+double double_maxplus_flops(int m, int n);
+
+/// Flops of one single-strand S-table fill (2 per pairing candidate plus
+/// the unpaired-case max): 3 · T(l) rounded to the exact loop count.
+double stable_flops(int l);
+
+}  // namespace rri::harness
+
+#endif  // RRI_HARNESS_FLOPS_HPP

@@ -1,0 +1,43 @@
+#ifndef RRI_HARNESS_REPORT_HPP
+#define RRI_HARNESS_REPORT_HPP
+
+/// \file report.hpp
+/// Small report-table builder: the bench binaries print aligned
+/// human-readable tables (and optionally CSV) so EXPERIMENTS.md rows can
+/// be pasted straight from their output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rri::harness {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned plain-text table with a header rule.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.34").
+std::string fmt_double(double v, int precision = 2);
+
+/// Human-readable engineering formatting for large counts ("1.23e9").
+std::string fmt_sci(double v, int precision = 2);
+
+}  // namespace rri::harness
+
+#endif  // RRI_HARNESS_REPORT_HPP

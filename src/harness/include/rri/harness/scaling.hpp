@@ -1,0 +1,30 @@
+#ifndef RRI_HARNESS_SCALING_HPP
+#define RRI_HARNESS_SCALING_HPP
+
+/// \file scaling.hpp
+/// Benchmark workload scaling. The paper's testbed ran 6-12 threads on
+/// sequences in the hundreds-to-thousands; this repo must also run on
+/// small CI boxes, so every bench multiplies its base sizes by
+/// RRI_BENCH_SCALE (default 1) and caps thread sweeps at
+/// RRI_BENCH_MAX_THREADS (default: the OpenMP max).
+
+#include <vector>
+
+namespace rri::harness {
+
+/// RRI_BENCH_SCALE as a positive double; 1.0 when unset or malformed.
+double bench_scale();
+
+/// Base lengths multiplied by bench_scale(), rounded, floored at 4.
+std::vector<int> scaled_lengths(std::vector<int> base);
+
+/// Thread counts to sweep: 1, 2, 4, ... up to `max_threads` (and
+/// `max_threads` itself), bounded by RRI_BENCH_MAX_THREADS if set.
+std::vector<int> thread_sweep(int max_threads);
+
+/// Repetitions per measurement: RRI_BENCH_REPS, default `fallback`.
+int bench_reps(int fallback = 2);
+
+}  // namespace rri::harness
+
+#endif  // RRI_HARNESS_SCALING_HPP

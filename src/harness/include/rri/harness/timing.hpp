@@ -1,0 +1,64 @@
+#ifndef RRI_HARNESS_TIMING_HPP
+#define RRI_HARNESS_TIMING_HPP
+
+/// \file timing.hpp
+/// Wall-clock timing helpers for the benchmark harness. Kernel runs here
+/// are long relative to clock resolution, so best-of-R wall time is the
+/// estimator (the minimum is the least noise-contaminated statistic for
+/// compute-bound kernels).
+
+#include <chrono>
+#include <utility>
+
+namespace rri::harness {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Time a single call.
+template <typename F>
+double time_call(F&& f) {
+  StopWatch sw;
+  std::forward<F>(f)();
+  return sw.seconds();
+}
+
+struct TimedRuns {
+  double best = 0.0;
+  double mean = 0.0;
+  int reps = 0;
+};
+
+/// Run `f` `reps` times (at least once) and report best and mean seconds.
+template <typename F>
+TimedRuns time_repeat(F&& f, int reps) {
+  TimedRuns out;
+  out.reps = reps < 1 ? 1 : reps;
+  double total = 0.0;
+  for (int r = 0; r < out.reps; ++r) {
+    const double s = time_call(f);
+    total += s;
+    if (r == 0 || s < out.best) {
+      out.best = s;
+    }
+  }
+  out.mean = total / out.reps;
+  return out;
+}
+
+}  // namespace rri::harness
+
+#endif  // RRI_HARNESS_TIMING_HPP

@@ -1,0 +1,125 @@
+#include "rri/harness/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rri::harness {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  specs_.emplace_back(name, Spec{help, "", true});
+  flags_[name] = false;
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_.emplace_back(name, Spec{help, default_value, false});
+  values_[name] = default_value;
+}
+
+void ArgParser::set_positional_usage(std::string usage, std::size_t min_count,
+                                     std::size_t max_count) {
+  positional_usage_ = std::move(usage);
+  min_positional_ = min_count;
+  max_positional_ = max_count;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  const auto find_spec = [&](const std::string& name) -> const Spec* {
+    for (const auto& [spec_name, spec] : specs_) {
+      if (spec_name == name) {
+        return &spec;
+      }
+    }
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      print_help(err);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const Spec* spec = find_spec(name);
+    if (spec == nullptr) {
+      err << program_ << ": unknown option --" << name << "\n";
+      return false;
+    }
+    if (spec->is_flag) {
+      if (has_inline) {
+        err << program_ << ": flag --" << name << " takes no value\n";
+        return false;
+      }
+      flags_[name] = true;
+      continue;
+    }
+    if (has_inline) {
+      values_[name] = std::move(inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        err << program_ << ": option --" << name << " needs a value\n";
+        return false;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+  if (positional_.size() < min_positional_ ||
+      positional_.size() > max_positional_) {
+    err << program_ << ": expected " << positional_usage_ << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::out_of_range("undeclared flag --" + name);
+  }
+  return it->second;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::out_of_range("undeclared option --" + name);
+  }
+  return it->second;
+}
+
+int ArgParser::option_int(const std::string& name) const {
+  return std::atoi(option(name).c_str());
+}
+
+void ArgParser::print_help(std::ostream& out) const {
+  out << "usage: " << program_ << " [options] " << positional_usage_ << "\n";
+  out << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.is_flag) {
+      out << " <value>";
+    }
+    out << "\n      " << spec.help;
+    if (!spec.is_flag && !spec.default_value.empty()) {
+      out << " (default: " << spec.default_value << ")";
+    }
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+}
+
+}  // namespace rri::harness

@@ -1,0 +1,38 @@
+#include "rri/harness/flops.hpp"
+
+namespace rri::harness {
+
+double split_triples(int l) {
+  const double ld = l;
+  return (ld * ld * ld - ld) / 6.0;
+}
+
+double interval_pairs(int l) {
+  const double ld = l;
+  return ld * (ld + 1.0) / 2.0;
+}
+
+BpmaxFlopCounts bpmax_flops(int m, int n) {
+  BpmaxFlopCounts c;
+  const double tm = split_triples(m);
+  const double tn = split_triples(n);
+  const double pm = interval_pairs(m);
+  const double pn = interval_pairs(n);
+  c.r0 = 2.0 * tm * tn;
+  c.r1 = 2.0 * pm * tn;
+  c.r2 = 2.0 * pm * tn;
+  c.r3 = 2.0 * tm * pn;
+  c.r4 = 2.0 * tm * pn;
+  c.cells = 6.0 * pm * pn;
+  return c;
+}
+
+double double_maxplus_flops(int m, int n) {
+  return 2.0 * split_triples(m) * split_triples(n);
+}
+
+double stable_flops(int l) {
+  return 3.0 * split_triples(l);
+}
+
+}  // namespace rri::harness

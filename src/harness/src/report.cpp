@@ -1,0 +1,93 @@
+#include "rri/harness/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rri::harness {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("ReportTable row has " +
+                                std::to_string(cells.size()) +
+                                " cells; expected " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void ReportTable::print_csv(std::ostream& out) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string quoted = "\"";
+    for (const char ch : s) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace rri::harness

@@ -1,0 +1,56 @@
+#include "rri/harness/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace rri::harness {
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || v <= 0.0) {
+    return fallback;
+  }
+  return v;
+}
+
+int env_int(const char* name, int fallback) {
+  const double v = env_double(name, static_cast<double>(fallback));
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+double bench_scale() { return env_double("RRI_BENCH_SCALE", 1.0); }
+
+std::vector<int> scaled_lengths(std::vector<int> base) {
+  const double scale = bench_scale();
+  for (int& len : base) {
+    len = std::max(4, static_cast<int>(std::lround(len * scale)));
+  }
+  return base;
+}
+
+std::vector<int> thread_sweep(int max_threads) {
+  const int cap = env_int("RRI_BENCH_MAX_THREADS", max_threads);
+  const int limit = std::max(1, std::min(max_threads, cap));
+  std::vector<int> sweep;
+  for (int t = 1; t < limit; t *= 2) {
+    sweep.push_back(t);
+  }
+  sweep.push_back(limit);
+  return sweep;
+}
+
+int bench_reps(int fallback) {
+  return std::max(1, env_int("RRI_BENCH_REPS", fallback));
+}
+
+}  // namespace rri::harness

@@ -1,0 +1,41 @@
+#ifndef RRI_MACHINE_ROOFLINE_HPP
+#define RRI_MACHINE_ROOFLINE_HPP
+
+/// \file roofline.hpp
+/// Roofline evaluation (paper Fig. 11): attainable GFLOPS at a given
+/// arithmetic intensity under each bandwidth ceiling and the compute
+/// peak. BPMax's vectorized inner loop performs 2 flops per 3
+/// single-precision memory operations, an arithmetic intensity of
+/// 2/(3·4) = 1/6 flops/byte, which pins the kernel against the L1 roof
+/// at roughly 335 GFLOPS on the E5-1650v4 (the paper quotes ≈329).
+
+#include <string>
+#include <vector>
+
+#include "rri/machine/spec.hpp"
+
+namespace rri::machine {
+
+/// BPMax inner-loop arithmetic intensity: Y = max(a + X, Y) does one add
+/// and one max per (two loads + one store) of 4-byte floats.
+constexpr double bpmax_arithmetic_intensity() { return 2.0 / 12.0; }
+
+struct RooflinePoint {
+  std::string bound;     ///< "peak", "L1", "L2", "L3", "DRAM"
+  double gflops = 0.0;   ///< ceiling at the queried intensity
+};
+
+/// All ceilings at arithmetic intensity `ai` (flops/byte), ordered
+/// compute peak first then memory levels outward. The attainable
+/// performance is the minimum entry.
+std::vector<RooflinePoint> roofline(const MachineSpec& spec, double ai);
+
+/// min over roofline(spec, ai) — the classical attainable bound.
+double attainable_gflops(const MachineSpec& spec, double ai);
+
+/// Which ceiling binds at intensity `ai` ("peak" when compute-bound).
+std::string binding_level(const MachineSpec& spec, double ai);
+
+}  // namespace rri::machine
+
+#endif  // RRI_MACHINE_ROOFLINE_HPP

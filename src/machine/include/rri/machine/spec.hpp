@@ -1,0 +1,75 @@
+#ifndef RRI_MACHINE_SPEC_HPP
+#define RRI_MACHINE_SPEC_HPP
+
+/// \file spec.hpp
+/// Machine descriptions for the roofline analysis (paper §V-A, Fig. 11).
+/// The paper's numbers are published micro-architecture parameters, so
+/// the roofline itself is an analytical artifact we can reproduce
+/// exactly; the shipped presets are the paper's two testbeds.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rri::machine {
+
+/// One level of the memory hierarchy. Bandwidth is expressed the way the
+/// Intel optimization manuals give it: sustained bytes/cycle — per core
+/// for private levels, for the whole chip for shared levels.
+struct CacheLevel {
+  std::string name;               ///< "L1", "L2", "L3"
+  std::size_t size_bytes = 0;     ///< capacity (per core for private levels)
+  double bytes_per_cycle = 0.0;   ///< sustained bandwidth in bytes/cycle
+  bool shared = false;            ///< chip-wide (true) vs per-core (false)
+
+  /// Deliverable bandwidth in GB/s for `cores` cores at `ghz`.
+  double bandwidth_gbps(int cores, double ghz) const {
+    return bytes_per_cycle * ghz * (shared ? 1.0 : static_cast<double>(cores));
+  }
+};
+
+struct MachineSpec {
+  std::string name;
+  int cores = 1;             ///< physical cores
+  int threads_per_core = 1;  ///< SMT ways
+  double ghz = 1.0;          ///< sustained all-core frequency
+  int simd_bits = 128;       ///< vector register width
+  /// Max-plus issue width: independent max and add pipes give 2 vector
+  /// ops per cycle per core on the paper's Broadwell/Coffee Lake parts.
+  double maxplus_issue_per_cycle = 2.0;
+  std::vector<CacheLevel> caches;
+  double dram_gbps = 0.0;
+
+  int simd_lanes_f32() const { return simd_bits / 32; }
+
+  /// Theoretical single-precision max-plus peak:
+  /// cores × GHz × lanes × issue width. 345.6 GFLOPS for the E5-1650v4,
+  /// which the paper rounds to "about 346".
+  double maxplus_peak_gflops() const {
+    return static_cast<double>(cores) * ghz *
+           static_cast<double>(simd_lanes_f32()) * maxplus_issue_per_cycle;
+  }
+
+  int logical_cpus() const { return cores * threads_per_core; }
+};
+
+/// The paper's primary testbed: Xeon E5-1650v4 (Broadwell-EP), 6C/12T
+/// at 3.6 GHz, AVX2; L1 32 KiB @ 93 B/c, L2 256 KiB @ 25 B/c, shared L3
+/// 15 MiB @ 14 B/c per the Intel micro-architecture tables the paper
+/// cites; DRAM 76.8 GB/s.
+MachineSpec xeon_e5_1650v4();
+
+/// The paper's scalability check machine: Xeon E-2278G (Coffee Lake),
+/// 8C/16T, AVX2, shared L3 16 MiB, dual-channel DDR4-2666 (41.6 GB/s).
+MachineSpec xeon_e_2278g();
+
+/// Best-effort description of the current host, from /proc/cpuinfo and
+/// sysfs cache topology, falling back to conservative defaults when a
+/// field is unavailable. Bandwidths are estimated from typical
+/// bytes/cycle for the detected vector ISA; treat its roofline as
+/// indicative, not authoritative.
+MachineSpec probe_host();
+
+}  // namespace rri::machine
+
+#endif  // RRI_MACHINE_SPEC_HPP

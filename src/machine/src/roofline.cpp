@@ -1,0 +1,39 @@
+#include "rri/machine/roofline.hpp"
+
+#include <algorithm>
+
+namespace rri::machine {
+
+std::vector<RooflinePoint> roofline(const MachineSpec& spec, double ai) {
+  std::vector<RooflinePoint> points;
+  points.push_back({"peak", spec.maxplus_peak_gflops()});
+  for (const CacheLevel& level : spec.caches) {
+    points.push_back(
+        {level.name, ai * level.bandwidth_gbps(spec.cores, spec.ghz)});
+  }
+  if (spec.dram_gbps > 0.0) {
+    points.push_back({"DRAM", ai * spec.dram_gbps});
+  }
+  return points;
+}
+
+double attainable_gflops(const MachineSpec& spec, double ai) {
+  const auto points = roofline(spec, ai);
+  double best = points.front().gflops;
+  for (const auto& p : points) {
+    best = std::min(best, p.gflops);
+  }
+  return best;
+}
+
+std::string binding_level(const MachineSpec& spec, double ai) {
+  const auto points = roofline(spec, ai);
+  const auto it = std::min_element(
+      points.begin(), points.end(),
+      [](const RooflinePoint& a, const RooflinePoint& b) {
+        return a.gflops < b.gflops;
+      });
+  return it->bound;
+}
+
+}  // namespace rri::machine

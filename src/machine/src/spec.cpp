@@ -1,0 +1,166 @@
+#include "rri/machine/spec.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace rri::machine {
+
+MachineSpec xeon_e5_1650v4() {
+  MachineSpec spec;
+  spec.name = "Intel Xeon E5-1650 v4 (Broadwell-EP)";
+  spec.cores = 6;
+  spec.threads_per_core = 2;
+  spec.ghz = 3.6;
+  spec.simd_bits = 256;  // AVX2
+  spec.caches = {
+      {"L1", 32 * 1024, 93.0, false},
+      {"L2", 256 * 1024, 25.0, false},
+      {"L3", 15 * 1024 * 1024, 14.0, true},
+  };
+  // The paper's L3 figure is bytes/cycle for the whole ring; DRAM is
+  // quoted directly in GB/s.
+  spec.dram_gbps = 76.8;
+  return spec;
+}
+
+MachineSpec xeon_e_2278g() {
+  MachineSpec spec;
+  spec.name = "Intel Xeon E-2278G (Coffee Lake)";
+  spec.cores = 8;
+  spec.threads_per_core = 2;
+  spec.ghz = 3.4;
+  spec.simd_bits = 256;
+  spec.caches = {
+      {"L1", 32 * 1024, 93.0, false},
+      {"L2", 256 * 1024, 25.0, false},
+      {"L3", 16 * 1024 * 1024, 14.0, true},
+  };
+  spec.dram_gbps = 41.6;  // dual-channel DDR4-2666
+  return spec;
+}
+
+namespace {
+
+/// First value of `key` in /proc/cpuinfo ("key\t: value"), or "".
+std::string cpuinfo_field(const std::string& key) {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, key.size(), key) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        auto value = line.substr(colon + 1);
+        const auto first = value.find_first_not_of(" \t");
+        return first == std::string::npos ? std::string{}
+                                          : value.substr(first);
+      }
+    }
+  }
+  return {};
+}
+
+/// Parse a sysfs cache size string like "32K" / "15360K" / "8M".
+std::size_t parse_cache_size(const std::string& text) {
+  if (text.empty()) {
+    return 0;
+  }
+  std::size_t value = 0;
+  std::size_t pos = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[pos] - '0');
+    ++pos;
+  }
+  if (pos < text.size()) {
+    if (text[pos] == 'K' || text[pos] == 'k') {
+      value *= 1024;
+    } else if (text[pos] == 'M' || text[pos] == 'm') {
+      value *= 1024 * 1024;
+    }
+  }
+  return value;
+}
+
+std::string read_file_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+MachineSpec probe_host() {
+  MachineSpec spec;
+  const std::string model = cpuinfo_field("model name");
+  spec.name = model.empty() ? "unknown host" : model;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::string cores_field = cpuinfo_field("cpu cores");
+  int physical = 0;
+  if (!cores_field.empty()) {
+    physical = std::atoi(cores_field.c_str());
+  }
+  if (physical <= 0) {
+    physical = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  spec.cores = physical;
+  spec.threads_per_core =
+      (hw > 0 && physical > 0 && static_cast<int>(hw) >= physical)
+          ? static_cast<int>(hw) / physical
+          : 1;
+
+  const std::string mhz = cpuinfo_field("cpu MHz");
+  if (!mhz.empty()) {
+    const double v = std::atof(mhz.c_str());
+    if (v > 100.0) {
+      spec.ghz = v / 1000.0;
+    }
+  }
+  if (spec.ghz <= 0.1) {
+    spec.ghz = 2.0;  // conservative fallback
+  }
+
+  const std::string flags = cpuinfo_field("flags");
+  if (flags.find("avx512f") != std::string::npos) {
+    spec.simd_bits = 512;
+  } else if (flags.find("avx2") != std::string::npos) {
+    spec.simd_bits = 256;
+  } else if (flags.find("sse2") != std::string::npos) {
+    spec.simd_bits = 128;
+  }
+
+  // Cache topology from sysfs; bandwidths use typical sustained
+  // bytes/cycle for recent x86 (the same figures the paper quotes).
+  const double default_bpc[3] = {93.0, 25.0, 14.0};
+  for (int index = 0; index < 4; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    const std::string level_text = read_file_line(base + "/level");
+    const std::string type = read_file_line(base + "/type");
+    if (level_text.empty() || type == "Instruction") {
+      continue;
+    }
+    const int level = std::atoi(level_text.c_str());
+    const std::size_t size = parse_cache_size(read_file_line(base + "/size"));
+    if (level < 1 || level > 3 || size == 0) {
+      continue;
+    }
+    CacheLevel cache;
+    cache.name = "L" + std::to_string(level);
+    cache.size_bytes = size;
+    cache.bytes_per_cycle = default_bpc[level - 1];
+    cache.shared = (level == 3);
+    spec.caches.push_back(cache);
+  }
+  if (spec.caches.empty()) {
+    spec.caches = {{"L1", 32 * 1024, 93.0, false},
+                   {"L2", 256 * 1024, 25.0, false},
+                   {"L3", 8 * 1024 * 1024, 14.0, true}};
+  }
+  spec.dram_gbps = 25.6;  // single-channel-ish conservative default
+  return spec;
+}
+
+}  // namespace rri::machine

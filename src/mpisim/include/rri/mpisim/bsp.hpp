@@ -1,0 +1,91 @@
+#ifndef RRI_MPISIM_BSP_HPP
+#define RRI_MPISIM_BSP_HPP
+
+/// \file bsp.hpp
+/// A deterministic bulk-synchronous message-passing simulator. The paper
+/// names distributing BPMax "over a cluster using MPI" as future work;
+/// this substrate lets the repo build and evaluate that distribution
+/// without cluster hardware: ranks run sequentially inside one process,
+/// sends are buffered and delivered at the next superstep barrier, and
+/// the world counts every message and byte so an alpha-beta cost model
+/// can predict cluster behaviour (see cluster.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace rri::mpisim {
+
+struct Message {
+  int from = 0;
+  int tag = 0;
+  std::vector<float> payload;
+};
+
+struct CommStats {
+  std::size_t supersteps = 0;
+  std::size_t messages = 0;
+  std::size_t bytes = 0;  ///< payload bytes (4 per float)
+};
+
+/// The communication world for `ranks` simulated processes.
+///
+/// Usage pattern (SPMD by explicit loop):
+///   BspWorld world(P);
+///   while (work remains) {
+///     for (int r = 0; r < P; ++r) { ... world.send(r, to, tag, data); }
+///     world.barrier();   // deliver; next superstep
+///     for (int r = 0; r < P; ++r) { auto msgs = world.receive(r); ... }
+///   }
+class BspWorld {
+ public:
+  explicit BspWorld(int ranks);
+
+  int ranks() const noexcept { return ranks_; }
+
+  /// Buffer a message for delivery at the next barrier. Self-sends are
+  /// allowed (delivered like any other). Throws std::out_of_range for
+  /// invalid ranks.
+  void send(int from, int to, int tag, std::vector<float> payload);
+
+  /// Broadcast from `from` to every *other* rank.
+  void broadcast(int from, int tag, const std::vector<float>& payload);
+
+  /// Deliver all buffered sends; starts the next superstep.
+  void barrier();
+
+  /// Drain the messages delivered to `rank` (in (sender, send-order)
+  /// order — deterministic). Clears the inbox.
+  std::vector<Message> receive(int rank);
+
+  /// Messages waiting (delivered, unreceived) for `rank`.
+  std::size_t pending(int rank) const;
+
+  const CommStats& stats() const noexcept { return stats_; }
+
+  /// Per-rank traffic of the superstep that ended at the last barrier:
+  /// [rank] -> bytes sent.
+  const std::vector<std::size_t>& last_step_sent_bytes() const noexcept {
+    return last_sent_bytes_;
+  }
+
+ private:
+  void check_rank(int rank) const {
+    if (rank < 0 || rank >= ranks_) {
+      throw std::out_of_range("invalid rank " + std::to_string(rank));
+    }
+  }
+
+  int ranks_;
+  std::vector<std::vector<Message>> in_flight_;  ///< buffered this superstep
+  std::vector<std::vector<Message>> delivered_;  ///< readable inboxes
+  std::vector<std::size_t> current_sent_bytes_;
+  std::vector<std::size_t> last_sent_bytes_;
+  CommStats stats_;
+};
+
+}  // namespace rri::mpisim
+
+#endif  // RRI_MPISIM_BSP_HPP

@@ -1,0 +1,70 @@
+#include "rri/mpisim/bsp.hpp"
+
+#include <algorithm>
+
+namespace rri::mpisim {
+
+BspWorld::BspWorld(int ranks)
+    : ranks_(ranks),
+      in_flight_(static_cast<std::size_t>(ranks)),
+      delivered_(static_cast<std::size_t>(ranks)),
+      current_sent_bytes_(static_cast<std::size_t>(ranks), 0),
+      last_sent_bytes_(static_cast<std::size_t>(ranks), 0) {
+  if (ranks < 1) {
+    throw std::invalid_argument("BspWorld needs at least one rank");
+  }
+}
+
+void BspWorld::send(int from, int to, int tag, std::vector<float> payload) {
+  check_rank(from);
+  check_rank(to);
+  const std::size_t bytes = payload.size() * sizeof(float);
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  current_sent_bytes_[static_cast<std::size_t>(from)] += bytes;
+  in_flight_[static_cast<std::size_t>(to)].push_back(
+      Message{from, tag, std::move(payload)});
+}
+
+void BspWorld::broadcast(int from, int tag,
+                         const std::vector<float>& payload) {
+  for (int to = 0; to < ranks_; ++to) {
+    if (to != from) {
+      send(from, to, tag, payload);
+    }
+  }
+}
+
+void BspWorld::barrier() {
+  for (int rank = 0; rank < ranks_; ++rank) {
+    auto& inbox = delivered_[static_cast<std::size_t>(rank)];
+    auto& buffered = in_flight_[static_cast<std::size_t>(rank)];
+    inbox.insert(inbox.end(), std::make_move_iterator(buffered.begin()),
+                 std::make_move_iterator(buffered.end()));
+    buffered.clear();
+  }
+  last_sent_bytes_ = current_sent_bytes_;
+  current_sent_bytes_.assign(static_cast<std::size_t>(ranks_), 0);
+  stats_.supersteps += 1;
+}
+
+std::vector<Message> BspWorld::receive(int rank) {
+  check_rank(rank);
+  auto& inbox = delivered_[static_cast<std::size_t>(rank)];
+  // Deterministic order: stable by sender then send order. Messages were
+  // appended in send order across senders; sort stably by sender.
+  std::stable_sort(inbox.begin(), inbox.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.from < b.from;
+                   });
+  std::vector<Message> out = std::move(inbox);
+  inbox.clear();
+  return out;
+}
+
+std::size_t BspWorld::pending(int rank) const {
+  check_rank(rank);
+  return delivered_[static_cast<std::size_t>(rank)].size();
+}
+
+}  // namespace rri::mpisim

@@ -1,0 +1,169 @@
+#include "rri/mpisim/dist_bpmax.hpp"
+
+#include <algorithm>
+
+#include "rri/core/detail/triangle_ops.hpp"
+#include "rri/harness/flops.hpp"
+
+namespace rri::mpisim {
+
+namespace {
+
+/// Exact kernel flops of computing inner triangle (i1, j1) for inner
+/// length n: the d1 split instances (R0 + R3/R4) plus the finalization
+/// (R1/R2 sweeps and the per-cell terms).
+double triangle_flops(int d1, int n) {
+  const double tn = harness::split_triples(n);
+  const double pn = harness::interval_pairs(n);
+  return static_cast<double>(d1) * (2.0 * tn + 4.0 * pn)  // R0 + R3 + R4
+         + 4.0 * tn                                       // R1 + R2
+         + 6.0 * pn;                                      // cell terms
+}
+
+}  // namespace
+
+double DistributedResult::simulated_seconds(const ClusterModel& model) const {
+  double total = 0.0;
+  for (std::size_t step = 0; step < step_max_flops.size(); ++step) {
+    total += step_max_flops[step] / model.flops_per_second;
+    total += model.alpha_seconds;
+    total += static_cast<double>(step_max_bytes[step]) *
+             model.beta_seconds_per_byte;
+  }
+  return total;
+}
+
+double DistributedResult::simulated_speedup(const ClusterModel& model) const {
+  double total_flops = 0.0;
+  for (const double f : rank_flops) {
+    total_flops += f;
+  }
+  const double serial = total_flops / model.flops_per_second;
+  const double parallel = simulated_seconds(model);
+  return parallel > 0.0 ? serial / parallel : 0.0;
+}
+
+DistributedResult distributed_bpmax(const rna::Sequence& strand1,
+                                    const rna::Sequence& strand2,
+                                    const rna::ScoringModel& model,
+                                    int ranks) {
+  if (ranks < 1) {
+    throw std::invalid_argument("distributed_bpmax needs >= 1 rank");
+  }
+  DistributedResult result;
+  result.ranks = ranks;
+  result.rank_flops.assign(static_cast<std::size_t>(ranks), 0.0);
+
+  const int m = static_cast<int>(strand1.size());
+  const int n = static_cast<int>(strand2.size());
+  if (m == 0 || n == 0) {
+    result.score = core::bpmax_score(strand1, strand2, model);
+    return result;
+  }
+
+  const core::STable s1t(strand1, model);
+  const core::STable s2t(strand2, model);
+  const rna::ScoreTables scores(strand1, strand2, model);
+
+  // Replicated tables: one full F-table per rank.
+  std::vector<core::FTable> tables;
+  tables.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    tables.emplace_back(m, n);
+  }
+
+  BspWorld world(ranks);
+  const std::size_t block_floats =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+
+  for (int d1 = 0; d1 < m; ++d1) {
+    std::vector<double> step_flops(static_cast<std::size_t>(ranks), 0.0);
+    // Compute phase: block-cyclic ownership of the diagonal's triangles.
+    for (int r = 0; r < ranks; ++r) {
+      core::FTable& f = tables[static_cast<std::size_t>(r)];
+      for (int i1 = r; i1 + d1 < m; i1 += ranks) {
+        const int j1 = i1 + d1;
+        float* acc = f.block(i1, j1);
+        for (int k1 = i1; k1 < j1; ++k1) {
+          core::detail::maxplus_instance_rows(
+              acc, f.block(i1, k1), f.block(k1 + 1, j1), s1t.at(k1 + 1, j1),
+              s1t.at(i1, k1), n, 0, n);
+        }
+        core::detail::finalize_triangle(f, s1t, s2t, scores, i1, j1);
+        step_flops[static_cast<std::size_t>(r)] += triangle_flops(d1, n);
+        // Publish the finished block; the tag carries i1 (j1 = i1 + d1).
+        const float* block = f.block(i1, j1);
+        world.broadcast(r, i1,
+                        std::vector<float>(block, block + block_floats));
+      }
+    }
+    world.barrier();
+    // Install phase: copy received blocks into each rank's replica.
+    std::size_t max_bytes = 0;
+    for (const std::size_t b : world.last_step_sent_bytes()) {
+      max_bytes = std::max(max_bytes, b);
+    }
+    for (int r = 0; r < ranks; ++r) {
+      core::FTable& f = tables[static_cast<std::size_t>(r)];
+      for (Message& msg : world.receive(r)) {
+        const int i1 = msg.tag;
+        std::copy(msg.payload.begin(), msg.payload.end(),
+                  f.block(i1, i1 + d1));
+      }
+    }
+    for (int r = 0; r < ranks; ++r) {
+      result.rank_flops[static_cast<std::size_t>(r)] +=
+          step_flops[static_cast<std::size_t>(r)];
+    }
+    result.step_max_flops.push_back(
+        *std::max_element(step_flops.begin(), step_flops.end()));
+    result.step_max_bytes.push_back(max_bytes);
+  }
+
+  result.comm = world.stats();
+  result.score = tables[0].at(0, m - 1, 0, n - 1);
+  return result;
+}
+
+DistributedResult predict_distributed_bpmax(int m, int n, int ranks) {
+  if (ranks < 1) {
+    throw std::invalid_argument("predict_distributed_bpmax needs >= 1 rank");
+  }
+  DistributedResult result;
+  result.ranks = ranks;
+  result.rank_flops.assign(static_cast<std::size_t>(ranks), 0.0);
+  if (m <= 0 || n <= 0) {
+    return result;
+  }
+  const std::size_t block_bytes = static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n) * sizeof(float);
+  for (int d1 = 0; d1 < m; ++d1) {
+    const int triangles = m - d1;
+    double max_flops = 0.0;
+    std::size_t max_bytes = 0;
+    for (int r = 0; r < ranks; ++r) {
+      // Block-cyclic ownership: i1 in {r, r+P, ...} below `triangles`.
+      const int owned = r < triangles ? (triangles - 1 - r) / ranks + 1 : 0;
+      const double flops = owned * triangle_flops(d1, n);
+      result.rank_flops[static_cast<std::size_t>(r)] += flops;
+      max_flops = std::max(max_flops, flops);
+      if (ranks > 1) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(owned) * block_bytes *
+            static_cast<std::size_t>(ranks - 1);
+        max_bytes = std::max(max_bytes, bytes);
+        result.comm.messages +=
+            static_cast<std::size_t>(owned) *
+            static_cast<std::size_t>(ranks - 1);
+        result.comm.bytes += static_cast<std::size_t>(owned) * block_bytes *
+                             static_cast<std::size_t>(ranks - 1);
+      }
+    }
+    result.step_max_flops.push_back(max_flops);
+    result.step_max_bytes.push_back(max_bytes);
+    result.comm.supersteps += 1;
+  }
+  return result;
+}
+
+}  // namespace rri::mpisim

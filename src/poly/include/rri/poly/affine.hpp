@@ -1,0 +1,183 @@
+#ifndef RRI_POLY_AFFINE_HPP
+#define RRI_POLY_AFFINE_HPP
+
+/// \file affine.hpp
+/// Integer affine expressions over a named dimension space — the
+/// vocabulary of the polyhedral schedule calculus. This module plays the
+/// role AlphaZ plays in the paper: it represents the multi-dimensional
+/// affine schedules of Tables I-V and lets us *machine-check* their
+/// legality against the BPMax dependences (AlphaZ itself trusts the user:
+/// "it is the responsibility of the user to ensure the transformations
+/// are valid").
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rri::poly {
+
+/// An ordered list of dimension names, e.g. {"M","N","i1","j1","i2","j2"}.
+/// By convention in this library the structure parameters M and N come
+/// first in every space.
+class Space {
+ public:
+  Space() = default;  ///< empty (zero-dimensional) space
+
+  explicit Space(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  int size() const noexcept { return static_cast<int>(names_.size()); }
+
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  /// Index of a name; throws std::out_of_range if absent.
+  int index(const std::string& name) const {
+    for (int d = 0; d < size(); ++d) {
+      if (names_[static_cast<std::size_t>(d)] == name) {
+        return d;
+      }
+    }
+    throw std::out_of_range("Space has no dimension named '" + name + "'");
+  }
+
+  friend bool operator==(const Space&, const Space&) = default;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// sum(coeff[d] * x_d) + constant with 64-bit integer coefficients.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  explicit AffineExpr(int dims)
+      : coeffs_(static_cast<std::size_t>(dims), 0) {}
+
+  static AffineExpr constant(int dims, std::int64_t c) {
+    AffineExpr e(dims);
+    e.const_ = c;
+    return e;
+  }
+
+  static AffineExpr variable(int dims, int d, std::int64_t coeff = 1) {
+    AffineExpr e(dims);
+    e.coeffs_[static_cast<std::size_t>(d)] = coeff;
+    return e;
+  }
+
+  int dims() const noexcept { return static_cast<int>(coeffs_.size()); }
+
+  std::int64_t coeff(int d) const { return coeffs_[static_cast<std::size_t>(d)]; }
+  std::int64_t& coeff(int d) { return coeffs_[static_cast<std::size_t>(d)]; }
+  std::int64_t constant_term() const noexcept { return const_; }
+  std::int64_t& constant_term() noexcept { return const_; }
+
+  bool is_constant() const noexcept {
+    for (const std::int64_t c : coeffs_) {
+      if (c != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::int64_t eval(std::span<const std::int64_t> point) const {
+    std::int64_t v = const_;
+    for (std::size_t d = 0; d < coeffs_.size(); ++d) {
+      v += coeffs_[d] * point[d];
+    }
+    return v;
+  }
+
+  AffineExpr operator+(const AffineExpr& o) const {
+    AffineExpr r = *this;
+    for (int d = 0; d < dims(); ++d) {
+      r.coeff(d) += o.coeff(d);
+    }
+    r.const_ += o.const_;
+    return r;
+  }
+
+  AffineExpr operator-(const AffineExpr& o) const {
+    AffineExpr r = *this;
+    for (int d = 0; d < dims(); ++d) {
+      r.coeff(d) -= o.coeff(d);
+    }
+    r.const_ -= o.const_;
+    return r;
+  }
+
+  AffineExpr operator-() const {
+    AffineExpr r = *this;
+    for (auto& c : r.coeffs_) {
+      c = -c;
+    }
+    r.const_ = -r.const_;
+    return r;
+  }
+
+  AffineExpr operator*(std::int64_t k) const {
+    AffineExpr r = *this;
+    for (auto& c : r.coeffs_) {
+      c *= k;
+    }
+    r.const_ *= k;
+    return r;
+  }
+
+  AffineExpr operator+(std::int64_t k) const {
+    AffineExpr r = *this;
+    r.const_ += k;
+    return r;
+  }
+
+  AffineExpr operator-(std::int64_t k) const { return *this + (-k); }
+
+  /// Substitute: this expression is over an "old" space; `map[d]` gives,
+  /// for each old dimension d, its value as an expression over a "new"
+  /// space. Returns the composed expression over the new space.
+  AffineExpr substitute(const std::vector<AffineExpr>& map) const {
+    if (static_cast<int>(map.size()) != dims()) {
+      throw std::invalid_argument("substitute: map arity mismatch");
+    }
+    const int new_dims = map.empty() ? 0 : map.front().dims();
+    AffineExpr r = AffineExpr::constant(new_dims, const_);
+    for (int d = 0; d < dims(); ++d) {
+      if (coeff(d) != 0) {
+        r = r + map[static_cast<std::size_t>(d)] * coeff(d);
+      }
+    }
+    return r;
+  }
+
+  std::string to_string(const Space& space) const;
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+ private:
+  std::vector<std::int64_t> coeffs_;
+  std::int64_t const_ = 0;
+};
+
+/// Convenience builder bound to a space: `b("i1") - b("j1") + 3`.
+class ExprBuilder {
+ public:
+  explicit ExprBuilder(const Space& space) : space_(&space) {}
+
+  AffineExpr operator()(const std::string& name) const {
+    return AffineExpr::variable(space_->size(), space_->index(name));
+  }
+
+  AffineExpr constant(std::int64_t c) const {
+    return AffineExpr::constant(space_->size(), c);
+  }
+
+ private:
+  const Space* space_;
+};
+
+}  // namespace rri::poly
+
+#endif  // RRI_POLY_AFFINE_HPP

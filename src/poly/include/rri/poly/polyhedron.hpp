@@ -1,0 +1,75 @@
+#ifndef RRI_POLY_POLYHEDRON_HPP
+#define RRI_POLY_POLYHEDRON_HPP
+
+/// \file polyhedron.hpp
+/// Conjunctions of affine constraints and a Fourier-Motzkin emptiness
+/// test. Emptiness is decided over the rationals, which is sound for
+/// proving legality (an empty rational set has no integer points); a
+/// rationally-non-empty violation set is additionally cross-checked by
+/// integer sampling in the tests.
+
+#include <optional>
+
+#include "rri/poly/affine.hpp"
+
+namespace rri::poly {
+
+/// One constraint: expr >= 0, or expr == 0 when `equality`.
+struct Constraint {
+  AffineExpr expr;
+  bool equality = false;
+};
+
+class ConstraintSystem {
+ public:
+  explicit ConstraintSystem(Space space) : space_(std::move(space)) {}
+
+  const Space& space() const noexcept { return space_; }
+  int dims() const noexcept { return space_.size(); }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// expr >= 0
+  void add_ge0(AffineExpr expr) { constraints_.push_back({std::move(expr), false}); }
+  /// expr == 0
+  void add_eq0(AffineExpr expr) { constraints_.push_back({std::move(expr), true}); }
+  /// lhs >= rhs
+  void add_ge(const AffineExpr& lhs, const AffineExpr& rhs) {
+    add_ge0(lhs - rhs);
+  }
+  /// lhs <= rhs
+  void add_le(const AffineExpr& lhs, const AffineExpr& rhs) {
+    add_ge0(rhs - lhs);
+  }
+  /// lhs < rhs  (integer semantics: lhs <= rhs - 1)
+  void add_lt(const AffineExpr& lhs, const AffineExpr& rhs) {
+    add_ge0(rhs - lhs - 1);
+  }
+  /// lhs == rhs
+  void add_eq(const AffineExpr& lhs, const AffineExpr& rhs) {
+    add_eq0(lhs - rhs);
+  }
+
+  /// True when the point satisfies every constraint.
+  bool contains(std::span<const std::int64_t> point) const;
+
+  /// Rational emptiness by Fourier-Motzkin elimination of every
+  /// dimension. Throws std::overflow_error if coefficient growth exceeds
+  /// 64-bit range even after GCD normalization (does not happen for the
+  /// BPMax systems).
+  bool empty_rational() const;
+
+  /// Enumerate integer points with every coordinate in [lo, hi], up to
+  /// `limit` points (cross-check for the FM result on small boxes).
+  std::vector<std::vector<std::int64_t>> integer_points_in_box(
+      std::int64_t lo, std::int64_t hi, std::size_t limit) const;
+
+ private:
+  Space space_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace rri::poly
+
+#endif  // RRI_POLY_POLYHEDRON_HPP

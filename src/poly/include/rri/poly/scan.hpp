@@ -1,0 +1,55 @@
+#ifndef RRI_POLY_SCAN_HPP
+#define RRI_POLY_SCAN_HPP
+
+/// \file scan.hpp
+/// Polyhedron scanning: generate loop nests that enumerate exactly the
+/// integer points of a constraint system in a chosen dimension order —
+/// the code-generation core of AlphaZ's generateScheduleC. Bounds come
+/// from Fourier-Motzkin projection: eliminating the dimensions inner to
+/// d leaves constraints in d and the outer dimensions only, which become
+/// d's lower/upper bound expressions (max of lowers / min of uppers,
+/// with exact ceiling/floor division for non-unit coefficients).
+///
+/// Tests compile the generated nests with the host compiler and check
+/// they visit exactly integer_points_in_box's points, in lexicographic
+/// order.
+
+#include <string>
+#include <vector>
+
+#include "rri/poly/polyhedron.hpp"
+
+namespace rri::poly {
+
+/// One loop of a generated nest.
+struct LoopBound {
+  std::string dim;    ///< loop variable name
+  std::string lower;  ///< C expression (may reference outer dims)
+  std::string upper;  ///< C expression, inclusive
+};
+
+struct LoopNest {
+  /// Loops outermost first, in the requested order.
+  std::vector<LoopBound> loops;
+  /// Loop-invariant precondition (conjunction, C syntax) over the fixed
+  /// prefix dimensions: constraints no loop can enforce (typically
+  /// parameter preconditions like M >= 1). Wraps the whole nest; "" when
+  /// none exist.
+  std::string guard;
+
+  /// Render as C++ source: nested for loops around `body` (a statement
+  /// using the dimension names), guarded if necessary.
+  std::string to_source(const std::string& body,
+                        const std::string& indent = "") const;
+};
+
+/// Build the nest scanning `system` with dimensions iterated in their
+/// declared order (outermost = dimension 0). The `fixed_prefix` first
+/// dimensions are treated as externally-defined variables (parameters)
+/// and get no loops. Throws std::invalid_argument if some dimension is
+/// unbounded (no finite lower or upper bound exists).
+LoopNest scan_loops(const ConstraintSystem& system, int fixed_prefix = 0);
+
+}  // namespace rri::poly
+
+#endif  // RRI_POLY_SCAN_HPP

@@ -1,0 +1,54 @@
+#ifndef RRI_POLY_SEARCH_HPP
+#define RRI_POLY_SEARCH_HPP
+
+/// \file search.hpp
+/// Automatic multi-dimensional schedule search in the spirit of
+/// Feautrier's greedy algorithm: build the schedule level by level,
+/// at each level choosing an affine function (from a small-coefficient
+/// candidate space) that weakly satisfies every still-active dependence
+/// and strongly satisfies as many as possible; strongly-satisfied
+/// dependences drop out and the next level handles the rest. This is the
+/// "explore various schedules" half of the AlphaZ workflow, automated —
+/// the found schedules are certified by the same legality checker that
+/// validates the paper's hand-written tables.
+///
+/// The candidate space is deliberately tiny (coefficients in {-1, 0, 1}
+/// over the statement's index dimensions plus small constants), which is
+/// exactly the space the paper's schedules live in.
+
+#include <functional>
+#include <map>
+
+#include "rri/poly/schedule.hpp"
+
+namespace rri::poly {
+
+struct SearchOptions {
+  int max_levels = 8;          ///< give up beyond this many dimensions
+  int max_active_dims = 3;     ///< nonzero coefficients per level function
+  std::int64_t coeff_min = -1;
+  std::int64_t coeff_max = 1;
+  /// Allow the structure parameters (leading dims by convention) to
+  /// appear in schedule functions (the hybrid schedule needs "M").
+  bool allow_parameters = false;
+  int parameter_dims = 2;      ///< how many leading dims are parameters
+};
+
+struct SearchResult {
+  bool found = false;
+  /// One schedule per statement, same level count each, certified legal
+  /// against every input dependence.
+  std::map<std::string, StmtSchedule> schedules;
+  int levels = 0;
+};
+
+/// Search schedules for the statements named in `spaces` subject to
+/// `deps` (every dependence's src/tgt must appear in `spaces`).
+SearchResult find_schedules(
+    const std::map<std::string, Space>& spaces,
+    const std::vector<Dependence>& deps,
+    const SearchOptions& options = {});
+
+}  // namespace rri::poly
+
+#endif  // RRI_POLY_SEARCH_HPP

@@ -1,0 +1,34 @@
+#include "rri/poly/affine.hpp"
+
+namespace rri::poly {
+
+std::string AffineExpr::to_string(const Space& space) const {
+  std::string out;
+  for (int d = 0; d < dims(); ++d) {
+    const std::int64_t c = coeff(d);
+    if (c == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += (c > 0) ? " + " : " - ";
+    } else if (c < 0) {
+      out += "-";
+    }
+    const std::int64_t mag = c < 0 ? -c : c;
+    if (mag != 1) {
+      out += std::to_string(mag) + "*";
+    }
+    out += space.names()[static_cast<std::size_t>(d)];
+  }
+  if (const_ != 0 || out.empty()) {
+    if (!out.empty()) {
+      out += (const_ >= 0) ? " + " : " - ";
+      out += std::to_string(const_ >= 0 ? const_ : -const_);
+    } else {
+      out = std::to_string(const_);
+    }
+  }
+  return out;
+}
+
+}  // namespace rri::poly

@@ -1,0 +1,167 @@
+#include "rri/poly/polyhedron.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace rri::poly {
+
+bool ConstraintSystem::contains(std::span<const std::int64_t> point) const {
+  for (const Constraint& c : constraints_) {
+    const std::int64_t v = c.expr.eval(point);
+    if (c.equality ? (v != 0) : (v < 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// A row is (coeffs..., constant) representing sum(coeff*x) + const >= 0.
+using Row = std::vector<std::int64_t>;
+
+/// Divide a row by the GCD of its entries to slow coefficient growth.
+void normalize(Row& row) {
+  std::int64_t g = 0;
+  for (const std::int64_t v : row) {
+    g = std::gcd(g, v < 0 ? -v : v);
+  }
+  if (g > 1) {
+    for (std::int64_t& v : row) {
+      v /= g;
+    }
+  }
+}
+
+/// a*b with overflow detection via __int128.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  const __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  if (p > INT64_MAX || p < INT64_MIN) {
+    throw std::overflow_error("Fourier-Motzkin coefficient overflow");
+  }
+  return static_cast<std::int64_t>(p);
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  const __int128 s = static_cast<__int128>(a) + static_cast<__int128>(b);
+  if (s > INT64_MAX || s < INT64_MIN) {
+    throw std::overflow_error("Fourier-Motzkin coefficient overflow");
+  }
+  return static_cast<std::int64_t>(s);
+}
+
+/// Combine pos (coeff a > 0 on dim d) and neg (coeff -b < 0) eliminating
+/// d: b * pos + a * neg.
+Row combine(const Row& pos, const Row& neg, std::size_t d) {
+  const std::int64_t a = pos[d];
+  const std::int64_t b = -neg[d];
+  Row out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    out[i] = checked_add(checked_mul(b, pos[i]), checked_mul(a, neg[i]));
+  }
+  out[d] = 0;
+  normalize(out);
+  return out;
+}
+
+}  // namespace
+
+bool ConstraintSystem::empty_rational() const {
+  const auto ndims = static_cast<std::size_t>(dims());
+  // Inequality rows only: each equality contributes two inequalities.
+  std::set<Row> rows;
+  for (const Constraint& c : constraints_) {
+    Row row(ndims + 1);
+    for (std::size_t d = 0; d < ndims; ++d) {
+      row[d] = c.expr.coeff(static_cast<int>(d));
+    }
+    row[ndims] = c.expr.constant_term();
+    normalize(row);
+    rows.insert(row);
+    if (c.equality) {
+      Row negated(ndims + 1);
+      for (std::size_t i = 0; i <= ndims; ++i) {
+        negated[i] = -row[i];
+      }
+      rows.insert(negated);
+    }
+  }
+
+  for (std::size_t d = 0; d < ndims; ++d) {
+    std::vector<Row> pos;
+    std::vector<Row> neg;
+    std::set<Row> rest;
+    for (const Row& row : rows) {
+      if (row[d] > 0) {
+        pos.push_back(row);
+      } else if (row[d] < 0) {
+        neg.push_back(row);
+      } else {
+        rest.insert(row);
+      }
+    }
+    for (const Row& p : pos) {
+      for (const Row& q : neg) {
+        Row c = combine(p, q, d);
+        // Constant-only contradictions can be detected eagerly.
+        bool all_zero = true;
+        for (std::size_t i = 0; i < ndims; ++i) {
+          if (c[i] != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (all_zero && c[ndims] < 0) {
+          return true;
+        }
+        if (!all_zero) {
+          rest.insert(std::move(c));
+        }
+      }
+    }
+    rows = std::move(rest);
+  }
+
+  // All dimensions eliminated: rows are pure constants c >= 0.
+  for (const Row& row : rows) {
+    if (row[ndims] < 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<std::int64_t>> ConstraintSystem::integer_points_in_box(
+    std::int64_t lo, std::int64_t hi, std::size_t limit) const {
+  std::vector<std::vector<std::int64_t>> found;
+  std::vector<std::int64_t> point(static_cast<std::size_t>(dims()), lo);
+  if (dims() == 0) {
+    if (contains(point)) {
+      found.push_back(point);
+    }
+    return found;
+  }
+  while (true) {
+    if (contains(point)) {
+      found.push_back(point);
+      if (found.size() >= limit) {
+        return found;
+      }
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < point.size()) {
+      if (++point[d] <= hi) {
+        break;
+      }
+      point[d] = lo;
+      ++d;
+    }
+    if (d == point.size()) {
+      return found;
+    }
+  }
+}
+
+}  // namespace rri::poly

@@ -1,0 +1,253 @@
+#include "rri/poly/scan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rri::poly {
+namespace {
+
+using Row = std::vector<std::int64_t>;  // coeffs..., constant
+
+std::vector<Row> to_rows(const ConstraintSystem& cs) {
+  const auto dims = static_cast<std::size_t>(cs.dims());
+  std::vector<Row> rows;
+  for (const Constraint& c : cs.constraints()) {
+    Row row(dims + 1);
+    for (std::size_t d = 0; d < dims; ++d) {
+      row[d] = c.expr.coeff(static_cast<int>(d));
+    }
+    row[dims] = c.expr.constant_term();
+    rows.push_back(row);
+    if (c.equality) {
+      Row neg(dims + 1);
+      for (std::size_t i = 0; i <= dims; ++i) {
+        neg[i] = -row[i];
+      }
+      rows.push_back(std::move(neg));
+    }
+  }
+  return rows;
+}
+
+void normalize(Row& row) {
+  std::int64_t g = 0;
+  for (const std::int64_t v : row) {
+    g = std::gcd(g, v < 0 ? -v : v);
+  }
+  if (g > 1) {
+    for (std::int64_t& v : row) {
+      v /= g;
+    }
+  }
+}
+
+/// Eliminate dimension d (Fourier-Motzkin) from the row set.
+std::vector<Row> eliminate(const std::vector<Row>& rows, std::size_t d) {
+  std::vector<Row> pos;
+  std::vector<Row> neg;
+  std::set<Row> rest;
+  for (const Row& row : rows) {
+    if (row[d] > 0) {
+      pos.push_back(row);
+    } else if (row[d] < 0) {
+      neg.push_back(row);
+    } else {
+      rest.insert(row);
+    }
+  }
+  for (const Row& p : pos) {
+    for (const Row& q : neg) {
+      const std::int64_t a = p[d];
+      const std::int64_t b = -q[d];
+      Row combined(p.size());
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        combined[i] = b * p[i] + a * q[i];
+      }
+      combined[d] = 0;
+      normalize(combined);
+      rest.insert(std::move(combined));
+    }
+  }
+  return {rest.begin(), rest.end()};
+}
+
+/// Render sum(row[outer dims] * name) + const as a C expression; the row
+/// must have zero coefficients at and beyond `limit`.
+std::string c_partial(const Row& row, const Space& space, std::size_t limit) {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t d = 0; d < limit; ++d) {
+    const std::int64_t c = row[d];
+    if (c == 0) {
+      continue;
+    }
+    if (first) {
+      if (c < 0) {
+        out << "-";
+      }
+      first = false;
+    } else {
+      out << (c > 0 ? " + " : " - ");
+    }
+    const std::int64_t mag = c < 0 ? -c : c;
+    if (mag != 1) {
+      out << mag << "*";
+    }
+    out << space.names()[d];
+  }
+  const std::int64_t k = row[row.size() - 1];
+  if (k != 0 || first) {
+    if (first) {
+      out << k;
+    } else {
+      out << (k > 0 ? " + " : " - ") << (k > 0 ? k : -k);
+    }
+  }
+  return out.str();
+}
+
+/// Exact integer ceil((expr)/a) for a > 0 as a C expression.
+std::string ceil_div(const std::string& expr, std::int64_t a) {
+  if (a == 1) {
+    return expr;
+  }
+  std::ostringstream out;
+  out << "(((" << expr << ") >= 0) ? ((" << expr << ") + " << a - 1 << ") / "
+      << a << " : -((-(" << expr << ")) / " << a << "))";
+  return out.str();
+}
+
+/// Exact integer floor((expr)/a) for a > 0 as a C expression.
+std::string floor_div(const std::string& expr, std::int64_t a) {
+  if (a == 1) {
+    return expr;
+  }
+  std::ostringstream out;
+  out << "(((" << expr << ") >= 0) ? (" << expr << ") / " << a << " : -((-("
+      << expr << ") + " << a - 1 << ") / " << a << "))";
+  return out.str();
+}
+
+std::string combine(const std::vector<std::string>& exprs, const char* fn) {
+  if (exprs.size() == 1) {
+    return exprs.front();
+  }
+  std::ostringstream out;
+  out << fn << "<long long>({";
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    out << (i ? ", " : "") << exprs[i];
+  }
+  out << "})";
+  return out.str();
+}
+
+}  // namespace
+
+std::string LoopNest::to_source(const std::string& body,
+                                const std::string& indent) const {
+  std::ostringstream out;
+  std::string pad = indent;
+  if (!guard.empty()) {
+    out << pad << "if (" << guard << ") {\n";
+    pad += "  ";
+  }
+  for (const LoopBound& loop : loops) {
+    out << pad << "for (long long " << loop.dim << " = " << loop.lower
+        << "; " << loop.dim << " <= " << loop.upper << "; ++" << loop.dim
+        << ") {\n";
+    pad += "  ";
+  }
+  out << pad << body << "\n";
+  for (std::size_t k = 0; k < loops.size(); ++k) {
+    pad.resize(pad.size() - 2);
+    out << pad << "}\n";
+  }
+  if (!guard.empty()) {
+    pad.resize(pad.size() - 2);
+    out << pad << "}\n";
+  }
+  return out.str();
+}
+
+LoopNest scan_loops(const ConstraintSystem& system, int fixed_prefix) {
+  const int dims = system.dims();
+  if (fixed_prefix < 0 || fixed_prefix > dims) {
+    throw std::invalid_argument("scan_loops: bad fixed_prefix");
+  }
+  // Projections: proj[d] has dims d+1.. eliminated (innermost first).
+  std::vector<std::vector<Row>> proj(static_cast<std::size_t>(dims) + 1);
+  proj[static_cast<std::size_t>(dims)] = to_rows(system);
+  for (int d = dims - 1; d >= fixed_prefix; --d) {
+    proj[static_cast<std::size_t>(d)] =
+        eliminate(proj[static_cast<std::size_t>(d) + 1],
+                  static_cast<std::size_t>(d));
+  }
+
+  LoopNest nest;
+  for (int d = fixed_prefix; d < dims; ++d) {
+    // Bounds for x_d come from the projection that still contains it:
+    // proj[d+1] (dims deeper than d eliminated).
+    const auto& rows = proj[static_cast<std::size_t>(d) + 1];
+    std::vector<std::string> lowers;
+    std::vector<std::string> uppers;
+    for (const Row& row : rows) {
+      const std::int64_t a = row[static_cast<std::size_t>(d)];
+      if (a == 0) {
+        continue;
+      }
+      // a*x + e >= 0 with e over outer dims only.
+      Row e = row;
+      e[static_cast<std::size_t>(d)] = 0;
+      const std::string e_text =
+          c_partial(e, system.space(), static_cast<std::size_t>(d));
+      if (a > 0) {
+        // x >= ceil(-e / a)
+        lowers.push_back(ceil_div("-(" + e_text + ")", a));
+      } else {
+        // x <= floor(e / -a)
+        uppers.push_back(floor_div(e_text, -a));
+      }
+    }
+    if (lowers.empty() || uppers.empty()) {
+      throw std::invalid_argument(
+          "scan_loops: dimension '" +
+          system.space().names()[static_cast<std::size_t>(d)] +
+          "' is unbounded");
+    }
+    nest.loops.push_back(
+        LoopBound{system.space().names()[static_cast<std::size_t>(d)],
+                  combine(lowers, "std::max"), combine(uppers, "std::min")});
+  }
+  // Constraints living entirely in the fixed prefix cannot be enforced by
+  // any loop: surface them as a guard (usually parameter preconditions).
+  std::ostringstream guard;
+  bool have_guard = false;
+  for (const Row& row : proj[static_cast<std::size_t>(fixed_prefix)]) {
+    bool prefix_only = true;
+    for (int d = fixed_prefix; d < dims; ++d) {
+      if (row[static_cast<std::size_t>(d)] != 0) {
+        prefix_only = false;
+        break;
+      }
+    }
+    if (prefix_only) {
+      if (have_guard) {
+        guard << " && ";
+      }
+      guard << "(("
+            << c_partial(row, system.space(),
+                         static_cast<std::size_t>(fixed_prefix))
+            << ") >= 0)";
+      have_guard = true;
+    }
+  }
+  if (have_guard) {
+    nest.guard = guard.str();
+  }
+  return nest;
+}
+
+}  // namespace rri::poly

@@ -1,0 +1,215 @@
+#include "rri/poly/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rri::poly {
+namespace {
+
+/// Weak satisfaction at one level: θ_tgt >= θ_src over the whole
+/// dependence domain (no violation of the lexicographic prefix).
+bool weakly_satisfies(const Dependence& dep, const AffineExpr& src_theta,
+                      const AffineExpr& tgt_theta) {
+  ConstraintSystem violation = dep.domain;
+  const AffineExpr src_t = src_theta.substitute(dep.src_coords);
+  const AffineExpr tgt_t = tgt_theta.substitute(dep.tgt_coords);
+  violation.add_lt(tgt_t, src_t);  // tgt <= src - 1 anywhere?
+  return violation.empty_rational();
+}
+
+/// Strong satisfaction: θ_tgt >= θ_src + 1 everywhere (the dependence is
+/// fully resolved at this level and drops out).
+bool strongly_satisfies(const Dependence& dep, const AffineExpr& src_theta,
+                        const AffineExpr& tgt_theta) {
+  ConstraintSystem violation = dep.domain;
+  const AffineExpr src_t = src_theta.substitute(dep.src_coords);
+  const AffineExpr tgt_t = tgt_theta.substitute(dep.tgt_coords);
+  violation.add_le(tgt_t, src_t);  // tgt <= src anywhere?
+  return violation.empty_rational();
+}
+
+/// All candidate level functions for one statement: affine forms with at
+/// most `max_active` nonzero coefficients drawn from [lo, hi], over the
+/// index dimensions (and optionally the parameters). The zero function is
+/// always included so a statement can sit still at a level.
+std::vector<AffineExpr> candidates(const Space& space,
+                                   const SearchOptions& opt) {
+  const int dims = space.size();
+  const int first = opt.allow_parameters ? 0 : opt.parameter_dims;
+  std::vector<AffineExpr> out;
+  out.push_back(AffineExpr(dims));  // zero
+
+  std::vector<int> usable;
+  for (int d = first; d < dims; ++d) {
+    usable.push_back(d);
+  }
+  // Enumerate supports of size 1..max_active and coefficient values.
+  std::vector<int> support;
+  std::function<void(std::size_t)> rec = [&](std::size_t from) {
+    if (!support.empty()) {
+      // Assign every nonzero coefficient combination to the support.
+      std::vector<std::int64_t> coeffs(support.size(), opt.coeff_min);
+      while (true) {
+        bool all_nonzero = true;
+        for (const std::int64_t c : coeffs) {
+          if (c == 0) {
+            all_nonzero = false;
+            break;
+          }
+        }
+        if (all_nonzero) {
+          AffineExpr e(dims);
+          for (std::size_t t = 0; t < support.size(); ++t) {
+            e.coeff(support[t]) = coeffs[t];
+          }
+          out.push_back(std::move(e));
+        }
+        std::size_t d = 0;
+        while (d < coeffs.size()) {
+          if (++coeffs[d] <= opt.coeff_max) {
+            break;
+          }
+          coeffs[d] = opt.coeff_min;
+          ++d;
+        }
+        if (d == coeffs.size()) {
+          break;
+        }
+      }
+    }
+    if (static_cast<int>(support.size()) == opt.max_active_dims) {
+      return;
+    }
+    for (std::size_t u = from; u < usable.size(); ++u) {
+      support.push_back(usable[u]);
+      rec(u + 1);
+      support.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+struct LevelChoice {
+  std::map<std::string, AffineExpr> theta;
+  int strong_count = -1;
+};
+
+}  // namespace
+
+SearchResult find_schedules(const std::map<std::string, Space>& spaces,
+                            const std::vector<Dependence>& deps,
+                            const SearchOptions& options) {
+  SearchResult result;
+  for (const Dependence& dep : deps) {
+    if (spaces.count(dep.src_stmt) == 0 || spaces.count(dep.tgt_stmt) == 0) {
+      throw std::invalid_argument("dependence '" + dep.name +
+                                  "' references an unknown statement");
+    }
+  }
+
+  std::vector<std::string> stmts;
+  std::map<std::string, std::vector<AffineExpr>> cands;
+  for (const auto& [name, space] : spaces) {
+    stmts.push_back(name);
+    cands[name] = candidates(space, options);
+  }
+
+  std::map<std::string, std::vector<AffineExpr>> chosen;  // per level
+  std::vector<const Dependence*> active;
+  for (const Dependence& dep : deps) {
+    active.push_back(&dep);
+  }
+
+  for (int level = 0; level < options.max_levels && !active.empty();
+       ++level) {
+    LevelChoice best;
+    std::map<std::string, AffineExpr> current;
+
+    // Depth-first joint assignment over statements with weak-satisfaction
+    // pruning as soon as both endpoints of a dependence are fixed.
+    std::function<void(std::size_t)> assign = [&](std::size_t s) {
+      if (s == stmts.size()) {
+        int strong = 0;
+        for (const Dependence* dep : active) {
+          if (strongly_satisfies(*dep, current.at(dep->src_stmt),
+                                 current.at(dep->tgt_stmt))) {
+            ++strong;
+          }
+        }
+        if (strong > best.strong_count) {
+          best.strong_count = strong;
+          best.theta = current;
+        }
+        return;
+      }
+      const std::string& stmt = stmts[s];
+      for (const AffineExpr& cand : cands.at(stmt)) {
+        current[stmt] = cand;
+        bool feasible = true;
+        for (const Dependence* dep : active) {
+          const bool src_fixed = current.count(dep->src_stmt) != 0;
+          const bool tgt_fixed = current.count(dep->tgt_stmt) != 0;
+          // Only check once both sides are decided, and only when this
+          // statement participates (others were checked earlier).
+          if (src_fixed && tgt_fixed &&
+              (dep->src_stmt == stmt || dep->tgt_stmt == stmt)) {
+            if (!weakly_satisfies(*dep, current.at(dep->src_stmt),
+                                  current.at(dep->tgt_stmt))) {
+              feasible = false;
+              break;
+            }
+          }
+        }
+        if (feasible) {
+          assign(s + 1);
+        }
+        current.erase(stmt);
+      }
+    };
+    assign(0);
+
+    if (best.strong_count <= 0) {
+      return result;  // no progress possible: search failed
+    }
+    for (const auto& [stmt, theta] : best.theta) {
+      chosen[stmt].push_back(theta);
+    }
+    std::vector<const Dependence*> still_active;
+    for (const Dependence* dep : active) {
+      if (!strongly_satisfies(*dep, best.theta.at(dep->src_stmt),
+                              best.theta.at(dep->tgt_stmt))) {
+        still_active.push_back(dep);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  if (!active.empty()) {
+    return result;  // ran out of levels
+  }
+  if (chosen.empty()) {
+    // No dependences at all: a single constant level orders everything.
+    for (const auto& [name, space] : spaces) {
+      chosen[name].push_back(AffineExpr(space.size()));
+    }
+  }
+
+  for (const auto& [name, space] : spaces) {
+    result.schedules[name] = StmtSchedule{space, chosen[name]};
+  }
+  result.levels = static_cast<int>(chosen.begin()->second.size());
+  // Certify with the reference checker (belt and braces: the greedy
+  // construction already implies legality level by level).
+  for (const Dependence& dep : deps) {
+    const auto verdict = check_dependence(dep, result.schedules.at(dep.src_stmt),
+                                          result.schedules.at(dep.tgt_stmt));
+    if (!verdict.legal) {
+      return SearchResult{};  // should not happen; fail closed
+    }
+  }
+  result.found = true;
+  return result;
+}
+
+}  // namespace rri::poly

@@ -1,0 +1,79 @@
+#ifndef RRI_RNA_BASE_HPP
+#define RRI_RNA_BASE_HPP
+
+/// \file base.hpp
+/// RNA nucleotide alphabet: the four bases and conversions to/from
+/// characters. DNA 'T' is accepted on input and normalized to 'U'.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace rri::rna {
+
+/// One RNA nucleotide. The underlying values are dense (0..3) so a Base can
+/// index weight matrices directly.
+enum class Base : std::uint8_t {
+  A = 0,  ///< Adenine
+  C = 1,  ///< Cytosine
+  G = 2,  ///< Guanine
+  U = 3,  ///< Uracil
+};
+
+/// Number of distinct bases; the extent of any array indexed by Base.
+inline constexpr int kNumBases = 4;
+
+/// Dense index of a base, suitable for indexing a [4][4] weight table.
+constexpr std::size_t index_of(Base b) noexcept {
+  return static_cast<std::size_t>(b);
+}
+
+/// Parse one character into a Base. Case-insensitive; 'T'/'t' map to U.
+/// Returns std::nullopt for any character outside {A,C,G,U,T}.
+constexpr std::optional<Base> base_from_char(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return Base::A;
+    case 'C': case 'c': return Base::C;
+    case 'G': case 'g': return Base::G;
+    case 'U': case 'u': return Base::U;
+    case 'T': case 't': return Base::U;  // accept DNA spelling
+    default: return std::nullopt;
+  }
+}
+
+/// Upper-case character for a base.
+constexpr char char_of(Base b) noexcept {
+  constexpr char table[kNumBases] = {'A', 'C', 'G', 'U'};
+  return table[index_of(b)];
+}
+
+/// Watson-Crick complement (A<->U, C<->G).
+constexpr Base complement(Base b) noexcept {
+  switch (b) {
+    case Base::A: return Base::U;
+    case Base::C: return Base::G;
+    case Base::G: return Base::C;
+    case Base::U: return Base::A;
+  }
+  return Base::A;  // unreachable for valid input
+}
+
+/// True when (a, b) can form a canonical or wobble pair
+/// (AU, UA, CG, GC, GU, UG).
+constexpr bool can_pair(Base a, Base b) noexcept {
+  const std::size_t x = index_of(a);
+  const std::size_t y = index_of(b);
+  // Encode the 6 allowed pairs as a bitmask over the 16 combinations.
+  constexpr std::uint16_t mask =
+      (1u << (0 * 4 + 3)) |  // A-U
+      (1u << (3 * 4 + 0)) |  // U-A
+      (1u << (1 * 4 + 2)) |  // C-G
+      (1u << (2 * 4 + 1)) |  // G-C
+      (1u << (2 * 4 + 3)) |  // G-U
+      (1u << (3 * 4 + 2));   // U-G
+  return (mask >> (x * 4 + y)) & 1u;
+}
+
+}  // namespace rri::rna
+
+#endif  // RRI_RNA_BASE_HPP

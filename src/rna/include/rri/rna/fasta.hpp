@@ -1,0 +1,38 @@
+#ifndef RRI_RNA_FASTA_HPP
+#define RRI_RNA_FASTA_HPP
+
+/// \file fasta.hpp
+/// Minimal FASTA reader/writer for RNA sequences. Supports multi-record
+/// files, comment lines (';'), and wrapped sequence lines.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rri/rna/sequence.hpp"
+
+namespace rri::rna {
+
+/// One FASTA record: a header (text after '>') and the sequence.
+struct FastaRecord {
+  std::string name;
+  Sequence sequence;
+
+  friend bool operator==(const FastaRecord&, const FastaRecord&) = default;
+};
+
+/// Parse all records from a stream. Throws ParseError on malformed input
+/// (sequence data before any header, or invalid characters).
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Parse all records from a file. Throws ParseError if the file cannot be
+/// opened or is malformed.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Write records to a stream, wrapping sequence lines at `width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width = 70);
+
+}  // namespace rri::rna
+
+#endif  // RRI_RNA_FASTA_HPP

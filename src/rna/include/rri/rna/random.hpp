@@ -1,0 +1,34 @@
+#ifndef RRI_RNA_RANDOM_HPP
+#define RRI_RNA_RANDOM_HPP
+
+/// \file random.hpp
+/// Seeded random RNA generation for benchmarks and property tests.
+/// BPMax's running time depends only on sequence lengths, so random
+/// sequences exercise the same code paths as biological inputs.
+
+#include <cstdint>
+#include <random>
+
+#include "rri/rna/sequence.hpp"
+
+namespace rri::rna {
+
+/// Generate a random sequence of `length` bases. `gc_content` in [0,1]
+/// sets P(G) + P(C); within each class the two bases are equiprobable.
+Sequence random_sequence(std::size_t length, std::mt19937_64& rng,
+                         double gc_content = 0.5);
+
+/// Convenience overload seeding a fresh engine; deterministic per seed.
+Sequence random_sequence(std::size_t length, std::uint64_t seed,
+                         double gc_content = 0.5);
+
+/// A sequence engineered to interact strongly with `target`: its reverse
+/// complement with `mutation_rate` of positions randomized. Used by the
+/// rri_scan example to plant detectable interaction sites.
+Sequence mutated_reverse_complement(const Sequence& target,
+                                    std::mt19937_64& rng,
+                                    double mutation_rate);
+
+}  // namespace rri::rna
+
+#endif  // RRI_RNA_RANDOM_HPP

@@ -1,0 +1,118 @@
+#ifndef RRI_RNA_SCORING_HPP
+#define RRI_RNA_SCORING_HPP
+
+/// \file scoring.hpp
+/// Weighted base-pair counting model used by BPMax/BPPart
+/// (Ebrahimpour-Boroojeny et al. 2019): each admissible pair contributes a
+/// weight proportional to its bond count (GC=3, AU=2, GU=1 by default).
+/// Forbidden pairs score kForbidden (-inf), which is absorbing under the
+/// max-plus algebra every kernel in this library works in.
+
+#include <array>
+#include <limits>
+#include <vector>
+
+#include "rri/rna/base.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::rna {
+
+/// Score of a disallowed pairing; -infinity is the max-plus zero, so
+/// forbidden branches vanish from any max-reduction without special cases.
+inline constexpr float kForbidden = -std::numeric_limits<float>::infinity();
+
+/// Configurable weighted base-pair scoring. Separate intramolecular and
+/// intermolecular weight tables (the BPMax formulation allows distinct
+/// iscore/score functions), plus a minimum hairpin-loop size that applies
+/// only to intramolecular pairs.
+class ScoringModel {
+ public:
+  /// The BPMax defaults: GC=3, AU=2, GU=1 for both intra and inter pairs,
+  /// no minimum hairpin loop (matching the recurrence as published).
+  static ScoringModel bpmax_default();
+
+  /// Pure base-pair counting: every admissible pair scores 1.
+  static ScoringModel unit();
+
+  /// Intramolecular pair weight for bases at positions i<j of one strand
+  /// ignoring the loop constraint (see hairpin_ok for that).
+  float intra(Base a, Base b) const noexcept {
+    return intra_[index_of(a)][index_of(b)];
+  }
+
+  /// Intermolecular pair weight.
+  float inter(Base a, Base b) const noexcept {
+    return inter_[index_of(a)][index_of(b)];
+  }
+
+  /// Symmetrically set the intramolecular weight of {a,b}.
+  void set_intra(Base a, Base b, float w) noexcept {
+    intra_[index_of(a)][index_of(b)] = w;
+    intra_[index_of(b)][index_of(a)] = w;
+  }
+
+  /// Set the intermolecular weight of (a on strand 1, b on strand 2).
+  /// Not symmetrized: strand roles are distinct.
+  void set_inter(Base a, Base b, float w) noexcept {
+    inter_[index_of(a)][index_of(b)] = w;
+  }
+
+  /// Minimum number of unpaired bases required between the two ends of an
+  /// intramolecular pair (i,j): the pair is admissible only when
+  /// j - i - 1 >= min_hairpin(). Default 0 (the plain recurrence).
+  int min_hairpin() const noexcept { return min_hairpin_; }
+  void set_min_hairpin(int m) noexcept { min_hairpin_ = m; }
+
+  /// True when positions i<j are far enough apart for an intra pair.
+  bool hairpin_ok(int i, int j) const noexcept {
+    return j - i - 1 >= min_hairpin_;
+  }
+
+ private:
+  ScoringModel() = default;
+
+  std::array<std::array<float, kNumBases>, kNumBases> intra_{};
+  std::array<std::array<float, kNumBases>, kNumBases> inter_{};
+  int min_hairpin_ = 0;
+};
+
+/// Dense per-position score matrices for one (strand1, strand2) problem
+/// instance, precomputed so kernels never touch the Sequence or the model.
+/// All accessors return kForbidden for inadmissible pairs.
+class ScoreTables {
+ public:
+  ScoreTables(const Sequence& s1, const Sequence& s2, const ScoringModel& m);
+
+  int m() const noexcept { return m_; }  ///< length of strand 1
+  int n() const noexcept { return n_; }  ///< length of strand 2
+
+  /// score(i,j) for an intra pair in strand 1; requires 0 <= i < j < m().
+  float intra1(int i, int j) const noexcept {
+    return intra1_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                   static_cast<std::size_t>(j)];
+  }
+
+  /// score(i,j) for an intra pair in strand 2; requires 0 <= i < j < n().
+  float intra2(int i, int j) const noexcept {
+    return intra2_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                   static_cast<std::size_t>(j)];
+  }
+
+  /// iscore(i1,i2): intermolecular pair between strand-1 position i1 and
+  /// strand-2 position i2; requires 0 <= i1 < m(), 0 <= i2 < n().
+  float inter(int i1, int i2) const noexcept {
+    return inter_[static_cast<std::size_t>(i1) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(i2)];
+  }
+
+ private:
+  int m_ = 0;
+  int n_ = 0;
+  std::vector<float> intra1_;  // m x m, row-major, upper triangle meaningful
+  std::vector<float> intra2_;  // n x n
+  std::vector<float> inter_;   // m x n
+};
+
+}  // namespace rri::rna
+
+#endif  // RRI_RNA_SCORING_HPP

@@ -1,0 +1,73 @@
+#ifndef RRI_RNA_SEQUENCE_HPP
+#define RRI_RNA_SEQUENCE_HPP
+
+/// \file sequence.hpp
+/// A validated RNA sequence: an immutable-after-construction run of bases
+/// with 0-based indexing, plus parsing from text.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rri/rna/base.hpp"
+
+namespace rri::rna {
+
+/// Thrown when text cannot be parsed as an RNA sequence.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A sequence of RNA bases. Indices are 0-based throughout the library;
+/// the paper's recurrences are written 1-based but every kernel here uses
+/// half-open/inclusive 0-based intervals as documented per function.
+class Sequence {
+ public:
+  Sequence() = default;
+
+  /// Construct from raw bases.
+  explicit Sequence(std::vector<Base> bases) : bases_(std::move(bases)) {}
+
+  /// Parse from text. Whitespace is skipped; 'T' is normalized to 'U';
+  /// any other non-base character raises ParseError with its position.
+  static Sequence from_string(std::string_view text);
+
+  std::size_t size() const noexcept { return bases_.size(); }
+  bool empty() const noexcept { return bases_.empty(); }
+
+  Base operator[](std::size_t i) const noexcept { return bases_[i]; }
+
+  /// Bounds-checked access.
+  Base at(std::size_t i) const { return bases_.at(i); }
+
+  const std::vector<Base>& bases() const noexcept { return bases_; }
+
+  std::vector<Base>::const_iterator begin() const noexcept {
+    return bases_.begin();
+  }
+  std::vector<Base>::const_iterator end() const noexcept {
+    return bases_.end();
+  }
+
+  /// Render as an upper-case ACGU string.
+  std::string to_string() const;
+
+  /// Reverse of this sequence (used for the RRI convention where strand 2
+  /// is indexed 3'->5' so that intermolecular pairs are "parallel").
+  Sequence reversed() const;
+
+  /// Watson-Crick complement, position-wise.
+  Sequence complemented() const;
+
+  friend bool operator==(const Sequence&, const Sequence&) = default;
+
+ private:
+  std::vector<Base> bases_;
+};
+
+}  // namespace rri::rna
+
+#endif  // RRI_RNA_SEQUENCE_HPP

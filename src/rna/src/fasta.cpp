@@ -1,0 +1,77 @@
+#include "rri/rna/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rri::rna {
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string name;
+  std::string body;
+  bool have_record = false;
+
+  auto flush = [&] {
+    if (have_record) {
+      records.push_back({name, Sequence::from_string(body)});
+      body.clear();
+    }
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF
+    }
+    if (line.empty() || line[0] == ';') {
+      continue;  // blank or comment line
+    }
+    if (line[0] == '>') {
+      flush();
+      name = line.substr(1);
+      // trim leading whitespace from the header text
+      const auto first = name.find_first_not_of(" \t");
+      name = (first == std::string::npos) ? std::string{} : name.substr(first);
+      have_record = true;
+    } else {
+      if (!have_record) {
+        throw ParseError("FASTA line " + std::to_string(line_no) +
+                         ": sequence data before any '>' header");
+      }
+      body += line;
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open FASTA file: " + path);
+  }
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width) {
+  if (width == 0) {
+    width = 70;
+  }
+  for (const auto& rec : records) {
+    out << '>' << rec.name << '\n';
+    const std::string s = rec.sequence.to_string();
+    for (std::size_t pos = 0; pos < s.size(); pos += width) {
+      out << s.substr(pos, width) << '\n';
+    }
+    if (s.empty()) {
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace rri::rna

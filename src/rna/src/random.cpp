@@ -1,0 +1,42 @@
+#include "rri/rna/random.hpp"
+
+namespace rri::rna {
+
+Sequence random_sequence(std::size_t length, std::mt19937_64& rng,
+                         double gc_content) {
+  std::bernoulli_distribution is_gc(gc_content);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<Base> bases;
+  bases.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (is_gc(rng)) {
+      bases.push_back(coin(rng) ? Base::G : Base::C);
+    } else {
+      bases.push_back(coin(rng) ? Base::A : Base::U);
+    }
+  }
+  return Sequence(std::move(bases));
+}
+
+Sequence random_sequence(std::size_t length, std::uint64_t seed,
+                         double gc_content) {
+  std::mt19937_64 rng(seed);
+  return random_sequence(length, rng, gc_content);
+}
+
+Sequence mutated_reverse_complement(const Sequence& target,
+                                    std::mt19937_64& rng,
+                                    double mutation_rate) {
+  Sequence rc = target.reversed().complemented();
+  std::bernoulli_distribution mutate(mutation_rate);
+  std::uniform_int_distribution<int> pick(0, kNumBases - 1);
+  std::vector<Base> bases(rc.begin(), rc.end());
+  for (Base& b : bases) {
+    if (mutate(rng)) {
+      b = static_cast<Base>(pick(rng));
+    }
+  }
+  return Sequence(std::move(bases));
+}
+
+}  // namespace rri::rna

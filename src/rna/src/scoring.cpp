@@ -1,0 +1,82 @@
+#include "rri/rna/scoring.hpp"
+
+namespace rri::rna {
+namespace {
+
+/// Fill both weight tables of `model` with `gc`/`au`/`gu` for the six
+/// admissible pairs and kForbidden elsewhere.
+void fill_weights(ScoringModel& model, float gc, float au, float gu) {
+  for (int a = 0; a < kNumBases; ++a) {
+    for (int b = 0; b < kNumBases; ++b) {
+      model.set_inter(static_cast<Base>(a), static_cast<Base>(b), kForbidden);
+    }
+  }
+  for (int a = 0; a < kNumBases; ++a) {
+    for (int b = a; b < kNumBases; ++b) {
+      model.set_intra(static_cast<Base>(a), static_cast<Base>(b), kForbidden);
+    }
+  }
+  auto set_both = [&](Base a, Base b, float w) {
+    model.set_intra(a, b, w);
+    model.set_inter(a, b, w);
+    model.set_inter(b, a, w);
+  };
+  set_both(Base::G, Base::C, gc);
+  set_both(Base::A, Base::U, au);
+  set_both(Base::G, Base::U, gu);
+}
+
+}  // namespace
+
+ScoringModel ScoringModel::bpmax_default() {
+  ScoringModel model;
+  fill_weights(model, 3.0f, 2.0f, 1.0f);
+  return model;
+}
+
+ScoringModel ScoringModel::unit() {
+  ScoringModel model;
+  fill_weights(model, 1.0f, 1.0f, 1.0f);
+  return model;
+}
+
+ScoreTables::ScoreTables(const Sequence& s1, const Sequence& s2,
+                         const ScoringModel& model)
+    : m_(static_cast<int>(s1.size())),
+      n_(static_cast<int>(s2.size())),
+      intra1_(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+              kForbidden),
+      intra2_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+              kForbidden),
+      inter_(static_cast<std::size_t>(m_) * static_cast<std::size_t>(n_),
+             kForbidden) {
+  const auto m = static_cast<std::size_t>(m_);
+  const auto n = static_cast<std::size_t>(n_);
+  for (int i = 0; i < m_; ++i) {
+    for (int j = i + 1; j < m_; ++j) {
+      if (model.hairpin_ok(i, j)) {
+        intra1_[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)] =
+            model.intra(s1[static_cast<std::size_t>(i)],
+                        s1[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      if (model.hairpin_ok(i, j)) {
+        intra2_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+            model.intra(s2[static_cast<std::size_t>(i)],
+                        s2[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      inter_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+          model.inter(s1[static_cast<std::size_t>(i)],
+                      s2[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+}  // namespace rri::rna

@@ -1,0 +1,48 @@
+#include "rri/rna/sequence.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rri::rna {
+
+Sequence Sequence::from_string(std::string_view text) {
+  std::vector<Base> bases;
+  bases.reserve(text.size());
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      continue;
+    }
+    const auto b = base_from_char(c);
+    if (!b) {
+      throw ParseError("invalid RNA character '" + std::string(1, c) +
+                       "' at position " + std::to_string(pos));
+    }
+    bases.push_back(*b);
+  }
+  return Sequence(std::move(bases));
+}
+
+std::string Sequence::to_string() const {
+  std::string s;
+  s.reserve(bases_.size());
+  for (const Base b : bases_) {
+    s.push_back(char_of(b));
+  }
+  return s;
+}
+
+Sequence Sequence::reversed() const {
+  std::vector<Base> rev(bases_.rbegin(), bases_.rend());
+  return Sequence(std::move(rev));
+}
+
+Sequence Sequence::complemented() const {
+  std::vector<Base> comp;
+  comp.reserve(bases_.size());
+  std::transform(bases_.begin(), bases_.end(), std::back_inserter(comp),
+                 [](Base b) { return complement(b); });
+  return Sequence(std::move(comp));
+}
+
+}  // namespace rri::rna

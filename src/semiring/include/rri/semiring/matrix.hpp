@@ -1,0 +1,51 @@
+#ifndef RRI_SEMIRING_MATRIX_HPP
+#define RRI_SEMIRING_MATRIX_HPP
+
+/// \file matrix.hpp
+/// A minimal dense row-major matrix used by the semiring product kernels
+/// and by tests. Deliberately small: the F-table has its own specialized
+/// storage in rri::core.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace rri::semiring {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  T* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const noexcept { return data_.data() + r * cols_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace rri::semiring
+
+#endif  // RRI_SEMIRING_MATRIX_HPP

@@ -1,0 +1,159 @@
+#ifndef RRI_SEMIRING_PRODUCT_HPP
+#define RRI_SEMIRING_PRODUCT_HPP
+
+/// \file product.hpp
+/// Semiring matrix products in the loop orders the paper studies.
+/// C = C (+) A (x) B, i.e. C[i][j] = plus(C[i][j], times(A[i][k], B[k][j]))
+/// accumulated over k. For MaxPlus this is exactly one "matrix instance of
+/// max-plus operation" from the paper's Fig. 8, and the loop-order /
+/// tiling trade-offs here are the ones Phase-I/II explore on R0.
+
+#include <algorithm>
+#include <cassert>
+
+#include "rri/semiring/matrix.hpp"
+#include "rri/semiring/tropical.hpp"
+
+namespace rri::semiring {
+
+/// Dot-product order (i, j, k): the reduction over k is innermost, which
+/// defeats auto-vectorization of max-reductions — the paper's baseline
+/// behaviour ("auto-vectorization is prohibited if k2 is the innermost
+/// loop iteration").
+template <SemiringPolicy S>
+void product_naive(const Matrix<typename S::value_type>& a,
+                   const Matrix<typename S::value_type>& b,
+                   Matrix<typename S::value_type>& c) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  using T = typename S::value_type;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      T acc = c(i, j);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc = S::plus(acc, S::times(a(i, k), b(k, j)));
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+/// Permuted order (i, k, j): the innermost loop streams over a row of B
+/// and C with the access pattern Y = plus(times(alpha, X), Y), which
+/// auto-vectorizes (the paper's Phase-I loop permutation).
+template <SemiringPolicy S>
+void product_permuted(const Matrix<typename S::value_type>& a,
+                      const Matrix<typename S::value_type>& b,
+                      Matrix<typename S::value_type>& c) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  using T = typename S::value_type;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    T* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T alpha = a(i, k);
+      const T* brow = b.row(k);
+      const std::size_t n = b.cols();
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] = S::plus(crow[j], S::times(alpha, brow[j]));
+      }
+    }
+  }
+}
+
+/// Shape of a rectangular 3-D tile over the (i, k, j) iteration space.
+/// Dimension 0 tiles i, dimension 1 tiles k, dimension 2 tiles j.
+/// A size of 0 means "do not tile that dimension" (one full-extent tile),
+/// matching the paper's best configuration where j2 stays untiled to keep
+/// the streaming effect.
+struct TileShape {
+  std::size_t ti = 0;
+  std::size_t tk = 0;
+  std::size_t tj = 0;
+
+  std::size_t extent_i(std::size_t n) const noexcept { return ti ? ti : n; }
+  std::size_t extent_k(std::size_t n) const noexcept { return tk ? tk : n; }
+  std::size_t extent_j(std::size_t n) const noexcept { return tj ? tj : n; }
+};
+
+/// Tiled permuted product: chops (i, k, j) into TileShape blocks while
+/// keeping j innermost inside each tile so vectorization is preserved.
+template <SemiringPolicy S>
+void product_tiled(const Matrix<typename S::value_type>& a,
+                   const Matrix<typename S::value_type>& b,
+                   Matrix<typename S::value_type>& c, TileShape tile) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  using T = typename S::value_type;
+  const std::size_t ni = a.rows();
+  const std::size_t nk = a.cols();
+  const std::size_t nj = b.cols();
+  const std::size_t ti = tile.extent_i(ni);
+  const std::size_t tk = tile.extent_k(nk);
+  const std::size_t tj = tile.extent_j(nj);
+  for (std::size_t ii = 0; ii < ni; ii += ti) {
+    const std::size_t iend = std::min(ii + ti, ni);
+    for (std::size_t kk = 0; kk < nk; kk += tk) {
+      const std::size_t kend = std::min(kk + tk, nk);
+      for (std::size_t jj = 0; jj < nj; jj += tj) {
+        const std::size_t jend = std::min(jj + tj, nj);
+        for (std::size_t i = ii; i < iend; ++i) {
+          T* crow = c.row(i);
+          for (std::size_t k = kk; k < kend; ++k) {
+            const T alpha = a(i, k);
+            const T* brow = b.row(k);
+#pragma omp simd
+            for (std::size_t j = jj; j < jend; ++j) {
+              crow[j] = S::plus(crow[j], S::times(alpha, brow[j]));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// OpenMP-parallel tiled product: threads own disjoint i-tile bands, the
+/// parallelization the paper applies to the outer i2 dimension of R0.
+template <SemiringPolicy S>
+void product_parallel(const Matrix<typename S::value_type>& a,
+                      const Matrix<typename S::value_type>& b,
+                      Matrix<typename S::value_type>& c, TileShape tile) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  using T = typename S::value_type;
+  const std::size_t ni = a.rows();
+  const std::size_t nk = a.cols();
+  const std::size_t nj = b.cols();
+  const std::size_t ti = tile.extent_i(ni);
+  const std::size_t tk = tile.extent_k(nk);
+  const std::size_t tj = tile.extent_j(nj);
+  const std::size_t n_itiles = (ni + ti - 1) / ti;
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t it = 0; it < n_itiles; ++it) {
+    const std::size_t ii = it * ti;
+    const std::size_t iend = std::min(ii + ti, ni);
+    for (std::size_t kk = 0; kk < nk; kk += tk) {
+      const std::size_t kend = std::min(kk + tk, nk);
+      for (std::size_t jj = 0; jj < nj; jj += tj) {
+        const std::size_t jend = std::min(jj + tj, nj);
+        for (std::size_t i = ii; i < iend; ++i) {
+          T* crow = c.row(i);
+          for (std::size_t k = kk; k < kend; ++k) {
+            const T alpha = a(i, k);
+            const T* brow = b.row(k);
+#pragma omp simd
+            for (std::size_t j = jj; j < jend; ++j) {
+              crow[j] = S::plus(crow[j], S::times(alpha, brow[j]));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rri::semiring
+
+#endif  // RRI_SEMIRING_PRODUCT_HPP

@@ -1,0 +1,40 @@
+#ifndef RRI_SEMIRING_STREAMING_HPP
+#define RRI_SEMIRING_STREAMING_HPP
+
+/// \file streaming.hpp
+/// The paper's micro-benchmark kernel (Algorithm 3): repeated passes of
+///   Y[i] = max(alpha + X[i], Y[i])
+/// over two arrays sized to a chosen cache level. This is the exact
+/// innermost access pattern of the vectorized double max-plus loop, so its
+/// attained bandwidth bounds what the real kernel can reach (the paper's
+/// tiled R0 gets to ~97% of this target).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rri::semiring {
+
+/// One streaming pass. 2 flops (one add, one max) per element.
+/// Compiled in its own translation unit with the hot-path flags so the
+/// compiler's auto-vectorizer treats it exactly like the kernel loops.
+void maxplus_stream(float alpha, const float* x, float* y, std::size_t n);
+
+/// Result of a timed streaming run.
+struct StreamResult {
+  std::size_t chunk_elems = 0;   ///< per-thread working-set elements (per array)
+  std::size_t iterations = 0;    ///< passes over the chunk
+  int threads = 1;               ///< OpenMP threads used
+  double seconds = 0.0;          ///< wall time of the whole run
+  double gflops = 0.0;           ///< 2 * elems * iters * threads / time / 1e9
+};
+
+/// Run the micro-benchmark: each of `threads` OpenMP threads owns private
+/// X and Y arrays of `chunk_elems` floats (initialized from `seed`) and
+/// performs `iterations` streaming passes. Returns the aggregate rate.
+StreamResult run_maxplus_stream(std::size_t chunk_elems,
+                                std::size_t iterations, int threads,
+                                std::uint64_t seed = 42);
+
+}  // namespace rri::semiring
+
+#endif  // RRI_SEMIRING_STREAMING_HPP

@@ -1,0 +1,70 @@
+#ifndef RRI_SEMIRING_TROPICAL_HPP
+#define RRI_SEMIRING_TROPICAL_HPP
+
+/// \file tropical.hpp
+/// Semiring abstractions. BPMax's arithmetic lives in the tropical
+/// (max-plus) semiring: "addition" is max (identity -inf) and
+/// "multiplication" is + (identity 0). Kernels are written against a
+/// semiring policy so tests can cross-check shapes against ordinary
+/// arithmetic, mirroring the paper's observation that the double max-plus
+/// reduction is matrix-multiplication-like.
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+namespace rri::semiring {
+
+/// A semiring policy: value type plus the two operations and identities.
+template <typename S>
+concept SemiringPolicy = requires(typename S::value_type a,
+                                  typename S::value_type b) {
+  { S::zero() } -> std::convertible_to<typename S::value_type>;
+  { S::one() } -> std::convertible_to<typename S::value_type>;
+  { S::plus(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::times(a, b) } -> std::convertible_to<typename S::value_type>;
+};
+
+/// Max-plus (tropical) semiring over T: (max, +, -inf, 0).
+template <std::floating_point T = float>
+struct MaxPlus {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return -std::numeric_limits<T>::infinity();
+  }
+  static constexpr T one() noexcept { return T(0); }
+  static constexpr T plus(T a, T b) noexcept { return a > b ? a : b; }
+  static constexpr T times(T a, T b) noexcept { return a + b; }
+};
+
+/// Min-plus semiring over T: (min, +, +inf, 0). Included for completeness
+/// (shortest-path style recurrences share BPMax's structure).
+template <std::floating_point T = float>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return std::numeric_limits<T>::infinity();
+  }
+  static constexpr T one() noexcept { return T(0); }
+  static constexpr T plus(T a, T b) noexcept { return a < b ? a : b; }
+  static constexpr T times(T a, T b) noexcept { return a + b; }
+};
+
+/// Ordinary arithmetic (+, *, 0, 1); lets tests reuse the same kernels
+/// against a reference they can verify independently.
+template <typename T = double>
+struct Arithmetic {
+  using value_type = T;
+  static constexpr T zero() noexcept { return T(0); }
+  static constexpr T one() noexcept { return T(1); }
+  static constexpr T plus(T a, T b) noexcept { return a + b; }
+  static constexpr T times(T a, T b) noexcept { return a * b; }
+};
+
+static_assert(SemiringPolicy<MaxPlus<float>>);
+static_assert(SemiringPolicy<MinPlus<float>>);
+static_assert(SemiringPolicy<Arithmetic<double>>);
+
+}  // namespace rri::semiring
+
+#endif  // RRI_SEMIRING_TROPICAL_HPP

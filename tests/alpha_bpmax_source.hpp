@@ -1,0 +1,52 @@
+#ifndef RRI_TESTS_ALPHA_BPMAX_SOURCE_HPP
+#define RRI_TESTS_ALPHA_BPMAX_SOURCE_HPP
+
+/// The full BPMax recurrence (paper Eqs. 1-3) as an alphabets system,
+/// shared by the evaluator-vs-kernels test and the codegen test.
+/// Guards use the empty-reduction idiom: reduce(max, [t | t==0 && G], e)
+/// is e when G holds and -inf otherwise (max's identity), standing in
+/// for the case construct of full Alpha. Inputs score1/score2/iscore
+/// carry the weighted pair scores with -inf for inadmissible pairs.
+inline const char* kBpmaxAlphaSource = R"(
+affine BPMAX {M,N | (M,N) > 0}
+input
+  float score1 {i,j | 0<=i && i<j && j<M};
+  float score2 {i,j | 0<=i && i<j && j<N};
+  float iscore {i,j | 0<=i && i<M && 0<=j && j<N};
+local
+  float S1 {i,j | 0<=i && i<=M && i-1<=j && j<M};
+  float S2 {i,j | 0<=i && i<=N && i-1<=j && j<N};
+output
+  float F {i1,j1,i2,j2 | 0<=i1 && i1<=M && i1-1<=j1 && j1<M
+                      && 0<=i2 && i2<=N && i2-1<=j2 && j2<N};
+let
+  S1[i,j] = max(reduce(max, [t | t==0 && j<=i], 0),
+            max(reduce(max, [t | t==0 && j>i], S1[i+1,j]),
+                reduce(max, [k | i<k && k<=j],
+                       score1[i,k] + S1[i+1,k-1] + S1[k+1,j])));
+  S2[i,j] = max(reduce(max, [t | t==0 && j<=i], 0),
+            max(reduce(max, [t | t==0 && j>i], S2[i+1,j]),
+                reduce(max, [k | i<k && k<=j],
+                       score2[i,k] + S2[i+1,k-1] + S2[k+1,j])));
+  F[i1,j1,i2,j2] =
+    max(reduce(max, [t | t==0 && j1<i1], S2[i2,j2]),
+    max(reduce(max, [t | t==0 && j2<i2 && j1>=i1], S1[i1,j1]),
+    max(reduce(max, [t | t==0 && j1>=i1 && j2>=i2], S1[i1,j1] + S2[i2,j2]),
+    max(reduce(max, [t | t==0 && i1==j1 && i2==j2], iscore[i1,i2]),
+    max(reduce(max, [t | t==0 && j1>i1 && j2>=i2],
+               score1[i1,j1] + F[i1+1,j1-1,i2,j2]),
+    max(reduce(max, [t | t==0 && j2>i2 && j1>=i1],
+               score2[i2,j2] + F[i1,j1,i2+1,j2-1]),
+    max(reduce(max, [k1,k2 | i1<=k1 && k1<j1 && i2<=k2 && k2<j2],
+               F[i1,k1,i2,k2] + F[k1+1,j1,k2+1,j2]),
+    max(reduce(max, [k2 | i2<=k2 && k2<j2 && j1>=i1],
+               S2[i2,k2] + F[i1,j1,k2+1,j2]),
+    max(reduce(max, [k2 | i2<=k2 && k2<j2 && j1>=i1],
+               F[i1,j1,i2,k2] + S2[k2+1,j2]),
+    max(reduce(max, [k1 | i1<=k1 && k1<j1 && j2>=i2],
+               F[i1,k1,i2,j2] + S1[k1+1,j1]),
+        reduce(max, [k1 | i1<=k1 && k1<j1 && j2>=i2],
+               S1[i1,k1] + F[k1+1,j1,i2,j2])))))))))));
+)";
+
+#endif  // RRI_TESTS_ALPHA_BPMAX_SOURCE_HPP

@@ -1,0 +1,143 @@
+/// The capstone integration: the BPMax recurrence (paper Eqs. 1-3)
+/// written in the alphabets language itself — the way the paper's
+/// methodology §IV-A starts — evaluated by the language's executable
+/// semantics and compared cell-for-cell against the optimized C++
+/// kernels. Guards are encoded with the empty-reduction idiom
+/// (reduce(max, [t | t == 0 && GUARD], expr) is expr when GUARD holds
+/// and -inf otherwise), since the mini-language has no case construct.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "alpha_bpmax_source.hpp"
+#include "rri/alpha/analysis.hpp"
+#include "rri/alpha/eval.hpp"
+#include "rri/alpha/parser.hpp"
+#include "rri/core/bpmax.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+
+/// Full BPMax as an alphabets system. Strand intervals are inclusive;
+/// both S tables and F carry the empty-interval extension (j = i - 1).
+/// Inputs score1/score2/iscore supply the weighted pair scores with
+/// -inf for inadmissible pairs, exactly like rna::ScoreTables.
+using ::kBpmaxAlphaSource;
+const char* kBpmaxAlpha = kBpmaxAlphaSource;
+
+/// Bind the alphabets inputs to a concrete instance's score tables.
+alpha::InputProvider make_inputs(const rna::ScoreTables& tables) {
+  return [&tables](const std::string& var,
+                   const std::vector<std::int64_t>& idx) -> double {
+    const int a = static_cast<int>(idx[0]);
+    const int b = static_cast<int>(idx[1]);
+    if (var == "score1") {
+      return tables.intra1(a, b);
+    }
+    if (var == "score2") {
+      return tables.intra2(a, b);
+    }
+    return tables.inter(a, b);
+  };
+}
+
+class AlphaBpmax : public ::testing::Test {
+ protected:
+  static const alpha::Program& program() {
+    static const alpha::Program p = alpha::parse(kBpmaxAlpha);
+    return p;
+  }
+};
+
+TEST_F(AlphaBpmax, ParsesAndValidates) {
+  const auto& p = program();
+  EXPECT_EQ(p.name, "BPMAX");
+  EXPECT_EQ(p.equations.size(), 3u);
+  EXPECT_EQ(p.declarations.size(), 6u);
+}
+
+TEST_F(AlphaBpmax, DependenceExtractionSeesEveryRead) {
+  // Reads of computed variables: 3 in each single-strand equation and,
+  // in F's equation, 8 reads of F plus 8 reads of the S tables.
+  const auto deps = alpha::extract_dependences(program());
+  int f_self = 0;
+  int f_from_s = 0;
+  int s_self = 0;
+  for (const auto& d : deps) {
+    if (d.tgt_stmt == "F" && d.src_stmt == "F") {
+      ++f_self;
+    } else if (d.tgt_stmt == "F") {
+      ++f_from_s;
+    } else {
+      ++s_self;
+    }
+  }
+  EXPECT_EQ(f_self, 8);   // c1, c2, R0 x2, R1, R2, R3, R4
+  EXPECT_EQ(f_from_s, 8); // S1/S2 in both empty cases, ha, and R1-R4 flanks
+  EXPECT_EQ(s_self, 6);   // 3 per single-strand equation
+}
+
+TEST_F(AlphaBpmax, TopologicalOrderIsInputsThenSThenF) {
+  const auto order = alpha::topological_order(program());
+  const auto pos = [&](const std::string& v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos("score1"), pos("S1"));
+  EXPECT_LT(pos("S1"), pos("F"));
+  EXPECT_LT(pos("S2"), pos("F"));
+}
+
+struct AlphaBpmaxCase {
+  std::uint64_t seed;
+  int m, n;
+};
+
+class AlphaBpmaxVsKernels : public ::testing::TestWithParam<AlphaBpmaxCase> {};
+
+TEST_P(AlphaBpmaxVsKernels, SpecificationMatchesOptimizedKernels) {
+  const auto p = GetParam();
+  static const alpha::Program spec = alpha::parse(kBpmaxAlpha);
+  std::mt19937_64 rng(p.seed);
+  const auto s1 = rna::random_sequence(static_cast<std::size_t>(p.m), rng);
+  const auto s2 = rna::random_sequence(static_cast<std::size_t>(p.n), rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const rna::ScoreTables tables(s1, s2, model);
+
+  alpha::Evaluator ev(spec, {{"M", p.m}, {"N", p.n}}, make_inputs(tables));
+  const auto result = core::bpmax_solve(s1, s2, model);
+
+  // Whole-table comparison: the executable specification and the tuned
+  // kernels must agree on every cell (floats widen to double exactly).
+  for (int i1 = 0; i1 < p.m; ++i1) {
+    for (int j1 = i1; j1 < p.m; ++j1) {
+      for (int i2 = 0; i2 < p.n; ++i2) {
+        for (int j2 = i2; j2 < p.n; ++j2) {
+          ASSERT_EQ(ev.value("F", {i1, j1, i2, j2}),
+                    static_cast<double>(result.f.at(i1, j1, i2, j2)))
+              << "F(" << i1 << "," << j1 << "," << i2 << "," << j2 << ") "
+              << s1.to_string() << " / " << s2.to_string();
+        }
+      }
+    }
+  }
+  // The S tables agree too.
+  for (int i = 0; i < p.m; ++i) {
+    for (int j = i; j < p.m; ++j) {
+      ASSERT_EQ(ev.value("S1", {i, j}),
+                static_cast<double>(result.s1.at(i, j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, AlphaBpmaxVsKernels,
+                         ::testing::Values(AlphaBpmaxCase{1, 3, 3},
+                                           AlphaBpmaxCase{2, 4, 3},
+                                           AlphaBpmaxCase{3, 3, 4},
+                                           AlphaBpmaxCase{4, 4, 4},
+                                           AlphaBpmaxCase{5, 5, 4}));
+
+}  // namespace

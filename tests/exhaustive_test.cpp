@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "rri/core/exhaustive.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using core::JointStructure;
+
+rna::Sequence seq(const std::string& s) { return rna::Sequence::from_string(s); }
+
+// ----------------------------------------------------- structure_ok
+
+TEST(StructureOk, EmptyStructureIsValid) {
+  EXPECT_TRUE(core::structure_ok({}, 0, 0));
+  EXPECT_TRUE(core::structure_ok({}, 5, 5));
+}
+
+TEST(StructureOk, SimplePairsValid) {
+  JointStructure js;
+  js.intra1 = {{0, 3}, {1, 2}};  // nested
+  js.intra2 = {{0, 1}, {2, 3}};  // disjoint
+  js.inter = {{4, 4}};
+  EXPECT_TRUE(core::structure_ok(js, 5, 5));
+}
+
+TEST(StructureOk, OutOfBoundsRejected) {
+  JointStructure js;
+  js.intra1 = {{0, 5}};
+  EXPECT_FALSE(core::structure_ok(js, 5, 5));
+  js = {};
+  js.inter = {{0, -1}};
+  EXPECT_FALSE(core::structure_ok(js, 5, 5));
+}
+
+TEST(StructureOk, ReusedBaseRejected) {
+  JointStructure js;
+  js.intra1 = {{0, 1}};
+  js.inter = {{1, 0}};  // strand-1 base 1 used twice
+  EXPECT_FALSE(core::structure_ok(js, 3, 3));
+  js = {};
+  js.intra2 = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(core::structure_ok(js, 3, 3));
+}
+
+TEST(StructureOk, DegeneratePairRejected) {
+  JointStructure js;
+  js.intra1 = {{2, 2}};
+  EXPECT_FALSE(core::structure_ok(js, 5, 5));
+  js = {};
+  js.intra1 = {{3, 1}};  // reversed order
+  EXPECT_FALSE(core::structure_ok(js, 5, 5));
+}
+
+TEST(StructureOk, CrossingIntraRejected) {
+  JointStructure js;
+  js.intra1 = {{0, 2}, {1, 3}};  // interleaved
+  EXPECT_FALSE(core::structure_ok(js, 4, 1));
+  js = {};
+  js.intra2 = {{0, 2}, {1, 3}};
+  EXPECT_FALSE(core::structure_ok(js, 1, 4));
+}
+
+TEST(StructureOk, CrossingInterRejected) {
+  JointStructure js;
+  js.inter = {{0, 1}, {1, 0}};  // order-reversing
+  EXPECT_FALSE(core::structure_ok(js, 2, 2));
+  js.inter = {{0, 0}, {1, 0}};  // shared partner
+  EXPECT_FALSE(core::structure_ok(js, 2, 2));
+}
+
+TEST(StructureOk, InterUnderIntraAllowed) {
+  // Intermolecular pair from inside an intramolecular hairpin: valid in
+  // the BPMax model (recurrence case c1 recurses on the pair interior).
+  JointStructure js;
+  js.intra1 = {{0, 2}};
+  js.inter = {{1, 0}};
+  EXPECT_TRUE(core::structure_ok(js, 3, 1));
+}
+
+// ------------------------------------------------------ structure_score
+
+TEST(StructureScore, SumsWeights) {
+  JointStructure js;
+  js.intra1 = {{0, 1}};       // G-C = 3
+  js.inter = {{2, 0}};        // A-U = 2
+  EXPECT_EQ(core::structure_score(js, seq("GCA"), seq("U"),
+                                  rna::ScoringModel::bpmax_default()),
+            5.0f);
+}
+
+TEST(StructureScore, ForbiddenPairPoisons) {
+  JointStructure js;
+  js.intra1 = {{0, 1}};  // A-A inadmissible
+  EXPECT_EQ(core::structure_score(js, seq("AA"), seq("U"),
+                                  rna::ScoringModel::bpmax_default()),
+            rna::kForbidden);
+}
+
+TEST(StructureScore, HairpinViolationPoisons) {
+  auto model = rna::ScoringModel::bpmax_default();
+  model.set_min_hairpin(2);
+  JointStructure js;
+  js.intra1 = {{0, 1}};  // adjacent G-C, loop too small
+  EXPECT_EQ(core::structure_score(js, seq("GC"), seq(""), model),
+            rna::kForbidden);
+}
+
+// -------------------------------------------------------- enumeration
+
+TEST(Exhaustive, CountsForTrivialCases) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  // A vs C: no pair admissible anywhere -> only the empty structure.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("A"), seq("C"), model).structures_seen,
+            1u);
+  // G vs C: empty or the single inter pair.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("G"), seq("C"), model).structures_seen,
+            2u);
+  // GC vs (empty): empty structure or the intra pair.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("GC"), seq(""), model).structures_seen,
+            2u);
+  // G vs CC: empty, (0,0), (0,1) -> 3 structures.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("G"), seq("CC"), model).structures_seen,
+            3u);
+}
+
+TEST(Exhaustive, UnitModelMaxIsMatchingSize) {
+  const auto unit = rna::ScoringModel::unit();
+  // GGG vs CCC under unit weights: 3 parallel pairs.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("GGG"), seq("CCC"), unit).score, 3.0f);
+}
+
+TEST(Exhaustive, BestWitnessIsValidAndScoresBest) {
+  std::mt19937_64 rng(17);
+  const auto model = rna::ScoringModel::bpmax_default();
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s1 = rna::random_sequence(5, rng);
+    const auto s2 = rna::random_sequence(5, rng);
+    const auto ex = core::exhaustive_bpmax(s1, s2, model);
+    EXPECT_TRUE(core::structure_ok(ex.best, 5, 5));
+    EXPECT_EQ(core::structure_score(ex.best, s1, s2, model), ex.score);
+    EXPECT_GE(ex.structures_seen, 1u);
+  }
+}
+
+TEST(Exhaustive, HairpinConstraintRespected) {
+  auto model = rna::ScoringModel::bpmax_default();
+  model.set_min_hairpin(1);
+  // GC: the adjacent intra pair is outlawed, but strand-2 interaction
+  // with C (inter has no loop constraint) is not.
+  EXPECT_EQ(core::exhaustive_bpmax(seq("GC"), seq(""), model).score, 0.0f);
+  EXPECT_EQ(core::exhaustive_bpmax(seq("G"), seq("C"), model).score, 3.0f);
+}
+
+TEST(Exhaustive, EmptyInputs) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto ex = core::exhaustive_bpmax(seq(""), seq(""), model);
+  EXPECT_EQ(ex.score, 0.0f);
+  EXPECT_EQ(ex.structures_seen, 1u);
+}
+
+// -------------------------------------------------------------- render
+
+TEST(Render, InterBracketsOrderMatched) {
+  JointStructure js;
+  js.inter = {{0, 1}, {2, 3}};
+  const auto r = core::render_structure(js, 3, 4);
+  EXPECT_EQ(r.strand1, "[.[");
+  EXPECT_EQ(r.strand2, ".].]");
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "rri/harness/args.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/harness/report.hpp"
+#include "rri/harness/scaling.hpp"
+#include "rri/harness/timing.hpp"
+
+namespace {
+
+using namespace rri::harness;
+
+// ---------------------------------------------------------------- flops
+
+double count_split_triples(int l) {
+  double count = 0;
+  for (int i = 0; i < l; ++i) {
+    for (int k = i; k < l; ++k) {
+      for (int j = k + 1; j < l; ++j) {
+        count += 1;
+      }
+    }
+  }
+  return count;
+}
+
+double count_interval_pairs(int l) {
+  double count = 0;
+  for (int i = 0; i < l; ++i) {
+    for (int j = i; j < l; ++j) {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+class FlopClosedForms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlopClosedForms, SplitTriplesMatchesEnumeration) {
+  const int l = GetParam();
+  EXPECT_EQ(split_triples(l), count_split_triples(l));
+}
+
+TEST_P(FlopClosedForms, IntervalPairsMatchesEnumeration) {
+  const int l = GetParam();
+  EXPECT_EQ(interval_pairs(l), count_interval_pairs(l));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FlopClosedForms,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21, 40));
+
+TEST(Flops, BpmaxBreakdownMatchesEnumeration) {
+  for (const auto [m, n] : {std::pair{3, 4}, std::pair{6, 5}, std::pair{8, 8}}) {
+    const auto c = bpmax_flops(m, n);
+    // R0: every (i1<=k1<j1) x (i2<=k2<j2) candidate costs 2 flops.
+    EXPECT_EQ(c.r0, 2.0 * count_split_triples(m) * count_split_triples(n));
+    EXPECT_EQ(c.r1, 2.0 * count_interval_pairs(m) * count_split_triples(n));
+    EXPECT_EQ(c.r2, c.r1);
+    EXPECT_EQ(c.r3, 2.0 * count_split_triples(m) * count_interval_pairs(n));
+    EXPECT_EQ(c.r4, c.r3);
+    EXPECT_EQ(c.cells,
+              6.0 * count_interval_pairs(m) * count_interval_pairs(n));
+    EXPECT_EQ(c.total(), c.r0 + c.r1 + c.r2 + c.r3 + c.r4 + c.cells);
+  }
+}
+
+TEST(Flops, DoubleMaxplusDominatesAsymptotically) {
+  const auto small = bpmax_flops(16, 16);
+  EXPECT_GT(small.r0, small.r1);
+  const auto big = bpmax_flops(128, 128);
+  EXPECT_GT(big.r0 / big.total(), 0.9)
+      << "R0 must dominate at realistic sizes";
+}
+
+TEST(Flops, DmpAndStable) {
+  EXPECT_EQ(double_maxplus_flops(5, 7),
+            2.0 * count_split_triples(5) * count_split_triples(7));
+  EXPECT_EQ(stable_flops(9), 3.0 * count_split_triples(9));
+}
+
+// --------------------------------------------------------------- report
+
+TEST(Report, PrintsAlignedTable) {
+  ReportTable t({"len", "GFLOPS"});
+  t.add_row({"16", "1.23"});
+  t.add_row({"2048", "117.00"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("len"), std::string::npos);
+  EXPECT_NE(s.find("117.00"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, RowArityMismatchThrows) {
+  ReportTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Report, CsvEscapesSpecials) {
+  ReportTable t({"name", "note"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quo\"te", "line"});
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_sci(1234.5, 2), "1.23e+03");
+}
+
+// -------------------------------------------------------------- scaling
+
+TEST(Scaling, DefaultScaleIsOne) {
+  unsetenv("RRI_BENCH_SCALE");
+  EXPECT_EQ(bench_scale(), 1.0);
+  EXPECT_EQ(scaled_lengths({16, 32}), (std::vector<int>{16, 32}));
+}
+
+TEST(Scaling, EnvScaleApplied) {
+  setenv("RRI_BENCH_SCALE", "2.0", 1);
+  EXPECT_EQ(bench_scale(), 2.0);
+  EXPECT_EQ(scaled_lengths({16, 32}), (std::vector<int>{32, 64}));
+  unsetenv("RRI_BENCH_SCALE");
+}
+
+TEST(Scaling, MalformedOrNegativeScaleIgnored) {
+  setenv("RRI_BENCH_SCALE", "banana", 1);
+  EXPECT_EQ(bench_scale(), 1.0);
+  setenv("RRI_BENCH_SCALE", "-3", 1);
+  EXPECT_EQ(bench_scale(), 1.0);
+  unsetenv("RRI_BENCH_SCALE");
+}
+
+TEST(Scaling, LengthsFlooredAtFour) {
+  setenv("RRI_BENCH_SCALE", "0.01", 1);
+  EXPECT_EQ(scaled_lengths({16, 100}), (std::vector<int>{4, 4}));
+  unsetenv("RRI_BENCH_SCALE");
+}
+
+TEST(Scaling, ThreadSweepDoubles) {
+  unsetenv("RRI_BENCH_MAX_THREADS");
+  EXPECT_EQ(thread_sweep(12), (std::vector<int>{1, 2, 4, 8, 12}));
+  EXPECT_EQ(thread_sweep(1), (std::vector<int>{1}));
+  EXPECT_EQ(thread_sweep(8), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(Scaling, ThreadSweepCappedByEnv) {
+  setenv("RRI_BENCH_MAX_THREADS", "2", 1);
+  EXPECT_EQ(thread_sweep(16), (std::vector<int>{1, 2}));
+  unsetenv("RRI_BENCH_MAX_THREADS");
+}
+
+TEST(Scaling, BenchReps) {
+  unsetenv("RRI_BENCH_REPS");
+  EXPECT_EQ(bench_reps(3), 3);
+  setenv("RRI_BENCH_REPS", "5", 1);
+  EXPECT_EQ(bench_reps(3), 5);
+  unsetenv("RRI_BENCH_REPS");
+}
+
+// ----------------------------------------------------------------- args
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+ArgParser make_parser() {
+  ArgParser p("tool", "test tool");
+  p.add_flag("verbose", "noise");
+  p.add_option("count", "how many", "3");
+  p.set_positional_usage("FILE", 1, 2);
+  return p;
+}
+
+TEST(Args, DefaultsAndFlags) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "input.txt"});
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_FALSE(p.flag("verbose"));
+  EXPECT_EQ(p.option("count"), "3");
+  EXPECT_EQ(p.option_int("count"), 3);
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"input.txt"}));
+}
+
+TEST(Args, ParsesFlagAndValueForms) {
+  auto p = make_parser();
+  const auto argv =
+      argv_of({"tool", "--verbose", "--count", "7", "a", "b"});
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_EQ(p.option_int("count"), 7);
+  EXPECT_EQ(p.positional().size(), 2u);
+}
+
+TEST(Args, EqualsSyntax) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "--count=12", "x"});
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_EQ(p.option_int("count"), 12);
+}
+
+TEST(Args, UnknownOptionRejected) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "--bogus", "x"});
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+}
+
+TEST(Args, MissingValueRejected) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "x", "--count"});
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_NE(err.str().find("needs a value"), std::string::npos);
+}
+
+TEST(Args, FlagWithValueRejected) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "--verbose=yes", "x"});
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+}
+
+TEST(Args, PositionalCountEnforced) {
+  auto p = make_parser();
+  std::ostringstream err;
+  const auto none = argv_of({"tool"});
+  EXPECT_FALSE(p.parse(static_cast<int>(none.size()), none.data(), err));
+  auto p2 = make_parser();
+  const auto many = argv_of({"tool", "a", "b", "c"});
+  EXPECT_FALSE(p2.parse(static_cast<int>(many.size()), many.data(), err));
+}
+
+TEST(Args, HelpPrintsAndReports) {
+  auto p = make_parser();
+  const auto argv = argv_of({"tool", "--help"});
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_NE(err.str().find("usage: tool"), std::string::npos);
+  EXPECT_NE(err.str().find("--count"), std::string::npos);
+  EXPECT_NE(err.str().find("default: 3"), std::string::npos);
+}
+
+TEST(Args, UndeclaredLookupsThrow) {
+  auto p = make_parser();
+  EXPECT_THROW(p.flag("count"), std::out_of_range);     // it's an option
+  EXPECT_THROW(p.option("verbose"), std::out_of_range); // it's a flag
+}
+
+// --------------------------------------------------------------- timing
+
+TEST(Timing, StopWatchAdvances) {
+  StopWatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  EXPECT_GT(sw.seconds(), 0.0);
+}
+
+TEST(Timing, TimeRepeatStatistics) {
+  int calls = 0;
+  const auto r = time_repeat([&] { ++calls; }, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(r.reps, 5);
+  EXPECT_LE(r.best, r.mean);
+  const auto one = time_repeat([] {}, 0);
+  EXPECT_EQ(one.reps, 1);  // clamped
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rri/machine/roofline.hpp"
+#include "rri/machine/spec.hpp"
+
+namespace {
+
+using namespace rri::machine;
+
+TEST(Spec, E51650v4MatchesPaperPeak) {
+  const auto spec = xeon_e5_1650v4();
+  // 6 cores x 3.6 GHz x 8 lanes x 2 issue = 345.6; the paper rounds to
+  // "about 346 GFLOPS".
+  EXPECT_NEAR(spec.maxplus_peak_gflops(), 345.6, 1e-9);
+  EXPECT_EQ(spec.cores, 6);
+  EXPECT_EQ(spec.logical_cpus(), 12);
+  EXPECT_EQ(spec.simd_lanes_f32(), 8);
+  ASSERT_EQ(spec.caches.size(), 3u);
+  EXPECT_EQ(spec.caches[0].size_bytes, 32u * 1024u);
+  EXPECT_EQ(spec.caches[2].size_bytes, 15u * 1024u * 1024u);
+  EXPECT_EQ(spec.dram_gbps, 76.8);
+}
+
+TEST(Spec, E2278gPreset) {
+  const auto spec = xeon_e_2278g();
+  EXPECT_EQ(spec.cores, 8);
+  EXPECT_NEAR(spec.maxplus_peak_gflops(), 8 * 3.4 * 8 * 2, 1e-9);
+}
+
+TEST(Spec, CacheBandwidthScaling) {
+  const auto spec = xeon_e5_1650v4();
+  // Private L1: bytes/cycle x GHz x cores.
+  EXPECT_NEAR(spec.caches[0].bandwidth_gbps(spec.cores, spec.ghz),
+              93.0 * 3.6 * 6, 1e-9);
+  // Shared L3: chip-wide.
+  EXPECT_NEAR(spec.caches[2].bandwidth_gbps(spec.cores, spec.ghz),
+              14.0 * 3.6, 1e-9);
+}
+
+TEST(Roofline, BpmaxIntensityIsOneSixth) {
+  EXPECT_NEAR(bpmax_arithmetic_intensity(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Roofline, L1BoundNearPaperFigure) {
+  // The paper expects ~329 GFLOPS at AI = 1/6 against the L1 roof; the
+  // unrounded parameters give 93 B/c x 3.6 GHz x 6 cores / 6 = 334.8.
+  const auto spec = xeon_e5_1650v4();
+  const auto points = roofline(spec, bpmax_arithmetic_intensity());
+  const auto l1 = std::find_if(points.begin(), points.end(),
+                               [](const auto& p) { return p.bound == "L1"; });
+  ASSERT_NE(l1, points.end());
+  EXPECT_NEAR(l1->gflops, 334.8, 0.1);
+  EXPECT_NEAR(l1->gflops, 329.0, 10.0);  // the paper's quoted expectation
+}
+
+TEST(Roofline, CeilingsOrderedOutward) {
+  const auto spec = xeon_e5_1650v4();
+  const auto points = roofline(spec, 1.0 / 6.0);
+  ASSERT_EQ(points.size(), 5u);  // peak, L1, L2, L3, DRAM
+  EXPECT_EQ(points[0].bound, "peak");
+  EXPECT_EQ(points[4].bound, "DRAM");
+  // Bandwidth ceilings shrink outward in the hierarchy (L3 is shared so
+  // it is the narrowest in aggregate on this part).
+  EXPECT_GT(points[1].gflops, points[2].gflops);
+  EXPECT_GT(points[2].gflops, points[3].gflops);
+}
+
+TEST(Roofline, AttainableIsMinOverCeilings) {
+  const auto spec = xeon_e5_1650v4();
+  const double ai = 1.0 / 6.0;
+  const auto points = roofline(spec, ai);
+  double expected = points[0].gflops;
+  for (const auto& p : points) {
+    expected = std::min(expected, p.gflops);
+  }
+  EXPECT_EQ(attainable_gflops(spec, ai), expected);
+}
+
+TEST(Roofline, HighIntensityIsComputeBound) {
+  const auto spec = xeon_e5_1650v4();
+  EXPECT_EQ(binding_level(spec, 1000.0), "peak");
+  EXPECT_EQ(attainable_gflops(spec, 1000.0), spec.maxplus_peak_gflops());
+}
+
+TEST(Roofline, LowIntensityIsMemoryBound) {
+  const auto spec = xeon_e5_1650v4();
+  EXPECT_NE(binding_level(spec, 0.001), "peak");
+}
+
+TEST(Roofline, ScalesLinearlyInIntensityWhileMemoryBound) {
+  const auto spec = xeon_e5_1650v4();
+  const double a = attainable_gflops(spec, 0.01);
+  const double b = attainable_gflops(spec, 0.02);
+  EXPECT_NEAR(b, 2.0 * a, 1e-9);
+}
+
+TEST(Probe, HostProbeProducesUsableSpec) {
+  const auto spec = probe_host();
+  EXPECT_FALSE(spec.name.empty());
+  EXPECT_GE(spec.cores, 1);
+  EXPECT_GE(spec.threads_per_core, 1);
+  EXPECT_GT(spec.ghz, 0.0);
+  EXPECT_GE(spec.simd_bits, 128);
+  EXPECT_FALSE(spec.caches.empty());
+  EXPECT_GT(spec.maxplus_peak_gflops(), 0.0);
+  // Roofline machinery accepts the probed spec.
+  EXPECT_GT(attainable_gflops(spec, bpmax_arithmetic_intensity()), 0.0);
+}
+
+}  // namespace

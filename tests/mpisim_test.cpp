@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/mpisim/dist_bpmax.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using mpisim::BspWorld;
+using mpisim::ClusterModel;
+
+// ------------------------------------------------------------ BSP world
+
+TEST(Bsp, MessagesDeliveredAfterBarrierOnly) {
+  BspWorld world(2);
+  world.send(0, 1, 7, {1.0f, 2.0f});
+  EXPECT_EQ(world.pending(1), 0u);  // not yet delivered
+  world.barrier();
+  EXPECT_EQ(world.pending(1), 1u);
+  const auto msgs = world.receive(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].from, 0);
+  EXPECT_EQ(msgs[0].tag, 7);
+  EXPECT_EQ(msgs[0].payload, (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(world.pending(1), 0u);  // receive drains
+}
+
+TEST(Bsp, DeterministicSenderOrder) {
+  BspWorld world(3);
+  world.send(2, 0, 1, {2.0f});
+  world.send(1, 0, 1, {1.0f});
+  world.send(2, 0, 2, {3.0f});
+  world.barrier();
+  const auto msgs = world.receive(0);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].from, 1);
+  EXPECT_EQ(msgs[1].from, 2);
+  EXPECT_EQ(msgs[1].tag, 1);  // per-sender order preserved
+  EXPECT_EQ(msgs[2].tag, 2);
+}
+
+TEST(Bsp, BroadcastSkipsSelf) {
+  BspWorld world(3);
+  world.broadcast(1, 0, {5.0f});
+  world.barrier();
+  EXPECT_EQ(world.receive(0).size(), 1u);
+  EXPECT_EQ(world.receive(1).size(), 0u);
+  EXPECT_EQ(world.receive(2).size(), 1u);
+}
+
+TEST(Bsp, StatsCountMessagesAndBytes) {
+  BspWorld world(2);
+  world.send(0, 1, 0, {1.0f, 2.0f, 3.0f});
+  world.send(1, 0, 0, {});
+  world.barrier();
+  EXPECT_EQ(world.stats().messages, 2u);
+  EXPECT_EQ(world.stats().bytes, 3u * sizeof(float));
+  EXPECT_EQ(world.stats().supersteps, 1u);
+  EXPECT_EQ(world.last_step_sent_bytes()[0], 12u);
+  EXPECT_EQ(world.last_step_sent_bytes()[1], 0u);
+}
+
+TEST(Bsp, InvalidRanksRejected) {
+  BspWorld world(2);
+  EXPECT_THROW(world.send(0, 2, 0, {}), std::out_of_range);
+  EXPECT_THROW(world.send(-1, 0, 0, {}), std::out_of_range);
+  EXPECT_THROW(world.receive(5), std::out_of_range);
+  EXPECT_THROW(BspWorld(0), std::invalid_argument);
+}
+
+TEST(Bsp, SelfSendAllowed) {
+  BspWorld world(1);
+  world.send(0, 0, 3, {9.0f});
+  world.barrier();
+  const auto msgs = world.receive(0);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].payload[0], 9.0f);
+}
+
+// --------------------------------------------------- distributed BPMax
+
+class DistBpmaxRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistBpmaxRanks, MatchesSharedMemorySolve) {
+  const int ranks = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(ranks) * 101);
+  const auto s1 = rna::random_sequence(11, rng);
+  const auto s2 = rna::random_sequence(14, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto dist = mpisim::distributed_bpmax(s1, s2, model, ranks);
+  EXPECT_EQ(dist.score, core::bpmax_score(s1, s2, model));
+  EXPECT_EQ(dist.ranks, ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistBpmaxRanks, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(DistBpmax, OneRankSendsNothing) {
+  std::mt19937_64 rng(7);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(6, rng);
+  const auto r = mpisim::distributed_bpmax(
+      s1, s2, rna::ScoringModel::bpmax_default(), 1);
+  EXPECT_EQ(r.comm.messages, 0u);
+  EXPECT_EQ(r.comm.bytes, 0u);
+}
+
+TEST(DistBpmax, CommunicationVolumeMatchesFormula) {
+  // Each computed triangle is broadcast to (P-1) ranks as N*N floats;
+  // there are M(M+1)/2 triangles.
+  std::mt19937_64 rng(8);
+  const int m = 7;
+  const int n = 9;
+  const int ranks = 3;
+  const auto s1 = rna::random_sequence(static_cast<std::size_t>(m), rng);
+  const auto s2 = rna::random_sequence(static_cast<std::size_t>(n), rng);
+  const auto r = mpisim::distributed_bpmax(
+      s1, s2, rna::ScoringModel::bpmax_default(), ranks);
+  const std::size_t triangles = static_cast<std::size_t>(m) * (m + 1) / 2;
+  EXPECT_EQ(r.comm.messages, triangles * (ranks - 1));
+  EXPECT_EQ(r.comm.bytes, triangles * (ranks - 1) *
+                              static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n) * sizeof(float));
+  EXPECT_EQ(r.comm.supersteps, static_cast<std::size_t>(m));
+}
+
+TEST(DistBpmax, RankFlopsSumIsInvariant) {
+  std::mt19937_64 rng(9);
+  const auto s1 = rna::random_sequence(10, rng);
+  const auto s2 = rna::random_sequence(12, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  double total1 = 0.0;
+  for (const double f :
+       mpisim::distributed_bpmax(s1, s2, model, 1).rank_flops) {
+    total1 += f;
+  }
+  double total4 = 0.0;
+  const auto dist4 = mpisim::distributed_bpmax(s1, s2, model, 4);
+  for (const double f : dist4.rank_flops) {
+    total4 += f;
+  }
+  EXPECT_DOUBLE_EQ(total1, total4);
+  EXPECT_GT(total1, 0.0);
+}
+
+TEST(DistBpmax, SpeedupGrowsWithRanksWhenComputeBound) {
+  std::mt19937_64 rng(10);
+  const auto s1 = rna::random_sequence(12, rng);
+  const auto s2 = rna::random_sequence(24, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  ClusterModel cluster;
+  cluster.alpha_seconds = 0.0;
+  cluster.beta_seconds_per_byte = 0.0;  // pure compute
+  double prev = 0.0;
+  for (const int ranks : {1, 2, 4}) {
+    const auto r = mpisim::distributed_bpmax(s1, s2, model, ranks);
+    const double s = r.simulated_speedup(cluster);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // And bounded by the rank count.
+  const auto r4 = mpisim::distributed_bpmax(s1, s2, model, 4);
+  EXPECT_LE(r4.simulated_speedup(cluster), 4.0 + 1e-9);
+}
+
+TEST(DistBpmax, CommunicationCostReducesSpeedup) {
+  std::mt19937_64 rng(11);
+  const auto s1 = rna::random_sequence(10, rng);
+  const auto s2 = rna::random_sequence(16, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto dist = mpisim::distributed_bpmax(s1, s2, model, 4);
+  ClusterModel fast_net;
+  fast_net.beta_seconds_per_byte = 0.0;
+  fast_net.alpha_seconds = 0.0;
+  ClusterModel slow_net = fast_net;
+  slow_net.beta_seconds_per_byte = 1.0;  // absurdly slow links
+  EXPECT_GT(dist.simulated_speedup(fast_net),
+            dist.simulated_speedup(slow_net));
+  EXPECT_LT(dist.simulated_speedup(slow_net), 1.0);
+}
+
+TEST(DistBpmax, EmptyStrandDegenerates) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto r = mpisim::distributed_bpmax(
+      rna::Sequence::from_string("GAUC"), rna::Sequence{}, model, 3);
+  EXPECT_EQ(r.score, 5.0f);
+  EXPECT_EQ(r.comm.messages, 0u);
+}
+
+TEST(DistBpmax, PredictionMatchesExecutionExactly) {
+  std::mt19937_64 rng(21);
+  for (const auto [m, n, ranks] :
+       {std::tuple{9, 11, 3}, std::tuple{7, 7, 1}, std::tuple{12, 5, 5}}) {
+    const auto s1 = rna::random_sequence(static_cast<std::size_t>(m), rng);
+    const auto s2 = rna::random_sequence(static_cast<std::size_t>(n), rng);
+    const auto run = mpisim::distributed_bpmax(
+        s1, s2, rna::ScoringModel::bpmax_default(), ranks);
+    const auto pred = mpisim::predict_distributed_bpmax(m, n, ranks);
+    EXPECT_EQ(pred.comm.messages, run.comm.messages);
+    EXPECT_EQ(pred.comm.bytes, run.comm.bytes);
+    EXPECT_EQ(pred.comm.supersteps, run.comm.supersteps);
+    ASSERT_EQ(pred.step_max_flops.size(), run.step_max_flops.size());
+    for (std::size_t s = 0; s < pred.step_max_flops.size(); ++s) {
+      EXPECT_DOUBLE_EQ(pred.step_max_flops[s], run.step_max_flops[s]);
+      EXPECT_EQ(pred.step_max_bytes[s], run.step_max_bytes[s]);
+    }
+    ASSERT_EQ(pred.rank_flops.size(), run.rank_flops.size());
+    for (std::size_t r = 0; r < pred.rank_flops.size(); ++r) {
+      EXPECT_DOUBLE_EQ(pred.rank_flops[r], run.rank_flops[r]);
+    }
+  }
+}
+
+TEST(DistBpmax, PredictionScalesToPaperSizes) {
+  // Paper-scale projection must be cheap and finite.
+  const auto pred = mpisim::predict_distributed_bpmax(300, 2048, 16);
+  EXPECT_EQ(pred.comm.supersteps, 300u);
+  EXPECT_GT(pred.step_max_flops.front(), 0.0);
+  mpisim::ClusterModel cluster;
+  const double speedup = pred.simulated_speedup(cluster);
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LE(speedup, 16.0);
+}
+
+TEST(DistBpmax, SimulatedSecondsAccumulatesAlphaPerStep) {
+  std::mt19937_64 rng(12);
+  const auto s1 = rna::random_sequence(8, rng);
+  const auto s2 = rna::random_sequence(8, rng);
+  const auto dist = mpisim::distributed_bpmax(
+      s1, s2, rna::ScoringModel::bpmax_default(), 2);
+  ClusterModel zero;
+  zero.alpha_seconds = 0.0;
+  zero.beta_seconds_per_byte = 0.0;
+  zero.flops_per_second = 1e18;  // compute ~free
+  ClusterModel latency = zero;
+  latency.alpha_seconds = 1.0;
+  EXPECT_NEAR(dist.simulated_seconds(latency) - dist.simulated_seconds(zero),
+              static_cast<double>(dist.comm.supersteps), 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rri/rna/base.hpp"
+#include "rri/rna/fasta.hpp"
+#include "rri/rna/random.hpp"
+#include "rri/rna/scoring.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace {
+
+using namespace rri::rna;
+
+// ---------------------------------------------------------------- base
+
+TEST(Base, CharRoundTrip) {
+  for (const Base b : {Base::A, Base::C, Base::G, Base::U}) {
+    const auto parsed = base_from_char(char_of(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(Base, LowercaseAccepted) {
+  EXPECT_EQ(base_from_char('a'), Base::A);
+  EXPECT_EQ(base_from_char('c'), Base::C);
+  EXPECT_EQ(base_from_char('g'), Base::G);
+  EXPECT_EQ(base_from_char('u'), Base::U);
+}
+
+TEST(Base, ThymineNormalizesToUracil) {
+  EXPECT_EQ(base_from_char('T'), Base::U);
+  EXPECT_EQ(base_from_char('t'), Base::U);
+}
+
+TEST(Base, InvalidCharactersRejected) {
+  for (const char c : {'X', 'N', '1', ' ', '-', '>', '\0'}) {
+    EXPECT_FALSE(base_from_char(c).has_value()) << "char: " << c;
+  }
+}
+
+TEST(Base, ComplementIsInvolution) {
+  for (int i = 0; i < kNumBases; ++i) {
+    const Base b = static_cast<Base>(i);
+    EXPECT_EQ(complement(complement(b)), b);
+  }
+}
+
+TEST(Base, ComplementPairsCanPair) {
+  for (int i = 0; i < kNumBases; ++i) {
+    const Base b = static_cast<Base>(i);
+    EXPECT_TRUE(can_pair(b, complement(b)));
+  }
+}
+
+TEST(Base, CanPairIsSymmetric) {
+  for (int x = 0; x < kNumBases; ++x) {
+    for (int y = 0; y < kNumBases; ++y) {
+      EXPECT_EQ(can_pair(static_cast<Base>(x), static_cast<Base>(y)),
+                can_pair(static_cast<Base>(y), static_cast<Base>(x)));
+    }
+  }
+}
+
+TEST(Base, ExactlySixAdmissiblePairs) {
+  int count = 0;
+  for (int x = 0; x < kNumBases; ++x) {
+    for (int y = 0; y < kNumBases; ++y) {
+      count += can_pair(static_cast<Base>(x), static_cast<Base>(y)) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(count, 6);  // AU, UA, CG, GC, GU, UG
+}
+
+TEST(Base, WobblePairAllowed) {
+  EXPECT_TRUE(can_pair(Base::G, Base::U));
+  EXPECT_TRUE(can_pair(Base::U, Base::G));
+}
+
+TEST(Base, NonPairsRejected) {
+  EXPECT_FALSE(can_pair(Base::A, Base::A));
+  EXPECT_FALSE(can_pair(Base::A, Base::C));
+  EXPECT_FALSE(can_pair(Base::A, Base::G));
+  EXPECT_FALSE(can_pair(Base::C, Base::C));
+  EXPECT_FALSE(can_pair(Base::C, Base::U));
+  EXPECT_FALSE(can_pair(Base::G, Base::G));
+  EXPECT_FALSE(can_pair(Base::U, Base::U));
+}
+
+// ------------------------------------------------------------ sequence
+
+TEST(Sequence, ParseAndRender) {
+  const auto s = Sequence::from_string("ACGU");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.to_string(), "ACGU");
+}
+
+TEST(Sequence, ParseSkipsWhitespace) {
+  const auto s = Sequence::from_string(" AC\nGU\t ");
+  EXPECT_EQ(s.to_string(), "ACGU");
+}
+
+TEST(Sequence, ParseNormalizesDna) {
+  EXPECT_EQ(Sequence::from_string("acgt").to_string(), "ACGU");
+}
+
+TEST(Sequence, ParseErrorReportsPosition) {
+  try {
+    Sequence::from_string("ACXGU");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("position 2"), std::string::npos);
+  }
+}
+
+TEST(Sequence, EmptyIsAllowed) {
+  const auto s = Sequence::from_string("");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(Sequence, ReversedReverses) {
+  const auto s = Sequence::from_string("ACGU");
+  EXPECT_EQ(s.reversed().to_string(), "UGCA");
+  EXPECT_EQ(s.reversed().reversed(), s);
+}
+
+TEST(Sequence, ComplementedComplements) {
+  const auto s = Sequence::from_string("ACGU");
+  EXPECT_EQ(s.complemented().to_string(), "UGCA");
+  EXPECT_EQ(s.complemented().complemented(), s);
+}
+
+TEST(Sequence, AtBoundsChecked) {
+  const auto s = Sequence::from_string("AC");
+  EXPECT_EQ(s.at(1), Base::C);
+  EXPECT_THROW(s.at(2), std::out_of_range);
+}
+
+// --------------------------------------------------------------- fasta
+
+TEST(Fasta, RoundTripMultiRecord) {
+  std::vector<FastaRecord> records = {
+      {"mrna fragment", Sequence::from_string("ACGUACGUACGU")},
+      {"mirna", Sequence::from_string("UGCAUGCA")},
+  };
+  std::ostringstream out;
+  write_fasta(out, records, 5);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_fasta(in), records);
+}
+
+TEST(Fasta, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "; a comment\n"
+      ">seq1\n"
+      "ACG\n"
+      "\n"
+      "UAC\n"
+      ">seq2\n"
+      "GG\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "seq1");
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGUAC");
+  EXPECT_EQ(records[1].sequence.to_string(), "GG");
+}
+
+TEST(Fasta, ToleratesCrlf) {
+  std::istringstream in(">s\r\nACGU\r\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGU");
+}
+
+TEST(Fasta, HeaderWhitespaceTrimmed) {
+  std::istringstream in(">  padded name\nA\n");
+  EXPECT_EQ(read_fasta(in).at(0).name, "padded name");
+}
+
+TEST(Fasta, DataBeforeHeaderThrows) {
+  std::istringstream in("ACGU\n>late\nA\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), ParseError);
+}
+
+TEST(Fasta, LineWrappingAtWidth) {
+  std::ostringstream out;
+  write_fasta(out, {{"s", Sequence::from_string("ACGUACGUAC")}}, 4);
+  EXPECT_EQ(out.str(), ">s\nACGU\nACGU\nAC\n");
+}
+
+// -------------------------------------------------------------- random
+
+TEST(Random, DeterministicPerSeed) {
+  EXPECT_EQ(random_sequence(100, 42), random_sequence(100, 42));
+  EXPECT_NE(random_sequence(100, 42), random_sequence(100, 43));
+}
+
+TEST(Random, RequestedLength) {
+  for (const std::size_t len : {0u, 1u, 17u, 256u}) {
+    EXPECT_EQ(random_sequence(len, 1).size(), len);
+  }
+}
+
+TEST(Random, GcContentRespected) {
+  std::mt19937_64 rng(7);
+  const auto high_gc = random_sequence(4000, rng, 0.9);
+  int gc = 0;
+  for (const Base b : high_gc) {
+    gc += (b == Base::G || b == Base::C) ? 1 : 0;
+  }
+  EXPECT_GT(gc, 3300);  // E = 3600, generous slack
+  const auto low_gc = random_sequence(4000, rng, 0.1);
+  gc = 0;
+  for (const Base b : low_gc) {
+    gc += (b == Base::G || b == Base::C) ? 1 : 0;
+  }
+  EXPECT_LT(gc, 700);
+}
+
+TEST(Random, MutatedReverseComplementExactAtRateZero) {
+  std::mt19937_64 rng(3);
+  const auto target = random_sequence(50, rng);
+  const auto rc = mutated_reverse_complement(target, rng, 0.0);
+  EXPECT_EQ(rc, target.reversed().complemented());
+}
+
+TEST(Random, MutatedReverseComplementDiffersAtHighRate) {
+  std::mt19937_64 rng(3);
+  const auto target = random_sequence(200, rng);
+  const auto noisy = mutated_reverse_complement(target, rng, 1.0);
+  EXPECT_NE(noisy, target.reversed().complemented());
+  EXPECT_EQ(noisy.size(), target.size());
+}
+
+// ------------------------------------------------------------- scoring
+
+TEST(Scoring, BpmaxDefaultWeights) {
+  const auto m = ScoringModel::bpmax_default();
+  EXPECT_EQ(m.intra(Base::G, Base::C), 3.0f);
+  EXPECT_EQ(m.intra(Base::C, Base::G), 3.0f);
+  EXPECT_EQ(m.intra(Base::A, Base::U), 2.0f);
+  EXPECT_EQ(m.intra(Base::G, Base::U), 1.0f);
+  EXPECT_EQ(m.inter(Base::G, Base::C), 3.0f);
+  EXPECT_EQ(m.inter(Base::U, Base::A), 2.0f);
+  EXPECT_EQ(m.inter(Base::U, Base::G), 1.0f);
+}
+
+TEST(Scoring, ForbiddenPairsAreMinusInfinity) {
+  const auto m = ScoringModel::bpmax_default();
+  EXPECT_EQ(m.intra(Base::A, Base::A), kForbidden);
+  EXPECT_EQ(m.intra(Base::A, Base::G), kForbidden);
+  EXPECT_EQ(m.inter(Base::C, Base::U), kForbidden);
+}
+
+TEST(Scoring, UnitModelScoresOne) {
+  const auto m = ScoringModel::unit();
+  EXPECT_EQ(m.intra(Base::G, Base::C), 1.0f);
+  EXPECT_EQ(m.intra(Base::A, Base::U), 1.0f);
+  EXPECT_EQ(m.intra(Base::G, Base::U), 1.0f);
+  EXPECT_EQ(m.intra(Base::A, Base::C), kForbidden);
+}
+
+TEST(Scoring, AdmissibilityMatchesCanPair) {
+  const auto m = ScoringModel::bpmax_default();
+  for (int x = 0; x < kNumBases; ++x) {
+    for (int y = 0; y < kNumBases; ++y) {
+      const Base a = static_cast<Base>(x);
+      const Base b = static_cast<Base>(y);
+      EXPECT_EQ(m.intra(a, b) != kForbidden, can_pair(a, b));
+      EXPECT_EQ(m.inter(a, b) != kForbidden, can_pair(a, b));
+    }
+  }
+}
+
+TEST(Scoring, MinHairpinDefaultZero) {
+  const auto m = ScoringModel::bpmax_default();
+  EXPECT_EQ(m.min_hairpin(), 0);
+  EXPECT_TRUE(m.hairpin_ok(0, 1));
+}
+
+TEST(Scoring, MinHairpinConstrainsAdjacent) {
+  auto m = ScoringModel::bpmax_default();
+  m.set_min_hairpin(3);
+  EXPECT_FALSE(m.hairpin_ok(0, 1));
+  EXPECT_FALSE(m.hairpin_ok(0, 3));
+  EXPECT_TRUE(m.hairpin_ok(0, 4));
+}
+
+TEST(Scoring, CustomWeightOverride) {
+  auto m = ScoringModel::bpmax_default();
+  m.set_intra(Base::A, Base::U, 7.5f);
+  EXPECT_EQ(m.intra(Base::A, Base::U), 7.5f);
+  EXPECT_EQ(m.intra(Base::U, Base::A), 7.5f);  // symmetric setter
+}
+
+TEST(ScoreTables, MatchesModel) {
+  const auto s1 = Sequence::from_string("GACU");
+  const auto s2 = Sequence::from_string("CUG");
+  const auto model = ScoringModel::bpmax_default();
+  const ScoreTables t(s1, s2, model);
+  ASSERT_EQ(t.m(), 4);
+  ASSERT_EQ(t.n(), 3);
+  for (int i = 0; i < t.m(); ++i) {
+    for (int j = i + 1; j < t.m(); ++j) {
+      EXPECT_EQ(t.intra1(i, j),
+                model.intra(s1[static_cast<std::size_t>(i)],
+                            s1[static_cast<std::size_t>(j)]));
+    }
+  }
+  for (int i = 0; i < t.n(); ++i) {
+    for (int j = i + 1; j < t.n(); ++j) {
+      EXPECT_EQ(t.intra2(i, j),
+                model.intra(s2[static_cast<std::size_t>(i)],
+                            s2[static_cast<std::size_t>(j)]));
+    }
+  }
+  for (int i = 0; i < t.m(); ++i) {
+    for (int j = 0; j < t.n(); ++j) {
+      EXPECT_EQ(t.inter(i, j),
+                model.inter(s1[static_cast<std::size_t>(i)],
+                            s2[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+TEST(ScoreTables, HairpinConstraintApplied) {
+  auto model = ScoringModel::bpmax_default();
+  model.set_min_hairpin(2);
+  const auto seq = Sequence::from_string("GCGC");
+  const ScoreTables t(seq, seq, model);
+  EXPECT_EQ(t.intra1(0, 1), kForbidden);  // loop too small
+  EXPECT_EQ(t.intra1(0, 2), kForbidden);
+  EXPECT_EQ(t.intra1(0, 3), 3.0f);  // G..C with 2 in between
+  // No loop constraint across strands.
+  EXPECT_EQ(t.inter(0, 1), 3.0f);
+}
+
+/// Property sweep: ScoreTables agrees with the model for random inputs.
+class ScoreTablesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoreTablesSweep, InterRowAgreesWithModel) {
+  std::mt19937_64 rng(GetParam());
+  const auto s1 = random_sequence(11, rng);
+  const auto s2 = random_sequence(9, rng);
+  const auto model = ScoringModel::bpmax_default();
+  const ScoreTables t(s1, s2, model);
+  for (int i = 0; i < t.m(); ++i) {
+    for (int j = 0; j < t.n(); ++j) {
+      EXPECT_EQ(t.inter(i, j),
+                model.inter(s1[static_cast<std::size_t>(i)],
+                            s2[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreTablesSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace

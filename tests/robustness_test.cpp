@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/core/traceback.hpp"
+#include "rri/rna/fasta.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+
+// -------------------------------------------------------- input fuzzing
+
+/// Random byte soup must never crash the FASTA parser: it either parses
+/// or throws ParseError.
+class FastaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastaFuzz, ParserNeverCrashes) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> len(0, 200);
+  // Mix printable garbage with FASTA-ish characters to reach deep paths.
+  const std::string alphabet =
+      ">;ACGUTacgut\n\r\t XN0123-|{}=";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string soup;
+    const int l = len(rng);
+    for (int i = 0; i < l; ++i) {
+      soup.push_back(alphabet[pick(rng)]);
+    }
+    std::istringstream in(soup);
+    try {
+      const auto records = rna::read_fasta(in);
+      for (const auto& rec : records) {
+        // Anything parsed must render back to pure ACGU.
+        for (const char c : rec.sequence.to_string()) {
+          EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'U');
+        }
+      }
+    } catch (const rna::ParseError&) {
+      // fine: rejected with a typed error
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastaFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SequenceFuzz, FromStringNeverCrashes) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    std::uniform_int_distribution<int> len(0, 64);
+    const int l = len(rng);
+    for (int i = 0; i < l; ++i) {
+      soup.push_back(static_cast<char>(byte(rng)));
+    }
+    try {
+      const auto seq = rna::Sequence::from_string(soup);
+      EXPECT_LE(seq.size(), soup.size());
+    } catch (const rna::ParseError&) {
+    }
+  }
+}
+
+// -------------------------------------------------- corruption injection
+
+TEST(FailureInjection, CorruptedRootCellBreaksTraceback) {
+  std::mt19937_64 rng(7);
+  const auto s1 = rna::random_sequence(8, rng);
+  const auto s2 = rna::random_sequence(8, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  auto result = core::bpmax_solve(s1, s2, model);
+  // A score no combination of weights {1,2,3} can reach exactly.
+  result.f.at(0, 7, 0, 7) = 0.123f;
+  result.score = 0.123f;
+  EXPECT_THROW(core::traceback(result, s1, s2, model), std::logic_error);
+}
+
+TEST(FailureInjection, WrongModelBreaksTraceback) {
+  // Tables filled under one model, traced under another: the achieving
+  // case can no longer be recognized (unless scores coincide by luck,
+  // which these lengths and weights do not allow).
+  std::mt19937_64 rng(8);
+  const auto s1 = rna::random_sequence(9, rng, 0.8);
+  const auto s2 = rna::random_sequence(9, rng, 0.8);
+  const auto weighted = rna::ScoringModel::bpmax_default();
+  const auto result = core::bpmax_solve(s1, s2, weighted);
+  auto skewed = rna::ScoringModel::bpmax_default();
+  skewed.set_intra(rna::Base::G, rna::Base::C, 2.5f);
+  skewed.set_inter(rna::Base::G, rna::Base::C, 2.5f);
+  skewed.set_inter(rna::Base::C, rna::Base::G, 2.5f);
+  EXPECT_THROW(core::traceback(result, s1, s2, skewed), std::logic_error);
+}
+
+// --------------------------------------------------------- serialization
+
+TEST(Serialize, RoundTripsSolvedTable) {
+  std::mt19937_64 rng(11);
+  const auto s1 = rna::random_sequence(7, rng);
+  const auto s2 = rna::random_sequence(9, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto result = core::bpmax_solve(s1, s2, model);
+
+  std::stringstream stream;
+  core::save_ftable(stream, result.f);
+  const core::FTable loaded = core::load_ftable(stream);
+  ASSERT_EQ(loaded.m(), result.f.m());
+  ASSERT_EQ(loaded.n(), result.f.n());
+  for (int i1 = 0; i1 < loaded.m(); ++i1) {
+    for (int j1 = i1; j1 < loaded.m(); ++j1) {
+      for (int i2 = 0; i2 < loaded.n(); ++i2) {
+        for (int j2 = i2; j2 < loaded.n(); ++j2) {
+          ASSERT_EQ(loaded.at(i1, j1, i2, j2), result.f.at(i1, j1, i2, j2));
+        }
+      }
+    }
+  }
+  // A loaded table supports traceback directly.
+  core::BpmaxResult reconstructed;
+  reconstructed.s1 = core::STable(s1, model);
+  reconstructed.s2 = core::STable(s2, model);
+  reconstructed.f = loaded;
+  reconstructed.score = loaded.at(0, 6, 0, 8);
+  const auto js = core::traceback(reconstructed, s1, s2, model);
+  EXPECT_EQ(core::structure_score(js, s1, s2, model), result.score);
+}
+
+TEST(Serialize, EmptyTableRoundTrips) {
+  std::stringstream stream;
+  core::save_ftable(stream, core::FTable(0, 0));
+  const auto loaded = core::load_ftable(stream);
+  EXPECT_EQ(loaded.m(), 0);
+  EXPECT_EQ(loaded.n(), 0);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream stream("GARBAGE DATA THAT IS NOT A TABLE");
+  EXPECT_THROW(core::load_ftable(stream), core::SerializeError);
+}
+
+TEST(Serialize, TruncationRejected) {
+  std::stringstream stream;
+  core::save_ftable(stream, core::FTable(4, 4));
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(core::load_ftable(cut), core::SerializeError);
+}
+
+TEST(Serialize, EmptyStreamRejected) {
+  std::stringstream empty;
+  EXPECT_THROW(core::load_ftable(empty), core::SerializeError);
+}
+
+TEST(Serialize, SavedSizeIsHalfTheBoundingBox) {
+  const core::FTable table(10, 6);
+  std::stringstream stream;
+  core::save_ftable(stream, table);
+  const std::size_t payload = stream.str().size() - 20;  // header bytes
+  EXPECT_EQ(payload, 10u * 11u / 2u * 36u * sizeof(float));
+  EXPECT_LT(payload, table.allocated() * sizeof(float));
+}
+
+}  // namespace

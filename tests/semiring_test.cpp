@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "rri/semiring/matrix.hpp"
+#include "rri/semiring/product.hpp"
+#include "rri/semiring/streaming.hpp"
+#include "rri/semiring/tropical.hpp"
+
+namespace {
+
+using namespace rri::semiring;
+
+// ------------------------------------------------------ semiring axioms
+
+template <typename S>
+void expect_semiring_axioms(typename S::value_type a, typename S::value_type b,
+                            typename S::value_type c) {
+  using T = typename S::value_type;
+  const T zero = S::zero();
+  const T one = S::one();
+  // plus: associative, commutative, identity zero
+  EXPECT_EQ(S::plus(S::plus(a, b), c), S::plus(a, S::plus(b, c)));
+  EXPECT_EQ(S::plus(a, b), S::plus(b, a));
+  EXPECT_EQ(S::plus(a, zero), a);
+  // times: associative, identity one, absorbing zero
+  EXPECT_EQ(S::times(S::times(a, b), c), S::times(a, S::times(b, c)));
+  EXPECT_EQ(S::times(a, one), a);
+  EXPECT_EQ(S::times(one, a), a);
+  EXPECT_EQ(S::times(a, zero), zero);
+  // distributivity
+  EXPECT_EQ(S::times(a, S::plus(b, c)), S::plus(S::times(a, b), S::times(a, c)));
+}
+
+class TropicalAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TropicalAxioms, MaxPlusHolds) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> dist(-50, 50);
+  for (int i = 0; i < 25; ++i) {
+    // Small integers stored in float: all operations exact.
+    expect_semiring_axioms<MaxPlus<float>>(static_cast<float>(dist(rng)),
+                                           static_cast<float>(dist(rng)),
+                                           static_cast<float>(dist(rng)));
+  }
+}
+
+TEST_P(TropicalAxioms, MinPlusHolds) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  std::uniform_int_distribution<int> dist(-50, 50);
+  for (int i = 0; i < 25; ++i) {
+    expect_semiring_axioms<MinPlus<float>>(static_cast<float>(dist(rng)),
+                                           static_cast<float>(dist(rng)),
+                                           static_cast<float>(dist(rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TropicalAxioms,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(Tropical, ZeroIsAbsorbingWithInfinity) {
+  using S = MaxPlus<float>;
+  EXPECT_EQ(S::times(S::zero(), 5.0f), S::zero());
+  EXPECT_EQ(S::plus(S::zero(), 5.0f), 5.0f);
+}
+
+TEST(Tropical, ArithmeticPolicyIsOrdinary) {
+  using S = Arithmetic<double>;
+  EXPECT_EQ(S::plus(2.0, 3.0), 5.0);
+  EXPECT_EQ(S::times(2.0, 3.0), 6.0);
+}
+
+// ------------------------------------------------------------- matrices
+
+TEST(Matrix, StorageAndAccess) {
+  Matrix<float> m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = 7.0f;
+  EXPECT_EQ(m.row(0)[1], 7.0f);
+  EXPECT_EQ(m.data()[1], 7.0f);
+}
+
+TEST(Matrix, EqualityIsElementwise) {
+  Matrix<int> a(2, 2, 0);
+  Matrix<int> b(2, 2, 0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 3;
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------ products
+
+Matrix<float> random_matrix(std::size_t r, std::size_t c,
+                            std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> dist(-20, 20);
+  Matrix<float> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m(i, j) = static_cast<float>(dist(rng));
+    }
+  }
+  return m;
+}
+
+TEST(Product, MaxPlusHandComputed) {
+  // C = A (x) B in max-plus: C[i][j] = max_k A[i][k] + B[k][j].
+  Matrix<float> a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 5;
+  a(1, 0) = 2; a(1, 1) = 0;
+  Matrix<float> b(2, 2);
+  b(0, 0) = 3; b(0, 1) = -1;
+  b(1, 0) = 0; b(1, 1) = 4;
+  Matrix<float> c(2, 2, MaxPlus<float>::zero());
+  product_naive<MaxPlus<float>>(a, b, c);
+  EXPECT_EQ(c(0, 0), 5.0f);   // max(1+3, 5+0)
+  EXPECT_EQ(c(0, 1), 9.0f);   // max(1-1, 5+4)
+  EXPECT_EQ(c(1, 0), 5.0f);   // max(2+3, 0+0)
+  EXPECT_EQ(c(1, 1), 4.0f);   // max(2-1, 0+4)
+}
+
+TEST(Product, ArithmeticMatchesOrdinaryMatmul) {
+  Matrix<double> a(2, 3);
+  Matrix<double> b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  Matrix<double> c(2, 2, 0.0);
+  product_naive<Arithmetic<double>>(a, b, c);
+  EXPECT_EQ(c(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(c(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(Product, MaxPlusIdentityMatrix) {
+  using S = MaxPlus<float>;
+  std::mt19937_64 rng(5);
+  const auto a = random_matrix(4, 4, rng);
+  Matrix<float> id(4, 4, S::zero());
+  for (std::size_t i = 0; i < 4; ++i) {
+    id(i, i) = S::one();
+  }
+  Matrix<float> c(4, 4, S::zero());
+  product_naive<S>(a, id, c);
+  EXPECT_EQ(c, a);
+}
+
+struct ProductCase {
+  std::size_t m, k, n;
+  TileShape tile;
+};
+
+class ProductEquivalence : public ::testing::TestWithParam<ProductCase> {};
+
+TEST_P(ProductEquivalence, AllVariantsMatchNaive) {
+  using S = MaxPlus<float>;
+  const auto p = GetParam();
+  std::mt19937_64 rng(p.m * 1000 + p.k * 100 + p.n);
+  const auto a = random_matrix(p.m, p.k, rng);
+  const auto b = random_matrix(p.k, p.n, rng);
+  Matrix<float> ref(p.m, p.n, S::zero());
+  product_naive<S>(a, b, ref);
+
+  Matrix<float> permuted(p.m, p.n, S::zero());
+  product_permuted<S>(a, b, permuted);
+  EXPECT_EQ(permuted, ref);
+
+  Matrix<float> tiled(p.m, p.n, S::zero());
+  product_tiled<S>(a, b, tiled, p.tile);
+  EXPECT_EQ(tiled, ref);
+
+  Matrix<float> par(p.m, p.n, S::zero());
+  product_parallel<S>(a, b, par, p.tile);
+  EXPECT_EQ(par, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ProductEquivalence,
+    ::testing::Values(ProductCase{1, 1, 1, {0, 0, 0}},
+                      ProductCase{3, 4, 5, {2, 2, 2}},
+                      ProductCase{8, 8, 8, {3, 3, 0}},
+                      ProductCase{16, 5, 9, {4, 2, 4}},
+                      ProductCase{7, 13, 6, {32, 32, 32}},
+                      ProductCase{20, 20, 20, {1, 1, 1}},
+                      ProductCase{12, 1, 12, {5, 0, 5}}));
+
+TEST(Product, AccumulatesIntoExistingC) {
+  using S = MaxPlus<float>;
+  Matrix<float> a(1, 1, 1.0f);
+  Matrix<float> b(1, 1, 1.0f);
+  Matrix<float> c(1, 1, 10.0f);  // larger than 1 + 1
+  product_permuted<S>(a, b, c);
+  EXPECT_EQ(c(0, 0), 10.0f);
+}
+
+TEST(Product, MaxPlusAssociativity) {
+  using S = MaxPlus<float>;
+  std::mt19937_64 rng(11);
+  const auto a = random_matrix(3, 4, rng);
+  const auto b = random_matrix(4, 5, rng);
+  const auto c = random_matrix(5, 2, rng);
+  Matrix<float> ab(3, 5, S::zero());
+  product_naive<S>(a, b, ab);
+  Matrix<float> ab_c(3, 2, S::zero());
+  product_naive<S>(ab, c, ab_c);
+  Matrix<float> bc(4, 2, S::zero());
+  product_naive<S>(b, c, bc);
+  Matrix<float> a_bc(3, 2, S::zero());
+  product_naive<S>(a, bc, a_bc);
+  EXPECT_EQ(ab_c, a_bc);  // exact: small-int floats
+}
+
+// ------------------------------------------------------------ streaming
+
+TEST(Streaming, KernelMatchesScalarReference) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> x(257);
+  std::vector<float> y(257);
+  std::vector<float> expected(257);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dist(rng);
+    y[i] = dist(rng);
+    expected[i] = std::max(0.75f + x[i], y[i]);
+  }
+  maxplus_stream(0.75f, x.data(), y.data(), x.size());
+  EXPECT_EQ(y, expected);
+}
+
+TEST(Streaming, ZeroLengthIsNoop) {
+  float dummy = 1.0f;
+  maxplus_stream(1.0f, &dummy, &dummy, 0);
+  EXPECT_EQ(dummy, 1.0f);
+}
+
+TEST(Streaming, BenchmarkRunsAndReports) {
+  const auto r = run_maxplus_stream(1024, 50, 1);
+  EXPECT_EQ(r.chunk_elems, 1024u);
+  EXPECT_EQ(r.iterations, 50u);
+  EXPECT_EQ(r.threads, 1);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Streaming, MultiThreadRunCompletes) {
+  const auto r = run_maxplus_stream(512, 20, 2);
+  EXPECT_EQ(r.threads, 2);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+}  // namespace

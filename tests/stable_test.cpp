@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "rri/core/stable.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using core::STable;
+
+rna::Sequence seq(const std::string& s) { return rna::Sequence::from_string(s); }
+
+/// Decode integer `code` into a sequence of `len` bases (base-4 digits).
+rna::Sequence decode(int code, int len) {
+  std::vector<rna::Base> bases;
+  for (int p = 0; p < len; ++p) {
+    bases.push_back(static_cast<rna::Base>(code % 4));
+    code /= 4;
+  }
+  return rna::Sequence(std::move(bases));
+}
+
+TEST(STable, EmptySequence) {
+  const STable t(seq(""), rna::ScoringModel::bpmax_default());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(STable, SingleBaseScoresZero) {
+  const STable t(seq("G"), rna::ScoringModel::bpmax_default());
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(STable, EmptyIntervalScoresZero) {
+  const STable t(seq("GC"), rna::ScoringModel::bpmax_default());
+  EXPECT_EQ(t.at(1, 0), 0.0f);
+  EXPECT_EQ(t.at(5, 2), 0.0f);
+}
+
+TEST(STable, HandComputedPairs) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  EXPECT_EQ(STable(seq("GC"), model).at(0, 1), 3.0f);
+  EXPECT_EQ(STable(seq("AU"), model).at(0, 1), 2.0f);
+  EXPECT_EQ(STable(seq("GU"), model).at(0, 1), 1.0f);
+  EXPECT_EQ(STable(seq("AA"), model).at(0, 1), 0.0f);
+  // Two nested pairs: G(AU)C -> GC=3 + AU=2.
+  EXPECT_EQ(STable(seq("GAUC"), model).at(0, 3), 5.0f);
+  // Two disjoint pairs: GC GC.
+  EXPECT_EQ(STable(seq("GCGC"), model).at(0, 3), 6.0f);
+}
+
+TEST(STable, HairpinConstraintSuppressesShortLoops) {
+  auto model = rna::ScoringModel::bpmax_default();
+  model.set_min_hairpin(3);
+  // GC can no longer pair (0 unpaired bases between them).
+  EXPECT_EQ(STable(seq("GC"), model).at(0, 1), 0.0f);
+  // G...C with 3 bases in between is allowed.
+  EXPECT_EQ(STable(seq("GAAAC"), model).at(0, 4), 3.0f);
+  EXPECT_EQ(STable(seq("GAAC"), model).at(0, 3), 0.0f);
+}
+
+TEST(STable, MonotoneUnderExtension) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  std::mt19937_64 rng(17);
+  const auto s = rna::random_sequence(24, rng);
+  const STable t(s, model);
+  for (int i = 0; i < t.size(); ++i) {
+    for (int j = i; j + 1 < t.size(); ++j) {
+      EXPECT_LE(t.at(i, j), t.at(i, j + 1))
+          << "extension by one base cannot lose score";
+      if (i > 0) {
+        EXPECT_LE(t.at(i, j), t.at(i - 1, j));
+      }
+    }
+  }
+}
+
+TEST(STable, RowAccessorMatchesAt) {
+  std::mt19937_64 rng(23);
+  const auto s = rna::random_sequence(15, rng);
+  const STable t(s, rna::ScoringModel::bpmax_default());
+  for (int i = 0; i < t.size(); ++i) {
+    for (int j = i; j < t.size(); ++j) {
+      EXPECT_EQ(t.row(i)[j], t.at(i, j));
+    }
+  }
+}
+
+/// Exhaustive ground truth over every sequence of a given length.
+class STableExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(STableExhaustive, MatchesBruteForceForAllSequences) {
+  const int len = GetParam();
+  const auto model = rna::ScoringModel::bpmax_default();
+  int combos = 1;
+  for (int p = 0; p < len; ++p) {
+    combos *= 4;
+  }
+  for (int code = 0; code < combos; ++code) {
+    const auto s = decode(code, len);
+    const STable t(s, model);
+    ASSERT_EQ(t.at(0, len - 1), core::nussinov_exhaustive(s, model, 0, len - 1))
+        << "sequence " << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, STableExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+/// Random longer sequences, all sub-intervals, vs the recursive reference.
+class STableRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(STableRandom, AllIntervalsMatchReference) {
+  std::mt19937_64 rng(GetParam());
+  const auto s = rna::random_sequence(10, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const STable t(s, model);
+  for (int i = 0; i < t.size(); ++i) {
+    for (int j = i; j < t.size(); ++j) {
+      ASSERT_EQ(t.at(i, j), core::nussinov_exhaustive(s, model, i, j))
+          << s.to_string() << " [" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST_P(STableRandom, UnitModelCountsPairs) {
+  std::mt19937_64 rng(GetParam() + 99);
+  const auto s = rna::random_sequence(12, rng);
+  const auto unit = rna::ScoringModel::unit();
+  const STable t(s, unit);
+  const int len = t.size();
+  const float total = t.at(0, len - 1);
+  // Pair count is bounded by floor(len / 2) and is a whole number.
+  EXPECT_GE(total, 0.0f);
+  EXPECT_LE(total, static_cast<float>(len / 2));
+  EXPECT_EQ(total, std::floor(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, STableRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(STable, UnitVersusWeightedOrdering) {
+  // Weighted score is at least the unit score (every weight >= 1) and at
+  // most 3x the unit score's pair count bound.
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = rna::random_sequence(14, rng);
+    const float unit =
+        STable(s, rna::ScoringModel::unit()).at(0, 13);
+    const float weighted =
+        STable(s, rna::ScoringModel::bpmax_default()).at(0, 13);
+    EXPECT_GE(weighted, unit);
+    EXPECT_LE(weighted, 3.0f * static_cast<float>(s.size() / 2));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/exhaustive.hpp"
+#include "rri/core/traceback.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using core::Variant;
+
+rna::Sequence seq(const std::string& s) { return rna::Sequence::from_string(s); }
+
+void expect_traceback_consistent(const rna::Sequence& s1,
+                                 const rna::Sequence& s2,
+                                 const rna::ScoringModel& model,
+                                 Variant variant) {
+  core::BpmaxOptions opt;
+  opt.variant = variant;
+  const auto res = core::bpmax_solve(s1, s2, model, opt);
+  const auto js = core::traceback(res, s1, s2, model);
+  EXPECT_TRUE(core::structure_ok(js, static_cast<int>(s1.size()),
+                                 static_cast<int>(s2.size())));
+  EXPECT_EQ(core::structure_score(js, s1, s2, model), res.score);
+}
+
+TEST(Traceback, HandCases) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  {
+    // Single intermolecular pair.
+    const auto res = core::bpmax_solve(seq("G"), seq("C"), model);
+    const auto js = core::traceback(res, seq("G"), seq("C"), model);
+    ASSERT_EQ(js.inter.size(), 1u);
+    EXPECT_EQ(js.inter[0], (std::pair<int, int>{0, 0}));
+    EXPECT_TRUE(js.intra1.empty());
+    EXPECT_TRUE(js.intra2.empty());
+  }
+  {
+    // No interaction possible.
+    const auto res = core::bpmax_solve(seq("A"), seq("C"), model);
+    const auto js = core::traceback(res, seq("A"), seq("C"), model);
+    EXPECT_EQ(js.pair_count(), 0u);
+  }
+  {
+    // Three parallel inter pairs.
+    const auto res = core::bpmax_solve(seq("GGG"), seq("CCC"), model);
+    const auto js = core::traceback(res, seq("GGG"), seq("CCC"), model);
+    EXPECT_EQ(core::structure_score(js, seq("GGG"), seq("CCC"), model), 9.0f);
+    EXPECT_EQ(js.inter.size(), 3u);
+  }
+}
+
+struct TracebackCase {
+  std::uint64_t seed;
+  int m, n;
+  Variant variant;
+};
+
+class TracebackSweep : public ::testing::TestWithParam<TracebackCase> {};
+
+TEST_P(TracebackSweep, ValidStructureWithMatchingScore) {
+  const auto p = GetParam();
+  std::mt19937_64 rng(p.seed);
+  const auto s1 = rna::random_sequence(static_cast<std::size_t>(p.m), rng);
+  const auto s2 = rna::random_sequence(static_cast<std::size_t>(p.n), rng);
+  expect_traceback_consistent(s1, s2, rna::ScoringModel::bpmax_default(),
+                              p.variant);
+}
+
+std::vector<TracebackCase> traceback_cases() {
+  std::vector<TracebackCase> cases;
+  std::uint64_t seed = 1;
+  for (const Variant v : core::all_variants()) {
+    cases.push_back({seed++, 7, 9, v});
+    cases.push_back({seed++, 12, 5, v});
+    cases.push_back({seed++, 10, 10, v});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TracebackSweep,
+                         ::testing::ValuesIn(traceback_cases()));
+
+TEST(Traceback, ScoreEqualsExhaustiveOptimum) {
+  std::mt19937_64 rng(91);
+  const auto model = rna::ScoringModel::bpmax_default();
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto s1 = rna::random_sequence(5, rng);
+    const auto s2 = rna::random_sequence(5, rng);
+    const auto res = core::bpmax_solve(s1, s2, model);
+    const auto js = core::traceback(res, s1, s2, model);
+    EXPECT_EQ(core::structure_score(js, s1, s2, model),
+              core::exhaustive_bpmax(s1, s2, model).score);
+  }
+}
+
+TEST(Traceback, WorksUnderUnitAndHairpinModels) {
+  std::mt19937_64 rng(92);
+  const auto s1 = rna::random_sequence(9, rng);
+  const auto s2 = rna::random_sequence(8, rng);
+  expect_traceback_consistent(s1, s2, rna::ScoringModel::unit(),
+                              Variant::kHybridTiled);
+  auto hairpin = rna::ScoringModel::bpmax_default();
+  hairpin.set_min_hairpin(3);
+  expect_traceback_consistent(s1, s2, hairpin, Variant::kHybridTiled);
+}
+
+TEST(Traceback, SingleStrandTracebackMatchesSTable) {
+  std::mt19937_64 rng(93);
+  const auto model = rna::ScoringModel::bpmax_default();
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto s = rna::random_sequence(12, rng);
+    const core::STable t(s, model);
+    const auto pairs =
+        core::traceback_single(t, s, model, 0, static_cast<int>(s.size()) - 1);
+    float total = 0.0f;
+    for (const auto& [i, j] : pairs) {
+      ASSERT_LT(i, j);
+      total += model.intra(s[static_cast<std::size_t>(i)],
+                           s[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_EQ(total, t.at(0, static_cast<int>(s.size()) - 1));
+    // Pairs are non-crossing and disjoint.
+    core::JointStructure js;
+    js.intra1 = pairs;
+    EXPECT_TRUE(core::structure_ok(js, static_cast<int>(s.size()), 0));
+  }
+}
+
+TEST(Traceback, EmptyStrandsHandled) {
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto res = core::bpmax_solve(seq("GAUC"), seq(""), model);
+  const auto js = core::traceback(res, seq("GAUC"), seq(""), model);
+  EXPECT_TRUE(core::structure_ok(js, 4, 0));
+  EXPECT_EQ(core::structure_score(js, seq("GAUC"), seq(""), model), 5.0f);
+}
+
+// ----------------------------------------------------------- rendering
+
+TEST(Render, BracketsBalancedAndCounted) {
+  std::mt19937_64 rng(94);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto s1 = rna::random_sequence(10, rng);
+  const auto s2 = rna::random_sequence(10, rng);
+  const auto res = core::bpmax_solve(s1, s2, model);
+  const auto js = core::traceback(res, s1, s2, model);
+  const auto r = core::render_structure(js, 10, 10);
+  EXPECT_EQ(r.strand1.size(), 10u);
+  EXPECT_EQ(r.strand2.size(), 10u);
+  const auto count = [](const std::string& s, char c) {
+    return std::count(s.begin(), s.end(), c);
+  };
+  EXPECT_EQ(count(r.strand1, '('), static_cast<long>(js.intra1.size()));
+  EXPECT_EQ(count(r.strand1, ')'), static_cast<long>(js.intra1.size()));
+  EXPECT_EQ(count(r.strand2, '('), static_cast<long>(js.intra2.size()));
+  EXPECT_EQ(count(r.strand1, '['), static_cast<long>(js.inter.size()));
+  EXPECT_EQ(count(r.strand2, ']'), static_cast<long>(js.inter.size()));
+}
+
+TEST(Render, EmptyStructureAllDots) {
+  const auto r = core::render_structure({}, 3, 2);
+  EXPECT_EQ(r.strand1, "...");
+  EXPECT_EQ(r.strand2, "..");
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+/// bpmax: command-line BPMax solver — the end-user face of the library.
+///
+/// Solve mode (default): score two strands and print the joint structure.
+///   bpmax GGGAAACCC UUGCCAAGG
+///   bpmax --fasta target.fa guide.fa
+/// Scan mode: slide a window along the first (long) strand.
+///   bpmax --scan --window 40 --stride 10 --fasta target.fa guide.fa
+///
+/// Both strands are read 5'->3'; the solver reverses strand 2 internally
+/// (pass --no-reverse if your input is already 3'->5').
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/core/traceback.hpp"
+#include "rri/core/windowed.hpp"
+#include "rri/harness/args.hpp"
+#include "rri/harness/report.hpp"
+#include "rri/harness/timing.hpp"
+#include "rri/rna/fasta.hpp"
+
+namespace {
+
+using namespace rri;
+
+core::Variant parse_variant(const std::string& name, bool* ok) {
+  *ok = true;
+  for (const core::Variant v : core::all_variants()) {
+    if (name == core::variant_name(v)) {
+      return v;
+    }
+  }
+  *ok = false;
+  return core::Variant::kHybridTiled;
+}
+
+/// "32x4x0" or "32,4,0" -> TileShape3.
+core::TileShape3 parse_tile(std::string text, bool* ok) {
+  std::replace(text.begin(), text.end(), 'x', ',');
+  int parts[3] = {0, 0, 0};
+  int count = 0;
+  std::istringstream in(text);
+  std::string piece;
+  while (std::getline(in, piece, ',')) {
+    if (count < 3) {
+      parts[count] = std::atoi(piece.c_str());
+    }
+    ++count;
+  }
+  *ok = (count == 3);
+  return core::TileShape3{parts[0], parts[1], parts[2]};
+}
+
+rna::Sequence load_sequence(const std::string& arg, bool fasta) {
+  if (fasta) {
+    const auto records = rna::read_fasta_file(arg);
+    if (records.empty()) {
+      throw rna::ParseError("no records in " + arg);
+    }
+    return records.front().sequence;
+  }
+  return rna::Sequence::from_string(arg);
+}
+
+int run_solve(const rna::Sequence& s1, const rna::Sequence& s2_fwd,
+              const rna::ScoringModel& model, const core::BpmaxOptions& opts,
+              bool reverse, bool csv, bool structure,
+              const std::string& save_path) {
+  const rna::Sequence s2 = reverse ? s2_fwd.reversed() : s2_fwd;
+  harness::StopWatch sw;
+  const auto result = core::bpmax_solve(s1, s2, model, opts);
+  const double secs = sw.seconds();
+  if (!save_path.empty()) {
+    std::ofstream out(save_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bpmax: cannot write %s\n", save_path.c_str());
+      return 2;
+    }
+    core::save_ftable(out, result.f);
+  }
+  if (csv) {
+    harness::ReportTable table({"m", "n", "score", "seconds", "variant"});
+    table.add_row({std::to_string(s1.size()), std::to_string(s2.size()),
+                   harness::fmt_double(result.score, 1),
+                   harness::fmt_double(secs, 4),
+                   core::variant_name(opts.variant)});
+    table.print_csv(std::cout);
+  } else {
+    std::printf("score: %.0f   (M=%zu, N=%zu, %s, %.3fs)\n",
+                static_cast<double>(result.score), s1.size(), s2.size(),
+                core::variant_name(opts.variant), secs);
+  }
+  if (structure && !s1.empty() && !s2.empty()) {
+    const auto js = core::traceback(result, s1, s2, model);
+    const auto rendered = core::render_structure(
+        js, static_cast<int>(s1.size()), static_cast<int>(s2.size()));
+    std::string anno2 = rendered.strand2;
+    std::string seq2_text = s2.to_string();
+    if (reverse) {
+      std::reverse(anno2.begin(), anno2.end());
+      for (char& c : anno2) {
+        c = c == '(' ? ')' : (c == ')' ? '(' : c);
+      }
+      seq2_text = s2_fwd.to_string();
+    }
+    std::printf("strand1 5'->3': %s\n                %s\n",
+                s1.to_string().c_str(), rendered.strand1.c_str());
+    std::printf("strand2 5'->3': %s\n                %s\n",
+                seq2_text.c_str(), anno2.c_str());
+    std::printf("pairs: %zu intra(1), %zu intra(2), %zu inter\n",
+                js.intra1.size(), js.intra2.size(), js.inter.size());
+  }
+  return 0;
+}
+
+int run_scan(const rna::Sequence& target, const rna::Sequence& guide_fwd,
+             const rna::ScoringModel& model, const core::BpmaxOptions& opts,
+             bool reverse, bool csv, int window, int stride, int top_k) {
+  core::ScanOptions scan;
+  scan.window = window;
+  scan.stride = stride;
+  scan.solver = opts;
+  const auto scores = core::scan_windows(
+      target, reverse ? guide_fwd.reversed() : guide_fwd, model, scan);
+  const auto top = core::top_windows(scores, static_cast<std::size_t>(top_k));
+  harness::ReportTable table({"offset", "length", "score"});
+  for (const auto& w : top) {
+    table.add_row({std::to_string(w.offset), std::to_string(w.length),
+                   harness::fmt_double(w.score, 1)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+    return 0;
+  }
+  std::printf("scanned %zu windows (window=%d stride=%d); top %zu:\n",
+              scores.size(), window, stride, top.size());
+  table.print(std::cout);
+  if (!top.empty() && top[0].length > 0 && !guide_fwd.empty()) {
+    // Re-solve the best window and show its predicted structure.
+    const auto& best = top[0];
+    const rna::Sequence guide =
+        reverse ? guide_fwd.reversed() : guide_fwd;
+    std::vector<rna::Base> slice(
+        target.bases().begin() + best.offset,
+        target.bases().begin() + best.offset + best.length);
+    const rna::Sequence window_seq{std::move(slice)};
+    const auto result = core::bpmax_solve(window_seq, guide, model, opts);
+    const auto js = core::traceback(result, window_seq, guide, model);
+    const auto rendered = core::render_structure(
+        js, best.length, static_cast<int>(guide.size()));
+    std::printf("\nbest site (target[%d..%d]):\n", best.offset,
+                best.offset + best.length - 1);
+    std::printf("  target: %s\n          %s\n",
+                window_seq.to_string().c_str(), rendered.strand1.c_str());
+    std::string anno2 = rendered.strand2;
+    std::string guide_text = guide.to_string();
+    if (reverse) {
+      std::reverse(anno2.begin(), anno2.end());
+      for (char& c : anno2) {
+        c = c == '(' ? ')' : (c == ')' ? '(' : c);
+      }
+      guide_text = guide_fwd.to_string();
+    }
+    std::printf("  guide:  %s\n          %s\n", guide_text.c_str(),
+                anno2.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "bpmax",
+      "BPMax RNA-RNA interaction: maximum weighted base pairs of the joint "
+      "secondary structure of two strands.");
+  args.set_positional_usage("STRAND1 STRAND2 (sequences, or files with "
+                            "--fasta)", 2, 2);
+  args.add_flag("fasta", "treat the positional arguments as FASTA files");
+  args.add_flag("scan", "scan strand 1 with a sliding window against "
+                        "strand 2");
+  args.add_flag("csv", "machine-readable CSV output");
+  args.add_flag("no-structure", "solve mode: skip the traceback rendering");
+  args.add_flag("no-reverse", "strand 2 is already 3'->5'");
+  args.add_flag("unit-weights", "score every admissible pair 1 instead of "
+                                "GC=3/AU=2/GU=1");
+  args.add_option("variant", "kernel variant: baseline, serial_permuted, "
+                             "coarse, fine, hybrid, hybrid_tiled",
+                  "hybrid_tiled");
+  args.add_option("tile", "R0 tile shape i2xk2xj2 (0 = untiled dimension)",
+                  "32x4x0");
+  args.add_option("threads", "OpenMP threads (0 = runtime default)", "0");
+  args.add_option("min-hairpin", "minimum unpaired bases inside an "
+                                 "intramolecular pair", "0");
+  args.add_option("window", "scan mode: window length", "64");
+  args.add_option("stride", "scan mode: window step", "16");
+  args.add_option("top", "scan mode: number of windows to report", "10");
+  args.add_option("save-table", "solve mode: write the full F-table "
+                                "(binary RRIF) for later traceback", "");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  bool ok = true;
+  const core::Variant variant = parse_variant(args.option("variant"), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "bpmax: unknown variant '%s'\n",
+                 args.option("variant").c_str());
+    return 2;
+  }
+  core::BpmaxOptions opts;
+  opts.variant = variant;
+  opts.tile = parse_tile(args.option("tile"), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "bpmax: bad tile shape '%s'\n",
+                 args.option("tile").c_str());
+    return 2;
+  }
+  opts.num_threads = args.option_int("threads");
+
+  auto model = args.flag("unit-weights") ? rna::ScoringModel::unit()
+                                         : rna::ScoringModel::bpmax_default();
+  model.set_min_hairpin(args.option_int("min-hairpin"));
+
+  try {
+    const auto s1 = load_sequence(args.positional()[0], args.flag("fasta"));
+    const auto s2 = load_sequence(args.positional()[1], args.flag("fasta"));
+    if (args.flag("scan")) {
+      return run_scan(s1, s2, model, opts, !args.flag("no-reverse"),
+                      args.flag("csv"), args.option_int("window"),
+                      args.option_int("stride"), args.option_int("top"));
+    }
+    return run_solve(s1, s2, model, opts, !args.flag("no-reverse"),
+                     args.flag("csv"), !args.flag("no-structure"),
+                     args.option("save-table"));
+  } catch (const rna::ParseError& e) {
+    std::fprintf(stderr, "bpmax: %s\n", e.what());
+    return 2;
+  }
+}
