@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mpi_scaling.dir/ext_mpi_scaling.cpp.o"
+  "CMakeFiles/ext_mpi_scaling.dir/ext_mpi_scaling.cpp.o.d"
+  "ext_mpi_scaling"
+  "ext_mpi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mpi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

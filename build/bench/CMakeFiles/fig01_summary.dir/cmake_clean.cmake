@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_summary.dir/fig01_summary.cpp.o"
+  "CMakeFiles/fig01_summary.dir/fig01_summary.cpp.o.d"
+  "fig01_summary"
+  "fig01_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

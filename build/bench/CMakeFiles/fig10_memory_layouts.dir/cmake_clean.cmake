@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_layouts.dir/fig10_memory_layouts.cpp.o"
+  "CMakeFiles/fig10_memory_layouts.dir/fig10_memory_layouts.cpp.o.d"
+  "fig10_memory_layouts"
+  "fig10_memory_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_microbench.dir/fig12_microbench.cpp.o"
+  "CMakeFiles/fig12_microbench.dir/fig12_microbench.cpp.o.d"
+  "fig12_microbench"
+  "fig12_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dmp_speedup.dir/fig14_dmp_speedup.cpp.o"
+  "CMakeFiles/fig14_dmp_speedup.dir/fig14_dmp_speedup.cpp.o.d"
+  "fig14_dmp_speedup"
+  "fig14_dmp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dmp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bpmax_perf.dir/fig15_bpmax_perf.cpp.o"
+  "CMakeFiles/fig15_bpmax_perf.dir/fig15_bpmax_perf.cpp.o.d"
+  "fig15_bpmax_perf"
+  "fig15_bpmax_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bpmax_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

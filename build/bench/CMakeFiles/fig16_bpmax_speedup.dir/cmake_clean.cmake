@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_bpmax_speedup.dir/fig16_bpmax_speedup.cpp.o"
+  "CMakeFiles/fig16_bpmax_speedup.dir/fig16_bpmax_speedup.cpp.o.d"
+  "fig16_bpmax_speedup"
+  "fig16_bpmax_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_bpmax_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_smt_effect.dir/fig17_smt_effect.cpp.o"
+  "CMakeFiles/fig17_smt_effect.dir/fig17_smt_effect.cpp.o.d"
+  "fig17_smt_effect"
+  "fig17_smt_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_smt_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

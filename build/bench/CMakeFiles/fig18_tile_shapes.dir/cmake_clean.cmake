@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tile_shapes.dir/fig18_tile_shapes.cpp.o"
+  "CMakeFiles/fig18_tile_shapes.dir/fig18_tile_shapes.cpp.o.d"
+  "fig18_tile_shapes"
+  "fig18_tile_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tile_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

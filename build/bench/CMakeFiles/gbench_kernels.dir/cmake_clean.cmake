@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_kernels.dir/gbench_kernels.cpp.o"
+  "CMakeFiles/gbench_kernels.dir/gbench_kernels.cpp.o.d"
+  "gbench_kernels"
+  "gbench_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

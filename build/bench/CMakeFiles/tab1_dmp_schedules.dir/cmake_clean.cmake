@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_dmp_schedules.dir/tab1_dmp_schedules.cpp.o"
+  "CMakeFiles/tab1_dmp_schedules.dir/tab1_dmp_schedules.cpp.o.d"
+  "tab1_dmp_schedules"
+  "tab1_dmp_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_dmp_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

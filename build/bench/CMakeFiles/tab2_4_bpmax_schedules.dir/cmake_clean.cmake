@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_4_bpmax_schedules.dir/tab2_4_bpmax_schedules.cpp.o"
+  "CMakeFiles/tab2_4_bpmax_schedules.dir/tab2_4_bpmax_schedules.cpp.o.d"
+  "tab2_4_bpmax_schedules"
+  "tab2_4_bpmax_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_4_bpmax_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab2_4_bpmax_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_loc_stats.dir/tab6_loc_stats.cpp.o"
+  "CMakeFiles/tab6_loc_stats.dir/tab6_loc_stats.cpp.o.d"
+  "tab6_loc_stats"
+  "tab6_loc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_loc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

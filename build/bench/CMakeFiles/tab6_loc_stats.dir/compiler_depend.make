@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab6_loc_stats.
+# This may be replaced when dependencies are built.

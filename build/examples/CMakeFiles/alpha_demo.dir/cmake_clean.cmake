@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_demo.dir/alpha_demo.cpp.o"
+  "CMakeFiles/alpha_demo.dir/alpha_demo.cpp.o.d"
+  "alpha_demo"
+  "alpha_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

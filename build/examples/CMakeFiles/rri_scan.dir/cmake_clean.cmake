@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_scan.dir/rri_scan.cpp.o"
+  "CMakeFiles/rri_scan.dir/rri_scan.cpp.o.d"
+  "rri_scan"
+  "rri_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

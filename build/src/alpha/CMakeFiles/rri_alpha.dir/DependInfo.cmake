@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alpha/src/analysis.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/analysis.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/analysis.cpp.o.d"
+  "/root/repo/src/alpha/src/ast.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/ast.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/ast.cpp.o.d"
+  "/root/repo/src/alpha/src/codegen.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/codegen.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/codegen.cpp.o.d"
+  "/root/repo/src/alpha/src/eval.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/eval.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/eval.cpp.o.d"
+  "/root/repo/src/alpha/src/lexer.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/lexer.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/lexer.cpp.o.d"
+  "/root/repo/src/alpha/src/parser.cpp" "src/alpha/CMakeFiles/rri_alpha.dir/src/parser.cpp.o" "gcc" "src/alpha/CMakeFiles/rri_alpha.dir/src/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/rri_poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

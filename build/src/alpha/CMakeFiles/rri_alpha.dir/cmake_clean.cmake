@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_alpha.dir/src/analysis.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/analysis.cpp.o.d"
+  "CMakeFiles/rri_alpha.dir/src/ast.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/ast.cpp.o.d"
+  "CMakeFiles/rri_alpha.dir/src/codegen.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/codegen.cpp.o.d"
+  "CMakeFiles/rri_alpha.dir/src/eval.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/eval.cpp.o.d"
+  "CMakeFiles/rri_alpha.dir/src/lexer.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/lexer.cpp.o.d"
+  "CMakeFiles/rri_alpha.dir/src/parser.cpp.o"
+  "CMakeFiles/rri_alpha.dir/src/parser.cpp.o.d"
+  "librri_alpha.a"
+  "librri_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

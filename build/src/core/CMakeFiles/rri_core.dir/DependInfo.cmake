@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/bpmax.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_baseline.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_baseline.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_baseline.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_coarse.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_coarse.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_coarse.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_fine.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_fine.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_fine.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_hybrid.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_hybrid.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_hybrid.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_hybrid_tiled.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_hybrid_tiled.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_hybrid_tiled.cpp.o.d"
+  "/root/repo/src/core/src/bpmax_serial_permuted.cpp" "src/core/CMakeFiles/rri_core.dir/src/bpmax_serial_permuted.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/bpmax_serial_permuted.cpp.o.d"
+  "/root/repo/src/core/src/double_maxplus.cpp" "src/core/CMakeFiles/rri_core.dir/src/double_maxplus.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/double_maxplus.cpp.o.d"
+  "/root/repo/src/core/src/exhaustive.cpp" "src/core/CMakeFiles/rri_core.dir/src/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/exhaustive.cpp.o.d"
+  "/root/repo/src/core/src/serialize.cpp" "src/core/CMakeFiles/rri_core.dir/src/serialize.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/core/src/stable.cpp" "src/core/CMakeFiles/rri_core.dir/src/stable.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/stable.cpp.o.d"
+  "/root/repo/src/core/src/structure.cpp" "src/core/CMakeFiles/rri_core.dir/src/structure.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/structure.cpp.o.d"
+  "/root/repo/src/core/src/traceback.cpp" "src/core/CMakeFiles/rri_core.dir/src/traceback.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/traceback.cpp.o.d"
+  "/root/repo/src/core/src/windowed.cpp" "src/core/CMakeFiles/rri_core.dir/src/windowed.cpp.o" "gcc" "src/core/CMakeFiles/rri_core.dir/src/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rna/CMakeFiles/rri_rna.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_core.dir/src/bpmax.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_baseline.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_baseline.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_coarse.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_coarse.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_fine.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_fine.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_hybrid.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_hybrid.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_hybrid_tiled.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_hybrid_tiled.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/bpmax_serial_permuted.cpp.o"
+  "CMakeFiles/rri_core.dir/src/bpmax_serial_permuted.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/double_maxplus.cpp.o"
+  "CMakeFiles/rri_core.dir/src/double_maxplus.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/exhaustive.cpp.o"
+  "CMakeFiles/rri_core.dir/src/exhaustive.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/serialize.cpp.o"
+  "CMakeFiles/rri_core.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/stable.cpp.o"
+  "CMakeFiles/rri_core.dir/src/stable.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/structure.cpp.o"
+  "CMakeFiles/rri_core.dir/src/structure.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/traceback.cpp.o"
+  "CMakeFiles/rri_core.dir/src/traceback.cpp.o.d"
+  "CMakeFiles/rri_core.dir/src/windowed.cpp.o"
+  "CMakeFiles/rri_core.dir/src/windowed.cpp.o.d"
+  "librri_core.a"
+  "librri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

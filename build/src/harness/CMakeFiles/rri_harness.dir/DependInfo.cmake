@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/src/args.cpp" "src/harness/CMakeFiles/rri_harness.dir/src/args.cpp.o" "gcc" "src/harness/CMakeFiles/rri_harness.dir/src/args.cpp.o.d"
+  "/root/repo/src/harness/src/flops.cpp" "src/harness/CMakeFiles/rri_harness.dir/src/flops.cpp.o" "gcc" "src/harness/CMakeFiles/rri_harness.dir/src/flops.cpp.o.d"
+  "/root/repo/src/harness/src/report.cpp" "src/harness/CMakeFiles/rri_harness.dir/src/report.cpp.o" "gcc" "src/harness/CMakeFiles/rri_harness.dir/src/report.cpp.o.d"
+  "/root/repo/src/harness/src/scaling.cpp" "src/harness/CMakeFiles/rri_harness.dir/src/scaling.cpp.o" "gcc" "src/harness/CMakeFiles/rri_harness.dir/src/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

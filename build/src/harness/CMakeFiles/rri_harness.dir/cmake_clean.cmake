@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_harness.dir/src/args.cpp.o"
+  "CMakeFiles/rri_harness.dir/src/args.cpp.o.d"
+  "CMakeFiles/rri_harness.dir/src/flops.cpp.o"
+  "CMakeFiles/rri_harness.dir/src/flops.cpp.o.d"
+  "CMakeFiles/rri_harness.dir/src/report.cpp.o"
+  "CMakeFiles/rri_harness.dir/src/report.cpp.o.d"
+  "CMakeFiles/rri_harness.dir/src/scaling.cpp.o"
+  "CMakeFiles/rri_harness.dir/src/scaling.cpp.o.d"
+  "librri_harness.a"
+  "librri_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/harness/CMakeFiles/rri_harness.dir/src/flops.cpp.o: \
+ /root/repo/src/harness/src/flops.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/harness/include/rri/harness/flops.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_machine.dir/src/roofline.cpp.o"
+  "CMakeFiles/rri_machine.dir/src/roofline.cpp.o.d"
+  "CMakeFiles/rri_machine.dir/src/spec.cpp.o"
+  "CMakeFiles/rri_machine.dir/src/spec.cpp.o.d"
+  "librri_machine.a"
+  "librri_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

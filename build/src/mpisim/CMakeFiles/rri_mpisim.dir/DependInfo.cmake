@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/src/bsp.cpp" "src/mpisim/CMakeFiles/rri_mpisim.dir/src/bsp.cpp.o" "gcc" "src/mpisim/CMakeFiles/rri_mpisim.dir/src/bsp.cpp.o.d"
+  "/root/repo/src/mpisim/src/dist_bpmax.cpp" "src/mpisim/CMakeFiles/rri_mpisim.dir/src/dist_bpmax.cpp.o" "gcc" "src/mpisim/CMakeFiles/rri_mpisim.dir/src/dist_bpmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rri_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rna/CMakeFiles/rri_rna.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_mpisim.dir/src/bsp.cpp.o"
+  "CMakeFiles/rri_mpisim.dir/src/bsp.cpp.o.d"
+  "CMakeFiles/rri_mpisim.dir/src/dist_bpmax.cpp.o"
+  "CMakeFiles/rri_mpisim.dir/src/dist_bpmax.cpp.o.d"
+  "librri_mpisim.a"
+  "librri_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/src/affine.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/affine.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/affine.cpp.o.d"
+  "/root/repo/src/poly/src/bpmax_catalog.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/bpmax_catalog.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/bpmax_catalog.cpp.o.d"
+  "/root/repo/src/poly/src/polyhedron.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/polyhedron.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/polyhedron.cpp.o.d"
+  "/root/repo/src/poly/src/scan.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/scan.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/scan.cpp.o.d"
+  "/root/repo/src/poly/src/schedule.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/schedule.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/schedule.cpp.o.d"
+  "/root/repo/src/poly/src/search.cpp" "src/poly/CMakeFiles/rri_poly.dir/src/search.cpp.o" "gcc" "src/poly/CMakeFiles/rri_poly.dir/src/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

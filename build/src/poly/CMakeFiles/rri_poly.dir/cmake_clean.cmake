@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_poly.dir/src/affine.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/affine.cpp.o.d"
+  "CMakeFiles/rri_poly.dir/src/bpmax_catalog.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/bpmax_catalog.cpp.o.d"
+  "CMakeFiles/rri_poly.dir/src/polyhedron.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/polyhedron.cpp.o.d"
+  "CMakeFiles/rri_poly.dir/src/scan.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/scan.cpp.o.d"
+  "CMakeFiles/rri_poly.dir/src/schedule.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/schedule.cpp.o.d"
+  "CMakeFiles/rri_poly.dir/src/search.cpp.o"
+  "CMakeFiles/rri_poly.dir/src/search.cpp.o.d"
+  "librri_poly.a"
+  "librri_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librri_poly.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rna/src/fasta.cpp" "src/rna/CMakeFiles/rri_rna.dir/src/fasta.cpp.o" "gcc" "src/rna/CMakeFiles/rri_rna.dir/src/fasta.cpp.o.d"
+  "/root/repo/src/rna/src/random.cpp" "src/rna/CMakeFiles/rri_rna.dir/src/random.cpp.o" "gcc" "src/rna/CMakeFiles/rri_rna.dir/src/random.cpp.o.d"
+  "/root/repo/src/rna/src/scoring.cpp" "src/rna/CMakeFiles/rri_rna.dir/src/scoring.cpp.o" "gcc" "src/rna/CMakeFiles/rri_rna.dir/src/scoring.cpp.o.d"
+  "/root/repo/src/rna/src/sequence.cpp" "src/rna/CMakeFiles/rri_rna.dir/src/sequence.cpp.o" "gcc" "src/rna/CMakeFiles/rri_rna.dir/src/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

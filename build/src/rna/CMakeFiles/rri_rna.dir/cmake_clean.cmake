@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_rna.dir/src/fasta.cpp.o"
+  "CMakeFiles/rri_rna.dir/src/fasta.cpp.o.d"
+  "CMakeFiles/rri_rna.dir/src/random.cpp.o"
+  "CMakeFiles/rri_rna.dir/src/random.cpp.o.d"
+  "CMakeFiles/rri_rna.dir/src/scoring.cpp.o"
+  "CMakeFiles/rri_rna.dir/src/scoring.cpp.o.d"
+  "CMakeFiles/rri_rna.dir/src/sequence.cpp.o"
+  "CMakeFiles/rri_rna.dir/src/sequence.cpp.o.d"
+  "librri_rna.a"
+  "librri_rna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_rna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rri_semiring.dir/src/streaming.cpp.o"
+  "CMakeFiles/rri_semiring.dir/src/streaming.cpp.o.d"
+  "librri_semiring.a"
+  "librri_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rri_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_bpmax_test.dir/alpha_bpmax_test.cpp.o"
+  "CMakeFiles/alpha_bpmax_test.dir/alpha_bpmax_test.cpp.o.d"
+  "alpha_bpmax_test"
+  "alpha_bpmax_test.pdb"
+  "alpha_bpmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_bpmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_codegen_test.dir/alpha_codegen_test.cpp.o"
+  "CMakeFiles/alpha_codegen_test.dir/alpha_codegen_test.cpp.o.d"
+  "alpha_codegen_test"
+  "alpha_codegen_test.pdb"
+  "alpha_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

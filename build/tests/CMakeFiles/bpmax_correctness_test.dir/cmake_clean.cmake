@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpmax_correctness_test.dir/bpmax_correctness_test.cpp.o"
+  "CMakeFiles/bpmax_correctness_test.dir/bpmax_correctness_test.cpp.o.d"
+  "bpmax_correctness_test"
+  "bpmax_correctness_test.pdb"
+  "bpmax_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpmax_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

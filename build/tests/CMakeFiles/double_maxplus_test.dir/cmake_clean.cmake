@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_maxplus_test.dir/double_maxplus_test.cpp.o"
+  "CMakeFiles/double_maxplus_test.dir/double_maxplus_test.cpp.o.d"
+  "double_maxplus_test"
+  "double_maxplus_test.pdb"
+  "double_maxplus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_maxplus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftable_test.dir/ftable_test.cpp.o"
+  "CMakeFiles/ftable_test.dir/ftable_test.cpp.o.d"
+  "ftable_test"
+  "ftable_test.pdb"
+  "ftable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

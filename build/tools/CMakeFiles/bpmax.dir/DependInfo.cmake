@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/bpmax_cli.cpp" "tools/CMakeFiles/bpmax.dir/bpmax_cli.cpp.o" "gcc" "tools/CMakeFiles/bpmax.dir/bpmax_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rna/CMakeFiles/rri_rna.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rri_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpmax.dir/bpmax_cli.cpp.o"
+  "CMakeFiles/bpmax.dir/bpmax_cli.cpp.o.d"
+  "bpmax"
+  "bpmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
