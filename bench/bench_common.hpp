@@ -13,9 +13,14 @@
 
 #include <omp.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rri/core/bpmax.hpp"
 #include "rri/core/bpmax_kernels.hpp"
@@ -25,9 +30,83 @@
 #include "rri/harness/scaling.hpp"
 #include "rri/harness/timing.hpp"
 #include "rri/machine/spec.hpp"
+#include "rri/obs/report.hpp"
 #include "rri/rna/random.hpp"
 
 namespace rri::bench {
+
+/// Collects the tables a bench binary prints and, when RRI_BENCH_JSON is
+/// set, writes them at exit as a BENCH_<slug>.json perf report (schema
+/// rri-obs-report/1, the same one `bpmax --profile` and tools/perf_diff
+/// speak, so a bench trajectory can be diffed run-over-run).
+/// RRI_BENCH_JSON=1 writes into the working directory; any other value
+/// is treated as the output directory.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void set_artifact(const std::string& artifact) {
+    label_ = artifact;
+    slug_.clear();
+    for (const char c : artifact) {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+        slug_ += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      } else if (!slug_.empty() && slug_.back() != '_') {
+        slug_ += '_';
+      }
+      if (slug_.size() >= 48) {
+        break;
+      }
+    }
+    while (!slug_.empty() && slug_.back() == '_') {
+      slug_.pop_back();
+    }
+  }
+
+  void add(const std::string& name, const harness::ReportTable& table) {
+    series_.push_back(
+        obs::SeriesTable{name, table.headers(), table.row_data()});
+  }
+
+  void write() const {
+    const char* env = std::getenv("RRI_BENCH_JSON");
+    if (env == nullptr || *env == '\0' || slug_.empty()) {
+      return;
+    }
+    std::string path(env);
+    if (path == "1") {
+      path.clear();
+    } else if (path.back() != '/') {
+      path += '/';
+    }
+    path += "BENCH_" + slug_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    obs::PerfReport report = obs::capture_report(label_, watch_.seconds());
+    report.series = series_;
+    obs::write_json(out, report);
+    std::fprintf(stderr, "bench report: %s\n", path.c_str());
+  }
+
+ private:
+  JsonSink() = default;
+
+  std::string label_;
+  std::string slug_;
+  std::vector<obs::SeriesTable> series_;
+  harness::StopWatch watch_;
+};
+
+namespace detail {
+inline void write_json_sink() { JsonSink::instance().write(); }
+}  // namespace detail
 
 inline void print_banner(const char* artifact, const char* what) {
   const auto host = machine::probe_host();
@@ -36,6 +115,16 @@ inline void print_banner(const char* artifact, const char* what) {
               "scale %.2f\n\n",
               host.name.c_str(), host.cores, host.threads_per_core,
               omp_get_max_threads(), harness::bench_scale());
+  JsonSink::instance().set_artifact(artifact);
+  std::atexit(&detail::write_json_sink);
+}
+
+/// Print `table` and register it as a JSON series (see JsonSink).
+inline void print_table(const std::string& series_name,
+                        const harness::ReportTable& table,
+                        std::ostream& out = std::cout) {
+  table.print(out);
+  JsonSink::instance().add(series_name, table);
 }
 
 /// Time one full BPMax fill (excluding S-tables and allocation) and

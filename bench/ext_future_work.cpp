@@ -32,7 +32,7 @@ int main() {
          harness::fmt_double(
              bench::dmp_gflops(m, n, core::DmpVariant::kRegTiled), 3)});
   }
-  dmp_table.print(std::cout);
+  bench::print_table("ext_future_work_dmp", dmp_table);
 
   // Part 2: R1/R2 finalization blocking on the full program.
   const int bm = harness::scaled_lengths({8})[0];
@@ -53,7 +53,7 @@ int main() {
          harness::fmt_double(bench::bpmax_fill_gflops(s1, s2, model, opt),
                              3)});
   }
-  r12_table.print(std::cout);
+  bench::print_table("ext_future_work_r12", r12_table);
   std::printf(
       "\nBoth transformations preserve results bit-for-bit (tested); their\n"
       "payoff is footprint-dependent — register tiling needs rows long\n"

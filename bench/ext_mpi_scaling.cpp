@@ -47,7 +47,7 @@ int main() {
          harness::fmt_double(r.simulated_speedup(cluster), 2) + "x",
          harness::fmt_double(r.simulated_speedup(fast), 2) + "x"});
   }
-  small_table.print(std::cout);
+  bench::print_table("ext_mpi_scaling_small", small_table);
 
   // Analytic projection at the paper's instance scale.
   std::printf("\nanalytic projection (300 x 2048, the paper's regime):\n");
@@ -61,7 +61,7 @@ int main() {
          harness::fmt_double(p.simulated_speedup(cluster), 2) + "x",
          harness::fmt_double(p.simulated_speedup(fast), 2) + "x"});
   }
-  big_table.print(std::cout);
+  bench::print_table("ext_mpi_scaling_big", big_table);
   std::printf(
       "\nAt toy sizes the N^2-block broadcasts swamp the compute; at the\n"
       "paper's sizes the Θ(M³N³)/P compute dominates and scaling is near\n"

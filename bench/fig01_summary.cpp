@@ -32,7 +32,7 @@ int main() {
                    harness::fmt_double(tiled, 3),
                    harness::fmt_double(base_secs / tiled_secs, 2) + "x"});
   }
-  table.print(std::cout);
+  bench::print_table("fig01_summary", table);
   std::printf(
       "\npaper (Xeon E5-1650v4, 6 threads, lengths to ~2000):\n"
       "  speedup exceeds 100x at long lengths; tiled reaches ~76 GFLOPS\n"

@@ -56,7 +56,7 @@ int main() {
                            static_cast<double>(box.allocated()) * 100.0,
                        0) + "%"});
   }
-  table.print(std::cout);
+  bench::print_table("fig10_memory_layouts", table);
   std::printf(
       "\npaper: Option-1 always beats Option-2 (cross-row column\n"
       "alignment helps the k2 reduction); the packed outer triangle\n"

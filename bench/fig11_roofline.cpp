@@ -32,7 +32,7 @@ int main() {
   roofline_rows(machine::xeon_e5_1650v4(), table);
   roofline_rows(machine::xeon_e_2278g(), table);
   roofline_rows(machine::probe_host(), table);
-  table.print(std::cout);
+  bench::print_table("fig11_roofline", table);
 
   const auto e5 = machine::xeon_e5_1650v4();
   std::printf("\nE5-1650v4 max-plus peak: %.1f GFLOPS (paper: ~346)\n",

@@ -37,7 +37,7 @@ int main() {
                      harness::fmt_double(r.gflops, 2)});
     }
   }
-  table.print(std::cout);
+  bench::print_table("fig12_microbench", table);
   std::printf(
       "\npaper (E5-1650v4): up to ~120 GFLOPS with 6 threads, ~240 with\n"
       "12 (hyper-threaded). Shape to check here: GFLOPS fall once the\n"

@@ -15,8 +15,8 @@ int main() {
   // Fig. 18 instance is 16 x 2500): fix M small and sweep the inner N.
   const int m = harness::scaled_lengths({16})[0];
   const auto lengths = harness::scaled_lengths({64, 128, 192, 256});
-  harness::ReportTable table(
-      {"M x N", "baseline", "permuted", "coarse", "fine", "tiled"});
+  harness::ReportTable table({"M x N", "baseline", "permuted", "coarse",
+                              "fine", "tiled", "reg_tiled"});
   for (const int n : lengths) {
     std::vector<std::string> row = {std::to_string(m) + "x" +
                                     std::to_string(n)};
@@ -26,7 +26,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::print_table("fig13_dmp_perf", table);
   std::printf(
       "\npaper (6 threads, lengths to 2500): tiled best at 117 GFLOPS;\n"
       "coarse-grain performs very poorly at scale; loop permutation alone\n"

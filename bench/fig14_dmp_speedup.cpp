@@ -27,7 +27,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::print_table("fig14_dmp_speedup", table);
   std::printf(
       "\npaper: tiled reaches ~178x over the base implementation at long\n"
       "lengths with 6 threads; speedup grows with sequence length. The\n"

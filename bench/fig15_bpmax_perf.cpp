@@ -29,7 +29,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::print_table("fig15_bpmax_perf", table);
   std::printf(
       "\npaper (6 threads): hybrid_tiled best (~76 GFLOPS, 100x over the\n"
       "original at long lengths); coarse/fine worst among the optimized\n"

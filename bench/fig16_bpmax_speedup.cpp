@@ -32,7 +32,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  bench::print_table("fig16_bpmax_speedup", table);
   std::printf(
       "\npaper: 100x for hybrid_tiled at long lengths with 6 threads;\n"
       "the ranking hybrid_tiled > hybrid > fine/coarse should hold at\n"

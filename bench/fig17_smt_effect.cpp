@@ -26,7 +26,7 @@ int main() {
     table.add_row({std::to_string(t), harness::fmt_double(g, 3),
                    harness::fmt_double(g / first, 2) + "x"});
   }
-  table.print(std::cout);
+  bench::print_table("fig17_smt_effect", table);
   std::printf(
       "\npaper (E5-1650v4, 6C/12T): scaling is near-linear to the core\n"
       "count, then SMT adds only 3-5%%. On this host expect gains up to\n"

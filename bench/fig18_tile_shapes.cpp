@@ -35,7 +35,7 @@ int main() {
       best_untiled_j2 = std::max(best_untiled_j2, g);
     }
   }
-  table.print(std::cout);
+  bench::print_table("fig18_tile_shapes", table);
   std::printf("\nbest j2-untiled %.3f vs best cubic %.3f GFLOPS (ratio "
               "%.2fx)\n",
               best_untiled_j2, best_cubic, best_untiled_j2 / best_cubic);

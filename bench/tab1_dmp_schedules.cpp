@@ -36,7 +36,7 @@ int main() {
     table.add_row({set.name, set.vectorizable ? "yes" : "no",
                    legal ? "yes" : "NO", kernel, gflops});
   }
-  table.print(std::cout);
+  bench::print_table("tab1_dmp_schedules", table);
   std::printf(
       "\nevery published schedule is certified legal; the deliberately\n"
       "broken control is rejected. The vectorizable orders run several\n"

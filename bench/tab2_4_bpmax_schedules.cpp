@@ -48,7 +48,7 @@ int main() {
       s1, s2, model, {core::Variant::kHybridTiled, {}, 0});
   table.add_row({"hybrid+tiled (Table V)", "13", "yes", "hybrid_tiled",
                  harness::fmt_double(tiled, 3)});
-  table.print(std::cout);
+  bench::print_table("tab2_4_bpmax_schedules", table);
   std::printf(
       "\nall four published schedules are certified against all 13\n"
       "dependences. Paper ranking to check: hybrid_tiled > hybrid >\n"

@@ -83,7 +83,7 @@ int main() {
     std::printf("note: source tree not found at %s; counts incomplete\n",
                 RRI_SOURCE_DIR);
   }
-  table.print(std::cout);
+  bench::print_table("tab6_loc_stats", table);
   std::printf(
       "\nnote: the 'base' row adds the shared scalar-cell routine's share\n"
       "(it lives in triangle_ops.hpp). The paper's counts are for\n"

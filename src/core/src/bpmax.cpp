@@ -3,6 +3,8 @@
 #include <omp.h>
 
 #include "rri/core/bpmax_kernels.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::core {
 
@@ -29,6 +31,25 @@ const std::vector<Variant>& all_variants() {
 void fill_variant(FTable& f, const STable& s1t, const STable& s2t,
                   const rna::ScoreTables& scores,
                   const BpmaxOptions& options) {
+  RRI_OBS_PHASE(obs::Phase::kFill);
+#if RRI_OBS_ENABLED
+  if (obs::enabled()) {
+    // Attribute the fill's exact operation counts (and the paper's
+    // AI = 1/6 flop/byte traffic model) to the phases that perform
+    // them. The baseline walks every reduction per cell with no
+    // separable band/finalize stages, so it books everything to kFill.
+    const auto c = harness::bpmax_flops(f.m(), f.n());
+    if (options.variant == Variant::kBaseline) {
+      obs::add_flops(obs::Phase::kFill, c.total());
+      obs::add_bytes(obs::Phase::kFill, 6.0 * c.total());
+    } else {
+      obs::add_flops(obs::Phase::kDmpBand, c.r0 + c.r3 + c.r4);
+      obs::add_bytes(obs::Phase::kDmpBand, 6.0 * (c.r0 + c.r3 + c.r4));
+      obs::add_flops(obs::Phase::kFinalize, c.r1 + c.r2 + c.cells);
+      obs::add_bytes(obs::Phase::kFinalize, 6.0 * (c.r1 + c.r2 + c.cells));
+    }
+  }
+#endif
   switch (options.variant) {
     case Variant::kBaseline:
       fill_baseline(f, s1t, s2t, scores);
@@ -84,8 +105,18 @@ BpmaxResult bpmax_solve(const rna::Sequence& strand1,
                         const rna::ScoringModel& model,
                         const BpmaxOptions& options) {
   BpmaxResult result;
-  result.s1 = STable(strand1, model);
-  result.s2 = STable(strand2, model);
+  {
+    RRI_OBS_PHASE(obs::Phase::kStable);
+    result.s1 = STable(strand1, model);
+    result.s2 = STable(strand2, model);
+#if RRI_OBS_ENABLED
+    if (obs::enabled()) {
+      obs::add_flops(obs::Phase::kStable,
+                     harness::stable_flops(static_cast<int>(strand1.size())) +
+                         harness::stable_flops(static_cast<int>(strand2.size())));
+    }
+#endif
+  }
 
   const int m = static_cast<int>(strand1.size());
   const int n = static_cast<int>(strand2.size());
@@ -99,8 +130,14 @@ BpmaxResult bpmax_solve(const rna::Sequence& strand1,
     return result;
   }
 
-  const rna::ScoreTables scores(strand1, strand2, model);
-  result.f = FTable(m, n);
+  const rna::ScoreTables scores = [&] {
+    RRI_OBS_PHASE(obs::Phase::kSetup);
+    return rna::ScoreTables(strand1, strand2, model);
+  }();
+  {
+    RRI_OBS_PHASE(obs::Phase::kSetup);
+    result.f = FTable(m, n);
+  }
   {
     ThreadCountGuard guard(options.num_threads);
     fill_variant(result.f, result.s1, result.s2, scores, options);

@@ -7,6 +7,8 @@
 #include "rri/core/bpmax_kernels.hpp"
 
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::core {
 
@@ -14,6 +16,10 @@ void fill_baseline(FTable& f, const STable& s1t, const STable& s2t,
                    const rna::ScoreTables& scores) {
   const int m = f.m();
   const int n = f.n();
+  // All of the baseline's work is one undivided per-cell scalar loop, so
+  // it contributes no band/finalize split — just the cell count.
+  RRI_OBS_COUNTER("fill.cells",
+                  harness::interval_pairs(m) * harness::interval_pairs(n));
   for (int d1 = 0; d1 < m; ++d1) {
     for (int d2 = 0; d2 < n; ++d2) {
       for (int i1 = 0; i1 + d1 < m; ++i1) {

@@ -8,6 +8,7 @@
 #include "rri/core/bpmax_kernels.hpp"
 
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::core {
 
@@ -19,17 +20,21 @@ void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
     for (int i1 = 0; i1 + d1 < m; ++i1) {
       const int j1 = i1 + d1;
       float* acc = f.block(i1, j1);
-      for (int k1 = i1; k1 < j1; ++k1) {
-        const float* a = f.block(i1, k1);
-        const float* b = f.block(k1 + 1, j1);
-        const float r3add = s1t.at(k1 + 1, j1);
-        const float r4add = s1t.at(i1, k1);
+      {
+        RRI_OBS_PHASE(obs::Phase::kDmpBand);
+        for (int k1 = i1; k1 < j1; ++k1) {
+          const float* a = f.block(i1, k1);
+          const float* b = f.block(k1 + 1, j1);
+          const float r3add = s1t.at(k1 + 1, j1);
+          const float r4add = s1t.at(i1, k1);
 #pragma omp parallel for schedule(dynamic)
-        for (int i2 = 0; i2 < n; ++i2) {
-          detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, i2,
-                                        i2 + 1);
+          for (int i2 = 0; i2 < n; ++i2) {
+            detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, i2,
+                                          i2 + 1);
+          }
         }
       }
+      RRI_OBS_PHASE(obs::Phase::kFinalize);
       detail::finalize_triangle(f, s1t, s2t, scores, i1, j1);
     }
   }

@@ -8,6 +8,7 @@
 #include "rri/core/bpmax_kernels.hpp"
 
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::core {
 
@@ -19,21 +20,27 @@ void fill_hybrid_tiled(FTable& f, const STable& s1t, const STable& s2t,
   const int ti = tile.ti2 > 0 ? tile.ti2 : n;
   const int n_tiles = (n + ti - 1) / ti;
   for (int d1 = 0; d1 < m; ++d1) {
-    for (int i1 = 0; i1 + d1 < m; ++i1) {
-      const int j1 = i1 + d1;
-      float* acc = f.block(i1, j1);
-      for (int k1 = i1; k1 < j1; ++k1) {
-        const float* a = f.block(i1, k1);
-        const float* b = f.block(k1 + 1, j1);
-        const float r3add = s1t.at(k1 + 1, j1);
-        const float r4add = s1t.at(i1, k1);
+    {
+      // Scopes sit on the orchestrating thread, outside the parallel
+      // regions, so the recorded phase times are wall-clock.
+      RRI_OBS_PHASE(obs::Phase::kDmpBand);
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        const int j1 = i1 + d1;
+        float* acc = f.block(i1, j1);
+        for (int k1 = i1; k1 < j1; ++k1) {
+          const float* a = f.block(i1, k1);
+          const float* b = f.block(k1 + 1, j1);
+          const float r3add = s1t.at(k1 + 1, j1);
+          const float r4add = s1t.at(i1, k1);
 #pragma omp parallel for schedule(dynamic)
-        for (int it = 0; it < n_tiles; ++it) {
-          detail::maxplus_instance_tiled(acc, a, b, r3add, r4add, n, tile, it,
-                                         it + 1);
+          for (int it = 0; it < n_tiles; ++it) {
+            detail::maxplus_instance_tiled(acc, a, b, r3add, r4add, n, tile, it,
+                                           it + 1);
+          }
         }
       }
     }
+    RRI_OBS_PHASE(obs::Phase::kFinalize);
 #pragma omp parallel for schedule(dynamic)
     for (int i1 = 0; i1 < m - d1; ++i1) {
       if (r12_jblock > 0) {

@@ -4,6 +4,8 @@
 
 #include "rri/core/maxops.hpp"
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::core {
 
@@ -202,6 +204,7 @@ void fill_triangle(FTable& f, std::uint64_t seed, int i1, int j1,
                    DmpVariant v, TileShape3 tile) {
   const int n = f.n();
   float* acc = f.block(i1, j1);
+  RRI_OBS_PHASE(obs::Phase::kDmpBand);
   for (int k1 = i1; k1 < j1; ++k1) {
     const float* a = f.block(i1, k1);
     const float* b = f.block(k1 + 1, j1);
@@ -283,6 +286,19 @@ float dmp_input_value(std::uint64_t seed, int i1, int j1, int i2, int j2) {
 
 FTable solve_double_maxplus(int m, int n, std::uint64_t seed, DmpVariant v,
                             TileShape3 tile) {
+  RRI_OBS_PHASE(obs::Phase::kFill);
+#if RRI_OBS_ENABLED
+  if (obs::enabled()) {
+    // The standalone problem is pure R0; the baseline order has no
+    // separable band stage, so it books its flops to the fill itself.
+    const double flops = harness::double_maxplus_flops(m, n);
+    const obs::Phase target = (v == DmpVariant::kBaseline)
+                                  ? obs::Phase::kFill
+                                  : obs::Phase::kDmpBand;
+    obs::add_flops(target, flops);
+    obs::add_bytes(target, 6.0 * flops);
+  }
+#endif
   FTable f(m, n);
   if (v == DmpVariant::kBaseline) {
     fill_baseline_order(f, seed);

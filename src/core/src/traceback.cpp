@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "rri/obs/obs.hpp"
+
 namespace rri::core {
 namespace {
 
@@ -166,6 +168,7 @@ JointStructure traceback(const BpmaxResult& result,
                          const rna::Sequence& strand1,
                          const rna::Sequence& strand2,
                          const rna::ScoringModel& model) {
+  RRI_OBS_PHASE(obs::Phase::kTraceback);
   return Tracer(result, strand1, strand2, model).run();
 }
 

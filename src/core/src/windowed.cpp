@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "rri/obs/obs.hpp"
+
 namespace rri::core {
 
 std::vector<WindowScore> scan_windows(const rna::Sequence& long_strand,
                                       const rna::Sequence& short_strand,
                                       const rna::ScoringModel& model,
                                       const ScanOptions& options) {
+  // Self time here is the scan orchestration (slicing, scheduling); the
+  // per-window solves report under their own phases.
+  RRI_OBS_PHASE(obs::Phase::kScan);
   const int len = static_cast<int>(long_strand.size());
   const int window = std::max(1, std::min(options.window, std::max(len, 1)));
   const int stride = std::max(1, options.stride);
@@ -22,6 +27,7 @@ std::vector<WindowScore> scan_windows(const rna::Sequence& long_strand,
   if (offsets.empty() && len == 0) {
     return {};
   }
+  RRI_OBS_COUNTER("scan.windows", static_cast<double>(offsets.size()));
 
   std::vector<WindowScore> out(offsets.size());
   const auto solve_one = [&](std::size_t idx) {

@@ -26,6 +26,13 @@ class ArgParser {
   void add_option(const std::string& name, const std::string& help,
                   const std::string& default_value);
 
+  /// Option usable bare or with an inline value: `--name` yields
+  /// `implicit_value`, `--name=V` yields V, absent yields "". Never
+  /// consumes the next argv token, so it composes with positionals
+  /// (e.g. `bpmax --profile SEQ1 SEQ2`).
+  void add_implicit_option(const std::string& name, const std::string& help,
+                           const std::string& implicit_value);
+
   /// Describe expected positional arguments for the usage line.
   void set_positional_usage(std::string usage, std::size_t min_count,
                             std::size_t max_count);
@@ -52,6 +59,8 @@ class ArgParser {
     std::string help;
     std::string default_value;
     bool is_flag = false;
+    bool is_implicit = false;
+    std::string implicit_value;
   };
 
   std::string program_;

@@ -21,6 +21,14 @@ class ReportTable {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Read access for exporters (e.g. the obs JSON series tables).
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
+
   /// Aligned plain-text table with a header rule.
   void print(std::ostream& out) const;
 

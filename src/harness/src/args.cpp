@@ -7,14 +7,21 @@
 namespace rri::harness {
 
 void ArgParser::add_flag(const std::string& name, const std::string& help) {
-  specs_.emplace_back(name, Spec{help, "", true});
+  specs_.emplace_back(name, Spec{help, "", true, false, ""});
   flags_[name] = false;
 }
 
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
-  specs_.emplace_back(name, Spec{help, default_value, false});
+  specs_.emplace_back(name, Spec{help, default_value, false, false, ""});
   values_[name] = default_value;
+}
+
+void ArgParser::add_implicit_option(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& implicit_value) {
+  specs_.emplace_back(name, Spec{help, "", false, true, implicit_value});
+  values_[name] = "";
 }
 
 void ArgParser::set_positional_usage(std::string usage, std::size_t min_count,
@@ -69,6 +76,8 @@ bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
     }
     if (has_inline) {
       values_[name] = std::move(inline_value);
+    } else if (spec->is_implicit) {
+      values_[name] = spec->implicit_value;
     } else {
       if (i + 1 >= argc) {
         err << program_ << ": option --" << name << " needs a value\n";
@@ -110,7 +119,9 @@ void ArgParser::print_help(std::ostream& out) const {
   out << description_ << "\n\noptions:\n";
   for (const auto& [name, spec] : specs_) {
     out << "  --" << name;
-    if (!spec.is_flag) {
+    if (spec.is_implicit) {
+      out << "[=<value>]";
+    } else if (!spec.is_flag) {
       out << " <value>";
     }
     out << "\n      " << spec.help;

@@ -71,6 +71,18 @@ class BspWorld {
     return last_sent_bytes_;
   }
 
+  /// Cumulative per-rank traffic over the world's whole lifetime:
+  /// [rank] -> payload bytes sent / delivered. Sends count immediately;
+  /// deliveries count at the barrier that hands them over (BSP
+  /// semantics), so mid-superstep the two totals differ by the bytes
+  /// still in flight.
+  const std::vector<std::size_t>& rank_sent_bytes() const noexcept {
+    return rank_sent_bytes_;
+  }
+  const std::vector<std::size_t>& rank_recv_bytes() const noexcept {
+    return rank_recv_bytes_;
+  }
+
  private:
   void check_rank(int rank) const {
     if (rank < 0 || rank >= ranks_) {
@@ -83,6 +95,8 @@ class BspWorld {
   std::vector<std::vector<Message>> delivered_;  ///< readable inboxes
   std::vector<std::size_t> current_sent_bytes_;
   std::vector<std::size_t> last_sent_bytes_;
+  std::vector<std::size_t> rank_sent_bytes_;
+  std::vector<std::size_t> rank_recv_bytes_;
   CommStats stats_;
 };
 

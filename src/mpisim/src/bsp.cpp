@@ -9,7 +9,9 @@ BspWorld::BspWorld(int ranks)
       in_flight_(static_cast<std::size_t>(ranks)),
       delivered_(static_cast<std::size_t>(ranks)),
       current_sent_bytes_(static_cast<std::size_t>(ranks), 0),
-      last_sent_bytes_(static_cast<std::size_t>(ranks), 0) {
+      last_sent_bytes_(static_cast<std::size_t>(ranks), 0),
+      rank_sent_bytes_(static_cast<std::size_t>(ranks), 0),
+      rank_recv_bytes_(static_cast<std::size_t>(ranks), 0) {
   if (ranks < 1) {
     throw std::invalid_argument("BspWorld needs at least one rank");
   }
@@ -22,6 +24,7 @@ void BspWorld::send(int from, int to, int tag, std::vector<float> payload) {
   stats_.messages += 1;
   stats_.bytes += bytes;
   current_sent_bytes_[static_cast<std::size_t>(from)] += bytes;
+  rank_sent_bytes_[static_cast<std::size_t>(from)] += bytes;
   in_flight_[static_cast<std::size_t>(to)].push_back(
       Message{from, tag, std::move(payload)});
 }
@@ -39,6 +42,10 @@ void BspWorld::barrier() {
   for (int rank = 0; rank < ranks_; ++rank) {
     auto& inbox = delivered_[static_cast<std::size_t>(rank)];
     auto& buffered = in_flight_[static_cast<std::size_t>(rank)];
+    for (const Message& msg : buffered) {
+      rank_recv_bytes_[static_cast<std::size_t>(rank)] +=
+          msg.payload.size() * sizeof(float);
+    }
     inbox.insert(inbox.end(), std::make_move_iterator(buffered.begin()),
                  std::make_move_iterator(buffered.end()));
     buffered.clear();

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "rri/core/detail/triangle_ops.hpp"
 #include "rri/harness/flops.hpp"
+#include "rri/obs/obs.hpp"
 
 namespace rri::mpisim {
 
@@ -77,6 +80,8 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
 
   for (int d1 = 0; d1 < m; ++d1) {
+    // One superstep per diagonal: compute + broadcast + barrier + install.
+    RRI_OBS_PHASE(obs::Phase::kSuperstep);
     std::vector<double> step_flops(static_cast<std::size_t>(ranks), 0.0);
     // Compute phase: block-cyclic ownership of the diagonal's triangles.
     for (int r = 0; r < ranks; ++r) {
@@ -100,9 +105,24 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
     world.barrier();
     // Install phase: copy received blocks into each rank's replica.
     std::size_t max_bytes = 0;
+    std::size_t step_bytes = 0;
     for (const std::size_t b : world.last_step_sent_bytes()) {
       max_bytes = std::max(max_bytes, b);
+      step_bytes += b;
     }
+#if RRI_OBS_ENABLED
+    if (obs::enabled()) {
+      double step_total_flops = 0.0;
+      for (const double fl : step_flops) {
+        step_total_flops += fl;
+      }
+      obs::add_flops(obs::Phase::kSuperstep, step_total_flops);
+      obs::add_bytes(obs::Phase::kSuperstep,
+                     static_cast<double>(step_bytes));
+    }
+#else
+    (void)step_bytes;
+#endif
     for (int r = 0; r < ranks; ++r) {
       core::FTable& f = tables[static_cast<std::size_t>(r)];
       for (Message& msg : world.receive(r)) {
@@ -121,6 +141,26 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
   }
 
   result.comm = world.stats();
+#if RRI_OBS_ENABLED
+  if (obs::enabled()) {
+    obs::add_counter("bsp.supersteps",
+                     static_cast<double>(result.comm.supersteps));
+    obs::add_counter("bsp.messages",
+                     static_cast<double>(result.comm.messages));
+    obs::add_counter("bsp.bytes", static_cast<double>(result.comm.bytes));
+    for (int r = 0; r < ranks; ++r) {
+      const std::string prefix = "bsp.rank" + std::to_string(r);
+      obs::add_counter(
+          (prefix + ".sent_bytes").c_str(),
+          static_cast<double>(
+              world.rank_sent_bytes()[static_cast<std::size_t>(r)]));
+      obs::add_counter(
+          (prefix + ".recv_bytes").c_str(),
+          static_cast<double>(
+              world.rank_recv_bytes()[static_cast<std::size_t>(r)]));
+    }
+  }
+#endif
   result.score = tables[0].at(0, m - 1, 0, n - 1);
   return result;
 }

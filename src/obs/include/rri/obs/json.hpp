@@ -1,0 +1,78 @@
+#ifndef RRI_OBS_JSON_HPP
+#define RRI_OBS_JSON_HPP
+
+/// \file json.hpp
+/// A minimal JSON document model used by the perf-report round trip and
+/// tools/perf_diff. Deliberately small: objects preserve insertion order
+/// (stable report output), numbers are doubles, parse errors throw.
+
+#include <cstddef>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rri::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const noexcept { return type_; }
+  bool is(Type t) const noexcept { return type_ == t; }
+
+  /// Typed accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object helpers: `get` throws on a missing key, `find` returns
+  /// nullptr so callers can treat fields as optional.
+  const JsonValue& get(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+
+  /// Mutators (throw unless the value already has the right type).
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Serialize with 2-space indentation per `indent` level.
+  void write(std::ostream& out, int indent = 0) const;
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one JSON document (throws JsonError on malformed input or
+/// trailing garbage).
+JsonValue json_parse(const std::string& text);
+
+/// Escape a string for embedding inside JSON quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_JSON_HPP

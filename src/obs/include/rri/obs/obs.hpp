@@ -1,0 +1,109 @@
+#ifndef RRI_OBS_OBS_HPP
+#define RRI_OBS_OBS_HPP
+
+/// \file obs.hpp
+/// Observability entry points: scoped phase timers and operation
+/// counters for the BPMax kernels and the tools built on them.
+///
+/// Instrumentation is two-level:
+///  * compile time — the RRI_OBS_* macros expand to nothing when the
+///    library is configured with -DRRI_OBS=OFF (RRI_OBS_ENABLED == 0),
+///    so release kernels carry no hooks at all;
+///  * run time — with hooks compiled in, every entry point first checks
+///    one relaxed atomic bool (off by default), so an uninstrumented run
+///    pays a predictable branch per hook and nothing else.
+///
+/// Timing semantics: ScopedPhase records *exclusive* (self) wall time —
+/// time spent in a nested scope is attributed to the nested phase only —
+/// so the per-phase seconds of one thread sum to that thread's
+/// instrumented wall time. Scopes opened inside parallel regions
+/// accumulate per-thread time; the shipped kernels open scopes at
+/// barrier granularity on the orchestrating thread wherever the
+/// schedule allows, so the default variants report wall-clock phases
+/// (see docs/observability.md for the per-variant map).
+
+#ifndef RRI_OBS_ENABLED
+#define RRI_OBS_ENABLED 1
+#endif
+
+#include <chrono>
+
+namespace rri::obs {
+
+/// The phases the repo's kernels and tools report. Fixed set: phase
+/// accumulation must be a plain array indexed without locks.
+enum class Phase : int {
+  kStable = 0,  ///< single-strand S-table fills
+  kSetup,       ///< score tables + F-table allocation
+  kFill,        ///< F-table fill dispatch (self time: loop orchestration)
+  kDmpBand,     ///< double max-plus band (R0 + piggy-backed R3/R4)
+  kFinalize,    ///< per-triangle finalization (R1/R2 + cell terms)
+  kTraceback,   ///< structure recovery from a completed table
+  kScan,        ///< windowed scan orchestration
+  kSuperstep,   ///< BSP superstep (compute + exchange) in mpisim
+};
+inline constexpr int kPhaseCount = 8;
+
+/// Stable lower_snake name ("dmp_band", ...) used in reports and JSON.
+const char* phase_name(Phase p) noexcept;
+
+/// Runtime toggle. Starts false unless the RRI_OBS environment variable
+/// is set to a non-zero value; RRI_OBS_JSON=<path> additionally writes a
+/// JSON perf report at process exit (any binary linking the kernels).
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Attribute operations to a phase (thread-safe, no-ops when disabled).
+void add_flops(Phase p, double flops) noexcept;
+void add_bytes(Phase p, double bytes) noexcept;
+
+/// Monotonic named counter ("bsp.bytes_sent", "scan.windows", ...).
+void add_counter(const char* name, double delta);
+
+/// RAII exclusive-time phase scope. Cheap to construct when disabled
+/// (one atomic load); see file comment for attribution semantics.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p) noexcept {
+    if (enabled()) {
+      begin(p);
+    }
+  }
+  ~ScopedPhase() {
+    if (active_) {
+      end();
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  void begin(Phase p) noexcept;
+  void end() noexcept;
+
+  Phase phase_{};
+  ScopedPhase* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  double child_seconds_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace rri::obs
+
+#if RRI_OBS_ENABLED
+#define RRI_OBS_CONCAT_IMPL(a, b) a##b
+#define RRI_OBS_CONCAT(a, b) RRI_OBS_CONCAT_IMPL(a, b)
+/// Open an exclusive-time scope for `phase` until the end of the block.
+#define RRI_OBS_PHASE(phase) \
+  ::rri::obs::ScopedPhase RRI_OBS_CONCAT(rri_obs_scope_, __LINE__)(phase)
+#define RRI_OBS_ADD_FLOPS(phase, v) ::rri::obs::add_flops((phase), (v))
+#define RRI_OBS_ADD_BYTES(phase, v) ::rri::obs::add_bytes((phase), (v))
+#define RRI_OBS_COUNTER(name, v) ::rri::obs::add_counter((name), (v))
+#else
+#define RRI_OBS_PHASE(phase) ((void)0)
+#define RRI_OBS_ADD_FLOPS(phase, v) ((void)0)
+#define RRI_OBS_ADD_BYTES(phase, v) ((void)0)
+#define RRI_OBS_COUNTER(name, v) ((void)0)
+#endif
+
+#endif  // RRI_OBS_OBS_HPP

@@ -1,0 +1,69 @@
+#ifndef RRI_OBS_REGISTRY_HPP
+#define RRI_OBS_REGISTRY_HPP
+
+/// \file registry.hpp
+/// Process-wide aggregation of phase timings and counters. Phase slots
+/// are lock-free atomics (hooks fire from inside parallel regions);
+/// named counters take a mutex and are only touched at coarse
+/// granularity (per scan, per BSP run).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rri/obs/obs.hpp"
+
+namespace rri::obs {
+
+/// One phase's aggregated statistics, as returned by snapshots.
+struct PhaseStats {
+  Phase phase{};
+  std::uint64_t calls = 0;  ///< completed scopes
+  double seconds = 0.0;     ///< exclusive wall seconds (see obs.hpp)
+  double flops = 0.0;
+  double bytes = 0.0;
+
+  const char* name() const noexcept { return phase_name(phase); }
+  double gflops() const noexcept {
+    return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  }
+};
+
+class Registry {
+ public:
+  /// The process-wide instance every hook reports into.
+  static Registry& global() noexcept;
+
+  void add_time(Phase p, double seconds, std::uint64_t calls) noexcept;
+  void add_flops(Phase p, double flops) noexcept;
+  void add_bytes(Phase p, double bytes) noexcept;
+  void add_counter(const std::string& name, double delta);
+
+  /// Phases with any activity, in enum order.
+  std::vector<PhaseStats> phase_snapshot() const;
+  std::map<std::string, double> counter_snapshot() const;
+
+  /// Zero every slot and drop every named counter.
+  void reset();
+
+ private:
+  /// Seconds are accumulated as integer nanoseconds so the hot path is
+  /// one fetch_add; flops/bytes use a CAS loop (fp accumulators).
+  struct Slot {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::int64_t> nanos{0};
+    std::atomic<double> flops{0.0};
+    std::atomic<double> bytes{0.0};
+  };
+
+  Slot slots_[kPhaseCount];
+  mutable std::mutex counter_mutex_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_REGISTRY_HPP

@@ -1,0 +1,74 @@
+#ifndef RRI_OBS_REPORT_HPP
+#define RRI_OBS_REPORT_HPP
+
+/// \file report.hpp
+/// The JSON perf-report schema ("rri-obs-report/1") shared by
+/// `bpmax --profile`, the bench binaries' BENCH_*.json exports, the
+/// RRI_OBS_JSON at-exit hook, and tools/perf_diff. One schema everywhere
+/// so any report can be diffed against any other.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rri::obs {
+
+inline constexpr const char* kReportSchema = "rri-obs-report/1";
+
+struct PhaseReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  double seconds = 0.0;  ///< exclusive wall seconds (see obs.hpp)
+  double flops = 0.0;
+  double bytes = 0.0;
+
+  double gflops() const noexcept {
+    return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  }
+};
+
+/// One labelled table of bench output (headers + string rows), carried
+/// verbatim so the BENCH_*.json trajectory keeps the measured series
+/// next to the phase accounting that produced them.
+struct SeriesTable {
+  std::string name;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct PerfReport {
+  std::string schema = kReportSchema;
+  std::string label;    ///< what produced the report ("bpmax --profile", ...)
+  std::string machine;  ///< host model string from rri::machine
+  int cores = 0;
+  int threads_per_core = 0;
+  int simd_bits = 0;
+  int omp_max_threads = 0;
+  double wall_seconds = 0.0;  ///< caller-measured wall time (0 if unknown)
+  std::vector<PhaseReport> phases;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<SeriesTable> series;
+
+  double phase_seconds_total() const noexcept;
+  double total_flops() const noexcept;
+  const PhaseReport* find_phase(const std::string& name) const noexcept;
+};
+
+/// Snapshot the global registry into a report, stamped with the probed
+/// machine spec and the current OpenMP max-thread setting.
+PerfReport capture_report(const std::string& label, double wall_seconds = 0.0);
+
+/// JSON round trip. parse_report throws obs::JsonError on malformed
+/// input or an unrecognized schema string.
+void write_json(std::ostream& out, const PerfReport& report);
+std::string to_json(const PerfReport& report);
+PerfReport parse_report(const std::string& json_text);
+
+/// Human-readable per-phase breakdown (the `bpmax --profile` table).
+void print_phase_table(std::ostream& out, const PerfReport& report);
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_REPORT_HPP

@@ -1,0 +1,459 @@
+#include "rri/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rri::obs {
+
+// ------------------------------------------------------------ JsonValue
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw JsonError(std::string("JSON value is not a ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) {
+    type_error("bool");
+  }
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) {
+    type_error("number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) {
+    type_error("string");
+  }
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (type_ != Type::kArray) {
+    type_error("array");
+  }
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (type_ != Type::kObject) {
+    type_error("object");
+  }
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    type_error("object");
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw JsonError("missing JSON key '" + key + "'");
+  }
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ != Type::kArray) {
+    type_error("array");
+  }
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (type_ != Type::kObject) {
+    type_error("object");
+  }
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+// -------------------------------------------------------------- writing
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; perf reports never need them, but a defensive
+    // null beats emitting an unparseable token.
+    out << "null";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void indent_to(std::ostream& out, int level) {
+  for (int i = 0; i < level; ++i) {
+    out << "  ";
+  }
+}
+
+}  // namespace
+
+void JsonValue::write(std::ostream& out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      out << "null";
+      return;
+    case Type::kBool:
+      out << (bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      write_number(out, number_);
+      return;
+    case Type::kString:
+      out << '"' << json_escape(string_) << '"';
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out << "[]";
+        return;
+      }
+      out << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        indent_to(out, indent + 1);
+        array_[i].write(out, indent + 1);
+        out << (i + 1 < array_.size() ? ",\n" : "\n");
+      }
+      indent_to(out, indent);
+      out << ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out << "{}";
+        return;
+      }
+      out << "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        indent_to(out, indent + 1);
+        out << '"' << json_escape(object_[i].first) << "\": ";
+        object_[i].second.write(out, indent + 1);
+        out << (i + 1 < object_.size() ? ",\n" : "\n");
+      }
+      indent_to(out, indent);
+      out << '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+// -------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* kw) {
+    const std::size_t len = std::string(kw).size();
+    if (text_.compare(pos_, len, kw) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      return JsonValue::string(parse_string());
+    }
+    if (consume_keyword("true")) {
+      return JsonValue::boolean(true);
+    }
+    if (consume_keyword("false")) {
+      return JsonValue::boolean(false);
+    }
+    if (consume_keyword("null")) {
+      return JsonValue::null();
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue obj = JsonValue::object();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue arr = JsonValue::array();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP codepoint as UTF-8 (surrogate pairs are not
+          // produced by our writer; decode each half independently).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a JSON value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* endp = nullptr;
+    const double v = std::strtod(token.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    return JsonValue::number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace rri::obs

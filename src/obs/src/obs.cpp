@@ -1,0 +1,197 @@
+#include "rri/obs/obs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "rri/obs/registry.hpp"
+#include "rri/obs/report.hpp"
+
+namespace rri::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Innermost open scope of this thread (exclusive-time attribution).
+thread_local ScopedPhase* t_current = nullptr;
+
+/// RRI_OBS_JSON at-exit hook: write the process's aggregate report so
+/// any binary linking the kernels (benches, tests, the CLI) can emit a
+/// perf artifact without code changes. Wall time spans from static init
+/// to exit — an upper bound on the instrumented region.
+std::chrono::steady_clock::time_point g_process_start;
+
+void write_exit_report() {
+  const char* path = std::getenv("RRI_OBS_JSON");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_process_start)
+          .count();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "rri::obs: cannot write %s\n", path);
+    return;
+  }
+  write_json(out, capture_report("RRI_OBS_JSON exit hook", wall));
+}
+
+/// Environment activation, run once when the library is loaded.
+struct EnvActivation {
+  EnvActivation() {
+    g_process_start = std::chrono::steady_clock::now();
+    const char* on = std::getenv("RRI_OBS");
+    if (on != nullptr && *on != '\0' && *on != '0') {
+      g_enabled.store(true, std::memory_order_relaxed);
+    }
+    const char* json = std::getenv("RRI_OBS_JSON");
+    if (json != nullptr && *json != '\0') {
+      g_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(&write_exit_report);
+    }
+  }
+};
+EnvActivation g_env_activation;
+
+}  // namespace
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kStable: return "stable";
+    case Phase::kSetup: return "setup";
+    case Phase::kFill: return "fill";
+    case Phase::kDmpBand: return "dmp_band";
+    case Phase::kFinalize: return "finalize";
+    case Phase::kTraceback: return "traceback";
+    case Phase::kScan: return "scan";
+    case Phase::kSuperstep: return "superstep";
+  }
+  return "unknown";
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void add_flops(Phase p, double flops) noexcept {
+  if (enabled()) {
+    Registry::global().add_flops(p, flops);
+  }
+}
+
+void add_bytes(Phase p, double bytes) noexcept {
+  if (enabled()) {
+    Registry::global().add_bytes(p, bytes);
+  }
+}
+
+void add_counter(const char* name, double delta) {
+  if (enabled()) {
+    Registry::global().add_counter(name, delta);
+  }
+}
+
+void ScopedPhase::begin(Phase p) noexcept {
+  phase_ = p;
+  parent_ = t_current;
+  t_current = this;
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ScopedPhase::end() noexcept {
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry::global().add_time(phase_, total - child_seconds_, 1);
+  if (parent_ != nullptr) {
+    parent_->child_seconds_ += total;
+  }
+  t_current = parent_;
+}
+
+// ------------------------------------------------------------- Registry
+
+namespace {
+
+/// fetch_add for atomic<double> (CAS loop; C++20's native fetch_add for
+/// floating atomics is not yet universal across the CI toolchains).
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Registry& Registry::global() noexcept {
+  // Leaked on purpose: the registry is constructed lazily (first
+  // instrumented call), which would otherwise place its destructor
+  // *before* the RRI_OBS_JSON atexit hook in the LIFO exit sequence and
+  // leave the hook reading a destroyed map.
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+void Registry::add_time(Phase p, double seconds, std::uint64_t calls) noexcept {
+  Slot& s = slots_[static_cast<int>(p)];
+  s.calls.fetch_add(calls, std::memory_order_relaxed);
+  s.nanos.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                    std::memory_order_relaxed);
+}
+
+void Registry::add_flops(Phase p, double flops) noexcept {
+  atomic_add(slots_[static_cast<int>(p)].flops, flops);
+}
+
+void Registry::add_bytes(Phase p, double bytes) noexcept {
+  atomic_add(slots_[static_cast<int>(p)].bytes, bytes);
+}
+
+void Registry::add_counter(const std::string& name, double delta) {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  counters_[name] += delta;
+}
+
+std::vector<PhaseStats> Registry::phase_snapshot() const {
+  std::vector<PhaseStats> out;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Slot& s = slots_[i];
+    PhaseStats st;
+    st.phase = static_cast<Phase>(i);
+    st.calls = s.calls.load(std::memory_order_relaxed);
+    st.seconds =
+        static_cast<double>(s.nanos.load(std::memory_order_relaxed)) / 1e9;
+    st.flops = s.flops.load(std::memory_order_relaxed);
+    st.bytes = s.bytes.load(std::memory_order_relaxed);
+    if (st.calls != 0 || st.flops != 0.0 || st.bytes != 0.0 ||
+        st.seconds != 0.0) {
+      out.push_back(st);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> Registry::counter_snapshot() const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  return counters_;
+}
+
+void Registry::reset() {
+  for (Slot& s : slots_) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.nanos.store(0, std::memory_order_relaxed);
+    s.flops.store(0.0, std::memory_order_relaxed);
+    s.bytes.store(0.0, std::memory_order_relaxed);
+  }
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  counters_.clear();
+}
+
+}  // namespace rri::obs

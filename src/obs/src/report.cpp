@@ -1,0 +1,204 @@
+#include "rri/obs/report.hpp"
+
+#include <omp.h>
+
+#include <sstream>
+
+#include "rri/harness/report.hpp"
+#include "rri/machine/spec.hpp"
+#include "rri/obs/json.hpp"
+#include "rri/obs/registry.hpp"
+
+namespace rri::obs {
+
+double PerfReport::phase_seconds_total() const noexcept {
+  double total = 0.0;
+  for (const PhaseReport& p : phases) {
+    total += p.seconds;
+  }
+  return total;
+}
+
+double PerfReport::total_flops() const noexcept {
+  double total = 0.0;
+  for (const PhaseReport& p : phases) {
+    total += p.flops;
+  }
+  return total;
+}
+
+const PhaseReport* PerfReport::find_phase(
+    const std::string& name) const noexcept {
+  for (const PhaseReport& p : phases) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+PerfReport capture_report(const std::string& label, double wall_seconds) {
+  PerfReport report;
+  report.label = label;
+  const auto host = machine::probe_host();
+  report.machine = host.name;
+  report.cores = host.cores;
+  report.threads_per_core = host.threads_per_core;
+  report.simd_bits = host.simd_bits;
+  report.omp_max_threads = omp_get_max_threads();
+  report.wall_seconds = wall_seconds;
+  for (const PhaseStats& s : Registry::global().phase_snapshot()) {
+    report.phases.push_back(
+        PhaseReport{s.name(), s.calls, s.seconds, s.flops, s.bytes});
+  }
+  for (const auto& [name, value] : Registry::global().counter_snapshot()) {
+    report.counters.emplace_back(name, value);
+  }
+  return report;
+}
+
+void write_json(std::ostream& out, const PerfReport& report) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue::string(report.schema));
+  root.set("label", JsonValue::string(report.label));
+
+  JsonValue mach = JsonValue::object();
+  mach.set("name", JsonValue::string(report.machine));
+  mach.set("cores", JsonValue::number(report.cores));
+  mach.set("threads_per_core", JsonValue::number(report.threads_per_core));
+  mach.set("simd_bits", JsonValue::number(report.simd_bits));
+  root.set("machine", std::move(mach));
+
+  root.set("omp_max_threads", JsonValue::number(report.omp_max_threads));
+  root.set("wall_seconds", JsonValue::number(report.wall_seconds));
+
+  JsonValue phases = JsonValue::array();
+  for (const PhaseReport& p : report.phases) {
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::string(p.name));
+    obj.set("calls", JsonValue::number(static_cast<double>(p.calls)));
+    obj.set("seconds", JsonValue::number(p.seconds));
+    obj.set("flops", JsonValue::number(p.flops));
+    obj.set("bytes", JsonValue::number(p.bytes));
+    obj.set("gflops", JsonValue::number(p.gflops()));
+    phases.push_back(std::move(obj));
+  }
+  root.set("phases", std::move(phases));
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : report.counters) {
+    counters.set(name, JsonValue::number(value));
+  }
+  root.set("counters", std::move(counters));
+
+  JsonValue series = JsonValue::array();
+  for (const SeriesTable& t : report.series) {
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::string(t.name));
+    JsonValue headers = JsonValue::array();
+    for (const std::string& h : t.headers) {
+      headers.push_back(JsonValue::string(h));
+    }
+    obj.set("headers", std::move(headers));
+    JsonValue rows = JsonValue::array();
+    for (const auto& row : t.rows) {
+      JsonValue jrow = JsonValue::array();
+      for (const std::string& cell : row) {
+        jrow.push_back(JsonValue::string(cell));
+      }
+      rows.push_back(std::move(jrow));
+    }
+    obj.set("rows", std::move(rows));
+    series.push_back(std::move(obj));
+  }
+  root.set("series", std::move(series));
+
+  root.write(out);
+  out << '\n';
+}
+
+std::string to_json(const PerfReport& report) {
+  std::ostringstream ss;
+  write_json(ss, report);
+  return ss.str();
+}
+
+PerfReport parse_report(const std::string& json_text) {
+  const JsonValue root = json_parse(json_text);
+  PerfReport report;
+  report.schema = root.get("schema").as_string();
+  if (report.schema != kReportSchema) {
+    throw JsonError("unrecognized perf-report schema '" + report.schema +
+                    "' (expected " + kReportSchema + ")");
+  }
+  report.label = root.get("label").as_string();
+  const JsonValue& mach = root.get("machine");
+  report.machine = mach.get("name").as_string();
+  report.cores = static_cast<int>(mach.get("cores").as_number());
+  report.threads_per_core =
+      static_cast<int>(mach.get("threads_per_core").as_number());
+  report.simd_bits = static_cast<int>(mach.get("simd_bits").as_number());
+  report.omp_max_threads =
+      static_cast<int>(root.get("omp_max_threads").as_number());
+  report.wall_seconds = root.get("wall_seconds").as_number();
+
+  for (const JsonValue& p : root.get("phases").as_array()) {
+    PhaseReport phase;
+    phase.name = p.get("name").as_string();
+    phase.calls = static_cast<std::uint64_t>(p.get("calls").as_number());
+    phase.seconds = p.get("seconds").as_number();
+    phase.flops = p.get("flops").as_number();
+    phase.bytes = p.get("bytes").as_number();
+    report.phases.push_back(std::move(phase));
+  }
+  for (const auto& [name, value] : root.get("counters").as_object()) {
+    report.counters.emplace_back(name, value.as_number());
+  }
+  if (const JsonValue* series = root.find("series")) {
+    for (const JsonValue& t : series->as_array()) {
+      SeriesTable table;
+      table.name = t.get("name").as_string();
+      for (const JsonValue& h : t.get("headers").as_array()) {
+        table.headers.push_back(h.as_string());
+      }
+      for (const JsonValue& row : t.get("rows").as_array()) {
+        std::vector<std::string> cells;
+        for (const JsonValue& cell : row.as_array()) {
+          cells.push_back(cell.as_string());
+        }
+        table.rows.push_back(std::move(cells));
+      }
+      report.series.push_back(std::move(table));
+    }
+  }
+  return report;
+}
+
+void print_phase_table(std::ostream& out, const PerfReport& report) {
+  harness::ReportTable table(
+      {"phase", "calls", "seconds", "% wall", "GFLOPS", "GB/s"});
+  const double wall =
+      report.wall_seconds > 0.0 ? report.wall_seconds : report.phase_seconds_total();
+  for (const PhaseReport& p : report.phases) {
+    table.add_row({p.name, std::to_string(p.calls),
+                   harness::fmt_double(p.seconds, 4),
+                   wall > 0.0 ? harness::fmt_double(100.0 * p.seconds / wall, 1)
+                              : "-",
+                   p.flops > 0.0 ? harness::fmt_double(p.gflops(), 2) : "-",
+                   p.bytes > 0.0 && p.seconds > 0.0
+                       ? harness::fmt_double(p.bytes / p.seconds / 1e9, 2)
+                       : "-"});
+  }
+  table.print(out);
+  out << "phases total: " << harness::fmt_double(report.phase_seconds_total(), 4)
+      << "s";
+  if (report.wall_seconds > 0.0) {
+    out << "  wall: " << harness::fmt_double(report.wall_seconds, 4) << "s";
+  }
+  out << "  threads: " << report.omp_max_threads << "\n";
+  for (const auto& [name, value] : report.counters) {
+    out << "counter " << name << ": " << harness::fmt_double(value, 0) << "\n";
+  }
+}
+
+}  // namespace rri::obs

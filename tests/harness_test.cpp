@@ -262,6 +262,50 @@ TEST(Args, UndeclaredLookupsThrow) {
   EXPECT_THROW(p.option("verbose"), std::out_of_range); // it's a flag
 }
 
+TEST(Args, ImplicitOptionAbsentBareAndValued) {
+  const auto make = [] {
+    auto p = make_parser();
+    p.add_implicit_option("profile", "perf report", "-");
+    return p;
+  };
+  std::ostringstream err;
+
+  auto absent = make();
+  const auto a0 = argv_of({"tool", "in.txt"});
+  ASSERT_TRUE(absent.parse(static_cast<int>(a0.size()), a0.data(), err));
+  EXPECT_EQ(absent.option("profile"), "");
+
+  // Bare form yields the implicit value and must NOT consume the
+  // following positional argument.
+  auto bare = make();
+  const auto a1 = argv_of({"tool", "--profile", "in.txt"});
+  ASSERT_TRUE(bare.parse(static_cast<int>(a1.size()), a1.data(), err));
+  EXPECT_EQ(bare.option("profile"), "-");
+  EXPECT_EQ(bare.positional(), (std::vector<std::string>{"in.txt"}));
+
+  auto valued = make();
+  const auto a2 = argv_of({"tool", "--profile=out.json", "in.txt"});
+  ASSERT_TRUE(valued.parse(static_cast<int>(a2.size()), a2.data(), err));
+  EXPECT_EQ(valued.option("profile"), "out.json");
+}
+
+TEST(Args, ImplicitOptionShownInHelp) {
+  auto p = make_parser();
+  p.add_implicit_option("profile", "perf report", "-");
+  std::ostringstream out;
+  p.print_help(out);
+  EXPECT_NE(out.str().find("--profile[=<value>]"), std::string::npos);
+}
+
+TEST(Report, ExposesHeadersAndRows) {
+  ReportTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.headers(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.row_data().size(), 2u);
+  EXPECT_EQ(t.row_data()[1][0], "3");
+}
+
 // --------------------------------------------------------------- timing
 
 TEST(Timing, StopWatchAdvances) {

@@ -1,0 +1,262 @@
+/// Unit tests for the rri::obs observability layer: scope timing and
+/// nesting semantics, counter aggregation, the disabled fast path, and
+/// the JSON perf-report round trip shared with tools/perf_diff.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/obs/json.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/obs/registry.hpp"
+#include "rri/obs/report.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+
+#if RRI_OBS_ENABLED
+
+/// Every obs test starts from a clean global registry and leaves the
+/// runtime toggle off for the next test.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::global().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Registry::global().reset();
+  }
+
+  static const obs::PhaseStats* find(const std::vector<obs::PhaseStats>& v,
+                                     obs::Phase p) {
+    for (const auto& s : v) {
+      if (s.phase == p) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+
+  static void spin_for(double seconds) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  }
+};
+
+TEST_F(ObsTest, ScopeRecordsCallAndTime) {
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    spin_for(0.01);
+  }
+  const auto snap = obs::Registry::global().phase_snapshot();
+  const auto* fill = find(snap, obs::Phase::kFill);
+  ASSERT_NE(fill, nullptr);
+  EXPECT_EQ(fill->calls, 1u);
+  EXPECT_GE(fill->seconds, 0.009);
+}
+
+TEST_F(ObsTest, NestedScopesRecordExclusiveTime) {
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    spin_for(0.005);
+    {
+      RRI_OBS_PHASE(obs::Phase::kDmpBand);
+      spin_for(0.02);
+    }
+    spin_for(0.005);
+  }
+  const auto snap = obs::Registry::global().phase_snapshot();
+  const auto* fill = find(snap, obs::Phase::kFill);
+  const auto* band = find(snap, obs::Phase::kDmpBand);
+  ASSERT_NE(fill, nullptr);
+  ASSERT_NE(band, nullptr);
+  // The inner 20ms belong to dmp_band only; fill keeps its own ~10ms.
+  EXPECT_GE(band->seconds, 0.019);
+  EXPECT_GE(fill->seconds, 0.009);
+  EXPECT_LT(fill->seconds, 0.019);
+}
+
+TEST_F(ObsTest, SiblingAndRepeatedScopesAggregate) {
+  for (int i = 0; i < 3; ++i) {
+    RRI_OBS_PHASE(obs::Phase::kFinalize);
+  }
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    { RRI_OBS_PHASE(obs::Phase::kDmpBand); }
+    { RRI_OBS_PHASE(obs::Phase::kDmpBand); }
+  }
+  const auto snap = obs::Registry::global().phase_snapshot();
+  EXPECT_EQ(find(snap, obs::Phase::kFinalize)->calls, 3u);
+  EXPECT_EQ(find(snap, obs::Phase::kDmpBand)->calls, 2u);
+  EXPECT_EQ(find(snap, obs::Phase::kFill)->calls, 1u);
+}
+
+TEST_F(ObsTest, FlopAndByteAttribution) {
+  obs::add_flops(obs::Phase::kDmpBand, 1.5e9);
+  obs::add_flops(obs::Phase::kDmpBand, 0.5e9);
+  obs::add_bytes(obs::Phase::kDmpBand, 12.0e9);
+  const auto snap = obs::Registry::global().phase_snapshot();
+  const auto* band = find(snap, obs::Phase::kDmpBand);
+  ASSERT_NE(band, nullptr);
+  EXPECT_DOUBLE_EQ(band->flops, 2.0e9);
+  EXPECT_DOUBLE_EQ(band->bytes, 12.0e9);
+}
+
+TEST_F(ObsTest, CountersAggregateByName) {
+  obs::add_counter("scan.windows", 4);
+  obs::add_counter("scan.windows", 3);
+  obs::add_counter("bsp.messages", 10);
+  const auto counters = obs::Registry::global().counter_snapshot();
+  EXPECT_DOUBLE_EQ(counters.at("scan.windows"), 7.0);
+  EXPECT_DOUBLE_EQ(counters.at("bsp.messages"), 10.0);
+}
+
+TEST_F(ObsTest, DisabledRuntimeRecordsNothing) {
+  obs::set_enabled(false);
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    obs::add_flops(obs::Phase::kFill, 1e9);
+    obs::add_counter("should.not.exist", 1);
+  }
+  EXPECT_TRUE(obs::Registry::global().phase_snapshot().empty());
+  EXPECT_TRUE(obs::Registry::global().counter_snapshot().empty());
+}
+
+TEST_F(ObsTest, DisableMidScopeStillClosesCleanly) {
+  // A scope that opened while enabled must still unwind (and report)
+  // when the toggle flips before it closes; the one opened while
+  // disabled must stay silent.
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    obs::set_enabled(false);
+    { RRI_OBS_PHASE(obs::Phase::kDmpBand); }
+    obs::set_enabled(true);
+  }
+  const auto snap = obs::Registry::global().phase_snapshot();
+  EXPECT_NE(find(snap, obs::Phase::kFill), nullptr);
+  EXPECT_EQ(find(snap, obs::Phase::kDmpBand), nullptr);
+}
+
+TEST_F(ObsTest, SolveAttributesPhasesThatSumNearWallTime) {
+  const auto s1 = rna::random_sequence(48, 11);
+  const auto s2 = rna::random_sequence(24, 22);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const auto t0 = std::chrono::steady_clock::now();
+  core::bpmax_solve(s1, s2, model, core::BpmaxOptions{});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto report = obs::capture_report("test", wall);
+  EXPECT_NE(report.find_phase("dmp_band"), nullptr);
+  EXPECT_NE(report.find_phase("finalize"), nullptr);
+  EXPECT_NE(report.find_phase("stable"), nullptr);
+  EXPECT_GT(report.total_flops(), 0.0);
+  // Acceptance bound: instrumented phases account for (nearly) all of
+  // the solve's wall time. Allow generous slack for CI noise.
+  EXPECT_GT(report.phase_seconds_total(), 0.5 * wall);
+  EXPECT_LT(report.phase_seconds_total(), 1.5 * wall);
+}
+
+TEST_F(ObsTest, ReportJsonRoundTrip) {
+  obs::add_flops(obs::Phase::kDmpBand, 3.0e9);
+  obs::add_bytes(obs::Phase::kDmpBand, 18.0e9);
+  obs::Registry::global().add_time(obs::Phase::kDmpBand, 1.5, 7);
+  obs::add_counter("bsp.rank0.sent_bytes", 4096);
+  obs::PerfReport report = obs::capture_report("round trip", 2.25);
+  report.series.push_back(obs::SeriesTable{
+      "fig13", {"M x N", "tiled"}, {{"16x64", "3.5"}, {"16x128", "4.1"}}});
+
+  const std::string json = obs::to_json(report);
+  const obs::PerfReport back = obs::parse_report(json);
+
+  EXPECT_EQ(back.schema, obs::kReportSchema);
+  EXPECT_EQ(back.label, "round trip");
+  EXPECT_EQ(back.omp_max_threads, report.omp_max_threads);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, 2.25);
+  const auto* band = back.find_phase("dmp_band");
+  ASSERT_NE(band, nullptr);
+  EXPECT_EQ(band->calls, 7u);
+  EXPECT_NEAR(band->seconds, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(band->flops, 3.0e9);
+  EXPECT_DOUBLE_EQ(band->bytes, 18.0e9);
+  EXPECT_NEAR(band->gflops(), 2.0, 1e-9);
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].first, "bsp.rank0.sent_bytes");
+  EXPECT_DOUBLE_EQ(back.counters[0].second, 4096.0);
+  ASSERT_EQ(back.series.size(), 1u);
+  EXPECT_EQ(back.series[0].name, "fig13");
+  ASSERT_EQ(back.series[0].rows.size(), 2u);
+  EXPECT_EQ(back.series[0].rows[1][1], "4.1");
+}
+
+TEST_F(ObsTest, ParseRejectsWrongSchemaAndGarbage) {
+  EXPECT_THROW(obs::parse_report("{\"schema\": \"other/9\"}"),
+               obs::JsonError);
+  EXPECT_THROW(obs::parse_report("not json"), obs::JsonError);
+  EXPECT_THROW(obs::parse_report("{} trailing"), obs::JsonError);
+}
+
+TEST_F(ObsTest, PhaseTablePrintsEveryActivePhase) {
+  obs::Registry::global().add_time(obs::Phase::kFill, 0.25, 1);
+  obs::Registry::global().add_time(obs::Phase::kTraceback, 0.75, 2);
+  const auto report = obs::capture_report("table", 1.0);
+  std::ostringstream out;
+  obs::print_phase_table(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("fill"), std::string::npos);
+  EXPECT_NE(text.find("traceback"), std::string::npos);
+  EXPECT_NE(text.find("phases total"), std::string::npos);
+}
+
+#endif  // RRI_OBS_ENABLED
+
+TEST(ObsJson, ValueRoundTripAndErrors) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("name", obs::JsonValue::string("a \"quoted\"\nline"));
+  doc.set("pi", obs::JsonValue::number(3.25));
+  doc.set("big", obs::JsonValue::number(1e18));
+  doc.set("yes", obs::JsonValue::boolean(true));
+  doc.set("nothing", obs::JsonValue::null());
+  obs::JsonValue arr = obs::JsonValue::array();
+  arr.push_back(obs::JsonValue::number(-1));
+  arr.push_back(obs::JsonValue::number(0.5));
+  doc.set("arr", std::move(arr));
+
+  const obs::JsonValue back = obs::json_parse(doc.dump());
+  EXPECT_EQ(back.get("name").as_string(), "a \"quoted\"\nline");
+  EXPECT_DOUBLE_EQ(back.get("pi").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(back.get("big").as_number(), 1e18);
+  EXPECT_TRUE(back.get("yes").as_bool());
+  EXPECT_TRUE(back.get("nothing").is(obs::JsonValue::Type::kNull));
+  EXPECT_EQ(back.get("arr").as_array().size(), 2u);
+  EXPECT_EQ(back.find("absent"), nullptr);
+  EXPECT_THROW(back.get("absent"), obs::JsonError);
+  EXPECT_THROW(back.get("pi").as_string(), obs::JsonError);
+
+  EXPECT_THROW(obs::json_parse("{\"a\": }"), obs::JsonError);
+  EXPECT_THROW(obs::json_parse("[1, 2"), obs::JsonError);
+  EXPECT_THROW(obs::json_parse(""), obs::JsonError);
+}
+
+TEST(ObsJson, ParsesEscapesAndUnicode) {
+  const auto v = obs::json_parse("\"tab\\there \\u0041\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "tab\there A\xc3\xa9");
+}
+
+TEST(ObsJson, NonFiniteNumbersSerializeAsNull) {
+  obs::JsonValue v = obs::JsonValue::number(
+      std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+}  // namespace

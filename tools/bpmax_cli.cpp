@@ -23,6 +23,8 @@
 #include "rri/harness/args.hpp"
 #include "rri/harness/report.hpp"
 #include "rri/harness/timing.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/obs/report.hpp"
 #include "rri/rna/fasta.hpp"
 
 namespace {
@@ -203,6 +205,11 @@ int main(int argc, char** argv) {
   args.add_option("top", "scan mode: number of windows to report", "10");
   args.add_option("save-table", "solve mode: write the full F-table "
                                 "(binary RRIF) for later traceback", "");
+  args.add_implicit_option("profile",
+                           "print a per-phase perf breakdown after the run; "
+                           "--profile=FILE.json also writes the JSON report "
+                           "(schema rri-obs-report/1, see tools/perf_diff)",
+                           "-");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -229,17 +236,47 @@ int main(int argc, char** argv) {
                                          : rna::ScoringModel::bpmax_default();
   model.set_min_hairpin(args.option_int("min-hairpin"));
 
+  const std::string profile = args.option("profile");
+  if (!profile.empty()) {
+#if RRI_OBS_ENABLED
+    obs::set_enabled(true);
+#else
+    std::fprintf(stderr,
+                 "bpmax: --profile requested but instrumentation was "
+                 "compiled out (-DRRI_OBS=OFF); times will be empty\n");
+#endif
+  }
+
   try {
+    harness::StopWatch run_watch;
+    int rc = 0;
     const auto s1 = load_sequence(args.positional()[0], args.flag("fasta"));
     const auto s2 = load_sequence(args.positional()[1], args.flag("fasta"));
     if (args.flag("scan")) {
-      return run_scan(s1, s2, model, opts, !args.flag("no-reverse"),
-                      args.flag("csv"), args.option_int("window"),
-                      args.option_int("stride"), args.option_int("top"));
-    }
-    return run_solve(s1, s2, model, opts, !args.flag("no-reverse"),
+      rc = run_scan(s1, s2, model, opts, !args.flag("no-reverse"),
+                    args.flag("csv"), args.option_int("window"),
+                    args.option_int("stride"), args.option_int("top"));
+    } else {
+      rc = run_solve(s1, s2, model, opts, !args.flag("no-reverse"),
                      args.flag("csv"), !args.flag("no-structure"),
                      args.option("save-table"));
+    }
+    if (!profile.empty()) {
+      const auto report =
+          obs::capture_report("bpmax --profile", run_watch.seconds());
+      std::printf("\n");
+      obs::print_phase_table(std::cout, report);
+      if (profile != "-") {
+        std::ofstream out(profile);
+        if (!out) {
+          std::fprintf(stderr, "bpmax: cannot write %s\n", profile.c_str());
+          return 2;
+        }
+        obs::write_json(out, report);
+        std::printf("perf report: %s\n", profile.c_str());
+      }
+    }
+    return rc;
   } catch (const rna::ParseError& e) {
     std::fprintf(stderr, "bpmax: %s\n", e.what());
     return 2;

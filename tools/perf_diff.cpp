@@ -1,0 +1,125 @@
+/// perf_diff: compare two rri-obs-report/1 JSON perf reports and flag
+/// per-phase time regressions. CI's perf-smoke job runs it warn-only
+/// against a checked-in baseline; locally it gates with exit status 1.
+///
+///   perf_diff baseline.json current.json
+///   perf_diff --threshold 25 --warn-only baseline.json current.json
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rri/harness/args.hpp"
+#include "rri/harness/report.hpp"
+#include "rri/obs/json.hpp"
+#include "rri/obs/report.hpp"
+
+namespace {
+
+using namespace rri;
+
+obs::PerfReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw obs::JsonError("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return obs::parse_report(text.str());
+}
+
+std::string fmt_pct(double delta_pct) {
+  const std::string s = harness::fmt_double(delta_pct, 1);
+  return delta_pct >= 0.0 ? "+" + s + "%" : s + "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "perf_diff",
+      "Compare two rri-obs-report/1 perf reports and flag per-phase "
+      "regressions (current slower than baseline by more than the "
+      "threshold).");
+  args.set_positional_usage("BASELINE.json CURRENT.json", 2, 2);
+  args.add_option("threshold", "regression threshold in percent", "10");
+  args.add_option("min-seconds", "ignore phases faster than this in both "
+                                 "reports (noise floor)", "0.001");
+  args.add_flag("warn-only", "report regressions but always exit 0 (CI "
+                             "smoke mode)");
+  args.add_flag("csv", "machine-readable CSV output");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  const double threshold = std::atof(args.option("threshold").c_str());
+  const double min_seconds = std::atof(args.option("min-seconds").c_str());
+
+  obs::PerfReport base;
+  obs::PerfReport cur;
+  try {
+    base = load_report(args.positional()[0]);
+    cur = load_report(args.positional()[1]);
+  } catch (const obs::JsonError& e) {
+    std::fprintf(stderr, "perf_diff: %s\n", e.what());
+    return 2;
+  }
+
+  harness::ReportTable table(
+      {"phase", "base_s", "cur_s", "delta", "status"});
+  int regressions = 0;
+  int compared = 0;
+  for (const obs::PhaseReport& b : base.phases) {
+    const obs::PhaseReport* c = cur.find_phase(b.name);
+    if (c == nullptr) {
+      table.add_row({b.name, harness::fmt_double(b.seconds, 4), "-", "-",
+                     "missing"});
+      continue;
+    }
+    if (b.seconds < min_seconds && c->seconds < min_seconds) {
+      table.add_row({b.name, harness::fmt_double(b.seconds, 4),
+                     harness::fmt_double(c->seconds, 4), "-", "noise"});
+      continue;
+    }
+    ++compared;
+    const double delta_pct =
+        b.seconds > 0.0 ? (c->seconds - b.seconds) / b.seconds * 100.0
+                        : 100.0;
+    const bool regressed = delta_pct > threshold;
+    if (regressed) {
+      ++regressions;
+    }
+    table.add_row({b.name, harness::fmt_double(b.seconds, 4),
+                   harness::fmt_double(c->seconds, 4), fmt_pct(delta_pct),
+                   regressed ? "REGRESSED" : "ok"});
+  }
+  for (const obs::PhaseReport& c : cur.phases) {
+    if (base.find_phase(c.name) == nullptr) {
+      table.add_row({c.name, "-", harness::fmt_double(c.seconds, 4), "-",
+                     "new"});
+    }
+  }
+
+  if (args.flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    std::printf("baseline: %s  (%s, %d threads)\n",
+                args.positional()[0].c_str(), base.label.c_str(),
+                base.omp_max_threads);
+    std::printf("current:  %s  (%s, %d threads)\n",
+                args.positional()[1].c_str(), cur.label.c_str(),
+                cur.omp_max_threads);
+    table.print(std::cout);
+    std::printf("%d phase(s) compared, %d regression(s) beyond %+.1f%%\n",
+                compared, regressions, threshold);
+  }
+
+  if (regressions > 0 && !args.flag("warn-only")) {
+    return 1;
+  }
+  return 0;
+}
