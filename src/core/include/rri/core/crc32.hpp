@@ -1,0 +1,37 @@
+#ifndef RRI_CORE_CRC32_HPP
+#define RRI_CORE_CRC32_HPP
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320) for integrity
+/// footers on persisted state: RRIF v2 F-tables, mpisim checkpoints,
+/// and per-message payload checksums in the BSP simulator. A CRC-32
+/// detects every single-bit error and every burst up to 32 bits, which
+/// is exactly the corruption model the fault-tolerance layer injects
+/// (torn writes, flipped bits in flight or at rest).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rri::core {
+
+/// Streaming accumulator: feed bytes in any chunking, read `value()` at
+/// any point. Equal byte streams yield equal values regardless of how
+/// they were chunked.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t bytes) noexcept;
+
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a single buffer.
+std::uint32_t crc32(const void* data, std::size_t bytes) noexcept;
+
+}  // namespace rri::core
+
+#endif  // RRI_CORE_CRC32_HPP

@@ -6,8 +6,11 @@
 /// instance sizes), then traceback / window-query many times without
 /// recomputation. Format: "RRIF" magic, version, dimensions, then the
 /// m(m+1)/2 valid triangle blocks of n x n floats in (i1, j1) order —
-/// half the bounding-box footprint. Little-endian host assumed (checked
-/// via a byte-order probe word).
+/// half the bounding-box footprint — and (since v2) a CRC-32 footer over
+/// everything before it, so a torn write or a flipped bit is a typed
+/// SerializeError instead of a silently wrong table. v1 streams (no
+/// footer) still load. Little-endian host assumed (checked via a
+/// byte-order probe word).
 
 #include <iosfwd>
 #include <stdexcept>
@@ -17,7 +20,7 @@
 namespace rri::core {
 
 /// Thrown on malformed input (bad magic/version/byte order, truncation,
-/// or implausible dimensions).
+/// implausible dimensions, or a CRC-32 checksum mismatch).
 class SerializeError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;

@@ -9,6 +9,14 @@
 /// sends are buffered and delivered at the next superstep barrier, and
 /// the world counts every message and byte so an alpha-beta cost model
 /// can predict cluster behaviour (see cluster.hpp).
+///
+/// The world can also run under a FaultPlan (fault.hpp): ranks crash at
+/// scheduled supersteps (a dead rank neither sends nor receives — a
+/// send *from* a dead rank throws, a send *to* one is discarded), and
+/// messages are dropped, duplicated, or bit-flipped in flight. Every
+/// payload carries a CRC-32 stamped at send time, so receivers can
+/// detect in-flight corruption; every injected fault is appended to a
+/// replayable FaultEvent log.
 
 #include <cstddef>
 #include <cstdint>
@@ -16,12 +24,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "rri/mpisim/fault.hpp"
+
 namespace rri::mpisim {
 
 struct Message {
   int from = 0;
   int tag = 0;
   std::vector<float> payload;
+  /// CRC-32 of the payload bytes computed when the send was issued —
+  /// before any in-flight fault touched them. intact() recomputes and
+  /// compares, so a bit-flipped payload is detectable at the receiver.
+  std::uint32_t crc = 0;
+
+  bool intact() const noexcept;
 };
 
 struct CommStats {
@@ -41,27 +57,45 @@ struct CommStats {
 ///   }
 class BspWorld {
  public:
-  explicit BspWorld(int ranks);
+  explicit BspWorld(int ranks, FaultPlan plan = {});
 
   int ranks() const noexcept { return ranks_; }
 
   /// Buffer a message for delivery at the next barrier. Self-sends are
   /// allowed (delivered like any other). Throws std::out_of_range for
-  /// invalid ranks.
+  /// invalid ranks and std::logic_error when `from` has crashed (a dead
+  /// rank must not leak messages). Sends to a dead rank are silently
+  /// discarded, like packets to a powered-off host.
   void send(int from, int to, int tag, std::vector<float> payload);
 
   /// Broadcast from `from` to every *other* rank.
   void broadcast(int from, int tag, const std::vector<float>& payload);
 
-  /// Deliver all buffered sends; starts the next superstep.
+  /// Deliver all buffered sends; starts the next superstep (applying
+  /// any crashes the fault plan schedules for it).
   void barrier();
 
   /// Drain the messages delivered to `rank` (in (sender, send-order)
-  /// order — deterministic). Clears the inbox.
+  /// order — deterministic). Clears the inbox. A dead rank receives
+  /// nothing (always empty).
   std::vector<Message> receive(int rank);
 
   /// Messages waiting (delivered, unreceived) for `rank`.
   std::size_t pending(int rank) const;
+
+  /// Superstep currently executing: the number of completed barriers.
+  std::size_t superstep() const noexcept { return stats_.supersteps; }
+
+  // ------------------------------------------------ fault observability
+  bool alive(int rank) const;
+  int alive_count() const noexcept;
+  /// Ranks still alive, ascending — the deal order for re-distribution.
+  std::vector<int> alive_ranks() const;
+  /// Every fault injected so far, in injection order (replayable: same
+  /// plan + same traffic => same log).
+  const std::vector<FaultEvent>& fault_events() const noexcept {
+    return fault_events_;
+  }
 
   const CommStats& stats() const noexcept { return stats_; }
 
@@ -90,7 +124,15 @@ class BspWorld {
     }
   }
 
+  /// Kill the ranks the plan schedules for the current superstep.
+  void apply_crashes();
+  void enqueue(int from, int to, int tag, std::vector<float> payload,
+               std::uint32_t crc);
+
   int ranks_;
+  FaultPlan plan_;
+  std::vector<char> alive_;  ///< char, not bool: addressable flags
+  std::vector<FaultEvent> fault_events_;
   std::vector<std::vector<Message>> in_flight_;  ///< buffered this superstep
   std::vector<std::vector<Message>> delivered_;  ///< readable inboxes
   std::vector<std::size_t> current_sent_bytes_;

@@ -1,0 +1,92 @@
+#ifndef RRI_MPISIM_CHECKPOINT_HPP
+#define RRI_MPISIM_CHECKPOINT_HPP
+
+/// \file checkpoint.hpp
+/// Checkpoint/restart state for distributed BPMax. A checkpoint is the
+/// coordinator's view after finishing diagonal `next_diagonal - 1`: the
+/// diagonal cursor, the per-rank deal (which ranks of the original
+/// world are still participating — triangle ownership is block-cyclic
+/// over that list), and the finished F-table prefix (cells on diagonals
+/// >= next_diagonal are -inf, as in a fresh table). Encoding: a "RRCK"
+/// header, the cursor and deal, the table embedded via the RRIF v2
+/// serializer, and a CRC-32 footer over every preceding byte — a torn
+/// or bit-flipped checkpoint fails decode with core::SerializeError and
+/// the store falls back to the previous one (keep-last-K).
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rri/core/ftable.hpp"
+
+namespace rri::mpisim {
+
+struct Checkpoint {
+  int next_diagonal = 0;   ///< all outer diagonals < this are complete
+  int total_ranks = 0;     ///< world size of the original run
+  std::vector<int> alive;  ///< participating ranks (the deal), ascending
+  core::FTable table;      ///< finished prefix
+};
+
+/// Serialize with the CRC-32 footer described above.
+std::string encode_checkpoint(const Checkpoint& ckpt);
+
+/// Parse + integrity-check; throws core::SerializeError on a bad magic,
+/// torn tail, CRC mismatch, or inconsistent fields.
+Checkpoint decode_checkpoint(const std::string& bytes);
+
+/// Keep-last-K checkpoint storage. latest() returns the newest stored
+/// checkpoint that decodes and CRC-validates, silently skipping (but
+/// counting, obs "mpisim.checkpoints_corrupt") corrupted ones.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+  virtual void put(const Checkpoint& ckpt) = 0;
+  virtual std::optional<Checkpoint> latest() = 0;
+  /// Checkpoints currently retained (valid or not).
+  virtual std::size_t size() const = 0;
+};
+
+/// In-process store: encoded blobs in a ring. What tests and library
+/// callers use when durability across process death is not the point.
+class MemoryCheckpointStore final : public CheckpointStore {
+ public:
+  explicit MemoryCheckpointStore(int keep_last = 2);
+  void put(const Checkpoint& ckpt) override;
+  std::optional<Checkpoint> latest() override;
+  std::size_t size() const override { return slots_.size(); }
+
+  /// Test hook: flip one bit of the newest stored blob (simulates
+  /// at-rest corruption without going through a filesystem).
+  void corrupt_newest(std::size_t bit);
+
+ private:
+  std::size_t keep_last_;
+  std::deque<std::string> slots_;  ///< oldest first
+};
+
+/// Directory-backed store: one `ckpt_<next_diagonal>.rrck` per
+/// checkpoint, pruned to the newest K. Survives process death — the
+/// `bpmax --checkpoint=DIR ... --resume=DIR` path.
+class FileCheckpointStore final : public CheckpointStore {
+ public:
+  /// Creates `dir` if missing; throws std::runtime_error when the
+  /// directory cannot be created or written.
+  explicit FileCheckpointStore(std::string dir, int keep_last = 2);
+  void put(const Checkpoint& ckpt) override;
+  std::optional<Checkpoint> latest() override;
+  std::size_t size() const override;
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::vector<std::string> sorted_files() const;  ///< newest first
+
+  std::string dir_;
+  std::size_t keep_last_;
+};
+
+}  // namespace rri::mpisim
+
+#endif  // RRI_MPISIM_CHECKPOINT_HPP

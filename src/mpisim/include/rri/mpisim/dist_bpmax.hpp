@@ -11,9 +11,21 @@
 /// Memory is replicated (each rank holds the full F-table), which is the
 /// communication-minimal point of the design space; the cost model makes
 /// the resulting comm/compute trade-off measurable.
+///
+/// The solver is fault-tolerant (docs/fault_tolerance.md): run under a
+/// FaultPlan, it survives rank crashes and in-flight message corruption
+/// by validating every superstep (expected block set + per-message
+/// CRC-32), re-dealing a dead rank's triangles to the survivors, and
+/// replaying from the last valid checkpoint (RecoveryPolicy). Because a
+/// triangle's value does not depend on which rank computes it, a
+/// recovered run returns scores bit-identical to the fault-free run.
+
+#include <vector>
 
 #include "rri/core/bpmax.hpp"
 #include "rri/mpisim/bsp.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/mpisim/fault.hpp"
 
 namespace rri::mpisim {
 
@@ -24,6 +36,37 @@ struct ClusterModel {
   double beta_seconds_per_byte = 1.0 / 10e9;  ///< 10 GB/s links
 };
 
+/// How distributed_bpmax checkpoints and reacts to failures.
+struct RecoveryPolicy {
+  /// Write a checkpoint after every K completed diagonals (0 = never).
+  /// Requires `store`.
+  int checkpoint_every = 0;
+  /// Where checkpoints go / come from. Not owned. May be null when
+  /// checkpoint_every == 0 and resume is false.
+  CheckpointStore* store = nullptr;
+  /// Recovery budget: total rollback/replay cycles (crash recoveries
+  /// plus corrupt-superstep retries) before giving up with
+  /// std::runtime_error.
+  int max_retries = 8;
+  /// On rank loss, re-deal the dead rank's triangles to the survivors
+  /// and continue with fewer ranks. When false, rank loss is fatal.
+  bool degrade = true;
+  /// Start from store->latest() when it holds a valid checkpoint (the
+  /// `bpmax --resume=DIR` path) instead of from scratch.
+  bool resume = false;
+};
+
+/// What fault handling actually happened during a run.
+struct RecoveryStats {
+  int recoveries = 0;           ///< rollback/replay cycles, all causes
+  int ranks_lost = 0;           ///< ranks dead at the end of the run
+  int checkpoints_written = 0;
+  int checkpoint_restores = 0;  ///< recoveries replayed from a checkpoint
+  int scratch_restarts = 0;     ///< recoveries with no valid checkpoint
+  int corrupt_supersteps = 0;   ///< supersteps rolled back over bad messages
+  int resume_diagonal = -1;     ///< policy.resume pickup point (-1 = fresh)
+};
+
 struct DistributedResult {
   float score = 0.0f;
   int ranks = 1;
@@ -31,6 +74,12 @@ struct DistributedResult {
   std::vector<double> rank_flops;        ///< compute per rank (whole run)
   std::vector<double> step_max_flops;    ///< per superstep: max rank flops
   std::vector<std::size_t> step_max_bytes;  ///< per superstep: max rank bytes
+  /// The completed F-table (a surviving rank's replica, moved out), so
+  /// callers can run traceback without recomputation. Empty for
+  /// predict_distributed_bpmax.
+  core::FTable table;
+  RecoveryStats recovery;
+  std::vector<FaultEvent> fault_events;  ///< what the plan injected
 
   /// Predicted makespan under `model`: per superstep the slowest rank's
   /// compute plus latency plus the serialization of its traffic.
@@ -40,12 +89,17 @@ struct DistributedResult {
   double simulated_speedup(const ClusterModel& model) const;
 };
 
-/// Run BPMax distributed over `ranks` simulated processes. Produces the
-/// same score (indeed the same table) as any shared-memory variant.
+/// Run BPMax distributed over `ranks` simulated processes, optionally
+/// under an injected fault plan and a recovery policy. Produces the same
+/// score (indeed the same table) as any shared-memory variant — also
+/// after recoveries. Throws std::runtime_error when the recovery budget
+/// is exhausted, every rank is dead, degrade is disabled and a rank was
+/// lost, or a resume checkpoint does not match the strands.
 DistributedResult distributed_bpmax(const rna::Sequence& strand1,
                                     const rna::Sequence& strand2,
                                     const rna::ScoringModel& model,
-                                    int ranks);
+                                    int ranks, FaultPlan faults = {},
+                                    const RecoveryPolicy& policy = {});
 
 /// Analytic prediction of the same run without executing it: the
 /// per-superstep flop and byte profiles follow closed forms (tests check

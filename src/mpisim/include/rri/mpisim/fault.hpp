@@ -1,0 +1,110 @@
+#ifndef RRI_MPISIM_FAULT_HPP
+#define RRI_MPISIM_FAULT_HPP
+
+/// \file fault.hpp
+/// Deterministic fault injection for the BSP simulator. A FaultPlan is a
+/// seeded schedule of failures — rank crashes pinned to supersteps plus
+/// probabilistic per-message faults (drop, duplicate, bit-flip) drawn
+/// from private counter-free RNG streams — that BspWorld consults while
+/// it runs. The same plan against the same traffic produces the same
+/// FaultEvent log, so every recovery test is replayable from a seed.
+///
+/// Spec grammar (parsed by FaultPlan::parse, used by `bpmax --faults`):
+///
+///   spec    := clause (';' clause)*
+///   clause  := 'crash' ':' 'rank=' INT ',' 'step=' INT
+///            | 'drop'  ':' 'p=' FLOAT [',' 'seed=' INT]
+///            | 'dup'   ':' 'p=' FLOAT [',' 'seed=' INT]
+///            | 'flip'  ':' 'p=' FLOAT [',' 'seed=' INT]
+///
+/// e.g. "crash:rank=2,step=7;drop:p=0.01,seed=42". Probabilities are
+/// per message; crash steps are BSP superstep indices over the world's
+/// whole lifetime (superstep 0 is the compute phase before the first
+/// barrier).
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rri::mpisim {
+
+enum class FaultKind : int {
+  kCrash = 0,   ///< rank permanently stops sending and receiving
+  kDrop,        ///< a sent message is never delivered
+  kDuplicate,   ///< a sent message is delivered twice
+  kBitFlip,     ///< one payload bit is inverted in flight
+};
+
+/// Stable lower_snake name ("crash", "drop", "duplicate", "bit_flip").
+const char* fault_kind_name(FaultKind k) noexcept;
+
+/// One injected fault, as recorded by BspWorld::fault_events().
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::size_t superstep = 0;  ///< superstep during which it happened
+  int rank = -1;   ///< crashed rank, or the receiver of the message
+  int from = -1;   ///< message sender (-1 for crashes)
+  int tag = -1;    ///< message tag (-1 for crashes)
+  std::size_t bit = 0;  ///< flipped payload bit index (kBitFlip only)
+};
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) noexcept;
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse the grammar above; throws std::invalid_argument with a
+  /// message naming the offending clause.
+  static FaultPlan parse(const std::string& spec);
+
+  void add_crash(int rank, std::size_t step);
+  void add_drop(double p, std::uint64_t seed = kDefaultSeed);
+  void add_duplicate(double p, std::uint64_t seed = kDefaultSeed);
+  void add_bit_flip(double p, std::uint64_t seed = kDefaultSeed);
+
+  bool empty() const noexcept;
+  /// True when any of drop/duplicate/flip is armed (receivers should
+  /// then expect missing, repeated, or corrupt messages).
+  bool has_message_faults() const noexcept;
+
+  /// Ranks scheduled to die at exactly `step`.
+  std::vector<int> crashes_at(std::size_t step) const;
+
+  // Per-message draws. Each advances its clause's private RNG stream,
+  // so the decision sequence is a pure function of (seed, call index) —
+  // identical plans fed identical traffic inject identical faults.
+  bool draw_drop();
+  bool draw_duplicate();
+  /// Returns the payload bit to flip, or SIZE_MAX for "no flip".
+  /// Messages with empty payloads are never flipped.
+  std::size_t draw_flip_bit(std::size_t payload_bits);
+
+ private:
+  static constexpr std::uint64_t kDefaultSeed = 0x5EEDull;
+
+  /// Uniform double in [0, 1) from the top 53 bits — bit-identical
+  /// across standard libraries, unlike uniform_real_distribution.
+  static double unit_draw(std::mt19937_64& rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  }
+
+  struct Crash {
+    int rank;
+    std::size_t step;
+  };
+
+  std::vector<Crash> crashes_;
+  double drop_p_ = 0.0;
+  double dup_p_ = 0.0;
+  double flip_p_ = 0.0;
+  std::mt19937_64 drop_rng_{kDefaultSeed};
+  std::mt19937_64 dup_rng_{kDefaultSeed};
+  std::mt19937_64 flip_rng_{kDefaultSeed};
+};
+
+}  // namespace rri::mpisim
+
+#endif  // RRI_MPISIM_FAULT_HPP

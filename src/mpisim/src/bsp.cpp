@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
+#include "rri/core/crc32.hpp"
+#include "rri/obs/obs.hpp"
+
 namespace rri::mpisim {
 
-BspWorld::BspWorld(int ranks)
+namespace {
+
+std::uint32_t payload_crc(const std::vector<float>& payload) noexcept {
+  return core::crc32(payload.data(), payload.size() * sizeof(float));
+}
+
+}  // namespace
+
+bool Message::intact() const noexcept { return payload_crc(payload) == crc; }
+
+BspWorld::BspWorld(int ranks, FaultPlan plan)
     : ranks_(ranks),
+      plan_(std::move(plan)),
+      alive_(static_cast<std::size_t>(ranks), 1),
       in_flight_(static_cast<std::size_t>(ranks)),
       delivered_(static_cast<std::size_t>(ranks)),
       current_sent_bytes_(static_cast<std::size_t>(ranks), 0),
@@ -15,18 +30,77 @@ BspWorld::BspWorld(int ranks)
   if (ranks < 1) {
     throw std::invalid_argument("BspWorld needs at least one rank");
   }
+  apply_crashes();  // step-0 crashes: dead before any compute
+}
+
+void BspWorld::apply_crashes() {
+  for (const int rank : plan_.crashes_at(stats_.supersteps)) {
+    if (rank < 0 || rank >= ranks_ ||
+        !alive_[static_cast<std::size_t>(rank)]) {
+      continue;  // out-of-world or already-dead crash targets are no-ops
+    }
+    alive_[static_cast<std::size_t>(rank)] = 0;
+    // A dead rank receives nothing: discard anything already queued.
+    delivered_[static_cast<std::size_t>(rank)].clear();
+    in_flight_[static_cast<std::size_t>(rank)].clear();
+    fault_events_.push_back(
+        FaultEvent{FaultKind::kCrash, stats_.supersteps, rank, -1, -1, 0});
+    RRI_OBS_COUNTER("mpisim.faults_injected", 1);
+    RRI_OBS_COUNTER("mpisim.ranks_crashed", 1);
+  }
+}
+
+void BspWorld::enqueue(int from, int to, int tag, std::vector<float> payload,
+                       std::uint32_t crc) {
+  in_flight_[static_cast<std::size_t>(to)].push_back(
+      Message{from, tag, std::move(payload), crc});
 }
 
 void BspWorld::send(int from, int to, int tag, std::vector<float> payload) {
   check_rank(from);
   check_rank(to);
+  if (!alive_[static_cast<std::size_t>(from)]) {
+    throw std::logic_error("send from dead rank " + std::to_string(from) +
+                           " at superstep " +
+                           std::to_string(stats_.supersteps));
+  }
   const std::size_t bytes = payload.size() * sizeof(float);
   stats_.messages += 1;
   stats_.bytes += bytes;
   current_sent_bytes_[static_cast<std::size_t>(from)] += bytes;
   rank_sent_bytes_[static_cast<std::size_t>(from)] += bytes;
-  in_flight_[static_cast<std::size_t>(to)].push_back(
-      Message{from, tag, std::move(payload)});
+  if (!alive_[static_cast<std::size_t>(to)]) {
+    return;  // packets to a powered-off host vanish
+  }
+  const std::uint32_t crc = payload_crc(payload);
+  if (plan_.has_message_faults()) {
+    if (plan_.draw_drop()) {
+      fault_events_.push_back(
+          FaultEvent{FaultKind::kDrop, stats_.supersteps, to, from, tag, 0});
+      RRI_OBS_COUNTER("mpisim.faults_injected", 1);
+      RRI_OBS_COUNTER("mpisim.messages_dropped", 1);
+      return;
+    }
+    if (plan_.draw_duplicate()) {
+      fault_events_.push_back(FaultEvent{FaultKind::kDuplicate,
+                                         stats_.supersteps, to, from, tag, 0});
+      RRI_OBS_COUNTER("mpisim.faults_injected", 1);
+      RRI_OBS_COUNTER("mpisim.messages_duplicated", 1);
+      enqueue(from, to, tag, payload, crc);  // first copy
+    }
+    const std::size_t bit = plan_.draw_flip_bit(bytes * 8);
+    if (bit != SIZE_MAX) {
+      fault_events_.push_back(FaultEvent{FaultKind::kBitFlip,
+                                         stats_.supersteps, to, from, tag,
+                                         bit});
+      RRI_OBS_COUNTER("mpisim.faults_injected", 1);
+      RRI_OBS_COUNTER("mpisim.bits_flipped", 1);
+      auto* bytes_view = reinterpret_cast<unsigned char*>(payload.data());
+      bytes_view[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      // crc stays the pre-flip stamp: intact() now reports false.
+    }
+  }
+  enqueue(from, to, tag, std::move(payload), crc);
 }
 
 void BspWorld::broadcast(int from, int tag,
@@ -53,6 +127,7 @@ void BspWorld::barrier() {
   last_sent_bytes_ = current_sent_bytes_;
   current_sent_bytes_.assign(static_cast<std::size_t>(ranks_), 0);
   stats_.supersteps += 1;
+  apply_crashes();  // ranks scheduled to die at the new superstep
 }
 
 std::vector<Message> BspWorld::receive(int rank) {
@@ -72,6 +147,29 @@ std::vector<Message> BspWorld::receive(int rank) {
 std::size_t BspWorld::pending(int rank) const {
   check_rank(rank);
   return delivered_[static_cast<std::size_t>(rank)].size();
+}
+
+bool BspWorld::alive(int rank) const {
+  check_rank(rank);
+  return alive_[static_cast<std::size_t>(rank)] != 0;
+}
+
+int BspWorld::alive_count() const noexcept {
+  int count = 0;
+  for (const char a : alive_) {
+    count += a != 0;
+  }
+  return count;
+}
+
+std::vector<int> BspWorld::alive_ranks() const {
+  std::vector<int> ranks;
+  for (int r = 0; r < ranks_; ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) {
+      ranks.push_back(r);
+    }
+  }
+  return ranks;
 }
 
 }  // namespace rri::mpisim

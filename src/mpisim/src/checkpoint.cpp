@@ -1,0 +1,208 @@
+#include "rri/mpisim/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "rri/core/crc32.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/obs/obs.hpp"
+
+namespace rri::mpisim {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[4] = {'R', 'R', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+constexpr char kFilePrefix[] = "ckpt_";
+constexpr char kFileSuffix[] = ".rrck";
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T take_pod(const std::string& bytes, std::size_t& pos) {
+  if (pos + sizeof(T) > bytes.size()) {
+    throw core::SerializeError("truncated checkpoint");
+  }
+  T value{};
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const Checkpoint& ckpt) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  append_pod(out, kVersion);
+  append_pod(out, static_cast<std::int32_t>(ckpt.next_diagonal));
+  append_pod(out, static_cast<std::int32_t>(ckpt.total_ranks));
+  append_pod(out, static_cast<std::int32_t>(ckpt.alive.size()));
+  for (const int rank : ckpt.alive) {
+    append_pod(out, static_cast<std::int32_t>(rank));
+  }
+  std::ostringstream table_stream;
+  core::save_ftable(table_stream, ckpt.table);
+  out += table_stream.str();
+  append_pod(out, core::crc32(out.data(), out.size()));
+  return out;
+}
+
+Checkpoint decode_checkpoint(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw core::SerializeError("not an RRCK checkpoint (bad magic)");
+  }
+  // Integrity first: everything after this line may trust the bytes.
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t footer = 0;
+  std::memcpy(&footer, bytes.data() + body, sizeof(footer));
+  const std::uint32_t computed = core::crc32(bytes.data(), body);
+  if (footer != computed) {
+    throw core::SerializeError("checkpoint checksum mismatch (stored CRC32 " +
+                               std::to_string(footer) + ", computed " +
+                               std::to_string(computed) + ")");
+  }
+  std::size_t pos = sizeof(kMagic);
+  const auto version = take_pod<std::uint32_t>(bytes, pos);
+  if (version != kVersion) {
+    throw core::SerializeError("unsupported RRCK version " +
+                               std::to_string(version));
+  }
+  Checkpoint ckpt;
+  ckpt.next_diagonal = take_pod<std::int32_t>(bytes, pos);
+  ckpt.total_ranks = take_pod<std::int32_t>(bytes, pos);
+  const auto alive_count = take_pod<std::int32_t>(bytes, pos);
+  if (ckpt.next_diagonal < 0 || ckpt.total_ranks < 1 || alive_count < 1 ||
+      alive_count > ckpt.total_ranks) {
+    throw core::SerializeError("inconsistent checkpoint header");
+  }
+  for (std::int32_t i = 0; i < alive_count; ++i) {
+    ckpt.alive.push_back(take_pod<std::int32_t>(bytes, pos));
+  }
+  if (pos > body) {
+    throw core::SerializeError("truncated checkpoint");
+  }
+  std::istringstream table_stream(bytes.substr(pos, body - pos));
+  ckpt.table = core::load_ftable(table_stream);
+  if (ckpt.next_diagonal > ckpt.table.m()) {
+    throw core::SerializeError("checkpoint cursor beyond its table");
+  }
+  return ckpt;
+}
+
+// ------------------------------------------------- MemoryCheckpointStore
+
+MemoryCheckpointStore::MemoryCheckpointStore(int keep_last)
+    : keep_last_(keep_last < 1 ? 1 : static_cast<std::size_t>(keep_last)) {}
+
+void MemoryCheckpointStore::put(const Checkpoint& ckpt) {
+  slots_.push_back(encode_checkpoint(ckpt));
+  while (slots_.size() > keep_last_) {
+    slots_.pop_front();
+  }
+  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
+}
+
+std::optional<Checkpoint> MemoryCheckpointStore::latest() {
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    try {
+      return decode_checkpoint(*it);
+    } catch (const core::SerializeError&) {
+      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
+    }
+  }
+  return std::nullopt;
+}
+
+void MemoryCheckpointStore::corrupt_newest(std::size_t bit) {
+  if (slots_.empty()) {
+    return;
+  }
+  std::string& blob = slots_.back();
+  blob[(bit / 8) % blob.size()] ^= static_cast<char>(1u << (bit % 8));
+}
+
+// --------------------------------------------------- FileCheckpointStore
+
+FileCheckpointStore::FileCheckpointStore(std::string dir, int keep_last)
+    : dir_(std::move(dir)),
+      keep_last_(keep_last < 1 ? 1 : static_cast<std::size_t>(keep_last)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("cannot create checkpoint directory " + dir_);
+  }
+}
+
+std::vector<std::string> FileCheckpointStore::sorted_files() const {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind(kFilePrefix, 0) == 0 &&
+        name.size() > sizeof(kFileSuffix) &&
+        name.compare(name.size() + 1 - sizeof(kFileSuffix),
+                     sizeof(kFileSuffix) - 1, kFileSuffix) == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded cursor in the name => lexicographic == chronological.
+  std::sort(files.begin(), files.end(), std::greater<>());
+  return files;
+}
+
+void FileCheckpointStore::put(const Checkpoint& ckpt) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%08d%s", kFilePrefix,
+                ckpt.next_diagonal, kFileSuffix);
+  const fs::path path = fs::path(dir_) / name;
+  // Write-then-rename so a crash mid-write leaves no torn file under the
+  // final name (a torn temp never matches the ckpt_ prefix scan).
+  const fs::path tmp = fs::path(dir_) / (std::string(".tmp_") + name);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const std::string bytes = encode_checkpoint(ckpt);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw std::runtime_error("cannot write checkpoint " + path.string());
+    }
+  }
+  fs::rename(tmp, path);
+  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
+  const auto files = sorted_files();
+  for (std::size_t i = keep_last_; i < files.size(); ++i) {
+    std::error_code ec;
+    fs::remove(files[i], ec);  // best-effort prune
+  }
+}
+
+std::optional<Checkpoint> FileCheckpointStore::latest() {
+  for (const std::string& file : sorted_files()) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
+      continue;
+    }
+    try {
+      return decode_checkpoint(buffer.str());
+    } catch (const core::SerializeError&) {
+      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t FileCheckpointStore::size() const { return sorted_files().size(); }
+
+}  // namespace rri::mpisim

@@ -1,7 +1,8 @@
 #include "rri/mpisim/dist_bpmax.hpp"
 
 #include <algorithm>
-
+#include <map>
+#include <optional>
 #include <string>
 
 #include "rri/core/detail/triangle_ops.hpp"
@@ -49,9 +50,15 @@ double DistributedResult::simulated_speedup(const ClusterModel& model) const {
 DistributedResult distributed_bpmax(const rna::Sequence& strand1,
                                     const rna::Sequence& strand2,
                                     const rna::ScoringModel& model,
-                                    int ranks) {
+                                    int ranks, FaultPlan faults,
+                                    const RecoveryPolicy& policy) {
   if (ranks < 1) {
     throw std::invalid_argument("distributed_bpmax needs >= 1 rank");
+  }
+  if ((policy.checkpoint_every > 0 || policy.resume) &&
+      policy.store == nullptr) {
+    throw std::invalid_argument(
+        "RecoveryPolicy: checkpoint_every/resume need a CheckpointStore");
   }
   DistributedResult result;
   result.ranks = ranks;
@@ -68,25 +75,103 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
   const core::STable s2t(strand2, model);
   const rna::ScoreTables scores(strand1, strand2, model);
 
-  // Replicated tables: one full F-table per rank.
-  std::vector<core::FTable> tables;
-  tables.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    tables.emplace_back(m, n);
-  }
-
-  BspWorld world(ranks);
+  BspWorld world(ranks, std::move(faults));
   const std::size_t block_floats =
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
 
-  for (int d1 = 0; d1 < m; ++d1) {
-    // One superstep per diagonal: compute + broadcast + barrier + install.
+  // Replicated tables, indexed by absolute rank; only participating
+  // ranks hold an allocation (a dead rank's memory is gone anyway).
+  std::vector<core::FTable> tables(static_cast<std::size_t>(ranks));
+  const auto reset_tables = [&](const std::vector<int>& participants,
+                                const core::FTable* seed) {
+    for (auto& t : tables) {
+      t = core::FTable();
+    }
+    for (const int r : participants) {
+      tables[static_cast<std::size_t>(r)] = seed ? *seed : core::FTable(m, n);
+    }
+  };
+
+  // The deal: participating ranks, ascending; triangle i1 of the current
+  // diagonal belongs to deal[i1 % deal.size()]. With every rank alive
+  // this reduces to the original block-cyclic i1 % ranks ownership.
+  std::vector<int> deal = world.alive_ranks();
+  if (deal.empty()) {
+    throw std::runtime_error("distributed_bpmax: every rank is dead");
+  }
+  int d1 = 0;
+
+  if (policy.resume) {
+    if (const auto ckpt = policy.store->latest()) {
+      if (ckpt->table.m() != m || ckpt->table.n() != n) {
+        throw std::runtime_error(
+            "resume checkpoint is for a " + std::to_string(ckpt->table.m()) +
+            "x" + std::to_string(ckpt->table.n()) +
+            " problem, not the given " + std::to_string(m) + "x" +
+            std::to_string(n) + " strands");
+      }
+      d1 = ckpt->next_diagonal;
+      result.recovery.resume_diagonal = d1;
+      RRI_OBS_COUNTER("mpisim.checkpoint_restores", 1);
+      reset_tables(deal, &ckpt->table);
+    } else {
+      reset_tables(deal, nullptr);
+    }
+  } else {
+    reset_tables(deal, nullptr);
+  }
+
+  int retries = 0;
+  const auto begin_recovery = [&](const char* counter) {
+    if (++retries > policy.max_retries) {
+      throw std::runtime_error(
+          "distributed_bpmax: recovery budget exhausted (" +
+          std::to_string(policy.max_retries) + " retries)");
+    }
+    result.recovery.recoveries += 1;
+    RRI_OBS_COUNTER("mpisim.recoveries", 1);
+    RRI_OBS_COUNTER(counter, 1);
+    std::optional<Checkpoint> ckpt =
+        policy.store ? policy.store->latest() : std::nullopt;
+    if (ckpt) {
+      d1 = ckpt->next_diagonal;
+      result.recovery.checkpoint_restores += 1;
+      RRI_OBS_COUNTER("mpisim.checkpoint_restores", 1);
+      reset_tables(deal, &ckpt->table);
+    } else {
+      d1 = 0;
+      result.recovery.scratch_restarts += 1;
+      reset_tables(deal, nullptr);
+    }
+  };
+
+  while (d1 < m) {
+    // ---- failure detection: did a deal member die since last dealt?
+    const bool lost = std::any_of(deal.begin(), deal.end(), [&](int r) {
+      return !world.alive(r);
+    });
+    if (lost) {
+      if (!policy.degrade) {
+        throw std::runtime_error(
+            "distributed_bpmax: rank lost and degrade-to-fewer-ranks "
+            "is disabled");
+      }
+      deal = world.alive_ranks();
+      if (deal.empty()) {
+        throw std::runtime_error("distributed_bpmax: every rank is dead");
+      }
+      begin_recovery("mpisim.crash_recoveries");
+      continue;
+    }
+
+    // ---- one superstep: compute + exchange + install, per diagonal.
     RRI_OBS_PHASE(obs::Phase::kSuperstep);
     std::vector<double> step_flops(static_cast<std::size_t>(ranks), 0.0);
-    // Compute phase: block-cyclic ownership of the diagonal's triangles.
-    for (int r = 0; r < ranks; ++r) {
+    for (std::size_t p = 0; p < deal.size(); ++p) {
+      const int r = deal[p];
       core::FTable& f = tables[static_cast<std::size_t>(r)];
-      for (int i1 = r; i1 + d1 < m; i1 += ranks) {
+      for (int i1 = static_cast<int>(p); i1 + d1 < m;
+           i1 += static_cast<int>(deal.size())) {
         const int j1 = i1 + d1;
         float* acc = f.block(i1, j1);
         for (int k1 = i1; k1 < j1; ++k1) {
@@ -96,14 +181,18 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
         }
         core::detail::finalize_triangle(f, s1t, s2t, scores, i1, j1);
         step_flops[static_cast<std::size_t>(r)] += triangle_flops(d1, n);
-        // Publish the finished block; the tag carries i1 (j1 = i1 + d1).
+        // Publish the finished block to the other deal members; the tag
+        // carries i1 (j1 = i1 + d1).
         const float* block = f.block(i1, j1);
-        world.broadcast(r, i1,
-                        std::vector<float>(block, block + block_floats));
+        for (const int to : deal) {
+          if (to != r) {
+            world.send(r, to, i1,
+                       std::vector<float>(block, block + block_floats));
+          }
+        }
       }
     }
     world.barrier();
-    // Install phase: copy received blocks into each rank's replica.
     std::size_t max_bytes = 0;
     std::size_t step_bytes = 0;
     for (const std::size_t b : world.last_step_sent_bytes()) {
@@ -123,14 +212,49 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
 #else
     (void)step_bytes;
 #endif
-    for (int r = 0; r < ranks; ++r) {
+
+    // ---- install with validation: every surviving deal member must
+    // hold exactly one intact copy of every block it does not own.
+    // (Ranks killed at this barrier finished their sends — BSP crash
+    // semantics — so survivors still have a complete superstep.)
+    bool corrupt = false;
+    for (const int r : deal) {
+      if (!world.alive(r)) {
+        continue;  // leaves the deal at the top of the next iteration
+      }
       core::FTable& f = tables[static_cast<std::size_t>(r)];
-      for (Message& msg : world.receive(r)) {
+      auto msgs = world.receive(r);
+      std::map<int, int> copies;  // tag (= i1) -> intact copies received
+      for (const Message& msg : msgs) {
+        if (!msg.intact()) {
+          corrupt = true;
+        } else {
+          copies[msg.tag] += 1;
+        }
+      }
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        const int owner = deal[static_cast<std::size_t>(i1) % deal.size()];
+        const int want = owner == r ? 0 : 1;
+        if (copies[i1] != want) {
+          corrupt = true;  // dropped, duplicated, or corrupted block
+        }
+      }
+      if (corrupt) {
+        continue;  // rolling back anyway; skip the installs
+      }
+      for (Message& msg : msgs) {
         const int i1 = msg.tag;
         std::copy(msg.payload.begin(), msg.payload.end(),
                   f.block(i1, i1 + d1));
       }
     }
+    if (corrupt) {
+      result.recovery.corrupt_supersteps += 1;
+      begin_recovery("mpisim.corrupt_supersteps");
+      continue;
+    }
+
+    // ---- bookkeeping + periodic checkpoint, then the next diagonal.
     for (int r = 0; r < ranks; ++r) {
       result.rank_flops[static_cast<std::size_t>(r)] +=
           step_flops[static_cast<std::size_t>(r)];
@@ -138,9 +262,27 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
     result.step_max_flops.push_back(
         *std::max_element(step_flops.begin(), step_flops.end()));
     result.step_max_bytes.push_back(max_bytes);
+    if (policy.checkpoint_every > 0 &&
+        (d1 + 1) % policy.checkpoint_every == 0) {
+      const auto live = std::find_if(deal.begin(), deal.end(), [&](int r) {
+        return world.alive(r);
+      });
+      if (live != deal.end()) {
+        Checkpoint ckpt;
+        ckpt.next_diagonal = d1 + 1;
+        ckpt.total_ranks = ranks;
+        ckpt.alive = world.alive_ranks();
+        ckpt.table = tables[static_cast<std::size_t>(*live)];
+        policy.store->put(ckpt);
+        result.recovery.checkpoints_written += 1;
+      }
+    }
+    ++d1;
   }
 
   result.comm = world.stats();
+  result.recovery.ranks_lost = ranks - world.alive_count();
+  result.fault_events = world.fault_events();
 #if RRI_OBS_ENABLED
   if (obs::enabled()) {
     obs::add_counter("bsp.supersteps",
@@ -161,7 +303,18 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
     }
   }
 #endif
-  result.score = tables[0].at(0, m - 1, 0, n - 1);
+  // A rank that survived to the end installed every diagonal; fall back
+  // to the first deal member (killed at the final barrier at worst: its
+  // replica still holds the root block it computed or installed).
+  int authoritative = deal.front();
+  for (const int r : deal) {
+    if (world.alive(r)) {
+      authoritative = r;
+      break;
+    }
+  }
+  result.table = std::move(tables[static_cast<std::size_t>(authoritative)]);
+  result.score = result.table.at(0, m - 1, 0, n - 1);
   return result;
 }
 

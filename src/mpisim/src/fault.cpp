@@ -1,0 +1,185 @@
+#include "rri/mpisim/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rri::mpisim {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+  }
+  return "?";
+}
+
+bool operator==(const FaultEvent& a, const FaultEvent& b) noexcept {
+  return a.kind == b.kind && a.superstep == b.superstep && a.rank == b.rank &&
+         a.from == b.from && a.tag == b.tag && a.bit == b.bit;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("bad fault clause '" + clause + "': " + why);
+}
+
+/// "rank=2,step=7" -> {rank: "2", step: "7"}; duplicate keys rejected.
+std::map<std::string, std::string> parse_kv(const std::string& clause,
+                                            const std::string& body) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(body);
+  std::string pair;
+  while (std::getline(in, pair, ',')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      bad_spec(clause, "expected key=value, got '" + pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    if (!out.emplace(key, pair.substr(eq + 1)).second) {
+      bad_spec(clause, "duplicate key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+long long parse_int(const std::string& clause, const std::string& key,
+                    const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    bad_spec(clause, key + " must be an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_probability(const std::string& clause, const std::string& text) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(p >= 0.0) || !(p <= 1.0)) {
+    bad_spec(clause, "p must be a probability in [0, 1], got '" + text + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream in(spec);
+  std::string clause;
+  while (std::getline(in, clause, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      bad_spec(clause, "expected kind:key=value,...");
+    }
+    const std::string kind = clause.substr(0, colon);
+    auto kv = parse_kv(clause, clause.substr(colon + 1));
+    const auto take = [&](const char* key, bool required,
+                          const std::string& fallback) {
+      const auto it = kv.find(key);
+      if (it == kv.end()) {
+        if (required) {
+          bad_spec(clause, std::string("missing ") + key + "=");
+        }
+        return fallback;
+      }
+      std::string value = it->second;
+      kv.erase(it);
+      return value;
+    };
+    if (kind == "crash") {
+      const long long rank = parse_int(clause, "rank", take("rank", true, ""));
+      const long long step = parse_int(clause, "step", take("step", true, ""));
+      if (rank < 0 || step < 0) {
+        bad_spec(clause, "rank and step must be >= 0");
+      }
+      plan.add_crash(static_cast<int>(rank),
+                     static_cast<std::size_t>(step));
+    } else if (kind == "drop" || kind == "dup" || kind == "flip") {
+      const double p = parse_probability(clause, take("p", true, ""));
+      const std::uint64_t seed = static_cast<std::uint64_t>(parse_int(
+          clause, "seed", take("seed", false, std::to_string(kDefaultSeed))));
+      if (kind == "drop") {
+        plan.add_drop(p, seed);
+      } else if (kind == "dup") {
+        plan.add_duplicate(p, seed);
+      } else {
+        plan.add_bit_flip(p, seed);
+      }
+    } else {
+      bad_spec(clause, "unknown kind '" + kind +
+                           "' (expected crash, drop, dup, or flip)");
+    }
+    if (!kv.empty()) {
+      bad_spec(clause, "unknown key '" + kv.begin()->first + "'");
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::add_crash(int rank, std::size_t step) {
+  crashes_.push_back(Crash{rank, step});
+}
+
+void FaultPlan::add_drop(double p, std::uint64_t seed) {
+  drop_p_ = p;
+  drop_rng_.seed(seed);
+}
+
+void FaultPlan::add_duplicate(double p, std::uint64_t seed) {
+  dup_p_ = p;
+  dup_rng_.seed(seed);
+}
+
+void FaultPlan::add_bit_flip(double p, std::uint64_t seed) {
+  flip_p_ = p;
+  flip_rng_.seed(seed);
+}
+
+bool FaultPlan::empty() const noexcept {
+  return crashes_.empty() && !has_message_faults();
+}
+
+bool FaultPlan::has_message_faults() const noexcept {
+  return drop_p_ > 0.0 || dup_p_ > 0.0 || flip_p_ > 0.0;
+}
+
+std::vector<int> FaultPlan::crashes_at(std::size_t step) const {
+  std::vector<int> ranks;
+  for (const Crash& c : crashes_) {
+    if (c.step == step) {
+      ranks.push_back(c.rank);
+    }
+  }
+  return ranks;
+}
+
+bool FaultPlan::draw_drop() {
+  return drop_p_ > 0.0 && unit_draw(drop_rng_) < drop_p_;
+}
+
+bool FaultPlan::draw_duplicate() {
+  return dup_p_ > 0.0 && unit_draw(dup_rng_) < dup_p_;
+}
+
+std::size_t FaultPlan::draw_flip_bit(std::size_t payload_bits) {
+  if (flip_p_ <= 0.0 || payload_bits == 0 ||
+      unit_draw(flip_rng_) >= flip_p_) {
+    return SIZE_MAX;
+  }
+  return static_cast<std::size_t>(flip_rng_()) % payload_bits;
+}
+
+}  // namespace rri::mpisim

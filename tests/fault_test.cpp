@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rri/mpisim/bsp.hpp"
+#include "rri/mpisim/fault.hpp"
+
+namespace {
+
+using namespace rri;
+using mpisim::BspWorld;
+using mpisim::FaultKind;
+using mpisim::FaultPlan;
+
+// ---------------------------------------------------------- spec parsing
+
+TEST(FaultSpec, ParsesCrashClause) {
+  const auto plan = FaultPlan::parse("crash:rank=2,step=7");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.has_message_faults());
+  EXPECT_EQ(plan.crashes_at(7), std::vector<int>{2});
+  EXPECT_TRUE(plan.crashes_at(6).empty());
+}
+
+TEST(FaultSpec, ParsesCombinedSpec) {
+  auto plan = FaultPlan::parse("crash:rank=2,step=7;drop:p=0.01,seed=42");
+  EXPECT_TRUE(plan.has_message_faults());
+  EXPECT_EQ(plan.crashes_at(7), std::vector<int>{2});
+}
+
+TEST(FaultSpec, ParsesAllMessageKinds) {
+  auto plan = FaultPlan::parse("drop:p=1;dup:p=1;flip:p=1,seed=9");
+  EXPECT_TRUE(plan.has_message_faults());
+  EXPECT_TRUE(plan.draw_drop());
+  EXPECT_TRUE(plan.draw_duplicate());
+  EXPECT_NE(plan.draw_flip_bit(32), SIZE_MAX);
+}
+
+TEST(FaultSpec, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "crash",                      // no clause body
+      "crash:rank=2",               // missing step
+      "crash:step=3",               // missing rank
+      "crash:rank=zzz,step=1",      // non-integer rank
+      "crash:rank=1,step=1,x=2",    // unknown key
+      "crash:rank=1,rank=2,step=0", // duplicate key
+      "drop:p=1.5",                 // probability out of range
+      "drop:p=-0.1",                // probability out of range
+      "drop:seed=3",                // missing p
+      "meteor:p=0.5",               // unknown kind
+      "drop:p=abc",                 // non-numeric p
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(FaultPlan::parse(spec), std::invalid_argument)
+        << "spec accepted: " << spec;
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(FaultPlanDeterminism, SameSeedSameDecisionStream) {
+  auto a = FaultPlan::parse("drop:p=0.3,seed=123");
+  auto b = FaultPlan::parse("drop:p=0.3,seed=123");
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.draw_drop(), b.draw_drop()) << "diverged at draw " << i;
+  }
+}
+
+TEST(FaultPlanDeterminism, DifferentSeedsDiverge) {
+  auto a = FaultPlan::parse("flip:p=0.5,seed=1");
+  auto b = FaultPlan::parse("flip:p=0.5,seed=2");
+  bool differed = false;
+  for (int i = 0; i < 200 && !differed; ++i) {
+    differed = a.draw_flip_bit(1024) != b.draw_flip_bit(1024);
+  }
+  EXPECT_TRUE(differed);
+}
+
+/// Same plan + same traffic => identical FaultEvent logs. This is the
+/// property that makes every recovery scenario replayable from a seed.
+TEST(FaultPlanDeterminism, IdenticalWorldsProduceIdenticalEventLogs) {
+  const std::string spec =
+      "crash:rank=1,step=2;drop:p=0.2,seed=7;dup:p=0.2,seed=8;"
+      "flip:p=0.2,seed=9";
+  auto run = [&spec]() {
+    BspWorld world(3, FaultPlan::parse(spec));
+    for (int step = 0; step < 6; ++step) {
+      for (int r = 0; r < 3; ++r) {
+        if (!world.alive(r)) continue;
+        world.broadcast(r, step * 10 + r, {1.0f, 2.0f, float(r)});
+      }
+      world.barrier();
+      for (int r = 0; r < 3; ++r) {
+        (void)world.receive(r);
+      }
+    }
+    return world.fault_events();
+  };
+  const auto log1 = run();
+  const auto log2 = run();
+  ASSERT_FALSE(log1.empty());
+  ASSERT_EQ(log1.size(), log2.size());
+  for (std::size_t i = 0; i < log1.size(); ++i) {
+    EXPECT_TRUE(log1[i] == log2[i]) << "event " << i << " differs";
+  }
+}
+
+// --------------------------------------------------------- crash semantics
+
+TEST(Crash, RankDiesAtScheduledStep) {
+  FaultPlan plan;
+  plan.add_crash(1, 2);
+  BspWorld world(3, std::move(plan));
+  EXPECT_TRUE(world.alive(1));  // step 0
+  world.barrier();
+  EXPECT_TRUE(world.alive(1));  // step 1
+  world.barrier();
+  EXPECT_FALSE(world.alive(1));  // step 2: dead
+  EXPECT_EQ(world.alive_count(), 2);
+  EXPECT_EQ(world.alive_ranks(), (std::vector<int>{0, 2}));
+  ASSERT_EQ(world.fault_events().size(), 1u);
+  EXPECT_EQ(world.fault_events()[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(world.fault_events()[0].rank, 1);
+  EXPECT_EQ(world.fault_events()[0].superstep, 2u);
+}
+
+TEST(Crash, StepZeroCrashAppliesAtConstruction) {
+  FaultPlan plan;
+  plan.add_crash(0, 0);
+  BspWorld world(2, std::move(plan));
+  EXPECT_FALSE(world.alive(0));
+  EXPECT_TRUE(world.alive(1));
+}
+
+TEST(Crash, SendFromDeadRankThrows) {
+  FaultPlan plan;
+  plan.add_crash(0, 0);
+  BspWorld world(2, std::move(plan));
+  EXPECT_THROW(world.send(0, 1, 0, {1.0f}), std::logic_error);
+  EXPECT_THROW(world.broadcast(0, 0, {1.0f}), std::logic_error);
+}
+
+TEST(Crash, SendToDeadRankIsDiscarded) {
+  FaultPlan plan;
+  plan.add_crash(1, 0);
+  BspWorld world(2, std::move(plan));
+  world.send(0, 1, 0, {1.0f});  // powered-off host: no error, no delivery
+  world.barrier();
+  EXPECT_EQ(world.receive(1).size(), 0u);
+  EXPECT_EQ(world.pending(1), 0u);
+}
+
+TEST(Crash, DeadRankReceivesNothingEvenIfMessagesWereInFlight) {
+  FaultPlan plan;
+  plan.add_crash(1, 1);  // dies at the barrier ending superstep 0
+  BspWorld world(2, std::move(plan));
+  world.send(0, 1, 0, {1.0f});
+  world.barrier();  // delivery then crash: inbox is wiped
+  EXPECT_FALSE(world.alive(1));
+  EXPECT_EQ(world.receive(1).size(), 0u);
+}
+
+// --------------------------------------------------------- message faults
+
+TEST(MessageFaults, DropLosesTheMessage) {
+  FaultPlan plan;
+  plan.add_drop(1.0);
+  BspWorld world(2, std::move(plan));
+  world.send(0, 1, 0, {1.0f, 2.0f});
+  world.barrier();
+  EXPECT_EQ(world.receive(1).size(), 0u);
+  ASSERT_EQ(world.fault_events().size(), 1u);
+  EXPECT_EQ(world.fault_events()[0].kind, FaultKind::kDrop);
+}
+
+TEST(MessageFaults, DuplicateDeliversTwiceBothIntact) {
+  FaultPlan plan;
+  plan.add_duplicate(1.0);
+  BspWorld world(2, std::move(plan));
+  world.send(0, 1, 5, {3.0f});
+  world.barrier();
+  const auto msgs = world.receive(1);
+  ASSERT_EQ(msgs.size(), 2u);
+  for (const auto& m : msgs) {
+    EXPECT_EQ(m.tag, 5);
+    EXPECT_TRUE(m.intact());
+    ASSERT_EQ(m.payload.size(), 1u);
+    EXPECT_EQ(m.payload[0], 3.0f);
+  }
+}
+
+TEST(MessageFaults, BitFlipBreaksIntact) {
+  FaultPlan plan;
+  plan.add_bit_flip(1.0);
+  BspWorld world(2, std::move(plan));
+  world.send(0, 1, 0, {1.0f, 2.0f, 3.0f});
+  world.barrier();
+  const auto msgs = world.receive(1);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_FALSE(msgs[0].intact());
+  ASSERT_EQ(world.fault_events().size(), 1u);
+  EXPECT_EQ(world.fault_events()[0].kind, FaultKind::kBitFlip);
+  EXPECT_LT(world.fault_events()[0].bit, 3u * 32u);
+}
+
+TEST(MessageFaults, CleanMessagesAreIntact) {
+  BspWorld world(2);
+  world.send(0, 1, 0, {1.0f, 2.0f});
+  world.send(0, 1, 1, {});  // empty payloads get a CRC too
+  world.barrier();
+  const auto msgs = world.receive(1);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_TRUE(msgs[0].intact());
+  EXPECT_TRUE(msgs[1].intact());
+  EXPECT_TRUE(world.fault_events().empty());
+}
+
+TEST(MessageFaults, EmptyPayloadNeverFlipped) {
+  FaultPlan plan;
+  plan.add_bit_flip(1.0);
+  EXPECT_EQ(plan.draw_flip_bit(0), SIZE_MAX);
+}
+
+}  // namespace

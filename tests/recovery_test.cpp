@@ -1,0 +1,494 @@
+/// Checkpoint/restart and rank-recovery tests for distributed BPMax:
+/// the RRCK blob round trip and its CRC armor, keep-last-K store
+/// semantics (memory and directory backed), and the headline guarantee
+/// — a run that loses a rank at *any* superstep, or suffers in-flight
+/// message corruption, finishes with scores bit-identical to the
+/// fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/mpisim/dist_bpmax.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/obs/registry.hpp"
+#include "rri/obs/report.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using mpisim::Checkpoint;
+using mpisim::FaultPlan;
+using mpisim::FileCheckpointStore;
+using mpisim::MemoryCheckpointStore;
+using mpisim::RecoveryPolicy;
+
+/// Bitwise equality over the stored (upper-triangle) blocks.
+bool tables_equal(const core::FTable& a, const core::FTable& b) {
+  if (a.m() != b.m() || a.n() != b.n()) {
+    return false;
+  }
+  const std::size_t block_bytes = static_cast<std::size_t>(a.n()) *
+                                  static_cast<std::size_t>(a.n()) *
+                                  sizeof(float);
+  for (int i1 = 0; i1 < a.m(); ++i1) {
+    for (int j1 = i1; j1 < a.m(); ++j1) {
+      if (std::memcmp(a.block(i1, j1), b.block(i1, j1), block_bytes) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Checkpoint sample_checkpoint(int next_diagonal = 3) {
+  Checkpoint ckpt;
+  ckpt.next_diagonal = next_diagonal;
+  ckpt.total_ranks = 4;
+  ckpt.alive = {0, 2, 3};
+  ckpt.table = core::FTable(5, 4);
+  ckpt.table.at(0, 4, 0, 3) = 7.0f;
+  ckpt.table.at(1, 2, 1, 1) = static_cast<float>(next_diagonal);
+  return ckpt;
+}
+
+// ----------------------------------------------------------- RRCK format
+
+TEST(CheckpointFormat, RoundTrips) {
+  const Checkpoint ckpt = sample_checkpoint();
+  const auto decoded = mpisim::decode_checkpoint(mpisim::encode_checkpoint(ckpt));
+  EXPECT_EQ(decoded.next_diagonal, ckpt.next_diagonal);
+  EXPECT_EQ(decoded.total_ranks, ckpt.total_ranks);
+  EXPECT_EQ(decoded.alive, ckpt.alive);
+  EXPECT_TRUE(tables_equal(decoded.table, ckpt.table));
+}
+
+TEST(CheckpointFormat, EveryFlippedBitIsDetected) {
+  const std::string bytes = mpisim::encode_checkpoint(sample_checkpoint());
+  // Flip one bit at a spread of positions (header, cursor, table, CRC).
+  for (std::size_t pos = 0; pos < bytes.size();
+       pos += 1 + bytes.size() / 97) {
+    for (int bit : {0, 3, 7}) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+      EXPECT_THROW(mpisim::decode_checkpoint(bad), core::SerializeError)
+          << "flip at byte " << pos << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(CheckpointFormat, TruncationRejected) {
+  const std::string bytes = mpisim::encode_checkpoint(sample_checkpoint());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{11}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_THROW(mpisim::decode_checkpoint(bytes.substr(0, keep)),
+                 core::SerializeError)
+        << "accepted a checkpoint cut to " << keep << " bytes";
+  }
+}
+
+// ---------------------------------------------------------------- stores
+
+TEST(MemoryStore, KeepsLastK) {
+  MemoryCheckpointStore store(2);
+  store.put(sample_checkpoint(1));
+  store.put(sample_checkpoint(2));
+  store.put(sample_checkpoint(3));
+  EXPECT_EQ(store.size(), 2u);
+  const auto latest = store.latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_diagonal, 3);
+}
+
+TEST(MemoryStore, EmptyStoreHasNoLatest) {
+  MemoryCheckpointStore store;
+  EXPECT_FALSE(store.latest().has_value());
+}
+
+TEST(MemoryStore, CorruptNewestFallsBackToPrevious) {
+  MemoryCheckpointStore store(2);
+  store.put(sample_checkpoint(1));
+  store.put(sample_checkpoint(2));
+  store.corrupt_newest(130);  // one flipped bit in the newest blob
+  const auto latest = store.latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_diagonal, 1);
+}
+
+TEST(MemoryStore, AllCorruptMeansNoLatest) {
+  MemoryCheckpointStore store(1);
+  store.put(sample_checkpoint(1));
+  store.corrupt_newest(7);
+  EXPECT_FALSE(store.latest().has_value());
+}
+
+TEST(FileStore, PersistsAcrossInstancesAndPrunes) {
+  const std::string dir = ::testing::TempDir() + "rri_ckpt_persist";
+  std::filesystem::remove_all(dir);
+  {
+    FileCheckpointStore store(dir, 2);
+    store.put(sample_checkpoint(1));
+    store.put(sample_checkpoint(3));
+    store.put(sample_checkpoint(5));
+    EXPECT_EQ(store.size(), 2u);
+  }
+  FileCheckpointStore reopened(dir, 2);  // a fresh process would see this
+  const auto latest = reopened.latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_diagonal, 5);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileStore, CorruptNewestFileFallsBackToPrevious) {
+  const std::string dir = ::testing::TempDir() + "rri_ckpt_corrupt";
+  std::filesystem::remove_all(dir);
+  FileCheckpointStore store(dir, 2);
+  store.put(sample_checkpoint(2));
+  store.put(sample_checkpoint(4));
+  // Flip one byte in the newest file, as a bad disk would.
+  const std::string newest = dir + "/ckpt_00000004.rrck";
+  ASSERT_TRUE(std::filesystem::exists(newest));
+  std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(40);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(40);
+  f.write(&byte, 1);
+  f.close();
+  const auto latest = store.latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_diagonal, 2);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- solver recovery
+
+/// The acceptance sweep: a 40x30 random-pair run on 4 ranks must survive
+/// a single-rank crash at EVERY possible superstep (0 = dead on arrival,
+/// m = killed at the final barrier) and reproduce the fault-free table
+/// bit for bit.
+TEST(DistRecovery, CrashAtEverySuperstepRecoversBitIdentical) {
+  std::mt19937_64 rng(2024);
+  const auto s1 = rna::random_sequence(40, rng);
+  const auto s2 = rna::random_sequence(30, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const int ranks = 4;
+  const int m = 40;
+
+  const auto clean = mpisim::distributed_bpmax(s1, s2, model, ranks);
+  ASSERT_EQ(clean.recovery.recoveries, 0);
+
+  for (int step = 0; step <= m; ++step) {
+    FaultPlan plan;
+    plan.add_crash(step % ranks, static_cast<std::size_t>(step));
+    MemoryCheckpointStore store(2);
+    RecoveryPolicy policy;
+    policy.checkpoint_every = 4;
+    policy.store = &store;
+    const auto faulty =
+        mpisim::distributed_bpmax(s1, s2, model, ranks, std::move(plan),
+                                  policy);
+    ASSERT_EQ(faulty.score, clean.score) << "crash at superstep " << step;
+    ASSERT_TRUE(tables_equal(faulty.table, clean.table))
+        << "crash at superstep " << step;
+    ASSERT_EQ(faulty.fault_events.size(), 1u) << "crash at superstep " << step;
+    if (step > 0 && step < m) {
+      // Mid-run crash: the driver had dealt work to the dead rank and
+      // must have rolled back and re-dealt.
+      EXPECT_GE(faulty.recovery.recoveries, 1) << "superstep " << step;
+      EXPECT_EQ(faulty.recovery.ranks_lost, 1) << "superstep " << step;
+    }
+  }
+}
+
+TEST(DistRecovery, CrashWithoutStoreRestartsFromScratch) {
+  std::mt19937_64 rng(31);
+  const auto s1 = rna::random_sequence(12, rng);
+  const auto s2 = rna::random_sequence(9, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 3).score;
+
+  FaultPlan plan;
+  plan.add_crash(1, 6);
+  const auto faulty =
+      mpisim::distributed_bpmax(s1, s2, model, 3, std::move(plan));
+  EXPECT_EQ(faulty.score, clean);
+  EXPECT_GE(faulty.recovery.scratch_restarts, 1);
+  EXPECT_EQ(faulty.recovery.checkpoint_restores, 0);
+}
+
+TEST(DistRecovery, LosingAllButOneRankStillFinishes) {
+  std::mt19937_64 rng(32);
+  const auto s1 = rna::random_sequence(10, rng);
+  const auto s2 = rna::random_sequence(8, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 1).score;
+
+  FaultPlan plan;
+  plan.add_crash(0, 2);
+  plan.add_crash(2, 5);
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 2;
+  policy.store = &store;
+  policy.max_retries = 8;
+  const auto faulty =
+      mpisim::distributed_bpmax(s1, s2, model, 3, std::move(plan), policy);
+  EXPECT_EQ(faulty.score, clean);
+  EXPECT_EQ(faulty.recovery.ranks_lost, 2);
+  EXPECT_GE(faulty.recovery.recoveries, 2);
+}
+
+TEST(DistRecovery, DroppedMessagesAreDetectedAndReplayed) {
+  std::mt19937_64 rng(33);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 2).score;
+
+  FaultPlan plan;
+  plan.add_drop(0.3, 77);
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 1;  // replay one diagonal per incident
+  policy.store = &store;
+  policy.max_retries = 1000;
+  const auto faulty =
+      mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan), policy);
+  EXPECT_EQ(faulty.score, clean);
+  EXPECT_GE(faulty.recovery.corrupt_supersteps, 1);
+  EXPECT_EQ(faulty.recovery.ranks_lost, 0);
+}
+
+TEST(DistRecovery, BitFlippedMessagesAreDetectedAndReplayed) {
+  std::mt19937_64 rng(34);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 2).score;
+
+  FaultPlan plan;
+  plan.add_bit_flip(0.3, 78);
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 1;
+  policy.store = &store;
+  policy.max_retries = 1000;
+  const auto faulty =
+      mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan), policy);
+  EXPECT_EQ(faulty.score, clean);
+  EXPECT_GE(faulty.recovery.corrupt_supersteps, 1);
+}
+
+TEST(DistRecovery, DuplicatedMessagesAreDetectedAndReplayed) {
+  std::mt19937_64 rng(35);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 2).score;
+
+  FaultPlan plan;
+  plan.add_duplicate(0.3, 79);
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 1;
+  policy.store = &store;
+  policy.max_retries = 1000;
+  const auto faulty =
+      mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan), policy);
+  EXPECT_EQ(faulty.score, clean);
+  EXPECT_GE(faulty.recovery.corrupt_supersteps, 1);
+}
+
+TEST(DistRecovery, DegradeDisabledMakesRankLossFatal) {
+  std::mt19937_64 rng(36);
+  const auto s1 = rna::random_sequence(8, rng);
+  const auto s2 = rna::random_sequence(6, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  FaultPlan plan;
+  plan.add_crash(1, 3);
+  RecoveryPolicy policy;
+  policy.degrade = false;
+  EXPECT_THROW(
+      mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan), policy),
+      std::runtime_error);
+}
+
+TEST(DistRecovery, RetryBudgetExhaustionThrows) {
+  std::mt19937_64 rng(37);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  FaultPlan plan;
+  plan.add_drop(1.0);  // no superstep can ever validate
+  RecoveryPolicy policy;
+  policy.max_retries = 5;
+  EXPECT_THROW(
+      mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan), policy),
+      std::runtime_error);
+}
+
+TEST(DistRecovery, AllRanksDeadThrows) {
+  std::mt19937_64 rng(38);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  FaultPlan plan;
+  plan.add_crash(0, 0);
+  plan.add_crash(1, 0);
+  EXPECT_THROW(mpisim::distributed_bpmax(s1, s2, model, 2, std::move(plan)),
+               std::runtime_error);
+}
+
+TEST(DistRecovery, PolicyRequiresStoreWhenCheckpointing) {
+  std::mt19937_64 rng(39);
+  const auto s1 = rna::random_sequence(4, rng);
+  const auto s2 = rna::random_sequence(4, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 2;  // but no store
+  EXPECT_THROW(mpisim::distributed_bpmax(s1, s2, model, 2, {}, policy),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- resume
+
+TEST(DistResume, ResumesFromLatestCheckpointToTheSameScore) {
+  std::mt19937_64 rng(40);
+  const auto s1 = rna::random_sequence(9, rng);
+  const auto s2 = rna::random_sequence(7, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy write_policy;
+  write_policy.checkpoint_every = 2;
+  write_policy.store = &store;
+  const auto first =
+      mpisim::distributed_bpmax(s1, s2, model, 3, {}, write_policy);
+  ASSERT_GE(first.recovery.checkpoints_written, 1);
+
+  // A "second process" resumes from the same store: it skips the
+  // checkpointed diagonals and still lands on the identical table.
+  RecoveryPolicy resume_policy;
+  resume_policy.store = &store;
+  resume_policy.resume = true;
+  const auto resumed =
+      mpisim::distributed_bpmax(s1, s2, model, 3, {}, resume_policy);
+  EXPECT_EQ(resumed.score, first.score);
+  EXPECT_TRUE(tables_equal(resumed.table, first.table));
+  EXPECT_EQ(resumed.recovery.resume_diagonal, 8);  // m=9, every=2
+  EXPECT_LT(resumed.comm.supersteps, first.comm.supersteps);
+}
+
+TEST(DistResume, ResumeWithEmptyStoreStartsFresh) {
+  std::mt19937_64 rng(41);
+  const auto s1 = rna::random_sequence(6, rng);
+  const auto s2 = rna::random_sequence(5, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  const float clean = mpisim::distributed_bpmax(s1, s2, model, 2).score;
+
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.store = &store;
+  policy.resume = true;
+  const auto resumed = mpisim::distributed_bpmax(s1, s2, model, 2, {}, policy);
+  EXPECT_EQ(resumed.score, clean);
+  EXPECT_EQ(resumed.recovery.resume_diagonal, -1);
+}
+
+TEST(DistResume, MismatchedStrandsRejected) {
+  std::mt19937_64 rng(42);
+  const auto s1 = rna::random_sequence(8, rng);
+  const auto s2 = rna::random_sequence(6, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 2;
+  policy.store = &store;
+  (void)mpisim::distributed_bpmax(s1, s2, model, 2, {}, policy);
+
+  const auto other = rna::random_sequence(5, rng);
+  RecoveryPolicy resume_policy;
+  resume_policy.store = &store;
+  resume_policy.resume = true;
+  EXPECT_THROW(
+      mpisim::distributed_bpmax(s1, other, model, 2, {}, resume_policy),
+      std::runtime_error);
+}
+
+// ------------------------------------------------------- obs integration
+
+#if RRI_OBS_ENABLED
+
+TEST(DistRecoveryObs, RecoveryCountersAreReported) {
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  std::mt19937_64 rng(43);
+  const auto s1 = rna::random_sequence(12, rng);
+  const auto s2 = rna::random_sequence(8, rng);
+  const auto model = rna::ScoringModel::bpmax_default();
+  FaultPlan plan;
+  plan.add_crash(1, 5);
+  MemoryCheckpointStore store(2);
+  RecoveryPolicy policy;
+  policy.checkpoint_every = 2;
+  policy.store = &store;
+  const auto result =
+      mpisim::distributed_bpmax(s1, s2, model, 3, std::move(plan), policy);
+  obs::set_enabled(false);
+  ASSERT_GE(result.recovery.recoveries, 1);
+
+  const auto report = obs::capture_report("recovery", 0.0);
+  obs::Registry::global().reset();
+  const auto counter = [&report](const std::string& name) {
+    for (const auto& [key, value] : report.counters) {
+      if (key == name) {
+        return value;
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_GE(counter("mpisim.faults_injected"), 1.0);
+  EXPECT_GE(counter("mpisim.ranks_crashed"), 1.0);
+  EXPECT_GE(counter("mpisim.recoveries"), 1.0);
+  EXPECT_GE(counter("mpisim.crash_recoveries"), 1.0);
+  EXPECT_GE(counter("mpisim.checkpoint_restores"), 1.0);
+  EXPECT_GE(counter("mpisim.checkpoints_written"), 1.0);
+}
+
+TEST(DistRecoveryObs, CorruptCheckpointCounterTicks) {
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  MemoryCheckpointStore store(2);
+  store.put(sample_checkpoint(1));
+  store.put(sample_checkpoint(2));
+  store.corrupt_newest(99);
+  const auto latest = store.latest();
+  obs::set_enabled(false);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_diagonal, 1);
+
+  const auto report = obs::capture_report("corrupt", 0.0);
+  obs::Registry::global().reset();
+  double corrupt = 0.0;
+  for (const auto& [key, value] : report.counters) {
+    if (key == "mpisim.checkpoints_corrupt") {
+      corrupt = value;
+    }
+  }
+  EXPECT_GE(corrupt, 1.0);
+}
+
+#endif  // RRI_OBS_ENABLED
+
+}  // namespace

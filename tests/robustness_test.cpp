@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <random>
 #include <sstream>
 
@@ -161,9 +163,114 @@ TEST(Serialize, SavedSizeIsHalfTheBoundingBox) {
   const core::FTable table(10, 6);
   std::stringstream stream;
   core::save_ftable(stream, table);
-  const std::size_t payload = stream.str().size() - 20;  // header bytes
+  // 20-byte header + 4-byte CRC-32 footer (format v2).
+  const std::size_t payload = stream.str().size() - 24;
   EXPECT_EQ(payload, 10u * 11u / 2u * 36u * sizeof(float));
   EXPECT_LT(payload, table.allocated() * sizeof(float));
+}
+
+// ------------------------------------------- RRIF v2 integrity hardening
+
+/// A solved table's serialized bytes — the corpus the fuzz tests mutate.
+std::string solved_table_bytes(int m, int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto s1 = rna::random_sequence(m, rng);
+  const auto s2 = rna::random_sequence(n, rng);
+  const auto result =
+      core::bpmax_solve(s1, s2, rna::ScoringModel::bpmax_default());
+  std::stringstream stream;
+  core::save_ftable(stream, result.f);
+  return stream.str();
+}
+
+TEST(Serialize, Version1StreamsStillLoad) {
+  const core::FTable saved = [] {
+    std::mt19937_64 rng(21);
+    const auto s1 = rna::random_sequence(6, rng);
+    const auto s2 = rna::random_sequence(5, rng);
+    return core::bpmax_solve(s1, s2, rna::ScoringModel::bpmax_default()).f;
+  }();
+  std::stringstream v2;
+  core::save_ftable(v2, saved);
+  // Rewrite as v1: drop the 4-byte CRC footer, patch the version word
+  // (offset 4) back to 1 — byte-exact what the old serializer emitted.
+  std::string bytes = v2.str();
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
+  std::stringstream old(bytes);
+  const auto loaded = core::load_ftable(old);
+  ASSERT_EQ(loaded.m(), saved.m());
+  ASSERT_EQ(loaded.n(), saved.n());
+  EXPECT_EQ(loaded.at(0, saved.m() - 1, 0, saved.n() - 1),
+            saved.at(0, saved.m() - 1, 0, saved.n() - 1));
+}
+
+TEST(Serialize, ChecksumMismatchNamesTheProblem) {
+  std::string bytes = solved_table_bytes(5, 4, 22);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  std::stringstream in(bytes);
+  try {
+    core::load_ftable(in);
+    FAIL() << "corrupted table loaded";
+  } catch (const core::SerializeError& err) {
+    EXPECT_NE(std::string(err.what()).find("checksum"), std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Serialize, TruncationFuzzAlwaysRejected) {
+  const std::string bytes = solved_table_bytes(5, 4, 23);
+  for (std::size_t keep = 0; keep < bytes.size(); keep += 7) {
+    std::stringstream cut(bytes.substr(0, keep));
+    EXPECT_THROW(core::load_ftable(cut), core::SerializeError)
+        << "accepted a stream cut to " << keep << " of " << bytes.size()
+        << " bytes";
+  }
+}
+
+TEST(Serialize, SingleBitFlipFuzzAlwaysRejected) {
+  // Seekable v2 streams leave no undetectable single-bit flip: header
+  // flips hit the field validation or the stream-size check, payload and
+  // footer flips hit the CRC.
+  const std::string bytes = solved_table_bytes(4, 3, 24);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string bad = bytes;
+      bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+      std::stringstream in(bad);
+      EXPECT_THROW(core::load_ftable(in), core::SerializeError)
+          << "flip at byte " << pos << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(Serialize, ByteSoupFuzzNeverCrashes) {
+  std::mt19937_64 rng(25);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 256);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    const int l = len(rng);
+    soup.reserve(static_cast<std::size_t>(l));
+    for (int i = 0; i < l; ++i) {
+      soup.push_back(static_cast<char>(byte(rng)));
+    }
+    std::stringstream in(soup);
+    EXPECT_THROW(core::load_ftable(in), core::SerializeError);
+  }
+}
+
+TEST(Serialize, HostileDimensionsRejectedBeforeAllocation) {
+  // A header claiming a huge table must be rejected up front (either the
+  // extent bound or the stream-size check), not by attempting the
+  // allocation.
+  std::string bytes = solved_table_bytes(4, 3, 26);
+  const std::int32_t huge = 60000;  // within the extent bound
+  std::memcpy(bytes.data() + 12, &huge, sizeof(huge));  // m
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));  // n
+  std::stringstream in(bytes);
+  EXPECT_THROW(core::load_ftable(in), core::SerializeError);
 }
 
 }  // namespace
