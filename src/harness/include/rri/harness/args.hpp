@@ -10,6 +10,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rri::harness {
@@ -33,6 +34,11 @@ class ArgParser {
   void add_implicit_option(const std::string& name, const std::string& help,
                            const std::string& implicit_value);
 
+  /// Repeatable valued option: every occurrence (`--name V` or
+  /// `--name=V`) appends to the list returned by list(). The mechanism
+  /// behind `--param k=v` style options (see split_key_value).
+  void add_list_option(const std::string& name, const std::string& help);
+
   /// Describe expected positional arguments for the usage line.
   void set_positional_usage(std::string usage, std::size_t min_count,
                             std::size_t max_count);
@@ -48,9 +54,17 @@ class ArgParser {
   bool flag(const std::string& name) const;
   const std::string& option(const std::string& name) const;
   int option_int(const std::string& name) const;
+  /// All values given for a list option, in command-line order (empty
+  /// when the option never appeared).
+  const std::vector<std::string>& list(const std::string& name) const;
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
+
+  /// Split one "k=v" list item at the first '='; an item without '='
+  /// yields {item, ""} so callers can distinguish bare keys.
+  static std::pair<std::string, std::string> split_key_value(
+      const std::string& item);
 
   void print_help(std::ostream& out) const;
 
@@ -61,6 +75,7 @@ class ArgParser {
     bool is_flag = false;
     bool is_implicit = false;
     std::string implicit_value;
+    bool is_list = false;
   };
 
   std::string program_;
@@ -71,6 +86,7 @@ class ArgParser {
   std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> flags_;
+  std::map<std::string, std::vector<std::string>> lists_;
   std::vector<std::string> positional_;
   bool help_requested_ = false;
 };

@@ -24,6 +24,14 @@ void ArgParser::add_implicit_option(const std::string& name,
   values_[name] = "";
 }
 
+void ArgParser::add_list_option(const std::string& name,
+                                const std::string& help) {
+  Spec spec{help, "", false, false, ""};
+  spec.is_list = true;
+  specs_.emplace_back(name, std::move(spec));
+  lists_[name];  // declare so list() never throws for a declared option
+}
+
 void ArgParser::set_positional_usage(std::string usage, std::size_t min_count,
                                      std::size_t max_count) {
   positional_usage_ = std::move(usage);
@@ -74,6 +82,18 @@ bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
       flags_[name] = true;
       continue;
     }
+    if (spec->is_list) {
+      if (has_inline) {
+        lists_[name].push_back(std::move(inline_value));
+      } else {
+        if (i + 1 >= argc) {
+          err << program_ << ": option --" << name << " needs a value\n";
+          return false;
+        }
+        lists_[name].push_back(argv[++i]);
+      }
+      continue;
+    }
     if (has_inline) {
       values_[name] = std::move(inline_value);
     } else if (spec->is_implicit) {
@@ -114,6 +134,24 @@ int ArgParser::option_int(const std::string& name) const {
   return std::atoi(option(name).c_str());
 }
 
+const std::vector<std::string>& ArgParser::list(
+    const std::string& name) const {
+  const auto it = lists_.find(name);
+  if (it == lists_.end()) {
+    throw std::out_of_range("undeclared list option --" + name);
+  }
+  return it->second;
+}
+
+std::pair<std::string, std::string> ArgParser::split_key_value(
+    const std::string& item) {
+  const auto eq = item.find('=');
+  if (eq == std::string::npos) {
+    return {item, ""};
+  }
+  return {item.substr(0, eq), item.substr(eq + 1)};
+}
+
 void ArgParser::print_help(std::ostream& out) const {
   out << "usage: " << program_ << " [options] " << positional_usage_ << "\n";
   out << description_ << "\n\noptions:\n";
@@ -121,6 +159,8 @@ void ArgParser::print_help(std::ostream& out) const {
     out << "  --" << name;
     if (spec.is_implicit) {
       out << "[=<value>]";
+    } else if (spec.is_list) {
+      out << " <value>  (repeatable)";
     } else if (!spec.is_flag) {
       out << " <value>";
     }

@@ -13,9 +13,11 @@
 /// or bit-flipped checkpoint fails decode with core::SerializeError and
 /// the store falls back to the previous one (keep-last-K).
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rri/core/ftable.hpp"
@@ -36,6 +38,72 @@ std::string encode_checkpoint(const Checkpoint& ckpt);
 /// torn tail, CRC mismatch, or inconsistent fields.
 Checkpoint decode_checkpoint(const std::string& bytes);
 
+/// Keep-last-K storage of opaque blobs ordered by a caller-supplied
+/// sequence number. The durability substrate under CheckpointStore and
+/// the serve layer's batch-progress state: callers bring their own
+/// encode/decode (and integrity footer); the store only orders, prunes
+/// and persists bytes.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+  /// Store `bytes` under monotone sequence number `seq`; prunes to the
+  /// newest K. Re-putting a seq overwrites that slot.
+  virtual void put_blob(std::uint64_t seq, const std::string& bytes) = 0;
+  /// Retained blobs, newest first, undecoded. Unreadable files are
+  /// skipped (and counted by the caller when decode fails).
+  virtual std::vector<std::string> blobs() = 0;
+  /// Blobs currently retained (valid or not).
+  virtual std::size_t size() const = 0;
+  /// Drop every retained blob. A fresh (non-resuming) run calls this so
+  /// stale state from an earlier run in the same store can never shadow
+  /// the new sequence numbers.
+  virtual void clear() = 0;
+};
+
+/// In-process blob ring (no durability across process death).
+class MemoryBlobStore final : public BlobStore {
+ public:
+  explicit MemoryBlobStore(int keep_last = 2);
+  void put_blob(std::uint64_t seq, const std::string& bytes) override;
+  std::vector<std::string> blobs() override;
+  std::size_t size() const override { return slots_.size(); }
+  void clear() override { slots_.clear(); }
+
+  /// Test hook: flip one bit of the newest stored blob (simulates
+  /// at-rest corruption without going through a filesystem).
+  void corrupt_newest(std::size_t bit);
+
+ private:
+  std::size_t keep_last_;
+  std::deque<std::pair<std::uint64_t, std::string>> slots_;  ///< oldest first
+};
+
+/// Directory-backed blob store: one `<prefix><seq><suffix>` file per
+/// blob (seq zero-padded so lexicographic == chronological), written
+/// via write-then-rename so a crash mid-write leaves no torn file under
+/// the final name. Survives process death.
+class FileBlobStore final : public BlobStore {
+ public:
+  /// Creates `dir` if missing; throws std::runtime_error when the
+  /// directory cannot be created or written.
+  FileBlobStore(std::string dir, std::string prefix, std::string suffix,
+                int keep_last = 2);
+  void put_blob(std::uint64_t seq, const std::string& bytes) override;
+  std::vector<std::string> blobs() override;
+  std::size_t size() const override;
+  void clear() override;
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::vector<std::string> sorted_files() const;  ///< newest first
+
+  std::string dir_;
+  std::string prefix_;
+  std::string suffix_;
+  std::size_t keep_last_;
+};
+
 /// Keep-last-K checkpoint storage. latest() returns the newest stored
 /// checkpoint that decodes and CRC-validates, silently skipping (but
 /// counting, obs "mpisim.checkpoints_corrupt") corrupted ones.
@@ -55,15 +123,13 @@ class MemoryCheckpointStore final : public CheckpointStore {
   explicit MemoryCheckpointStore(int keep_last = 2);
   void put(const Checkpoint& ckpt) override;
   std::optional<Checkpoint> latest() override;
-  std::size_t size() const override { return slots_.size(); }
+  std::size_t size() const override { return blobs_.size(); }
 
-  /// Test hook: flip one bit of the newest stored blob (simulates
-  /// at-rest corruption without going through a filesystem).
-  void corrupt_newest(std::size_t bit);
+  /// Test hook: flip one bit of the newest stored blob.
+  void corrupt_newest(std::size_t bit) { blobs_.corrupt_newest(bit); }
 
  private:
-  std::size_t keep_last_;
-  std::deque<std::string> slots_;  ///< oldest first
+  MemoryBlobStore blobs_;
 };
 
 /// Directory-backed store: one `ckpt_<next_diagonal>.rrck` per
@@ -76,15 +142,12 @@ class FileCheckpointStore final : public CheckpointStore {
   explicit FileCheckpointStore(std::string dir, int keep_last = 2);
   void put(const Checkpoint& ckpt) override;
   std::optional<Checkpoint> latest() override;
-  std::size_t size() const override;
+  std::size_t size() const override { return blobs_.size(); }
 
-  const std::string& dir() const noexcept { return dir_; }
+  const std::string& dir() const noexcept { return blobs_.dir(); }
 
  private:
-  std::vector<std::string> sorted_files() const;  ///< newest first
-
-  std::string dir_;
-  std::size_t keep_last_;
+  FileBlobStore blobs_;
 };
 
 }  // namespace rri::mpisim

@@ -100,42 +100,47 @@ Checkpoint decode_checkpoint(const std::string& bytes) {
   return ckpt;
 }
 
-// ------------------------------------------------- MemoryCheckpointStore
+// --------------------------------------------------------- MemoryBlobStore
 
-MemoryCheckpointStore::MemoryCheckpointStore(int keep_last)
+MemoryBlobStore::MemoryBlobStore(int keep_last)
     : keep_last_(keep_last < 1 ? 1 : static_cast<std::size_t>(keep_last)) {}
 
-void MemoryCheckpointStore::put(const Checkpoint& ckpt) {
-  slots_.push_back(encode_checkpoint(ckpt));
+void MemoryBlobStore::put_blob(std::uint64_t seq, const std::string& bytes) {
+  for (auto& [slot_seq, slot_bytes] : slots_) {
+    if (slot_seq == seq) {
+      slot_bytes = bytes;
+      return;
+    }
+  }
+  slots_.emplace_back(seq, bytes);
   while (slots_.size() > keep_last_) {
     slots_.pop_front();
   }
-  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
 }
 
-std::optional<Checkpoint> MemoryCheckpointStore::latest() {
+std::vector<std::string> MemoryBlobStore::blobs() {
+  std::vector<std::string> out;
   for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
-    try {
-      return decode_checkpoint(*it);
-    } catch (const core::SerializeError&) {
-      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
-    }
+    out.push_back(it->second);
   }
-  return std::nullopt;
+  return out;
 }
 
-void MemoryCheckpointStore::corrupt_newest(std::size_t bit) {
+void MemoryBlobStore::corrupt_newest(std::size_t bit) {
   if (slots_.empty()) {
     return;
   }
-  std::string& blob = slots_.back();
+  std::string& blob = slots_.back().second;
   blob[(bit / 8) % blob.size()] ^= static_cast<char>(1u << (bit % 8));
 }
 
-// --------------------------------------------------- FileCheckpointStore
+// ----------------------------------------------------------- FileBlobStore
 
-FileCheckpointStore::FileCheckpointStore(std::string dir, int keep_last)
+FileBlobStore::FileBlobStore(std::string dir, std::string prefix,
+                             std::string suffix, int keep_last)
     : dir_(std::move(dir)),
+      prefix_(std::move(prefix)),
+      suffix_(std::move(suffix)),
       keep_last_(keep_last < 1 ? 1 : static_cast<std::size_t>(keep_last)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -144,40 +149,42 @@ FileCheckpointStore::FileCheckpointStore(std::string dir, int keep_last)
   }
 }
 
-std::vector<std::string> FileCheckpointStore::sorted_files() const {
+std::vector<std::string> FileBlobStore::sorted_files() const {
   std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const std::string name = entry.path().filename().string();
-    if (entry.is_regular_file() && name.rfind(kFilePrefix, 0) == 0 &&
-        name.size() > sizeof(kFileSuffix) &&
-        name.compare(name.size() + 1 - sizeof(kFileSuffix),
-                     sizeof(kFileSuffix) - 1, kFileSuffix) == 0) {
+    if (entry.is_regular_file() && name.rfind(prefix_, 0) == 0 &&
+        name.size() > prefix_.size() + suffix_.size() &&
+        name.compare(name.size() - suffix_.size(), suffix_.size(),
+                     suffix_) == 0) {
       files.push_back(entry.path().string());
     }
   }
-  // Zero-padded cursor in the name => lexicographic == chronological.
+  // Zero-padded seq in the name => lexicographic == chronological.
   std::sort(files.begin(), files.end(), std::greater<>());
   return files;
 }
 
-void FileCheckpointStore::put(const Checkpoint& ckpt) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "%s%08d%s", kFilePrefix,
-                ckpt.next_diagonal, kFileSuffix);
+void FileBlobStore::put_blob(std::uint64_t seq, const std::string& bytes) {
+  // 8-digit padding matches the pre-BlobStore checkpoint file names
+  // (ckpt_00000004.rrck), so stores written by older builds stay
+  // readable.
+  char seq_text[24];
+  std::snprintf(seq_text, sizeof(seq_text), "%08llu",
+                static_cast<unsigned long long>(seq));
+  const std::string name = prefix_ + seq_text + suffix_;
   const fs::path path = fs::path(dir_) / name;
   // Write-then-rename so a crash mid-write leaves no torn file under the
-  // final name (a torn temp never matches the ckpt_ prefix scan).
+  // final name (a torn temp never matches the prefix scan).
   const fs::path tmp = fs::path(dir_) / (std::string(".tmp_") + name);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    const std::string bytes = encode_checkpoint(ckpt);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!out) {
       throw std::runtime_error("cannot write checkpoint " + path.string());
     }
   }
   fs::rename(tmp, path);
-  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
   const auto files = sorted_files();
   for (std::size_t i = keep_last_; i < files.size(); ++i) {
     std::error_code ec;
@@ -185,17 +192,44 @@ void FileCheckpointStore::put(const Checkpoint& ckpt) {
   }
 }
 
-std::optional<Checkpoint> FileCheckpointStore::latest() {
+std::vector<std::string> FileBlobStore::blobs() {
+  std::vector<std::string> out;
   for (const std::string& file : sorted_files()) {
     std::ifstream in(file, std::ios::binary);
     std::ostringstream buffer;
     buffer << in.rdbuf();
     if (!in) {
-      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
-      continue;
+      continue;  // unreadable file: skip; callers count decode failures
     }
+    out.push_back(buffer.str());
+  }
+  return out;
+}
+
+std::size_t FileBlobStore::size() const { return sorted_files().size(); }
+
+void FileBlobStore::clear() {
+  for (const std::string& file : sorted_files()) {
+    std::error_code ec;
+    fs::remove(file, ec);  // best-effort, like pruning
+  }
+}
+
+// ------------------------------------------------- MemoryCheckpointStore
+
+MemoryCheckpointStore::MemoryCheckpointStore(int keep_last)
+    : blobs_(keep_last) {}
+
+void MemoryCheckpointStore::put(const Checkpoint& ckpt) {
+  blobs_.put_blob(static_cast<std::uint64_t>(ckpt.next_diagonal),
+                  encode_checkpoint(ckpt));
+  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
+}
+
+std::optional<Checkpoint> MemoryCheckpointStore::latest() {
+  for (const std::string& blob : blobs_.blobs()) {
     try {
-      return decode_checkpoint(buffer.str());
+      return decode_checkpoint(blob);
     } catch (const core::SerializeError&) {
       RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
     }
@@ -203,6 +237,26 @@ std::optional<Checkpoint> FileCheckpointStore::latest() {
   return std::nullopt;
 }
 
-std::size_t FileCheckpointStore::size() const { return sorted_files().size(); }
+// --------------------------------------------------- FileCheckpointStore
+
+FileCheckpointStore::FileCheckpointStore(std::string dir, int keep_last)
+    : blobs_(std::move(dir), kFilePrefix, kFileSuffix, keep_last) {}
+
+void FileCheckpointStore::put(const Checkpoint& ckpt) {
+  blobs_.put_blob(static_cast<std::uint64_t>(ckpt.next_diagonal),
+                  encode_checkpoint(ckpt));
+  RRI_OBS_COUNTER("mpisim.checkpoints_written", 1);
+}
+
+std::optional<Checkpoint> FileCheckpointStore::latest() {
+  for (const std::string& blob : blobs_.blobs()) {
+    try {
+      return decode_checkpoint(blob);
+    } catch (const core::SerializeError&) {
+      RRI_OBS_COUNTER("mpisim.checkpoints_corrupt", 1);
+    }
+  }
+  return std::nullopt;
+}
 
 }  // namespace rri::mpisim

@@ -41,8 +41,10 @@ enum class Phase : int {
   kTraceback,   ///< structure recovery from a completed table
   kScan,        ///< windowed scan orchestration
   kSuperstep,   ///< BSP superstep (compute + exchange) in mpisim
+  kServe,       ///< batch-serving job execution (self time: dispatch,
+                ///< cache lookups, result bookkeeping — kernel time nests)
 };
-inline constexpr int kPhaseCount = 8;
+inline constexpr int kPhaseCount = 9;
 
 /// Stable lower_snake name ("dmp_band", ...) used in reports and JSON.
 const char* phase_name(Phase p) noexcept;

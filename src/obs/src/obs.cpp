@@ -69,6 +69,7 @@ const char* phase_name(Phase p) noexcept {
     case Phase::kTraceback: return "traceback";
     case Phase::kScan: return "scan";
     case Phase::kSuperstep: return "superstep";
+    case Phase::kServe: return "serve";
   }
   return "unknown";
 }

@@ -1,0 +1,49 @@
+#ifndef RRI_SERVE_BATCH_STATE_HPP
+#define RRI_SERVE_BATCH_STATE_HPP
+
+/// \file batch_state.hpp
+/// Persistent batch progress: which jobs of a manifest have finished,
+/// with their recorded outcomes. Stored through the mpisim BlobStore
+/// layer (FileBlobStore for the CLI, MemoryBlobStore in tests) as
+/// "RRBS" blobs — a magic + version header, the manifest digest, the
+/// outcome list, and a CRC-32 footer over every preceding byte, exactly
+/// the RRCK checkpoint pattern. A torn or bit-flipped blob fails decode
+/// with core::SerializeError and the reader falls back to the previous
+/// one (keep-last-K).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/serve/job.hpp"
+
+namespace rri::serve {
+
+struct BatchState {
+  /// Digest of the manifest this state belongs to (manifest_digest);
+  /// resuming against a different manifest is refused.
+  std::uint32_t manifest_digest = 0;
+  /// Outcomes of finished jobs, in completion order.
+  std::vector<JobOutcome> completed;
+};
+
+/// CRC-32 over every job's id and canonical key text, in manifest
+/// order. Two manifests with the same digest describe the same batch.
+std::uint32_t manifest_digest(const std::vector<Job>& jobs);
+
+/// Serialize with the CRC-32 footer described above.
+std::string encode_batch_state(const BatchState& state);
+
+/// Parse + integrity-check; throws core::SerializeError on a bad magic,
+/// torn tail, CRC mismatch, or inconsistent fields.
+BatchState decode_batch_state(const std::string& bytes);
+
+/// Newest stored state that decodes and CRC-validates, skipping (and
+/// counting, obs "serve.checkpoints_corrupt") corrupted blobs.
+std::optional<BatchState> latest_batch_state(mpisim::BlobStore& store);
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_BATCH_STATE_HPP

@@ -1,0 +1,78 @@
+#ifndef RRI_SERVE_CACHE_HPP
+#define RRI_SERVE_CACHE_HPP
+
+/// \file cache.hpp
+/// Memoizing result cache for the batch-serving engine: LRU by byte
+/// footprint, keyed by the CRC-32 of the canonical job key text
+/// (job.hpp). Hits verify the full key text, so a 32-bit collision
+/// degrades to a miss instead of a wrong score. Thread-safe: workers
+/// probe and fill concurrently under one mutex (the guarded work is
+/// microseconds against kernel runs of milliseconds to minutes).
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rri::serve {
+
+/// Bytes charged per entry on top of the key text (list/map nodes,
+/// bookkeeping). A coarse constant: the point of the budget is bounding
+/// total footprint, not byte-exact malloc accounting.
+inline constexpr std::size_t kCacheEntryOverhead = 96;
+
+class ResultCache {
+ public:
+  /// `budget_bytes` caps the summed footprint of retained entries; 0
+  /// disables caching entirely (every get misses, every put is dropped).
+  explicit ResultCache(std::size_t budget_bytes);
+
+  /// Probe by hash + full key text; promotes the entry to most recent.
+  std::optional<float> get(std::uint32_t key, const std::string& key_text);
+
+  /// Insert (or refresh) a score. Evicts least-recently-used entries
+  /// until the entry fits; an entry larger than the whole budget is not
+  /// cached at all.
+  void put(std::uint32_t key, const std::string& key_text, float score);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes_in_use = 0;
+    std::size_t budget_bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint32_t key = 0;
+    std::string key_text;
+    float score = 0.0f;
+
+    std::size_t bytes() const noexcept {
+      return key_text.size() + kCacheEntryOverhead;
+    }
+  };
+
+  void evict_until_fits(std::size_t incoming_bytes);  // requires lock held
+
+  mutable std::mutex mutex_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_in_use_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  ///< most recent first
+  std::unordered_map<std::uint32_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_CACHE_HPP

@@ -1,0 +1,70 @@
+#ifndef RRI_SERVE_JOB_HPP
+#define RRI_SERVE_JOB_HPP
+
+/// \file job.hpp
+/// The unit of work of the batch-serving layer: one (strand pair,
+/// scoring params) request, plus the canonical cache key derived from
+/// it. Keys canonicalize to the *solver inputs* — strand 2 is reversed
+/// here when the job asks for the default 5'->3' convention — so two
+/// requests that trigger the same computation share a key no matter how
+/// they were spelled (lowercase, 'T' for 'U', pre-reversed strand 2).
+
+#include <cstdint>
+#include <string>
+
+#include "rri/rna/scoring.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::serve {
+
+/// Per-job scoring parameters. Deliberately a closed set of scalars (not
+/// a ScoringModel) so jobs are trivially serializable, comparable, and
+/// canonicalizable into the cache key.
+struct JobParams {
+  bool unit_weights = false;  ///< score every admissible pair 1
+  int min_hairpin = 0;        ///< minimum loop size for intra pairs
+  bool reverse = true;        ///< strand 2 arrives 5'->3' (solver reverses)
+
+  /// Materialize the ScoringModel these params describe.
+  rna::ScoringModel model() const;
+
+  friend bool operator==(const JobParams&, const JobParams&) = default;
+};
+
+/// One scoring request as ingested from a manifest or FASTA pair.
+struct Job {
+  std::string id;     ///< unique within a batch (manifest order breaks ties)
+  rna::Sequence s1;   ///< strand 1, 5'->3'
+  rna::Sequence s2;   ///< strand 2 as given (see JobParams::reverse)
+  JobParams params;
+};
+
+/// What the engine reports per served job. `seconds` is the only
+/// non-deterministic field; resumed batches replay the outcome recorded
+/// before the interruption, original timing included, so a resumed
+/// results file differs from an uninterrupted one only in the timings
+/// of jobs actually recomputed after the restart.
+struct JobOutcome {
+  std::string id;
+  std::uint32_t key = 0;   ///< cache key (job_key)
+  int m = 0;               ///< strand-1 length
+  int n = 0;               ///< strand-2 length
+  float score = 0.0f;
+  bool cache_hit = false;  ///< served from ResultCache, no kernel run
+  double seconds = 0.0;    ///< wall time to serve (≈0 for cache hits)
+  bool rejected = false;   ///< refused by the scheduler's memory budget
+};
+
+/// Canonical key text: uppercase-U solver-input sequences plus the
+/// scoring params, e.g. "GGAU|UACC|w=bpmax|mh=0". The kernel variant is
+/// deliberately absent — all variants produce bit-identical tables, so
+/// results are interchangeable across them.
+std::string job_key_text(const Job& job);
+
+/// CRC-32 of job_key_text(). The cache verifies the full text on hit, so
+/// a 32-bit collision costs a recompute, never a wrong answer.
+std::uint32_t job_key(const Job& job);
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_JOB_HPP

@@ -1,0 +1,52 @@
+#ifndef RRI_SERVE_MANIFEST_HPP
+#define RRI_SERVE_MANIFEST_HPP
+
+/// \file manifest.hpp
+/// Batch ingestion and result emission. Two ways in:
+///  * a JSONL manifest — one job per line:
+///      {"id":"j1","s1":"GGGAAACCC","s2":"uugccaagg",
+///       "params":{"unit-weights":false,"min-hairpin":0,"no-reverse":false}}
+///    ("params" and every field inside it are optional; sequences accept
+///    lowercase and DNA 'T', canonicalized to uppercase U);
+///  * a pair of multi-record FASTA files — the cross product of targets
+///    × guides, ids "<target-name>:<guide-name>".
+/// And one way out: results JSONL, one object per job in manifest
+/// order, with stable key order so two runs differ only where the data
+/// differs ("seconds" is the only non-deterministic field).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rri/serve/job.hpp"
+
+namespace rri::serve {
+
+/// Parse a JSONL manifest. Throws rna::ParseError with the 1-based line
+/// number on malformed JSON, missing/duplicate ids, or bad sequences.
+std::vector<Job> load_manifest(std::istream& in,
+                               const JobParams& defaults = {});
+
+/// Parse a JSONL manifest file; throws rna::ParseError if unreadable.
+std::vector<Job> load_manifest_file(const std::string& path,
+                                    const JobParams& defaults = {});
+
+/// Cross product of two FASTA files: every target record paired with
+/// every guide record, ids "<target>:<guide>" (falling back to 1-based
+/// record numbers for unnamed records).
+std::vector<Job> jobs_from_fasta(const std::string& targets_path,
+                                 const std::string& guides_path,
+                                 const JobParams& defaults = {});
+
+/// One results line:
+///   {"id":"j1","key":"0a1b2c3d","m":9,"n":9,"score":12,
+///    "cache_hit":false,"seconds":0.0012}
+/// Rejected jobs write "error" instead of score/cache_hit/seconds.
+void write_result_line(std::ostream& out, const JobOutcome& outcome);
+
+/// All outcomes, one line each.
+void write_results(std::ostream& out, const std::vector<JobOutcome>& outcomes);
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_MANIFEST_HPP

@@ -1,0 +1,66 @@
+#ifndef RRI_SERVE_SCHEDULER_HPP
+#define RRI_SERVE_SCHEDULER_HPP
+
+/// \file scheduler.hpp
+/// Size-aware admission control and ordering for a batch of BPMax jobs.
+/// Costs come from the same closed forms the CLI's --max-mem guard uses:
+/// the F-table of an (M, N) pair is M²N²·sizeof(float) bytes and the
+/// fill is Θ(M³N³) operations. The plan is deterministic for a given
+/// (job list, config): jobs are ordered largest-cost-first (LPT), equal
+/// costs are tie-broken by a seeded hash of the job id, and each job is
+/// assigned to the predicted least-loaded worker. Jobs whose table alone
+/// exceeds the per-worker memory budget are rejected up front — a clear
+/// per-job error instead of an OOM kill mid-batch.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rri/serve/job.hpp"
+
+namespace rri::serve {
+
+/// Closed-form F-table footprint in bytes for strand lengths (m, n).
+double job_table_bytes(std::size_t m, std::size_t n);
+
+/// Closed-form operation count proxy for strand lengths (m, n): the
+/// dominant double max-plus band is Θ(M³N³); the constant is irrelevant
+/// to ordering, so this returns m³n³.
+double job_cost_flops(std::size_t m, std::size_t n);
+
+struct ScheduleConfig {
+  int workers = 1;
+  /// Per-worker memory budget in bytes (the --max-mem GiB knob). A job
+  /// whose table exceeds this is rejected. 0 = unlimited.
+  double worker_budget_bytes = 0.0;
+  /// Tie-break seed: equal-cost jobs are ordered by a seeded hash of
+  /// their id, so re-planning with the same seed reproduces the order
+  /// and a different seed reshuffles only within cost ties.
+  std::uint64_t seed = 0;
+};
+
+struct PlannedJob {
+  std::size_t job_index = 0;  ///< into the input job list
+  int worker = 0;             ///< predicted executor (LPT assignment)
+  double cost_flops = 0.0;
+  double table_bytes = 0.0;
+};
+
+struct Schedule {
+  /// Admission order, largest cost first. Workers popping from one
+  /// shared queue in this order approximate the LPT makespan bound even
+  /// when actual runtimes drift from the model.
+  std::vector<PlannedJob> order;
+  /// Predicted flops per worker under the LPT assignment.
+  std::vector<double> worker_load;
+  /// Indices of jobs rejected by the memory budget, ascending.
+  std::vector<std::size_t> rejected;
+};
+
+/// Plan a batch. Deterministic: same jobs + same config => same plan.
+Schedule plan_schedule(const std::vector<Job>& jobs,
+                       const ScheduleConfig& config);
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_SCHEDULER_HPP

@@ -1,0 +1,136 @@
+#include "rri/serve/batch_state.hpp"
+
+#include <cstring>
+
+#include "rri/core/crc32.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/obs/obs.hpp"
+
+namespace rri::serve {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'R', 'B', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T take_pod(const std::string& bytes, std::size_t& pos, std::size_t end) {
+  if (pos + sizeof(T) > end) {
+    throw core::SerializeError("truncated batch state");
+  }
+  T value{};
+  std::memcpy(&value, bytes.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return value;
+}
+
+void append_string(std::string& out, const std::string& s) {
+  append_pod(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+std::string take_string(const std::string& bytes, std::size_t& pos,
+                        std::size_t end) {
+  const auto len = take_pod<std::uint32_t>(bytes, pos, end);
+  if (pos + len > end) {
+    throw core::SerializeError("truncated batch state");
+  }
+  std::string s = bytes.substr(pos, len);
+  pos += len;
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t manifest_digest(const std::vector<Job>& jobs) {
+  core::Crc32 crc;
+  for (const Job& job : jobs) {
+    crc.update(job.id.data(), job.id.size());
+    crc.update("\x1f", 1);
+    const std::string key = job_key_text(job);
+    crc.update(key.data(), key.size());
+    crc.update("\x1e", 1);
+  }
+  return crc.value();
+}
+
+std::string encode_batch_state(const BatchState& state) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  append_pod(out, kVersion);
+  append_pod(out, state.manifest_digest);
+  append_pod(out, static_cast<std::uint32_t>(state.completed.size()));
+  for (const JobOutcome& o : state.completed) {
+    append_string(out, o.id);
+    append_pod(out, o.key);
+    append_pod(out, static_cast<std::int32_t>(o.m));
+    append_pod(out, static_cast<std::int32_t>(o.n));
+    append_pod(out, o.score);
+    append_pod(out, static_cast<std::uint8_t>(o.cache_hit ? 1 : 0));
+    append_pod(out, static_cast<std::uint8_t>(o.rejected ? 1 : 0));
+    append_pod(out, o.seconds);
+  }
+  append_pod(out, core::crc32(out.data(), out.size()));
+  return out;
+}
+
+BatchState decode_batch_state(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw core::SerializeError("not an RRBS batch state (bad magic)");
+  }
+  // Integrity first: everything after this line may trust the bytes.
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t footer = 0;
+  std::memcpy(&footer, bytes.data() + body, sizeof(footer));
+  const std::uint32_t computed = core::crc32(bytes.data(), body);
+  if (footer != computed) {
+    throw core::SerializeError(
+        "batch state checksum mismatch (stored CRC32 " +
+        std::to_string(footer) + ", computed " + std::to_string(computed) +
+        ")");
+  }
+  std::size_t pos = sizeof(kMagic);
+  const auto version = take_pod<std::uint32_t>(bytes, pos, body);
+  if (version != kVersion) {
+    throw core::SerializeError("unsupported RRBS version " +
+                               std::to_string(version));
+  }
+  BatchState state;
+  state.manifest_digest = take_pod<std::uint32_t>(bytes, pos, body);
+  const auto count = take_pod<std::uint32_t>(bytes, pos, body);
+  state.completed.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    JobOutcome o;
+    o.id = take_string(bytes, pos, body);
+    o.key = take_pod<std::uint32_t>(bytes, pos, body);
+    o.m = take_pod<std::int32_t>(bytes, pos, body);
+    o.n = take_pod<std::int32_t>(bytes, pos, body);
+    o.score = take_pod<float>(bytes, pos, body);
+    o.cache_hit = take_pod<std::uint8_t>(bytes, pos, body) != 0;
+    o.rejected = take_pod<std::uint8_t>(bytes, pos, body) != 0;
+    o.seconds = take_pod<double>(bytes, pos, body);
+    state.completed.push_back(std::move(o));
+  }
+  if (pos != body) {
+    throw core::SerializeError("trailing bytes in batch state");
+  }
+  return state;
+}
+
+std::optional<BatchState> latest_batch_state(mpisim::BlobStore& store) {
+  for (const std::string& blob : store.blobs()) {
+    try {
+      return decode_batch_state(blob);
+    } catch (const core::SerializeError&) {
+      RRI_OBS_COUNTER("serve.checkpoints_corrupt", 1);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rri::serve

@@ -1,0 +1,73 @@
+#include "rri/serve/cache.hpp"
+
+#include "rri/obs/obs.hpp"
+
+namespace rri::serve {
+
+ResultCache::ResultCache(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+std::optional<float> ResultCache::get(std::uint32_t key,
+                                      const std::string& key_text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end() || it->second->key_text != key_text) {
+    // Unknown key, or a CRC-32 collision with a different job: both are
+    // misses (the collision costs a recompute, never a wrong score).
+    ++misses_;
+    RRI_OBS_COUNTER("serve.cache_misses", 1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to most recent
+  ++hits_;
+  RRI_OBS_COUNTER("serve.cache_hits", 1);
+  return it->second->score;
+}
+
+void ResultCache::put(std::uint32_t key, const std::string& key_text,
+                      float score) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh (or, on a hash collision, replace: the slot keeps the
+    // most recent computation — either way byte accounting stays exact).
+    bytes_in_use_ -= it->second->bytes();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  const std::size_t incoming = key_text.size() + kCacheEntryOverhead;
+  if (incoming > budget_bytes_) {
+    return;  // larger than the whole budget: never cached
+  }
+  evict_until_fits(incoming);
+  lru_.push_front(Entry{key, key_text, score});
+  index_[key] = lru_.begin();
+  bytes_in_use_ += incoming;
+  ++insertions_;
+}
+
+void ResultCache::evict_until_fits(std::size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_in_use_ + incoming_bytes > budget_bytes_) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    RRI_OBS_COUNTER("serve.cache_evictions", 1);
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.bytes_in_use = bytes_in_use_;
+  s.budget_bytes = budget_bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace rri::serve

@@ -1,0 +1,33 @@
+#include "rri/serve/job.hpp"
+
+#include "rri/core/crc32.hpp"
+
+namespace rri::serve {
+
+rna::ScoringModel JobParams::model() const {
+  auto m = unit_weights ? rna::ScoringModel::unit()
+                        : rna::ScoringModel::bpmax_default();
+  m.set_min_hairpin(min_hairpin);
+  return m;
+}
+
+std::string job_key_text(const Job& job) {
+  // Canonicalize to the solver inputs: Sequence already normalized case
+  // and T->U at parse time; reversal is folded in here so "reversed by
+  // the solver" and "pre-reversed by the caller" collide on purpose.
+  const rna::Sequence s2 =
+      job.params.reverse ? job.s2.reversed() : job.s2;
+  std::string text = job.s1.to_string();
+  text += '|';
+  text += s2.to_string();
+  text += job.params.unit_weights ? "|w=unit|mh=" : "|w=bpmax|mh=";
+  text += std::to_string(job.params.min_hairpin);
+  return text;
+}
+
+std::uint32_t job_key(const Job& job) {
+  const std::string text = job_key_text(job);
+  return core::crc32(text.data(), text.size());
+}
+
+}  // namespace rri::serve

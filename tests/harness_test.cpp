@@ -297,6 +297,63 @@ TEST(Args, ImplicitOptionShownInHelp) {
   EXPECT_NE(out.str().find("--profile[=<value>]"), std::string::npos);
 }
 
+TEST(Args, ListOptionCollectsEveryOccurrenceInOrder) {
+  auto p = make_parser();
+  p.add_list_option("param", "k=v override");
+  const auto argv = argv_of({"tool", "--param", "a=1", "--count=5",
+                             "--param=b=2", "in.txt", "--param", "bare"});
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_EQ(p.list("param"),
+            (std::vector<std::string>{"a=1", "b=2", "bare"}));
+  EXPECT_EQ(p.option_int("count"), 5);  // scalars still parse around lists
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"in.txt"}));
+}
+
+TEST(Args, ListOptionAbsentYieldsEmptyList) {
+  auto p = make_parser();
+  p.add_list_option("param", "k=v override");
+  const auto argv = argv_of({"tool", "in.txt"});
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_TRUE(p.list("param").empty());
+}
+
+TEST(Args, ListOptionMissingValueRejected) {
+  auto p = make_parser();
+  p.add_list_option("param", "k=v override");
+  const auto argv = argv_of({"tool", "in.txt", "--param"});
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data(), err));
+  EXPECT_NE(err.str().find("needs a value"), std::string::npos);
+}
+
+TEST(Args, UndeclaredListLookupThrows) {
+  auto p = make_parser();
+  EXPECT_THROW(p.list("param"), std::out_of_range);
+}
+
+TEST(Args, ListOptionShownInHelpAsRepeatable) {
+  auto p = make_parser();
+  p.add_list_option("param", "k=v override");
+  std::ostringstream out;
+  p.print_help(out);
+  EXPECT_NE(out.str().find("--param <value>  (repeatable)"),
+            std::string::npos);
+}
+
+TEST(Args, SplitKeyValueSplitsAtFirstEquals) {
+  using P = rri::harness::ArgParser;
+  EXPECT_EQ(P::split_key_value("k=v"),
+            (std::pair<std::string, std::string>{"k", "v"}));
+  EXPECT_EQ(P::split_key_value("k=a=b"),
+            (std::pair<std::string, std::string>{"k", "a=b"}));
+  EXPECT_EQ(P::split_key_value("bare"),
+            (std::pair<std::string, std::string>{"bare", ""}));
+  EXPECT_EQ(P::split_key_value("=v"),
+            (std::pair<std::string, std::string>{"", "v"}));
+}
+
 TEST(Report, ExposesHeadersAndRows) {
   ReportTable t({"a", "b"});
   t.add_row({"1", "2"});

@@ -66,6 +66,7 @@ TEST_F(ObsTest, ScopeRecordsCallAndTime) {
 }
 
 TEST_F(ObsTest, NestedScopesRecordExclusiveTime) {
+  const auto start = std::chrono::steady_clock::now();
   {
     RRI_OBS_PHASE(obs::Phase::kFill);
     spin_for(0.005);
@@ -75,6 +76,9 @@ TEST_F(ObsTest, NestedScopesRecordExclusiveTime) {
     }
     spin_for(0.005);
   }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   const auto snap = obs::Registry::global().phase_snapshot();
   const auto* fill = find(snap, obs::Phase::kFill);
   const auto* band = find(snap, obs::Phase::kDmpBand);
@@ -83,7 +87,12 @@ TEST_F(ObsTest, NestedScopesRecordExclusiveTime) {
   // The inner 20ms belong to dmp_band only; fill keeps its own ~10ms.
   EXPECT_GE(band->seconds, 0.019);
   EXPECT_GE(fill->seconds, 0.009);
-  EXPECT_LT(fill->seconds, 0.019);
+  // Exclusive accounting partitions the wall time: the two phases sum
+  // to the measured total, so the inner spin was not double-booked.
+  // (A wall-clock ceiling on fill alone flakes when a loaded CI box
+  // preempts the thread; the partition invariant holds regardless.)
+  EXPECT_LE(fill->seconds + band->seconds, total + 0.001);
+  EXPECT_GE(fill->seconds + band->seconds, 0.029);
 }
 
 TEST_F(ObsTest, SiblingAndRepeatedScopesAggregate) {

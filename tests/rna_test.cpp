@@ -194,6 +194,64 @@ TEST(Fasta, LineWrappingAtWidth) {
   EXPECT_EQ(out.str(), ">s\nACGU\nACGU\nAC\n");
 }
 
+// Regression tests for batch ingestion (bpmax_batch --targets/--guides):
+// real-world multi-record files mix CRLF line endings, blank separator
+// lines, lowercase residues, and DNA-style 'T' — all must canonicalize
+// to the same sequences as a clean uppercase-U file.
+
+TEST(Fasta, MultiRecordCrlfWithBlankSeparators) {
+  std::istringstream in(
+      ">first record\r\n"
+      "ACGU\r\n"
+      "\r\n"
+      "GGCC\r\n"
+      "\r\n"
+      ">second\r\n"
+      "UUAA\r\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "first record");
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGUGGCC");
+  EXPECT_EQ(records[1].name, "second");
+  EXPECT_EQ(records[1].sequence.to_string(), "UUAA");
+}
+
+TEST(Fasta, LowercaseAndThymineCanonicalize) {
+  std::istringstream messy(
+      ">a\n"
+      "acgt\n"
+      ">b\n"
+      "GcAu\n");
+  std::istringstream clean(
+      ">a\n"
+      "ACGU\n"
+      ">b\n"
+      "GCAU\n");
+  EXPECT_EQ(read_fasta(messy), read_fasta(clean));
+}
+
+TEST(Fasta, MixedMessinessMatchesCleanFile) {
+  std::istringstream messy(
+      "; produced by some pipeline\r\n"
+      ">target-1 homo sapiens 3'UTR\r\n"
+      "ggga\r\n"
+      "\r\n"
+      "AACCT\r\n"
+      ">guide-1\r\n"
+      "ttggcc\r\n");
+  const auto records = read_fasta(messy);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence.to_string(), "GGGAAACCU");
+  EXPECT_EQ(records[1].sequence.to_string(), "UUGGCC");
+}
+
+TEST(Fasta, FinalRecordWithoutTrailingNewline) {
+  std::istringstream in(">s1\nACGU\n>s2\nGGCC");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].sequence.to_string(), "GGCC");
+}
+
 // -------------------------------------------------------------- random
 
 TEST(Random, DeterministicPerSeed) {

@@ -1,0 +1,280 @@
+/// bpmax_batch: batch-serving front end — drive the BPMax kernels over
+/// many (pair, params) jobs with size-aware scheduling, a memoizing
+/// result cache, and checkpointed progress (docs/serving.md).
+///
+///   bpmax_batch --manifest jobs.jsonl --jobs 4 --out results.jsonl
+///   bpmax_batch --targets mrnas.fa --guides srna.fa --jobs 8 --threads 2
+///   bpmax_batch --manifest jobs.jsonl --checkpoint ckpts --jobs 4
+///   bpmax_batch --manifest jobs.jsonl --resume ckpts --jobs 4
+///
+/// Results are JSONL on stdout (or --out), one object per job in
+/// manifest order; "seconds" is the only non-deterministic field, so
+/// two runs over the same manifest diff clean modulo timings.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "rri/harness/args.hpp"
+#include "rri/harness/timing.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/obs/report.hpp"
+#include "rri/rna/fasta.hpp"
+#include "rri/serve/engine.hpp"
+#include "rri/serve/manifest.hpp"
+
+namespace {
+
+using namespace rri;
+
+core::Variant parse_variant(const std::string& name, bool* ok) {
+  *ok = true;
+  for (const core::Variant v : core::all_variants()) {
+    if (name == core::variant_name(v)) {
+      return v;
+    }
+  }
+  *ok = false;
+  return core::Variant::kHybridTiled;
+}
+
+bool parse_bool(const std::string& text, bool* ok) {
+  *ok = true;
+  if (text.empty() || text == "1" || text == "true" || text == "yes") {
+    return true;  // bare "--param unit-weights" means on
+  }
+  if (text == "0" || text == "false" || text == "no") {
+    return false;
+  }
+  *ok = false;
+  return false;
+}
+
+/// Apply repeatable `--param k=v` items to the batch-wide job defaults.
+bool apply_params(const std::vector<std::string>& items,
+                  serve::JobParams* params) {
+  for (const std::string& item : items) {
+    const auto [key, value] = harness::ArgParser::split_key_value(item);
+    bool ok = true;
+    if (key == "unit-weights") {
+      params->unit_weights = parse_bool(value, &ok);
+    } else if (key == "min-hairpin") {
+      params->min_hairpin = std::atoi(value.c_str());
+      ok = !value.empty();
+    } else if (key == "no-reverse") {
+      params->reverse = !parse_bool(value, &ok);
+    } else {
+      std::fprintf(stderr, "bpmax_batch: unknown --param key '%s' "
+                           "(known: unit-weights, min-hairpin, "
+                           "no-reverse)\n", key.c_str());
+      return false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bpmax_batch: bad --param value '%s'\n",
+                   item.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "bpmax_batch",
+      "Serve a batch of BPMax jobs: size-aware scheduling over a worker "
+      "pool, duplicate pairs memoized in an LRU result cache, progress "
+      "checkpointed for resume. Emits JSONL results in manifest order.");
+  args.set_positional_usage("(inputs come from --manifest or "
+                            "--targets/--guides)", 0, 0);
+  args.add_option("manifest", "JSONL manifest, one job per line: "
+                              "{\"id\":...,\"s1\":...,\"s2\":...,"
+                              "\"params\":{...}}", "");
+  args.add_option("targets", "FASTA of target strands; pairs with every "
+                             "--guides record", "");
+  args.add_option("guides", "FASTA of guide strands", "");
+  args.add_option("out", "results JSONL path (default: stdout)", "-");
+  args.add_option("jobs", "worker threads serving whole jobs", "1");
+  args.add_option("threads", "OpenMP threads per worker kernel (the "
+                             "grain: 1 = pure job-parallelism)", "1");
+  args.add_option("variant", "kernel variant: baseline, serial_permuted, "
+                             "coarse, fine, hybrid, hybrid_tiled",
+                  "hybrid_tiled");
+  args.add_option("cache-mb", "result cache budget in MiB (0 disables "
+                              "memoization)", "64");
+  args.add_option("max-mem", "per-worker memory budget in GiB; jobs "
+                             "whose DP tables exceed it are rejected",
+                  "8");
+  args.add_option("seed", "scheduler tie-break seed (same manifest + "
+                          "seed => same job order)", "0");
+  args.add_list_option("param", "batch-wide job default, k=v: "
+                                "unit-weights, min-hairpin, no-reverse");
+  args.add_option("checkpoint", "write batch progress to this directory "
+                                "(RRBS blobs via the checkpoint store)",
+                  "");
+  args.add_option("checkpoint-every", "checkpoint every K completed "
+                                      "jobs", "8");
+  args.add_option("resume", "replay finished jobs from the newest valid "
+                            "state in this directory", "");
+  args.add_option("fail-after", "test hook: stop admitting jobs after "
+                                "this many completions and exit 3 "
+                                "(resume finishes the batch)", "-1");
+  args.add_implicit_option("profile",
+                           "print a per-phase perf breakdown after the "
+                           "run; --profile=FILE.json also writes the "
+                           "JSON report (schema rri-obs-report/1)", "-");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  const std::string manifest = args.option("manifest");
+  const std::string targets = args.option("targets");
+  const std::string guides = args.option("guides");
+  if (manifest.empty() == (targets.empty() && guides.empty())) {
+    std::fprintf(stderr, "bpmax_batch: give either --manifest or "
+                         "--targets + --guides\n");
+    return 2;
+  }
+  if (manifest.empty() && (targets.empty() || guides.empty())) {
+    std::fprintf(stderr, "bpmax_batch: --targets and --guides go "
+                         "together\n");
+    return 2;
+  }
+
+  bool ok = true;
+  serve::EngineConfig config;
+  config.variant = parse_variant(args.option("variant"), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "bpmax_batch: unknown variant '%s'\n",
+                 args.option("variant").c_str());
+    return 2;
+  }
+  config.workers = std::max(1, args.option_int("jobs"));
+  config.kernel_threads = std::max(0, args.option_int("threads"));
+  config.cache_bytes =
+      static_cast<std::size_t>(
+          std::max(0, args.option_int("cache-mb"))) << 20;
+  config.seed =
+      static_cast<std::uint64_t>(std::strtoull(
+          args.option("seed").c_str(), nullptr, 10));
+  config.checkpoint_every = std::max(1, args.option_int("checkpoint-every"));
+  config.max_jobs = args.option_int("fail-after");
+
+  char* mm_end = nullptr;
+  const std::string max_mem_text = args.option("max-mem");
+  const double max_mem_gib = std::strtod(max_mem_text.c_str(), &mm_end);
+  if (mm_end == max_mem_text.c_str() || *mm_end != '\0' ||
+      !(max_mem_gib > 0.0)) {
+    std::fprintf(stderr, "bpmax_batch: --max-mem must be a positive GiB "
+                         "count, got '%s'\n", max_mem_text.c_str());
+    return 2;
+  }
+  config.worker_budget_bytes = max_mem_gib * 1024.0 * 1024.0 * 1024.0;
+
+  serve::JobParams defaults;
+  if (!apply_params(args.list("param"), &defaults)) {
+    return 2;
+  }
+
+  const std::string profile = args.option("profile");
+  if (!profile.empty()) {
+#if RRI_OBS_ENABLED
+    obs::set_enabled(true);
+#else
+    std::fprintf(stderr,
+                 "bpmax_batch: --profile requested but instrumentation "
+                 "was compiled out (-DRRI_OBS=OFF); times will be "
+                 "empty\n");
+#endif
+  }
+
+  const std::string checkpoint_dir = args.option("checkpoint");
+  const std::string resume_dir = args.option("resume");
+  std::unique_ptr<mpisim::FileBlobStore> store;
+  const std::string& state_dir =
+      checkpoint_dir.empty() ? resume_dir : checkpoint_dir;
+
+  try {
+    harness::StopWatch run_watch;
+    if (!state_dir.empty()) {
+      store = std::make_unique<mpisim::FileBlobStore>(state_dir, "batch_",
+                                                      ".rrbs");
+      config.state_store = store.get();
+      config.resume = !resume_dir.empty();
+    }
+
+    const std::vector<serve::Job> jobs =
+        manifest.empty() ? serve::jobs_from_fasta(targets, guides, defaults)
+                         : serve::load_manifest_file(manifest, defaults);
+    if (jobs.empty()) {
+      std::fprintf(stderr, "bpmax_batch: no jobs to serve\n");
+      return 2;
+    }
+
+    const serve::BatchResult result = serve::run_batch(jobs, config);
+    const double secs = run_watch.seconds();
+
+    const std::string out_path = args.option("out");
+    if (out_path == "-") {
+      serve::write_results(std::cout, result.outcomes);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "bpmax_batch: cannot write %s\n",
+                     out_path.c_str());
+        return 2;
+      }
+      serve::write_results(out, result.outcomes);
+    }
+
+    const auto& stats = result.stats;
+    std::size_t dup_hits = stats.cache_hits;
+    std::fprintf(stderr,
+                 "bpmax_batch: served %zu/%zu jobs (%zu computed, %zu "
+                 "cache hits, %zu resumed, %zu rejected) in %.3fs with "
+                 "%d worker(s); queue high-water %zu\n",
+                 stats.jobs_served + stats.jobs_resumed, stats.jobs_total,
+                 stats.jobs_computed, dup_hits, stats.jobs_resumed,
+                 stats.jobs_rejected, secs, config.workers,
+                 stats.queue_high_water);
+
+    if (!profile.empty()) {
+      const auto report = obs::capture_report("bpmax_batch --profile", secs);
+      std::fprintf(stderr, "\n");
+      obs::print_phase_table(std::cerr, report);
+      if (profile != "-") {
+        std::ofstream out(profile);
+        if (!out) {
+          std::fprintf(stderr, "bpmax_batch: cannot write %s\n",
+                       profile.c_str());
+          return 2;
+        }
+        obs::write_json(out, report);
+        std::fprintf(stderr, "perf report: %s\n", profile.c_str());
+      }
+    }
+
+    if (stats.interrupted) {
+      std::fprintf(stderr,
+                   "bpmax_batch: batch interrupted after %zu job(s); "
+                   "finish it with --resume %s\n", stats.jobs_served,
+                   state_dir.empty() ? "<dir>" : state_dir.c_str());
+      return 3;
+    }
+    return 0;
+  } catch (const rna::ParseError& e) {
+    std::fprintf(stderr, "bpmax_batch: %s\n", e.what());
+    return 2;
+  } catch (const std::runtime_error& e) {
+    // e.g. an unwritable state directory or a mismatched resume
+    std::fprintf(stderr, "bpmax_batch: %s\n", e.what());
+    return 2;
+  }
+}

@@ -36,6 +36,37 @@ std::string fmt_pct(double delta_pct) {
   return delta_pct >= 0.0 ? "+" + s + "%" : s + "%";
 }
 
+const double* find_counter(const obs::PerfReport& report,
+                           const std::string& name) {
+  for (const auto& [counter, value] : report.counters) {
+    if (counter == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool has_serve_counters(const obs::PerfReport& report) {
+  for (const auto& [counter, value] : report.counters) {
+    (void)value;
+    if (counter.rfind("serve.", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Batch-serving throughput in jobs/sec: jobs served (resumed replays
+/// excluded — they cost no kernel time) over the run's wall clock.
+/// Returns 0 when the report has no serve counters or no wall time.
+double serve_throughput(const obs::PerfReport& report) {
+  const double* served = find_counter(report, "serve.jobs_served");
+  if (served == nullptr || report.wall_seconds <= 0.0) {
+    return 0.0;
+  }
+  return *served / report.wall_seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,8 +135,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Batch-serving reports (bpmax_batch --profile) carry serve.* counters;
+  // compare those and the derived jobs/sec throughput, which regresses
+  // when *lower* in the current report — the opposite sign of a time.
+  const bool serve_mode = has_serve_counters(base) && has_serve_counters(cur);
+  harness::ReportTable serve_table(
+      {"serve", "base", "cur", "delta", "status"});
+  if (serve_mode) {
+    for (const auto& [name, b_value] : base.counters) {
+      if (name.rfind("serve.", 0) != 0) {
+        continue;
+      }
+      const double* c_value = find_counter(cur, name);
+      if (c_value == nullptr) {
+        serve_table.add_row({name, harness::fmt_double(b_value, 0), "-",
+                             "-", "missing"});
+        continue;
+      }
+      const double delta_pct =
+          b_value > 0.0 ? (*c_value - b_value) / b_value * 100.0
+                        : (*c_value > 0.0 ? 100.0 : 0.0);
+      serve_table.add_row({name, harness::fmt_double(b_value, 0),
+                           harness::fmt_double(*c_value, 0),
+                           fmt_pct(delta_pct), "info"});
+    }
+    const double b_tput = serve_throughput(base);
+    const double c_tput = serve_throughput(cur);
+    if (b_tput > 0.0 && c_tput > 0.0) {
+      ++compared;
+      const double delta_pct = (c_tput - b_tput) / b_tput * 100.0;
+      const bool regressed = delta_pct < -threshold;
+      if (regressed) {
+        ++regressions;
+      }
+      serve_table.add_row({"throughput_jobs_per_s",
+                           harness::fmt_double(b_tput, 2),
+                           harness::fmt_double(c_tput, 2),
+                           fmt_pct(delta_pct),
+                           regressed ? "REGRESSED" : "ok"});
+    }
+  }
+
   if (args.flag("csv")) {
     table.print_csv(std::cout);
+    if (serve_mode) {
+      serve_table.print_csv(std::cout);
+    }
   } else {
     std::printf("baseline: %s  (%s, %d threads)\n",
                 args.positional()[0].c_str(), base.label.c_str(),
@@ -114,6 +189,9 @@ int main(int argc, char** argv) {
                 args.positional()[1].c_str(), cur.label.c_str(),
                 cur.omp_max_threads);
     table.print(std::cout);
+    if (serve_mode) {
+      serve_table.print(std::cout);
+    }
     std::printf("%d phase(s) compared, %d regression(s) beyond %+.1f%%\n",
                 compared, regressions, threshold);
   }
