@@ -1,0 +1,112 @@
+#ifndef RRI_CORE_SIMD_MAXPLUS_SIMD_HPP
+#define RRI_CORE_SIMD_MAXPLUS_SIMD_HPP
+
+/// \file maxplus_simd.hpp
+/// Runtime-dispatched inner kernels for the double max-plus reduction —
+/// the Θ(M³N³) hot path every BPMax variant spends its time in.
+///
+/// Two backends implement the same kernel contract:
+///
+///  * `kScalar` — the portable reference loop nests (plain C++ with
+///    `#pragma omp simd` hints; what the repo shipped before this layer).
+///  * `kAvx2`   — register-tiled AVX2 intrinsics: 4-row × 16-column
+///    accumulator blocks held in ymm registers across the whole k2
+///    reduction (unroll-and-jam over the i2/j2 triangle), vectorized max
+///    along the contiguous j2 dimension, masked tails for the triangle
+///    edges. Compiled only when the toolchain supports `-mavx2`
+///    (RRI_SIMD_HAVE_AVX2) and selected only when CPUID reports AVX2.
+///
+/// Backend selection happens once, lazily: the `RRI_SIMD` environment
+/// variable (`scalar`, `avx2`, or `auto`, the default) overrides the
+/// CPUID-based choice; tests force a backend programmatically with
+/// `set_backend`. Every backend produces bit-identical tables — the
+/// max-plus reduction is order-insensitive and each candidate is one
+/// fp32 add — which the property harness (tests/property_test.cpp)
+/// checks across the full variant × backend matrix.
+///
+/// The chosen backend is recorded in perf reports as the
+/// `core.simd_backend` counter (0 = scalar, 1 = avx2); see
+/// docs/kernels.md.
+
+#include "rri/core/bpmax.hpp"
+
+namespace rri::core::simd {
+
+enum class Backend : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Stable lower_snake name ("scalar", "avx2") for reports and logs.
+const char* backend_name(Backend b) noexcept;
+
+/// True when `b` is both compiled in and supported by this CPU.
+bool backend_available(Backend b) noexcept;
+
+/// The backend the dispatched kernels use right now. Resolved on first
+/// call: an explicit `set_backend` wins, else the `RRI_SIMD` environment
+/// variable, else the best available backend. An unavailable `RRI_SIMD`
+/// request falls back to scalar with a one-time stderr warning.
+Backend active_backend() noexcept;
+
+/// Force a backend (tests, benches). Returns false — and changes
+/// nothing — when the backend is not available on this host/build.
+bool set_backend(Backend b) noexcept;
+
+/// Drop any forced choice and re-resolve from RRI_SIMD / CPUID on the
+/// next active_backend() call.
+void reset_backend() noexcept;
+
+/// Preferred i2-row grain for callers parceling rows across threads:
+/// the register-tile height of the active backend (1 when the backend
+/// does not register-tile). Handing the kernels row blocks of this size
+/// lets the accumulator tile stay in registers across the k2 sweep.
+int row_block() noexcept;
+
+/// Record the resolved backend into the obs registry as the
+/// `core.simd_backend` counter (set-semantics; no-op when obs is
+/// disabled). Called by the fill entry points at solve granularity.
+void record_backend_counter();
+
+// ------------------------------------------------------------- kernels
+//
+// Shared contract (mirrors core::detail::maxplus_instance_*): `acc`,
+// `a`, `b` are N×N row-major triangle blocks with rows unit-stride in
+// j2; valid R0 points satisfy row <= k2 < j2 < n:
+//
+//   acc[i2][j2] max=  max_{k2 in [i2, j2)}  a[i2][k2] + b[k2+1][j2]
+//
+// The maxplus_* forms additionally fold the piggy-backed R3/R4 terms
+// over the dense j2 >= i2 wedge:
+//
+//   acc[i2][j2] max=  max(a[i2][j2] + r3add, r4add + b[i2][j2])
+
+/// Pure-R0 instance over rows [row_begin, row_end) (standalone double
+/// max-plus problem; no R3/R4).
+void r0_rows(float* acc, const float* a, const float* b, int n,
+             int row_begin, int row_end) noexcept;
+
+/// Pure-R0 instance, (i2, k2, j2) space chopped into TileShape3 blocks;
+/// processes i2 tiles [tile_begin, tile_end) out of ceil(n / ti2).
+void r0_tiled(float* acc, const float* a, const float* b, int n,
+              TileShape3 tile, int tile_begin, int tile_end) noexcept;
+
+/// Pure-R0 instance with the register-blocked schedule over all rows
+/// (the paper's future-work second tiling level).
+void r0_regblocked(float* acc, const float* a, const float* b,
+                   int n) noexcept;
+
+/// R0 + R3/R4 instance over rows [row_begin, row_end) (BPMax band
+/// stage).
+void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
+                  float r4add, int n, int row_begin, int row_end) noexcept;
+
+/// R0 + R3/R4 instance, TileShape3-tiled; processes i2 tiles
+/// [tile_begin, tile_end).
+void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
+                   float r4add, int n, TileShape3 tile, int tile_begin,
+                   int tile_end) noexcept;
+
+}  // namespace rri::core::simd
+
+#endif  // RRI_CORE_SIMD_MAXPLUS_SIMD_HPP

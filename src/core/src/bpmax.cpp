@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include "rri/core/bpmax_kernels.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/harness/flops.hpp"
 #include "rri/obs/obs.hpp"
 
@@ -32,6 +33,9 @@ void fill_variant(FTable& f, const STable& s1t, const STable& s2t,
                   const rna::ScoreTables& scores,
                   const BpmaxOptions& options) {
   RRI_OBS_PHASE(obs::Phase::kFill);
+  // Which kernel backend this fill runs on (core.simd_backend,
+  // set-semantics) — surfaced by bpmax --profile and perf_diff.
+  simd::record_backend_counter();
 #if RRI_OBS_ENABLED
   if (obs::enabled()) {
     // Attribute the fill's exact operation counts (and the paper's

@@ -8,6 +8,7 @@
 #include "rri/core/bpmax_kernels.hpp"
 
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
 
 namespace rri::core {
@@ -28,10 +29,8 @@ void fill_coarse(FTable& f, const STable& s1t, const STable& s2t,
         // docs/observability.md).
         RRI_OBS_PHASE(obs::Phase::kDmpBand);
         for (int k1 = i1; k1 < j1; ++k1) {
-          detail::maxplus_instance_rows(acc, f.block(i1, k1),
-                                        f.block(k1 + 1, j1),
-                                        s1t.at(k1 + 1, j1), s1t.at(i1, k1), n,
-                                        0, n);
+          simd::maxplus_rows(acc, f.block(i1, k1), f.block(k1 + 1, j1),
+                             s1t.at(k1 + 1, j1), s1t.at(i1, k1), n, 0, n);
         }
       }
       RRI_OBS_PHASE(obs::Phase::kFinalize);

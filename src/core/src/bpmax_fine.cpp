@@ -7,7 +7,10 @@
 
 #include "rri/core/bpmax_kernels.hpp"
 
+#include <algorithm>
+
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
 
 namespace rri::core {
@@ -16,6 +19,10 @@ void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
                const rna::ScoreTables& scores) {
   const int m = f.m();
   const int n = f.n();
+  // Work items are register-tile-height row blocks (1 row on the scalar
+  // backend — the original grain).
+  const int rb = simd::row_block();
+  const int n_blocks = (n + rb - 1) / rb;
   for (int d1 = 0; d1 < m; ++d1) {
     for (int i1 = 0; i1 + d1 < m; ++i1) {
       const int j1 = i1 + d1;
@@ -28,9 +35,9 @@ void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
           const float r3add = s1t.at(k1 + 1, j1);
           const float r4add = s1t.at(i1, k1);
 #pragma omp parallel for schedule(dynamic)
-          for (int i2 = 0; i2 < n; ++i2) {
-            detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, i2,
-                                          i2 + 1);
+          for (int ib = 0; ib < n_blocks; ++ib) {
+            simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
+                               std::min(ib * rb + rb, n));
           }
         }
       }

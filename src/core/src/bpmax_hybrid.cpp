@@ -6,7 +6,10 @@
 
 #include "rri/core/bpmax_kernels.hpp"
 
+#include <algorithm>
+
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
 
 namespace rri::core {
@@ -15,6 +18,11 @@ void fill_hybrid(FTable& f, const STable& s1t, const STable& s2t,
                  const rna::ScoreTables& scores) {
   const int m = f.m();
   const int n = f.n();
+  // Rows are parceled at the dispatched backend's register-tile height
+  // so the vector kernels can hold their accumulator tiles across the
+  // whole k2 sweep (scalar backend: one row per work item, as before).
+  const int rb = simd::row_block();
+  const int n_blocks = (n + rb - 1) / rb;
   for (int d1 = 0; d1 < m; ++d1) {
     // Stage A (fine grain): accumulate splits for every triangle on this
     // diagonal, one triangle at a time, rows parceled across threads.
@@ -29,9 +37,9 @@ void fill_hybrid(FTable& f, const STable& s1t, const STable& s2t,
           const float r3add = s1t.at(k1 + 1, j1);
           const float r4add = s1t.at(i1, k1);
 #pragma omp parallel for schedule(dynamic)
-          for (int i2 = 0; i2 < n; ++i2) {
-            detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, i2,
-                                          i2 + 1);
+          for (int ib = 0; ib < n_blocks; ++ib) {
+            simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
+                               std::min(ib * rb + rb, n));
           }
         }
       }

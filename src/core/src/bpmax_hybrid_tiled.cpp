@@ -8,6 +8,7 @@
 #include "rri/core/bpmax_kernels.hpp"
 
 #include "rri/core/detail/triangle_ops.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
 
 namespace rri::core {
@@ -34,8 +35,7 @@ void fill_hybrid_tiled(FTable& f, const STable& s1t, const STable& s2t,
           const float r4add = s1t.at(i1, k1);
 #pragma omp parallel for schedule(dynamic)
           for (int it = 0; it < n_tiles; ++it) {
-            detail::maxplus_instance_tiled(acc, a, b, r3add, r4add, n, tile, it,
-                                           it + 1);
+            simd::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, it, it + 1);
           }
         }
       }

@@ -1,9 +1,9 @@
 #include "rri/core/double_maxplus.hpp"
 
 #include <algorithm>
+#include <limits>
 
-#include "rri/core/maxops.hpp"
-#include "rri/core/detail/triangle_ops.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/harness/flops.hpp"
 #include "rri/obs/obs.hpp"
 
@@ -60,146 +60,11 @@ void write_inputs(FTable& f, std::uint64_t seed, int i1, int j1) {
   }
 }
 
-/// Pure-R0 accumulation of one max-plus instance over rows
-/// [row_begin, row_end) (the BPMax version in triangle_ops.hpp also
-/// carries R3/R4; the standalone kernel must not).
-void r0_instance_rows(float* acc, const float* a, const float* b, int n,
-                      int row_begin, int row_end) {
-  const auto stride = static_cast<std::size_t>(n);
-  for (int i2 = row_begin; i2 < row_end; ++i2) {
-    float* accrow = acc + static_cast<std::size_t>(i2) * stride;
-    const float* arow = a + static_cast<std::size_t>(i2) * stride;
-    for (int k2 = i2; k2 < n - 1; ++k2) {
-      const float alpha = arow[k2];
-      const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-      for (int j2 = k2 + 1; j2 < n; ++j2) {
-        accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
-      }
-    }
-  }
-}
-
-/// Tiled pure-R0 instance over i2 tiles [tile_begin, tile_end).
-void r0_instance_tiled(float* acc, const float* a, const float* b, int n,
-                       TileShape3 tile, int tile_begin, int tile_end) {
-  const auto stride = static_cast<std::size_t>(n);
-  const int ti = tile.ti2 > 0 ? tile.ti2 : n;
-  const int tk = tile.tk2 > 0 ? tile.tk2 : n;
-  const int tj = tile.tj2 > 0 ? tile.tj2 : n;
-  for (int it = tile_begin; it < tile_end; ++it) {
-    const int i2_lo = it * ti;
-    const int i2_hi = std::min(i2_lo + ti, n);
-    for (int kk = i2_lo; kk < n - 1; kk += tk) {
-      const int k2_cap = std::min(kk + tk, n - 1);
-      for (int jj = kk + 1; jj < n; jj += tj) {
-        const int j2_cap = std::min(jj + tj, n);
-        for (int i2 = i2_lo; i2 < i2_hi; ++i2) {
-          float* accrow = acc + static_cast<std::size_t>(i2) * stride;
-          const float* arow = a + static_cast<std::size_t>(i2) * stride;
-          const int k2_lo = std::max(kk, i2);
-          for (int k2 = k2_lo; k2 < k2_cap; ++k2) {
-            const float alpha = arow[k2];
-            const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
-            const int j2_lo = std::max(jj, k2 + 1);
-#pragma omp simd
-            for (int j2 = j2_lo; j2 < j2_cap; ++j2) {
-              accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-/// Register-blocked pure-R0 instance (the paper's future-work second
-/// tiling level). Accumulators for a 4-row x 32-column block stay in a
-/// local array the compiler keeps in vector registers across the whole
-/// k2 reduction, so each max-plus touches memory only for the B row —
-/// roughly one load per two flops instead of three memory operations.
-/// Boundary rows/columns and the near-diagonal wedge (where a k2 would
-/// contribute to only part of a block) fall back to the streaming form.
-void r0_instance_regblocked(float* acc, const float* a, const float* b,
-                            int n) {
-  constexpr int kRows = 4;
-  constexpr int kCols = 32;
-  const auto stride = static_cast<std::size_t>(n);
-  int ib = 0;
-  for (; ib + kRows <= n; ib += kRows) {
-    for (int jj = ib + 1; jj < n; jj += kCols) {
-      const int jw = std::min(kCols, n - jj);
-      // Full-block contributions: k2 >= ib+kRows-1 keeps every row of the
-      // block valid, k2 <= jj-1 keeps every column valid.
-      const int k_lo = ib + kRows - 1;
-      const int k_hi = jj - 1;
-      if (k_lo <= k_hi) {
-        float racc[kRows][kCols];
-        for (int r = 0; r < kRows; ++r) {
-          const float* arow = acc + static_cast<std::size_t>(ib + r) * stride;
-#pragma omp simd
-          for (int x = 0; x < jw; ++x) {
-            racc[r][x] = arow[jj + x];
-          }
-        }
-        for (int k2 = k_lo; k2 <= k_hi; ++k2) {
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride + jj;
-          for (int r = 0; r < kRows; ++r) {
-            const float alpha =
-                a[static_cast<std::size_t>(ib + r) * stride +
-                  static_cast<std::size_t>(k2)];
-#pragma omp simd
-            for (int x = 0; x < jw; ++x) {
-              racc[r][x] = max2(racc[r][x], alpha + bv[x]);
-            }
-          }
-        }
-        for (int r = 0; r < kRows; ++r) {
-          float* arow = acc + static_cast<std::size_t>(ib + r) * stride;
-#pragma omp simd
-          for (int x = 0; x < jw; ++x) {
-            arow[jj + x] = racc[r][x];
-          }
-        }
-      }
-      // Per-row remainders: the head k2 range a row owns before the
-      // block-uniform k_lo, and the partial wedge with k2 inside the
-      // column block.
-      for (int r = 0; r < kRows; ++r) {
-        const int row = ib + r;
-        float* accrow = acc + static_cast<std::size_t>(row) * stride;
-        const float* arow = a + static_cast<std::size_t>(row) * stride;
-        const int head_hi = std::min(k_lo - 1, k_hi);
-        for (int k2 = row; k2 <= head_hi; ++k2) {
-          const float alpha = arow[k2];
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-          for (int j2 = jj; j2 < jj + jw; ++j2) {
-            accrow[j2] = max2(accrow[j2], alpha + bv[j2]);
-          }
-        }
-        const int wedge_lo = std::max(row, jj);
-        const int wedge_hi = std::min(jj + jw - 2, n - 2);
-        for (int k2 = wedge_lo; k2 <= wedge_hi; ++k2) {
-          const float alpha = arow[k2];
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-          for (int j2 = k2 + 1; j2 < jj + jw; ++j2) {
-            accrow[j2] = max2(accrow[j2], alpha + bv[j2]);
-          }
-        }
-      }
-    }
-  }
-  if (ib < n) {
-    r0_instance_rows(acc, a, b, n, ib, n);
-  }
-}
-
 /// Accumulate all k1 split instances into triangle (i1, j1) under the
 /// chosen variant, then restore the triangle's input diagonal (nothing in
 /// this triangle reads it during accumulation, so overwrite order is
-/// irrelevant).
+/// irrelevant). The pure-R0 loop nests themselves live behind the
+/// simd:: dispatch layer (src/simd/), shared with the BPMax band stage.
 void fill_triangle(FTable& f, std::uint64_t seed, int i1, int j1,
                    DmpVariant v, TileShape3 tile) {
   const int n = f.n();
@@ -211,24 +76,28 @@ void fill_triangle(FTable& f, std::uint64_t seed, int i1, int j1,
     switch (v) {
       case DmpVariant::kPermuted:
       case DmpVariant::kCoarse:
-        r0_instance_rows(acc, a, b, n, 0, n);
+        simd::r0_rows(acc, a, b, n, 0, n);
         break;
       case DmpVariant::kFine: {
+        // Row blocks of the backend's register-tile height: threads get
+        // fine-grained work and the vector backend still register-tiles.
+        const int rb = simd::row_block();
+        const int n_blocks = (n + rb - 1) / rb;
 #pragma omp parallel for schedule(dynamic)
-        for (int i2 = 0; i2 < n; ++i2) {
-          r0_instance_rows(acc, a, b, n, i2, i2 + 1);
+        for (int ib = 0; ib < n_blocks; ++ib) {
+          simd::r0_rows(acc, a, b, n, ib * rb, std::min(ib * rb + rb, n));
         }
         break;
       }
       case DmpVariant::kRegTiled:
-        r0_instance_regblocked(acc, a, b, n);
+        simd::r0_regblocked(acc, a, b, n);
         break;
       case DmpVariant::kTiled: {
         const int ti = tile.ti2 > 0 ? tile.ti2 : n;
         const int n_tiles = (n + ti - 1) / ti;
 #pragma omp parallel for schedule(dynamic)
         for (int it = 0; it < n_tiles; ++it) {
-          r0_instance_tiled(acc, a, b, n, tile, it, it + 1);
+          simd::r0_tiled(acc, a, b, n, tile, it, it + 1);
         }
         break;
       }
@@ -287,6 +156,7 @@ float dmp_input_value(std::uint64_t seed, int i1, int j1, int i2, int j2) {
 FTable solve_double_maxplus(int m, int n, std::uint64_t seed, DmpVariant v,
                             TileShape3 tile) {
   RRI_OBS_PHASE(obs::Phase::kFill);
+  simd::record_backend_counter();
 #if RRI_OBS_ENABLED
   if (obs::enabled()) {
     // The standalone problem is pure R0; the baseline order has no

@@ -1,0 +1,184 @@
+/// Runtime backend selection for the rri::core::simd kernels.
+///
+/// Resolution order: programmatic set_backend (tests, benches) > the
+/// RRI_SIMD environment variable (scalar | avx2 | auto) > the best
+/// backend both compiled in and reported by CPUID. The choice is cached
+/// in one atomic; every dispatched kernel call is a relaxed load plus an
+/// indirect-free switch.
+
+#include "rri/core/simd/maxplus_simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rri/obs/obs.hpp"
+#include "simd/kernels.hpp"
+
+namespace rri::core::simd {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+/// Backend as int, or kUnresolved before first use.
+std::atomic<int> g_backend{kUnresolved};
+
+bool cpu_has_avx2() noexcept {
+#if RRI_SIMD_HAVE_AVX2 && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend best_available() noexcept {
+  return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+/// Resolve from RRI_SIMD / CPUID. Unknown or unavailable requests fall
+/// back (scalar is always available) with a one-time stderr warning so
+/// a mistyped override does not silently change what was measured.
+Backend resolve_from_env() noexcept {
+  const char* env = std::getenv("RRI_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return best_available();
+  }
+  if (std::strcmp(env, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    if (backend_available(Backend::kAvx2)) {
+      return Backend::kAvx2;
+    }
+    std::fprintf(stderr,
+                 "rri::core::simd: RRI_SIMD=avx2 requested but AVX2 is not "
+                 "available on this host/build; using scalar\n");
+    return Backend::kScalar;
+  }
+  std::fprintf(stderr,
+               "rri::core::simd: unknown RRI_SIMD value '%s' (expected "
+               "scalar|avx2|auto); using auto\n",
+               env);
+  return best_available();
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool backend_available(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return true;
+    case Backend::kAvx2: return cpu_has_avx2();
+  }
+  return false;
+}
+
+Backend active_backend() noexcept {
+  int cur = g_backend.load(std::memory_order_relaxed);
+  if (cur == kUnresolved) {
+    const Backend resolved = resolve_from_env();
+    // First resolver wins; a concurrent set_backend is not overwritten.
+    if (g_backend.compare_exchange_strong(cur, static_cast<int>(resolved),
+                                          std::memory_order_relaxed)) {
+      return resolved;
+    }
+  }
+  return static_cast<Backend>(cur);
+}
+
+bool set_backend(Backend b) noexcept {
+  if (!backend_available(b)) {
+    return false;
+  }
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() noexcept {
+  g_backend.store(kUnresolved, std::memory_order_relaxed);
+}
+
+int row_block() noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    return 4;  // register-tile height of the AVX2 backend
+  }
+#endif
+  return 1;
+}
+
+void record_backend_counter() {
+  obs::set_counter("core.simd_backend",
+                   static_cast<double>(active_backend()));
+}
+
+// ------------------------------------------------------------- kernels
+
+void r0_rows(float* acc, const float* a, const float* b, int n,
+             int row_begin, int row_end) noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    avx2::r0_rows(acc, a, b, n, row_begin, row_end);
+    return;
+  }
+#endif
+  scalar::r0_rows(acc, a, b, n, row_begin, row_end);
+}
+
+void r0_tiled(float* acc, const float* a, const float* b, int n,
+              TileShape3 tile, int tile_begin, int tile_end) noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    avx2::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
+    return;
+  }
+#endif
+  scalar::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
+}
+
+void r0_regblocked(float* acc, const float* a, const float* b,
+                   int n) noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    avx2::r0_regblocked(acc, a, b, n);
+    return;
+  }
+#endif
+  scalar::r0_regblocked(acc, a, b, n);
+}
+
+void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
+                  float r4add, int n, int row_begin, int row_end) noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    avx2::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
+    return;
+  }
+#endif
+  scalar::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
+}
+
+void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
+                   float r4add, int n, TileShape3 tile, int tile_begin,
+                   int tile_end) noexcept {
+#if RRI_SIMD_HAVE_AVX2
+  if (active_backend() == Backend::kAvx2) {
+    avx2::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
+                        tile_end);
+    return;
+  }
+#endif
+  scalar::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
+                        tile_end);
+}
+
+}  // namespace rri::core::simd

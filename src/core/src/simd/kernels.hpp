@@ -1,0 +1,49 @@
+#ifndef RRI_CORE_SRC_SIMD_KERNELS_HPP
+#define RRI_CORE_SRC_SIMD_KERNELS_HPP
+
+/// \file kernels.hpp
+/// Private backend entry points behind rri::core::simd dispatch. One
+/// set per backend; the AVX2 set exists only when the build compiled
+/// src/simd/kernels_avx2.cpp (RRI_SIMD_HAVE_AVX2).
+
+#include "rri/core/bpmax.hpp"
+
+#ifndef RRI_SIMD_HAVE_AVX2
+#define RRI_SIMD_HAVE_AVX2 0
+#endif
+
+namespace rri::core::simd::scalar {
+
+void r0_rows(float* acc, const float* a, const float* b, int n,
+             int row_begin, int row_end) noexcept;
+void r0_tiled(float* acc, const float* a, const float* b, int n,
+              TileShape3 tile, int tile_begin, int tile_end) noexcept;
+void r0_regblocked(float* acc, const float* a, const float* b,
+                   int n) noexcept;
+void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
+                  float r4add, int n, int row_begin, int row_end) noexcept;
+void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
+                   float r4add, int n, TileShape3 tile, int tile_begin,
+                   int tile_end) noexcept;
+
+}  // namespace rri::core::simd::scalar
+
+#if RRI_SIMD_HAVE_AVX2
+namespace rri::core::simd::avx2 {
+
+void r0_rows(float* acc, const float* a, const float* b, int n,
+             int row_begin, int row_end) noexcept;
+void r0_tiled(float* acc, const float* a, const float* b, int n,
+              TileShape3 tile, int tile_begin, int tile_end) noexcept;
+void r0_regblocked(float* acc, const float* a, const float* b,
+                   int n) noexcept;
+void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
+                  float r4add, int n, int row_begin, int row_end) noexcept;
+void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
+                   float r4add, int n, TileShape3 tile, int tile_begin,
+                   int tile_end) noexcept;
+
+}  // namespace rri::core::simd::avx2
+#endif  // RRI_SIMD_HAVE_AVX2
+
+#endif  // RRI_CORE_SRC_SIMD_KERNELS_HPP

@@ -62,6 +62,10 @@ void add_bytes(Phase p, double bytes) noexcept;
 /// Monotonic named counter ("bsp.bytes_sent", "scan.windows", ...).
 void add_counter(const char* name, double delta);
 
+/// Overwrite a named counter — for configuration-style values that
+/// describe the run rather than accumulate over it ("core.simd_backend").
+void set_counter(const char* name, double value);
+
 /// RAII exclusive-time phase scope. Cheap to construct when disabled
 /// (one atomic load); see file comment for attribution semantics.
 class ScopedPhase {

@@ -41,6 +41,7 @@ class Registry {
   void add_flops(Phase p, double flops) noexcept;
   void add_bytes(Phase p, double bytes) noexcept;
   void add_counter(const std::string& name, double delta);
+  void set_counter(const std::string& name, double value);
 
   /// Phases with any activity, in enum order.
   std::vector<PhaseStats> phase_snapshot() const;

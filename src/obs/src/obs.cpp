@@ -98,6 +98,12 @@ void add_counter(const char* name, double delta) {
   }
 }
 
+void set_counter(const char* name, double value) {
+  if (enabled()) {
+    Registry::global().set_counter(name, value);
+  }
+}
+
 void ScopedPhase::begin(Phase p) noexcept {
   phase_ = p;
   parent_ = t_current;
@@ -158,6 +164,11 @@ void Registry::add_bytes(Phase p, double bytes) noexcept {
 void Registry::add_counter(const std::string& name, double delta) {
   const std::lock_guard<std::mutex> lock(counter_mutex_);
   counters_[name] += delta;
+}
+
+void Registry::set_counter(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  counters_[name] = value;
 }
 
 std::vector<PhaseStats> Registry::phase_snapshot() const {

@@ -1,0 +1,154 @@
+/// Golden-corpus regression: replay the checked-in corpus of sequence
+/// pairs (tests/golden/*.json) and demand exact score agreement from the
+/// default solver on every available SIMD backend. The corpus pins
+/// solver behaviour across refactors — scores under the shipped scoring
+/// models are sums of small integer weights, exactly representable in
+/// fp32, so equality is exact, not approximate.
+///
+/// Corpus format: one JSON object per line,
+///   {"id":"...","s1":"...","s2":"...","model":"default|unit",
+///    "min_hairpin":0,"score":17.0}
+///
+/// Sequences are in the library convention — s2 is passed to bpmax_solve
+/// verbatim (the CLI's default 3'->5' reversal does NOT apply). To
+/// regenerate a score: bpmax --csv --no-structure --no-reverse S1 S2.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
+
+#ifndef RRI_GOLDEN_DIR
+#error "RRI_GOLDEN_DIR must point at the checked-in corpus directory"
+#endif
+
+namespace {
+
+using namespace rri;
+
+struct GoldenCase {
+  std::string id;
+  std::string s1;
+  std::string s2;
+  std::string model = "default";
+  int min_hairpin = 0;
+  float score = 0.0f;
+  std::string file;
+};
+
+/// Minimal extraction for the corpus's flat one-object-per-line schema
+/// (no nesting, no escapes in the stored values).
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  return line.substr(start, end - start);
+}
+
+double extract_number(const std::string& line, const std::string& key,
+                      double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return fallback;
+  }
+  return std::atof(line.c_str() + pos + needle.size());
+}
+
+std::vector<GoldenCase> load_corpus() {
+  std::vector<GoldenCase> cases;
+  const std::filesystem::path dir(RRI_GOLDEN_DIR);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"id\"") == std::string::npos) {
+        continue;
+      }
+      GoldenCase c;
+      c.id = extract_string(line, "id");
+      c.s1 = extract_string(line, "s1");
+      c.s2 = extract_string(line, "s2");
+      const std::string model = extract_string(line, "model");
+      if (!model.empty()) {
+        c.model = model;
+      }
+      c.min_hairpin =
+          static_cast<int>(extract_number(line, "min_hairpin", 0.0));
+      c.score = static_cast<float>(extract_number(line, "score", 0.0));
+      c.file = entry.path().filename().string();
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+rna::ScoringModel model_for(const GoldenCase& c) {
+  rna::ScoringModel model = c.model == "unit"
+                                ? rna::ScoringModel::unit()
+                                : rna::ScoringModel::bpmax_default();
+  model.set_min_hairpin(c.min_hairpin);
+  return model;
+}
+
+TEST(GoldenCorpus, CorpusIsNonEmpty) {
+  EXPECT_GE(load_corpus().size(), 8u) << "corpus lost entries?";
+}
+
+TEST(GoldenCorpus, ReplayExactScores) {
+  const std::vector<GoldenCase> cases = load_corpus();
+  ASSERT_FALSE(cases.empty());
+
+  std::vector<core::simd::Backend> backends = {core::simd::Backend::kScalar};
+  if (core::simd::backend_available(core::simd::Backend::kAvx2)) {
+    backends.push_back(core::simd::Backend::kAvx2);
+  }
+  struct Guard {
+    ~Guard() { core::simd::reset_backend(); }
+  } guard;
+
+  for (const core::simd::Backend backend : backends) {
+    ASSERT_TRUE(core::simd::set_backend(backend));
+    for (const GoldenCase& c : cases) {
+      const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
+      const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
+      const float got = core::bpmax_score(s1, s2, model_for(c), {});
+      EXPECT_EQ(c.score, got)
+          << c.file << ":" << c.id << " on "
+          << core::simd::backend_name(backend) << " (s1=" << c.s1
+          << " s2=" << c.s2 << " model=" << c.model << " min_hairpin="
+          << c.min_hairpin << ")";
+    }
+  }
+}
+
+/// Golden scores are variant-independent: spot-check the corpus against
+/// the baseline variant too (catches a corpus regenerated against a
+/// broken default variant).
+TEST(GoldenCorpus, BaselineVariantAgrees) {
+  const std::vector<GoldenCase> cases = load_corpus();
+  ASSERT_FALSE(cases.empty());
+  core::BpmaxOptions options;
+  options.variant = core::Variant::kBaseline;
+  for (const GoldenCase& c : cases) {
+    const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
+    const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
+    EXPECT_EQ(c.score, core::bpmax_score(s1, s2, model_for(c), options))
+        << c.file << ":" << c.id;
+  }
+}
+
+}  // namespace

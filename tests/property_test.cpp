@@ -1,0 +1,238 @@
+/// Property-based differential harness for the BPMax solver: seeded
+/// random sequence pairs over a sweep of (M, N, scoring model) shapes,
+/// asserting that every variant × SIMD-backend combination produces a
+/// bit-identical F-table, with the exhaustive structure enumerator as an
+/// independent oracle on tiny instances.
+///
+/// Environment knobs (reproduce and budget):
+///   RRI_PROPERTY_SEED   base seed (default 20260805); every failure
+///                       message prints the full reproducer
+///   RRI_PROPERTY_ITERS  iterations (default 25; CI's sanitizer job
+///                       raises this — see .github/workflows/ci.yml)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/exhaustive.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
+#include "rri/core/windowed.hpp"
+#include "rri/rna/random.hpp"
+
+namespace {
+
+using namespace rri;
+using core::simd::Backend;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+
+struct BackendGuard {
+  ~BackendGuard() { core::simd::reset_backend(); }
+};
+
+/// One generated problem instance plus everything needed to replay it.
+struct Instance {
+  std::uint64_t seed = 0;
+  int iter = 0;
+  rna::Sequence s1;
+  rna::Sequence s2;
+  rna::ScoringModel model = rna::ScoringModel::bpmax_default();
+  const char* model_name = "default";
+
+  std::string reproducer() const {
+    return "RRI_PROPERTY_SEED=" + std::to_string(seed) +
+           " iter=" + std::to_string(iter) + " m=" +
+           std::to_string(s1.size()) + " n=" + std::to_string(s2.size()) +
+           " s1='" + s1.to_string() + "' s2='" + s2.to_string() +
+           "' model=" + model_name;
+  }
+};
+
+Instance make_instance(std::uint64_t base_seed, int iter) {
+  Instance inst;
+  inst.seed = base_seed;
+  inst.iter = iter;
+  std::mt19937_64 rng(base_seed + 0x9e3779b97f4a7c15ULL *
+                                      static_cast<std::uint64_t>(iter + 1));
+  // Small shapes dominate (they exercise every tail path and keep the
+  // sweep fast); occasionally jump past two register tiles so the vector
+  // backend's interior blocks run too.
+  std::uniform_int_distribution<int> small(1, 14);
+  std::uniform_int_distribution<int> large(17, 40);
+  std::uniform_int_distribution<int> pick(0, 9);
+  const int m = pick(rng) == 0 ? large(rng) / 3 + 1 : small(rng);
+  const int n = pick(rng) == 0 ? large(rng) : small(rng);
+  inst.s1 = rna::random_sequence(static_cast<std::size_t>(m), rng);
+  inst.s2 = rna::random_sequence(static_cast<std::size_t>(n), rng);
+  switch (pick(rng) % 3) {
+    case 0:
+      inst.model = rna::ScoringModel::unit();
+      inst.model_name = "unit";
+      break;
+    case 1:
+      inst.model.set_min_hairpin(2);
+      inst.model_name = "default+min_hairpin2";
+      break;
+    default:
+      break;
+  }
+  return inst;
+}
+
+::testing::AssertionResult tables_equal(const core::FTable& a,
+                                        const core::FTable& b) {
+  if (a.m() != b.m() || a.n() != b.n()) {
+    return ::testing::AssertionFailure() << "dimension mismatch";
+  }
+  for (int i1 = 0; i1 < a.m(); ++i1) {
+    for (int j1 = i1; j1 < a.m(); ++j1) {
+      for (int i2 = 0; i2 < a.n(); ++i2) {
+        for (int j2 = i2; j2 < a.n(); ++j2) {
+          if (a.at(i1, j1, i2, j2) != b.at(i1, j1, i2, j2)) {
+            return ::testing::AssertionFailure()
+                   << "F(" << i1 << "," << j1 << "," << i2 << "," << j2
+                   << "): " << a.at(i1, j1, i2, j2)
+                   << " != " << b.at(i1, j1, i2, j2);
+          }
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The full differential sweep: reference = baseline variant on the
+/// scalar backend; every other (variant, backend) must match bitwise.
+TEST(PropertyDifferential, AllVariantsAllBackendsBitIdentical) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  const int iters =
+      static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL));
+  BackendGuard guard;
+
+  std::vector<Backend> backends = {Backend::kScalar};
+  if (core::simd::backend_available(Backend::kAvx2)) {
+    backends.push_back(Backend::kAvx2);
+  } else {
+    std::printf("note: AVX2 unavailable; property sweep covers the scalar "
+                "backend only\n");
+  }
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const Instance inst = make_instance(seed, iter);
+    ASSERT_TRUE(core::simd::set_backend(Backend::kScalar));
+    core::BpmaxOptions ref_options;
+    ref_options.variant = core::Variant::kBaseline;
+    const core::BpmaxResult ref =
+        core::bpmax_solve(inst.s1, inst.s2, inst.model, ref_options);
+
+    for (const Backend backend : backends) {
+      ASSERT_TRUE(core::simd::set_backend(backend));
+      for (const core::Variant v : core::all_variants()) {
+        core::BpmaxOptions options;
+        options.variant = v;
+        // Vary the tile shape with the iteration so TileShape3 edge
+        // combinations get coverage too.
+        options.tile = core::TileShape3{1 + iter % 5, 1 + iter % 3,
+                                        (iter % 4 == 0) ? 0 : 1 + iter % 7};
+        const core::BpmaxResult got =
+            core::bpmax_solve(inst.s1, inst.s2, inst.model, options);
+        ASSERT_EQ(ref.score, got.score)
+            << core::variant_name(v) << " on "
+            << core::simd::backend_name(backend) << "\n"
+            << inst.reproducer();
+        ASSERT_TRUE(tables_equal(ref.f, got.f))
+            << core::variant_name(v) << " on "
+            << core::simd::backend_name(backend) << "\n"
+            << inst.reproducer();
+      }
+    }
+  }
+}
+
+/// Tiny instances against the independent exhaustive enumerator (not a
+/// re-derivation of the recurrence) on every backend.
+TEST(PropertyDifferential, TinyInstancesMatchExhaustiveOracle) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  const int iters =
+      std::max(4, static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL)) / 2);
+  BackendGuard guard;
+
+  std::vector<Backend> backends = {Backend::kScalar};
+  if (core::simd::backend_available(Backend::kAvx2)) {
+    backends.push_back(Backend::kAvx2);
+  }
+
+  for (int iter = 0; iter < iters; ++iter) {
+    std::mt19937_64 rng(seed * 31 + static_cast<std::uint64_t>(iter));
+    std::uniform_int_distribution<int> len(1, 5);
+    const rna::Sequence s1 =
+        rna::random_sequence(static_cast<std::size_t>(len(rng)), rng);
+    const rna::Sequence s2 =
+        rna::random_sequence(static_cast<std::size_t>(len(rng)), rng);
+    const rna::ScoringModel model = rna::ScoringModel::bpmax_default();
+    const core::ExhaustiveResult truth = core::exhaustive_bpmax(s1, s2, model);
+    for (const Backend backend : backends) {
+      ASSERT_TRUE(core::simd::set_backend(backend));
+      for (const core::Variant v : core::all_variants()) {
+        core::BpmaxOptions options;
+        options.variant = v;
+        const float got = core::bpmax_score(s1, s2, model, options);
+        ASSERT_EQ(truth.score, got)
+            << core::variant_name(v) << " on "
+            << core::simd::backend_name(backend) << " RRI_PROPERTY_SEED="
+            << seed << " iter=" << iter << " s1='" << s1.to_string()
+            << "' s2='" << s2.to_string() << "'";
+      }
+    }
+  }
+}
+
+/// Windowed scan equivalence under forced backends: each window's score
+/// equals a direct solve of the window subsequence.
+TEST(PropertyDifferential, ScanWindowsMatchDirectSolves) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  BackendGuard guard;
+  std::mt19937_64 rng(seed ^ 0xabcdefULL);
+  const rna::Sequence long_strand = rna::random_sequence(21, rng);
+  const rna::Sequence short_strand = rna::random_sequence(6, rng);
+  const rna::ScoringModel model = rna::ScoringModel::bpmax_default();
+
+  std::vector<Backend> backends = {Backend::kScalar};
+  if (core::simd::backend_available(Backend::kAvx2)) {
+    backends.push_back(Backend::kAvx2);
+  }
+  core::ScanOptions scan;
+  scan.window = 7;
+  scan.stride = 3;
+  for (const Backend backend : backends) {
+    ASSERT_TRUE(core::simd::set_backend(backend));
+    const std::vector<core::WindowScore> windows =
+        core::scan_windows(long_strand, short_strand, model, scan);
+    ASSERT_FALSE(windows.empty());
+    for (const core::WindowScore& w : windows) {
+      std::vector<rna::Base> bases(
+          long_strand.begin() + w.offset,
+          long_strand.begin() + w.offset + w.length);
+      const rna::Sequence sub(std::move(bases));
+      const float direct =
+          core::bpmax_score(sub, short_strand, model, scan.solver);
+      ASSERT_EQ(w.score, direct)
+          << "window offset=" << w.offset << " length=" << w.length
+          << " on " << core::simd::backend_name(backend);
+    }
+  }
+}
+
+}  // namespace

@@ -67,6 +67,19 @@ double serve_throughput(const obs::PerfReport& report) {
   return *served / report.wall_seconds;
 }
 
+/// Human name for the core.simd_backend counter value (mirrors
+/// rri::core::simd::Backend; kept local so the tool does not link the
+/// kernel library).
+std::string simd_backend_name(double value) {
+  if (value == 0.0) {
+    return "scalar";
+  }
+  if (value == 1.0) {
+    return "avx2";
+  }
+  return "unknown(" + harness::fmt_double(value, 0) + ")";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,10 +148,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Sections one report has and the other lacks are a schema difference
+  // (reports from different tool versions or tools), not a regression:
+  // degrade to a note and keep diffing what both sides share.
+  std::vector<std::string> notes;
+
+  // Kernel backend (core.simd_backend, reports from builds with the
+  // dispatch layer). Informational: a backend change explains phase
+  // deltas but is not itself a regression.
+  {
+    const double* b_backend = find_counter(base, "core.simd_backend");
+    const double* c_backend = find_counter(cur, "core.simd_backend");
+    if (b_backend != nullptr && c_backend != nullptr) {
+      if (*b_backend == *c_backend) {
+        notes.push_back("simd backend: " + simd_backend_name(*b_backend) +
+                        " (both reports)");
+      } else {
+        notes.push_back("simd backend CHANGED: " +
+                        simd_backend_name(*b_backend) + " -> " +
+                        simd_backend_name(*c_backend) +
+                        " (explains kernel-phase deltas)");
+      }
+    } else if (b_backend != nullptr || c_backend != nullptr) {
+      const bool in_base = b_backend != nullptr;
+      notes.push_back("simd backend: " + std::string(in_base ? "baseline" : "current") +
+                      " report only (" +
+                      simd_backend_name(in_base ? *b_backend : *c_backend) +
+                      "); other report predates the dispatch layer");
+    }
+  }
+
   // Batch-serving reports (bpmax_batch --profile) carry serve.* counters;
   // compare those and the derived jobs/sec throughput, which regresses
   // when *lower* in the current report — the opposite sign of a time.
   const bool serve_mode = has_serve_counters(base) && has_serve_counters(cur);
+  if (!serve_mode &&
+      (has_serve_counters(base) || has_serve_counters(cur))) {
+    notes.push_back(std::string("serve counters: ") +
+                    (has_serve_counters(base) ? "baseline" : "current") +
+                    " report only; skipping serve section");
+  }
   harness::ReportTable serve_table(
       {"serve", "base", "cur", "delta", "status"});
   if (serve_mode) {
@@ -181,6 +230,9 @@ int main(int argc, char** argv) {
     if (serve_mode) {
       serve_table.print_csv(std::cout);
     }
+    for (const std::string& note : notes) {
+      std::fprintf(stderr, "note: %s\n", note.c_str());
+    }
   } else {
     std::printf("baseline: %s  (%s, %d threads)\n",
                 args.positional()[0].c_str(), base.label.c_str(),
@@ -191,6 +243,9 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     if (serve_mode) {
       serve_table.print(std::cout);
+    }
+    for (const std::string& note : notes) {
+      std::printf("note: %s\n", note.c_str());
     }
     std::printf("%d phase(s) compared, %d regression(s) beyond %+.1f%%\n",
                 compared, regressions, threshold);
