@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Run the PR-5 bench bundle: the fig13 double max-plus sweep (one run
+# per SIMD backend) plus a small batch-serving sweep, and bundle both
+# perf reports into BENCH_pr5.json at the repo root (schema
+# rri-bench-bundle/1, documented in docs/observability.md). CI uploads
+# the bundle as an artifact; locally it is a one-command snapshot you
+# can perf_diff against a later checkout.
+#
+#   ci/run_bench.sh [build-dir]   (default: build)
+#
+# Knobs: RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13
+# sweep exactly as for any bench binary.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${REPO_ROOT}/BENCH_pr5.json"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+FIG13="${BUILD_DIR}/bench/fig13_dmp_perf"
+BATCH="${BUILD_DIR}/tools/bpmax_batch"
+for bin in "${FIG13}" "${BATCH}"; do
+  if [ ! -x "${bin}" ]; then
+    echo "run_bench: missing ${bin} (build the fig13_dmp_perf and" \
+         "bpmax_batch targets first)" >&2
+    exit 2
+  fi
+done
+
+# 1. fig13: RRI_BENCH_JSON=<dir> makes the bench drop its
+#    BENCH_<slug>.json perf report there.
+echo "run_bench: fig13 double max-plus sweep..."
+RRI_BENCH_JSON="${WORK}" "${FIG13}" > "${WORK}/fig13.out"
+FIG13_JSON="$(ls "${WORK}"/BENCH_*.json)"
+
+# 2. batch-serve: a duplicate-heavy manifest exercises scheduling, the
+#    result cache, and the serve latency histograms end to end.
+echo "run_bench: batch-serve sweep..."
+cat > "${WORK}/bench_manifest.jsonl" <<'EOF'
+{"id":"a","s1":"GGGAAACCCAUGCGGGAAACCC","s2":"UUGCCAAGGUUGCC"}
+{"id":"b","s1":"GGGAAACCCAUGCGGGAAACCC","s2":"UUGCCAAGGUUGCC"}
+{"id":"c","s1":"GCAUGCAUGCAUGCAUGCAUGCAU","s2":"AUGCAUGCAUGC"}
+{"id":"d","s1":"GGGGAAAACCCCUUUUGGGGAAAA","s2":"UUUUCCCCAAAAGG"}
+{"id":"e","s1":"GCAUGCAUGCAUGCAUGCAUGCAU","s2":"AUGCAUGCAUGC"}
+{"id":"f","s1":"AAGGCCUUAAGGCCUUAAGGCCUU","s2":"GGCCAAUUGGCC"}
+EOF
+"${BATCH}" --manifest "${WORK}/bench_manifest.jsonl" --jobs 2 \
+  --profile="${WORK}/batch_report.json" --out "${WORK}/batch_results.jsonl"
+
+# 3. Bundle: both documents are complete rri-obs-report/1 reports, so
+#    jq '.fig13' / jq '.batch_serve' recovers something perf_diff reads.
+echo "run_bench: writing ${OUT}"
+{
+  printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
+  cat "${FIG13_JSON}"
+  printf ',\n"batch_serve":'
+  cat "${WORK}/batch_report.json"
+  printf '}\n'
+} > "${OUT}"
+echo "run_bench: done ($(wc -c < "${OUT}") bytes)"

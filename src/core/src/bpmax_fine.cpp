@@ -12,6 +12,7 @@
 #include "rri/core/detail/triangle_ops.hpp"
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::core {
 
@@ -29,15 +30,22 @@ void fill_fine(FTable& f, const STable& s1t, const STable& s2t,
       float* acc = f.block(i1, j1);
       {
         RRI_OBS_PHASE(obs::Phase::kDmpBand);
-        for (int k1 = i1; k1 < j1; ++k1) {
-          const float* a = f.block(i1, k1);
-          const float* b = f.block(k1 + 1, j1);
-          const float r3add = s1t.at(k1 + 1, j1);
-          const float r4add = s1t.at(i1, k1);
-#pragma omp parallel for schedule(dynamic)
-          for (int ib = 0; ib < n_blocks; ++ib) {
-            simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
-                               std::min(ib * rb + rb, n));
+        // Parallel region hoisted around the k1 loop (the `omp for`
+        // barrier keeps the accumulator ordering): one trace span per
+        // worker thread per triangle.
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.omp");
+          for (int k1 = i1; k1 < j1; ++k1) {
+            const float* a = f.block(i1, k1);
+            const float* b = f.block(k1 + 1, j1);
+            const float r3add = s1t.at(k1 + 1, j1);
+            const float r4add = s1t.at(i1, k1);
+#pragma omp for schedule(dynamic)
+            for (int ib = 0; ib < n_blocks; ++ib) {
+              simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
+                                 std::min(ib * rb + rb, n));
+            }
           }
         }
       }

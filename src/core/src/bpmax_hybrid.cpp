@@ -11,6 +11,7 @@
 #include "rri/core/detail/triangle_ops.hpp"
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::core {
 
@@ -28,18 +29,25 @@ void fill_hybrid(FTable& f, const STable& s1t, const STable& s2t,
     // diagonal, one triangle at a time, rows parceled across threads.
     {
       RRI_OBS_PHASE(obs::Phase::kDmpBand);
-      for (int i1 = 0; i1 + d1 < m; ++i1) {
-        const int j1 = i1 + d1;
-        float* acc = f.block(i1, j1);
-        for (int k1 = i1; k1 < j1; ++k1) {
-          const float* a = f.block(i1, k1);
-          const float* b = f.block(k1 + 1, j1);
-          const float r3add = s1t.at(k1 + 1, j1);
-          const float r4add = s1t.at(i1, k1);
-#pragma omp parallel for schedule(dynamic)
-          for (int ib = 0; ib < n_blocks; ++ib) {
-            simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
-                               std::min(ib * rb + rb, n));
+      // One parallel region per diagonal (the `omp for` barrier keeps
+      // the per-k1 accumulator ordering) so each worker thread carries
+      // one trace span per diagonal on its own lane.
+#pragma omp parallel
+      {
+        RRI_TRACE_SPAN("dmp_band.omp");
+        for (int i1 = 0; i1 + d1 < m; ++i1) {
+          const int j1 = i1 + d1;
+          float* acc = f.block(i1, j1);
+          for (int k1 = i1; k1 < j1; ++k1) {
+            const float* a = f.block(i1, k1);
+            const float* b = f.block(k1 + 1, j1);
+            const float r3add = s1t.at(k1 + 1, j1);
+            const float r4add = s1t.at(i1, k1);
+#pragma omp for schedule(dynamic)
+            for (int ib = 0; ib < n_blocks; ++ib) {
+              simd::maxplus_rows(acc, a, b, r3add, r4add, n, ib * rb,
+                                 std::min(ib * rb + rb, n));
+            }
           }
         }
       }
@@ -47,9 +55,13 @@ void fill_hybrid(FTable& f, const STable& s1t, const STable& s2t,
     // Stage B (coarse grain): finalize the diagonal's triangles in
     // parallel; each reads only completed diagonals and its own block.
     RRI_OBS_PHASE(obs::Phase::kFinalize);
-#pragma omp parallel for schedule(dynamic)
-    for (int i1 = 0; i1 < m - d1; ++i1) {
-      detail::finalize_triangle(f, s1t, s2t, scores, i1, i1 + d1);
+#pragma omp parallel
+    {
+      RRI_TRACE_SPAN("finalize.omp");
+#pragma omp for schedule(dynamic)
+      for (int i1 = 0; i1 < m - d1; ++i1) {
+        detail::finalize_triangle(f, s1t, s2t, scores, i1, i1 + d1);
+      }
     }
   }
 }

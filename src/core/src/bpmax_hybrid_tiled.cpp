@@ -10,6 +10,7 @@
 #include "rri/core/detail/triangle_ops.hpp"
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::core {
 
@@ -23,31 +24,44 @@ void fill_hybrid_tiled(FTable& f, const STable& s1t, const STable& s2t,
   for (int d1 = 0; d1 < m; ++d1) {
     {
       // Scopes sit on the orchestrating thread, outside the parallel
-      // regions, so the recorded phase times are wall-clock.
+      // regions, so the recorded phase times are wall-clock. The
+      // parallel region is hoisted around the (i1, k1) loops — the
+      // `omp for` barrier after each k1 step preserves the accumulator
+      // ordering the old per-k1 region gave — so each worker carries
+      // one trace span per diagonal on its own timeline lane.
       RRI_OBS_PHASE(obs::Phase::kDmpBand);
-      for (int i1 = 0; i1 + d1 < m; ++i1) {
-        const int j1 = i1 + d1;
-        float* acc = f.block(i1, j1);
-        for (int k1 = i1; k1 < j1; ++k1) {
-          const float* a = f.block(i1, k1);
-          const float* b = f.block(k1 + 1, j1);
-          const float r3add = s1t.at(k1 + 1, j1);
-          const float r4add = s1t.at(i1, k1);
-#pragma omp parallel for schedule(dynamic)
-          for (int it = 0; it < n_tiles; ++it) {
-            simd::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, it, it + 1);
+#pragma omp parallel
+      {
+        RRI_TRACE_SPAN("dmp_band.omp");
+        for (int i1 = 0; i1 + d1 < m; ++i1) {
+          const int j1 = i1 + d1;
+          float* acc = f.block(i1, j1);
+          for (int k1 = i1; k1 < j1; ++k1) {
+            const float* a = f.block(i1, k1);
+            const float* b = f.block(k1 + 1, j1);
+            const float r3add = s1t.at(k1 + 1, j1);
+            const float r4add = s1t.at(i1, k1);
+#pragma omp for schedule(dynamic)
+            for (int it = 0; it < n_tiles; ++it) {
+              simd::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, it,
+                                  it + 1);
+            }
           }
         }
       }
     }
     RRI_OBS_PHASE(obs::Phase::kFinalize);
-#pragma omp parallel for schedule(dynamic)
-    for (int i1 = 0; i1 < m - d1; ++i1) {
-      if (r12_jblock > 0) {
-        detail::finalize_triangle_blocked(f, s1t, s2t, scores, i1, i1 + d1,
-                                          r12_jblock);
-      } else {
-        detail::finalize_triangle(f, s1t, s2t, scores, i1, i1 + d1);
+#pragma omp parallel
+    {
+      RRI_TRACE_SPAN("finalize.omp");
+#pragma omp for schedule(dynamic)
+      for (int i1 = 0; i1 < m - d1; ++i1) {
+        if (r12_jblock > 0) {
+          detail::finalize_triangle_blocked(f, s1t, s2t, scores, i1, i1 + d1,
+                                            r12_jblock);
+        } else {
+          detail::finalize_triangle(f, s1t, s2t, scores, i1, i1 + d1);
+        }
       }
     }
   }

@@ -6,6 +6,7 @@
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/harness/flops.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::core {
 
@@ -83,9 +84,13 @@ void fill_triangle(FTable& f, std::uint64_t seed, int i1, int j1,
         // fine-grained work and the vector backend still register-tiles.
         const int rb = simd::row_block();
         const int n_blocks = (n + rb - 1) / rb;
-#pragma omp parallel for schedule(dynamic)
-        for (int ib = 0; ib < n_blocks; ++ib) {
-          simd::r0_rows(acc, a, b, n, ib * rb, std::min(ib * rb + rb, n));
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.omp");
+#pragma omp for schedule(dynamic)
+          for (int ib = 0; ib < n_blocks; ++ib) {
+            simd::r0_rows(acc, a, b, n, ib * rb, std::min(ib * rb + rb, n));
+          }
         }
         break;
       }
@@ -95,9 +100,13 @@ void fill_triangle(FTable& f, std::uint64_t seed, int i1, int j1,
       case DmpVariant::kTiled: {
         const int ti = tile.ti2 > 0 ? tile.ti2 : n;
         const int n_tiles = (n + ti - 1) / ti;
-#pragma omp parallel for schedule(dynamic)
-        for (int it = 0; it < n_tiles; ++it) {
-          simd::r0_tiled(acc, a, b, n, tile, it, it + 1);
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.omp");
+#pragma omp for schedule(dynamic)
+          for (int it = 0; it < n_tiles; ++it) {
+            simd::r0_tiled(acc, a, b, n, tile, it, it + 1);
+          }
         }
         break;
       }

@@ -36,6 +36,10 @@ struct Message {
   /// before any in-flight fault touched them. intact() recomputes and
   /// compares, so a bit-flipped payload is detectable at the receiver.
   std::uint32_t crc = 0;
+  /// rri::trace flow id stamped at send time (0 = tracing was off):
+  /// receive() emits the matching flow_in so the viewer draws a
+  /// send -> receive arrow between the two rank lanes.
+  std::uint64_t trace_id = 0;
 
   bool intact() const noexcept;
 };

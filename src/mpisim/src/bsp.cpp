@@ -4,6 +4,7 @@
 
 #include "rri/core/crc32.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::mpisim {
 
@@ -52,8 +53,17 @@ void BspWorld::apply_crashes() {
 
 void BspWorld::enqueue(int from, int to, int tag, std::vector<float> payload,
                        std::uint32_t crc) {
+  std::uint64_t trace_id = 0;
+#if RRI_TRACE_ENABLED
+  if (trace::enabled()) {
+    // The caller's lane is the sending rank's (dist_bpmax wraps each
+    // rank's turn in a LaneScope), so the arrow starts on that lane.
+    trace_id = trace::next_flow_id();
+    trace::flow_out("bsp.msg", trace_id);
+  }
+#endif
   in_flight_[static_cast<std::size_t>(to)].push_back(
-      Message{from, tag, std::move(payload), crc});
+      Message{from, tag, std::move(payload), crc, trace_id});
 }
 
 void BspWorld::send(int from, int to, int tag, std::vector<float> payload) {
@@ -141,6 +151,15 @@ std::vector<Message> BspWorld::receive(int rank) {
                    });
   std::vector<Message> out = std::move(inbox);
   inbox.clear();
+#if RRI_TRACE_ENABLED
+  if (trace::enabled()) {
+    for (const Message& msg : out) {
+      if (msg.trace_id != 0) {
+        trace::flow_in("bsp.msg", msg.trace_id);
+      }
+    }
+  }
+#endif
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "rri/core/detail/triangle_ops.hpp"
 #include "rri/harness/flops.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::mpisim {
 
@@ -169,6 +170,11 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
     std::vector<double> step_flops(static_cast<std::size_t>(ranks), 0.0);
     for (std::size_t p = 0; p < deal.size(); ++p) {
       const int r = deal[p];
+      // Ranks run sequentially in-process, but each gets its own trace
+      // lane: events of rank r's turn land on (kProcRanks, r), so the
+      // viewer shows superstep skew as if ranks were real processes.
+      RRI_TRACE_LANE(trace::kProcRanks, r);
+      RRI_TRACE_SPAN("rank.compute");
       core::FTable& f = tables[static_cast<std::size_t>(r)];
       for (int i1 = static_cast<int>(p); i1 + d1 < m;
            i1 += static_cast<int>(deal.size())) {
@@ -222,6 +228,8 @@ DistributedResult distributed_bpmax(const rna::Sequence& strand1,
       if (!world.alive(r)) {
         continue;  // leaves the deal at the top of the next iteration
       }
+      RRI_TRACE_LANE(trace::kProcRanks, r);
+      RRI_TRACE_SPAN("rank.install");
       core::FTable& f = tables[static_cast<std::size_t>(r)];
       auto msgs = world.receive(r);
       std::map<int, int> copies;  // tag (= i1) -> intact copies received

@@ -66,6 +66,11 @@ void add_counter(const char* name, double delta);
 /// describe the run rather than accumulate over it ("core.simd_backend").
 void set_counter(const char* name, double value);
 
+/// Record one latency sample into the named log-bucketed histogram
+/// ("serve.queue_wait_s", ...). The report carries count/mean/min/max
+/// and approximate p50/p90/p99 per histogram.
+void record_latency(const char* name, double seconds);
+
 /// RAII exclusive-time phase scope. Cheap to construct when disabled
 /// (one atomic load); see file comment for attribution semantics.
 class ScopedPhase {
@@ -92,6 +97,7 @@ class ScopedPhase {
   std::chrono::steady_clock::time_point start_{};
   double child_seconds_ = 0.0;
   bool active_ = false;
+  bool traced_ = false;  ///< opened a piggy-backed rri::trace span
 };
 
 }  // namespace rri::obs
@@ -105,11 +111,13 @@ class ScopedPhase {
 #define RRI_OBS_ADD_FLOPS(phase, v) ::rri::obs::add_flops((phase), (v))
 #define RRI_OBS_ADD_BYTES(phase, v) ::rri::obs::add_bytes((phase), (v))
 #define RRI_OBS_COUNTER(name, v) ::rri::obs::add_counter((name), (v))
+#define RRI_OBS_LATENCY(name, s) ::rri::obs::record_latency((name), (s))
 #else
 #define RRI_OBS_PHASE(phase) ((void)0)
 #define RRI_OBS_ADD_FLOPS(phase, v) ((void)0)
 #define RRI_OBS_ADD_BYTES(phase, v) ((void)0)
 #define RRI_OBS_COUNTER(name, v) ((void)0)
+#define RRI_OBS_LATENCY(name, s) ((void)0)
 #endif
 
 #endif  // RRI_OBS_OBS_HPP

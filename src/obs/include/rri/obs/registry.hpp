@@ -18,6 +18,28 @@
 
 namespace rri::obs {
 
+/// Latency histograms use fixed log2 nanosecond buckets: bucket i holds
+/// samples with floor(log2(ns)) == i, so 64 buckets cover 1 ns .. 584
+/// years with ~2x relative resolution — enough for p50/p90/p99 on
+/// queue-wait and execution latencies without storing samples.
+inline constexpr int kHistogramBuckets = 64;
+
+struct HistogramStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::uint64_t buckets[kHistogramBuckets] = {};
+
+  double mean_seconds() const noexcept {
+    return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
+  }
+  /// Approximate quantile (q in [0,1]): the upper bound of the bucket
+  /// where the cumulative count crosses q, clamped to [min, max].
+  double quantile(double q) const noexcept;
+};
+
 /// One phase's aggregated statistics, as returned by snapshots.
 struct PhaseStats {
   Phase phase{};
@@ -42,10 +64,13 @@ class Registry {
   void add_bytes(Phase p, double bytes) noexcept;
   void add_counter(const std::string& name, double delta);
   void set_counter(const std::string& name, double value);
+  void record_latency(const std::string& name, double seconds);
 
-  /// Phases with any activity, in enum order.
-  std::vector<PhaseStats> phase_snapshot() const;
+  /// Phases in enum order: active ones only by default, or every slot
+  /// (zero or not) so report consumers see the full fixed phase set.
+  std::vector<PhaseStats> phase_snapshot(bool include_inactive = false) const;
   std::map<std::string, double> counter_snapshot() const;
+  std::vector<HistogramStats> histogram_snapshot() const;
 
   /// Zero every slot and drop every named counter.
   void reset();
@@ -63,6 +88,7 @@ class Registry {
   Slot slots_[kPhaseCount];
   mutable std::mutex counter_mutex_;
   std::map<std::string, double> counters_;
+  std::map<std::string, HistogramStats> histograms_;
 };
 
 }  // namespace rri::obs

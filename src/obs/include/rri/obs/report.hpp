@@ -29,6 +29,19 @@ struct PhaseReport {
   }
 };
 
+/// Summary of one latency histogram (log-bucketed in the registry; the
+/// report carries the derived statistics, not the buckets).
+struct HistogramReport {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
 /// One labelled table of bench output (headers + string rows), carried
 /// verbatim so the BENCH_*.json trajectory keeps the measured series
 /// next to the phase accounting that produced them.
@@ -49,11 +62,16 @@ struct PerfReport {
   double wall_seconds = 0.0;  ///< caller-measured wall time (0 if unknown)
   std::vector<PhaseReport> phases;
   std::vector<std::pair<std::string, double>> counters;
+  /// Whether the report carries a histograms section at all (empty list
+  /// with the section present is different from a pre-feature report).
+  bool has_histograms = false;
+  std::vector<HistogramReport> histograms;
   std::vector<SeriesTable> series;
 
   double phase_seconds_total() const noexcept;
   double total_flops() const noexcept;
   const PhaseReport* find_phase(const std::string& name) const noexcept;
+  const HistogramReport* find_histogram(const std::string& name) const noexcept;
 };
 
 /// Snapshot the global registry into a report, stamped with the probed

@@ -1,12 +1,16 @@
 #include "rri/obs/obs.hpp"
 
 #include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "rri/obs/registry.hpp"
 #include "rri/obs/report.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace rri::obs {
 
@@ -40,6 +44,30 @@ void write_exit_report() {
   write_json(out, capture_report("RRI_OBS_JSON exit hook", wall));
 }
 
+/// RRI_TRACE=path at-exit hook: serialize the trace buffers to Chrome
+/// trace JSON, and mirror the hw-counter summary into obs counters so
+/// a simultaneous RRI_OBS_JSON report carries it too. Registered
+/// *after* write_exit_report when both are set, so LIFO exit order runs
+/// it first and the counters land in the report.
+std::string g_trace_path;
+
+void write_exit_trace() {
+  const trace::HwSummary hw = trace::read_hw();
+  Registry::global().set_counter("trace.hw_backend", hw.backend);
+  if (hw.valid()) {
+    Registry::global().set_counter("hw.cycles", hw.cycles);
+    Registry::global().set_counter("hw.instructions", hw.instructions);
+    Registry::global().set_counter("hw.ipc", hw.ipc());
+  }
+  std::ofstream out(g_trace_path);
+  if (!out) {
+    std::fprintf(stderr, "rri::trace: cannot write %s\n",
+                 g_trace_path.c_str());
+    return;
+  }
+  trace::write_chrome_json(out);
+}
+
 /// Environment activation, run once when the library is loaded.
 struct EnvActivation {
   EnvActivation() {
@@ -52,6 +80,17 @@ struct EnvActivation {
     if (json != nullptr && *json != '\0') {
       g_enabled.store(true, std::memory_order_relaxed);
       std::atexit(&write_exit_report);
+    }
+    // RRI_TRACE=path.json: per-event timelines from any binary. Also
+    // enables obs recording, because the trace's span set piggy-backs on
+    // the ScopedPhase hook points.
+    const char* trace_path = std::getenv("RRI_TRACE");
+    if (trace_path != nullptr && *trace_path != '\0') {
+      g_trace_path = trace_path;
+      g_enabled.store(true, std::memory_order_relaxed);
+      trace::set_enabled(true);
+      trace::start_hw();
+      std::atexit(&write_exit_trace);
     }
   }
 };
@@ -104,11 +143,24 @@ void set_counter(const char* name, double value) {
   }
 }
 
+void record_latency(const char* name, double seconds) {
+  if (enabled()) {
+    Registry::global().record_latency(name, seconds);
+  }
+}
+
 void ScopedPhase::begin(Phase p) noexcept {
   phase_ = p;
   parent_ = t_current;
   t_current = this;
   active_ = true;
+  // Piggy-back a trace span on every phase scope: the span opens before
+  // start_ and closes after the time is booked, so trace bookkeeping is
+  // outside the phase's attributed interval.
+  if (trace::enabled()) {
+    trace::begin_span(phase_name(p));
+    traced_ = true;
+  }
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -121,6 +173,9 @@ void ScopedPhase::end() noexcept {
     parent_->child_seconds_ += total;
   }
   t_current = parent_;
+  if (traced_) {
+    trace::end_span();
+  }
 }
 
 // ------------------------------------------------------------- Registry
@@ -171,7 +226,59 @@ void Registry::set_counter(const std::string& name, double value) {
   counters_[name] = value;
 }
 
-std::vector<PhaseStats> Registry::phase_snapshot() const {
+namespace {
+
+/// floor(log2(nanoseconds)), clamped into the bucket range.
+int latency_bucket(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) {  // also catches NaN and negatives
+    return 0;
+  }
+  if (ns >= 9.2e18) {
+    return kHistogramBuckets - 1;
+  }
+  const int idx =
+      63 - std::countl_zero(static_cast<std::uint64_t>(ns));
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+}  // namespace
+
+double HistogramStats::quantile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // Upper bound of bucket i is 2^(i+1) ns.
+      const double upper = std::ldexp(1.0, i + 1) / 1e9;
+      if (upper < min_seconds) {
+        return min_seconds;
+      }
+      return upper > max_seconds ? max_seconds : upper;
+    }
+  }
+  return max_seconds;
+}
+
+void Registry::record_latency(const std::string& name, double seconds) {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  HistogramStats& h = histograms_[name];
+  if (h.count == 0 || seconds < h.min_seconds) {
+    h.min_seconds = seconds;
+  }
+  if (h.count == 0 || seconds > h.max_seconds) {
+    h.max_seconds = seconds;
+  }
+  ++h.count;
+  h.sum_seconds += seconds;
+  ++h.buckets[latency_bucket(seconds)];
+}
+
+std::vector<PhaseStats> Registry::phase_snapshot(bool include_inactive) const {
   std::vector<PhaseStats> out;
   for (int i = 0; i < kPhaseCount; ++i) {
     const Slot& s = slots_[i];
@@ -182,8 +289,8 @@ std::vector<PhaseStats> Registry::phase_snapshot() const {
         static_cast<double>(s.nanos.load(std::memory_order_relaxed)) / 1e9;
     st.flops = s.flops.load(std::memory_order_relaxed);
     st.bytes = s.bytes.load(std::memory_order_relaxed);
-    if (st.calls != 0 || st.flops != 0.0 || st.bytes != 0.0 ||
-        st.seconds != 0.0) {
+    if (include_inactive || st.calls != 0 || st.flops != 0.0 ||
+        st.bytes != 0.0 || st.seconds != 0.0) {
       out.push_back(st);
     }
   }
@@ -195,6 +302,17 @@ std::map<std::string, double> Registry::counter_snapshot() const {
   return counters_;
 }
 
+std::vector<HistogramStats> Registry::histogram_snapshot() const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  std::vector<HistogramStats> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(h);
+    out.back().name = name;
+  }
+  return out;
+}
+
 void Registry::reset() {
   for (Slot& s : slots_) {
     s.calls.store(0, std::memory_order_relaxed);
@@ -204,6 +322,7 @@ void Registry::reset() {
   }
   const std::lock_guard<std::mutex> lock(counter_mutex_);
   counters_.clear();
+  histograms_.clear();
 }
 
 }  // namespace rri::obs

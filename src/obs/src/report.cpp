@@ -37,6 +37,16 @@ const PhaseReport* PerfReport::find_phase(
   return nullptr;
 }
 
+const HistogramReport* PerfReport::find_histogram(
+    const std::string& name) const noexcept {
+  for (const HistogramReport& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
 PerfReport capture_report(const std::string& label, double wall_seconds) {
   PerfReport report;
   report.label = label;
@@ -47,12 +57,22 @@ PerfReport capture_report(const std::string& label, double wall_seconds) {
   report.simd_bits = host.simd_bits;
   report.omp_max_threads = omp_get_max_threads();
   report.wall_seconds = wall_seconds;
-  for (const PhaseStats& s : Registry::global().phase_snapshot()) {
+  // Every phase slot, zero or not: consumers diffing two reports must
+  // see the same fixed phase set on both sides, or a phase that simply
+  // did not run reads as "removed".
+  for (const PhaseStats& s :
+       Registry::global().phase_snapshot(/*include_inactive=*/true)) {
     report.phases.push_back(
         PhaseReport{s.name(), s.calls, s.seconds, s.flops, s.bytes});
   }
   for (const auto& [name, value] : Registry::global().counter_snapshot()) {
     report.counters.emplace_back(name, value);
+  }
+  report.has_histograms = true;
+  for (const HistogramStats& h : Registry::global().histogram_snapshot()) {
+    report.histograms.push_back(HistogramReport{
+        h.name, h.count, h.mean_seconds(), h.min_seconds, h.max_seconds,
+        h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)});
   }
   return report;
 }
@@ -90,6 +110,24 @@ void write_json(std::ostream& out, const PerfReport& report) {
     counters.set(name, JsonValue::number(value));
   }
   root.set("counters", std::move(counters));
+
+  // Always present (possibly empty): a report written by this code
+  // "has" the histogram feature, and perf_diff tells that apart from
+  // pre-feature reports where the key is absent.
+  JsonValue histograms = JsonValue::array();
+  for (const HistogramReport& h : report.histograms) {
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::string(h.name));
+    obj.set("count", JsonValue::number(static_cast<double>(h.count)));
+    obj.set("mean_seconds", JsonValue::number(h.mean_seconds));
+    obj.set("min_seconds", JsonValue::number(h.min_seconds));
+    obj.set("max_seconds", JsonValue::number(h.max_seconds));
+    obj.set("p50_seconds", JsonValue::number(h.p50_seconds));
+    obj.set("p90_seconds", JsonValue::number(h.p90_seconds));
+    obj.set("p99_seconds", JsonValue::number(h.p99_seconds));
+    histograms.push_back(std::move(obj));
+  }
+  root.set("histograms", std::move(histograms));
 
   JsonValue series = JsonValue::array();
   for (const SeriesTable& t : report.series) {
@@ -154,6 +192,22 @@ PerfReport parse_report(const std::string& json_text) {
   for (const auto& [name, value] : root.get("counters").as_object()) {
     report.counters.emplace_back(name, value.as_number());
   }
+  // Optional: reports written before the histogram feature lack the key.
+  if (const JsonValue* histograms = root.find("histograms")) {
+    report.has_histograms = true;
+    for (const JsonValue& h : histograms->as_array()) {
+      HistogramReport hist;
+      hist.name = h.get("name").as_string();
+      hist.count = static_cast<std::uint64_t>(h.get("count").as_number());
+      hist.mean_seconds = h.get("mean_seconds").as_number();
+      hist.min_seconds = h.get("min_seconds").as_number();
+      hist.max_seconds = h.get("max_seconds").as_number();
+      hist.p50_seconds = h.get("p50_seconds").as_number();
+      hist.p90_seconds = h.get("p90_seconds").as_number();
+      hist.p99_seconds = h.get("p99_seconds").as_number();
+      report.histograms.push_back(std::move(hist));
+    }
+  }
   if (const JsonValue* series = root.find("series")) {
     for (const JsonValue& t : series->as_array()) {
       SeriesTable table;
@@ -180,6 +234,12 @@ void print_phase_table(std::ostream& out, const PerfReport& report) {
   const double wall =
       report.wall_seconds > 0.0 ? report.wall_seconds : report.phase_seconds_total();
   for (const PhaseReport& p : report.phases) {
+    // The report carries the full fixed phase set; the human table only
+    // shows phases that did something.
+    if (p.calls == 0 && p.seconds == 0.0 && p.flops == 0.0 &&
+        p.bytes == 0.0) {
+      continue;
+    }
     table.add_row({p.name, std::to_string(p.calls),
                    harness::fmt_double(p.seconds, 4),
                    wall > 0.0 ? harness::fmt_double(100.0 * p.seconds / wall, 1)
@@ -198,6 +258,15 @@ void print_phase_table(std::ostream& out, const PerfReport& report) {
   out << "  threads: " << report.omp_max_threads << "\n";
   for (const auto& [name, value] : report.counters) {
     out << "counter " << name << ": " << harness::fmt_double(value, 0) << "\n";
+  }
+  for (const HistogramReport& h : report.histograms) {
+    out << "latency " << h.name << ": n=" << h.count
+        << " mean=" << harness::fmt_double(h.mean_seconds * 1e3, 3)
+        << "ms p50=" << harness::fmt_double(h.p50_seconds * 1e3, 3)
+        << "ms p90=" << harness::fmt_double(h.p90_seconds * 1e3, 3)
+        << "ms p99=" << harness::fmt_double(h.p99_seconds * 1e3, 3)
+        << "ms max=" << harness::fmt_double(h.max_seconds * 1e3, 3)
+        << "ms\n";
   }
 }
 

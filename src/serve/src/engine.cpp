@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +14,7 @@
 #include "rri/core/crc32.hpp"
 #include "rri/harness/timing.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/trace/trace.hpp"
 #include "rri/serve/batch_state.hpp"
 #include "rri/serve/cache.hpp"
 #include "rri/serve/queue.hpp"
@@ -202,14 +205,35 @@ BatchResult run_batch(const std::vector<Job>& jobs,
         }
       };
 
+  // Producer-stamped admission times for the queue-wait histogram: the
+  // queue's mutex orders the stamp before the matching pop.
+  std::vector<std::chrono::steady_clock::time_point> admitted(jobs.size());
+
   std::vector<double> busy_out(static_cast<std::size_t>(workers), 0.0);
   const auto worker_loop = [&](int worker_id) {
+    // Every event of this worker thread lands on its own serve lane:
+    // the idle gaps between "serve.wait" and "serve.execute" spans are
+    // the queue starvation the schedule is supposed to avoid.
+    RRI_TRACE_LANE(trace::kProcServe, worker_id);
     double busy = 0.0;
-    while (auto popped = queue.pop()) {
+    for (;;) {
+      std::optional<std::size_t> popped;
+      {
+        RRI_TRACE_SPAN("serve.wait");
+        popped = queue.pop();
+      }
+      if (!popped.has_value()) {
+        break;
+      }
       if (run.interrupted.load()) {
         continue;  // drain without executing
       }
       const std::size_t i = *popped;
+      RRI_TRACE_SPAN("serve.execute");
+      RRI_OBS_LATENCY("serve.queue_wait_s",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - admitted[i])
+                          .count());
       harness::StopWatch sw;
       RRI_OBS_PHASE(obs::Phase::kServe);
       {
@@ -257,7 +281,9 @@ BatchResult run_batch(const std::vector<Job>& jobs,
         cache.put(keys[i], key_texts[i], o.score);
       }
       record(i, std::move(o));
-      busy += sw.seconds();
+      const double spent = sw.seconds();
+      RRI_OBS_LATENCY("serve.execute_s", spent);
+      busy += spent;
     }
     busy_out[static_cast<std::size_t>(worker_id)] = busy;
   };
@@ -278,6 +304,7 @@ BatchResult run_batch(const std::vector<Job>& jobs,
         continue;
       }
     }
+    admitted[p.job_index] = std::chrono::steady_clock::now();
     if (!queue.push(p.job_index)) {
       break;  // closed by the interruption hook
     }

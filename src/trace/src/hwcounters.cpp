@@ -1,0 +1,126 @@
+#include "rri/trace/trace.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rri::trace {
+
+namespace {
+
+inline constexpr int kBackendUnavailable = 0;
+inline constexpr int kBackendPerfEvent = 1;
+
+struct HwState {
+  std::mutex mutex;
+  bool started = false;
+  int backend = kBackendUnavailable;
+  int fd_cycles = -1;
+  int fd_instructions = -1;
+  int fd_task_clock = -1;
+};
+
+HwState& hw_state() {
+  static HwState* instance = new HwState;
+  return *instance;
+}
+
+bool hw_forced_off() {
+  const char* v = std::getenv("RRI_HW");
+  return v != nullptr &&
+         (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0);
+}
+
+#if defined(__linux__)
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Inherit into threads created after this point: start_hw() runs
+  // before the first parallel region, so the OpenMP pool is counted.
+  attr.inherit = 1;
+  return static_cast<int>(
+      syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0UL));
+}
+
+double read_counter(int fd) {
+  if (fd < 0) {
+    return 0.0;
+  }
+  std::uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) {
+    return 0.0;
+  }
+  return static_cast<double>(value);
+}
+#endif  // __linux__
+
+}  // namespace
+
+const char* hw_backend_name(int backend) noexcept {
+  return backend == kBackendPerfEvent ? "perf_event" : "unavailable";
+}
+
+void start_hw() noexcept {
+  HwState& hw = hw_state();
+  const std::lock_guard<std::mutex> lock(hw.mutex);
+  if (hw.started) {
+    return;
+  }
+  hw.started = true;
+  if (hw_forced_off()) {
+    return;
+  }
+#if defined(__linux__)
+  // Cycles + instructions must both open for the backend to count as
+  // available (IPC needs the pair); task_clock is best-effort gravy.
+  // Typical failure here is perf_event_paranoid >= 2 inside containers,
+  // which is exactly the graceful-degradation path.
+  const int fd_cyc =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  const int fd_ins =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  if (fd_cyc < 0 || fd_ins < 0) {
+    if (fd_cyc >= 0) {
+      close(fd_cyc);
+    }
+    if (fd_ins >= 0) {
+      close(fd_ins);
+    }
+    return;
+  }
+  hw.fd_cycles = fd_cyc;
+  hw.fd_instructions = fd_ins;
+  hw.fd_task_clock =
+      open_counter(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+  hw.backend = kBackendPerfEvent;
+#endif
+}
+
+HwSummary read_hw() noexcept {
+  HwState& hw = hw_state();
+  const std::lock_guard<std::mutex> lock(hw.mutex);
+  HwSummary out;
+  out.backend = hw.backend;
+#if defined(__linux__)
+  if (hw.backend == kBackendPerfEvent) {
+    out.cycles = read_counter(hw.fd_cycles);
+    out.instructions = read_counter(hw.fd_instructions);
+    out.task_clock_ns = read_counter(hw.fd_task_clock);
+  }
+#endif
+  return out;
+}
+
+}  // namespace rri::trace

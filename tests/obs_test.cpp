@@ -227,6 +227,111 @@ TEST_F(ObsTest, PhaseTablePrintsEveryActivePhase) {
   EXPECT_NE(text.find("phases total"), std::string::npos);
 }
 
+TEST_F(ObsTest, HistogramRecordsAndQuantiles) {
+  // 100 samples at ~1 ms and one outlier at ~1 s: p50/p90 land in the
+  // low-millisecond bucket, p99+ sees the tail, min/max clamp exactly.
+  for (int i = 0; i < 100; ++i) {
+    obs::record_latency("serve.execute_s", 1e-3);
+  }
+  obs::record_latency("serve.execute_s", 1.0);
+
+  const auto hists = obs::Registry::global().histogram_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramStats& h = hists[0];
+  EXPECT_EQ(h.name, "serve.execute_s");
+  EXPECT_EQ(h.count, 101u);
+  EXPECT_DOUBLE_EQ(h.min_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(h.max_seconds, 1.0);
+  EXPECT_NEAR(h.mean_seconds(), (100 * 1e-3 + 1.0) / 101.0, 1e-12);
+  // Bucketed quantiles are approximate (powers of two in ns), so only
+  // assert the order of magnitude and the ordering invariants.
+  EXPECT_GE(h.quantile(0.50), 1e-3);
+  EXPECT_LT(h.quantile(0.50), 4e-3);
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.90));
+  EXPECT_LE(h.quantile(0.90), h.quantile(0.999));
+  EXPECT_LE(h.quantile(0.999), h.max_seconds);
+}
+
+TEST_F(ObsTest, HistogramJsonRoundTrip) {
+  obs::record_latency("serve.queue_wait_s", 2e-6);
+  obs::record_latency("serve.queue_wait_s", 8e-6);
+  const obs::PerfReport report = obs::capture_report("hist", 1.0);
+  ASSERT_TRUE(report.has_histograms);
+  ASSERT_EQ(report.histograms.size(), 1u);
+
+  const obs::PerfReport back = obs::parse_report(obs::to_json(report));
+  ASSERT_TRUE(back.has_histograms);
+  const obs::HistogramReport* h = back.find_histogram("serve.queue_wait_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_DOUBLE_EQ(h->min_seconds, 2e-6);
+  EXPECT_DOUBLE_EQ(h->max_seconds, 8e-6);
+  EXPECT_NEAR(h->mean_seconds, 5e-6, 1e-12);
+  EXPECT_LE(h->p50_seconds, h->p90_seconds);
+  EXPECT_LE(h->p90_seconds, h->p99_seconds);
+}
+
+TEST_F(ObsTest, ReportsPredatingHistogramsParseWithoutThem) {
+  const obs::PerfReport report = obs::capture_report("old", 1.0);
+  obs::JsonValue doc = obs::json_parse(obs::to_json(report));
+  // Simulate a report written before the histogram section existed.
+  obs::JsonValue stripped = obs::JsonValue::object();
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key != "histograms") {
+      stripped.set(key, value);
+    }
+  }
+  const obs::PerfReport back = obs::parse_report(stripped.dump());
+  EXPECT_FALSE(back.has_histograms);
+  EXPECT_TRUE(back.histograms.empty());
+}
+
+TEST_F(ObsTest, ZeroTimePhasesStayInReport) {
+  // A phase that was entered but accounted zero seconds (or never ran)
+  // must still appear in the JSON report: perf_diff would otherwise
+  // flag it as "removed" when diffing against a run where it took time.
+  obs::Registry::global().add_time(obs::Phase::kFill, 0.5, 1);
+  const obs::PerfReport report = obs::capture_report("zero", 1.0);
+  const obs::PhaseReport* setup = report.find_phase("setup");
+  ASSERT_NE(setup, nullptr);
+  EXPECT_EQ(setup->calls, 0u);
+  EXPECT_DOUBLE_EQ(setup->seconds, 0.0);
+  // ...and survives the JSON round trip.
+  const obs::PerfReport back = obs::parse_report(obs::to_json(report));
+  EXPECT_NE(back.find_phase("setup"), nullptr);
+  EXPECT_NE(back.find_phase("serve"), nullptr);
+}
+
+TEST_F(ObsTest, SetCounterValuesLandInReport) {
+  obs::set_counter("trace.hw_backend", 1.0);
+  obs::set_counter("hw.ipc", 1.75);
+  const obs::PerfReport back =
+      obs::parse_report(obs::to_json(obs::capture_report("hw", 1.0)));
+  ASSERT_EQ(back.counters.size(), 2u);
+  bool saw_backend = false, saw_ipc = false;
+  for (const auto& [name, value] : back.counters) {
+    if (name == "trace.hw_backend") {
+      saw_backend = true;
+      EXPECT_DOUBLE_EQ(value, 1.0);
+    } else if (name == "hw.ipc") {
+      saw_ipc = true;
+      EXPECT_DOUBLE_EQ(value, 1.75);
+    }
+  }
+  EXPECT_TRUE(saw_backend);
+  EXPECT_TRUE(saw_ipc);
+}
+
+TEST_F(ObsTest, LatencyTablePrintsPercentiles) {
+  obs::record_latency("serve.execute_s", 5e-3);
+  const auto report = obs::capture_report("latency", 1.0);
+  std::ostringstream out;
+  obs::print_phase_table(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("latency serve.execute_s"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
 #endif  // RRI_OBS_ENABLED
 
 TEST(ObsJson, ValueRoundTripAndErrors) {

@@ -27,6 +27,7 @@
 #include "rri/rna/fasta.hpp"
 #include "rri/serve/engine.hpp"
 #include "rri/serve/manifest.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace {
 
@@ -129,6 +130,11 @@ int main(int argc, char** argv) {
                            "print a per-phase perf breakdown after the "
                            "run; --profile=FILE.json also writes the "
                            "JSON report (schema rri-obs-report/1)", "-");
+  args.add_implicit_option("trace",
+                           "record per-worker span timelines (queue-wait "
+                           "vs execute) and write Chrome trace-event "
+                           "JSON; --trace alone writes trace.json",
+                           "trace.json");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -194,6 +200,19 @@ int main(int argc, char** argv) {
                  "empty\n");
 #endif
   }
+  const std::string trace_path = args.option("trace");
+  if (!trace_path.empty()) {
+#if RRI_OBS_ENABLED
+    obs::set_enabled(true);  // spans piggy-back on the obs phase scopes
+    trace::set_enabled(true);
+    trace::start_hw();
+#else
+    std::fprintf(stderr,
+                 "bpmax_batch: --trace requested but instrumentation "
+                 "was compiled out (-DRRI_OBS=OFF); the trace will be "
+                 "empty\n");
+#endif
+  }
 
   const std::string checkpoint_dir = args.option("checkpoint");
   const std::string resume_dir = args.option("resume");
@@ -244,6 +263,28 @@ int main(int argc, char** argv) {
                  stats.jobs_computed, dup_hits, stats.jobs_resumed,
                  stats.jobs_rejected, secs, config.workers,
                  stats.queue_high_water);
+
+    if (!trace_path.empty()) {
+      const trace::HwSummary hw = trace::read_hw();
+      obs::set_counter("trace.hw_backend", hw.backend);
+      if (hw.valid()) {
+        obs::set_counter("hw.cycles", hw.cycles);
+        obs::set_counter("hw.instructions", hw.instructions);
+        obs::set_counter("hw.ipc", hw.ipc());
+      }
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "bpmax_batch: cannot write %s\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      trace::write_chrome_json(out);
+      const trace::TraceStats ts = trace::stats();
+      std::fprintf(stderr,
+                   "trace: %s (%zu events, %zu dropped, hw: %s)\n",
+                   trace_path.c_str(), ts.recorded, ts.dropped,
+                   trace::hw_backend_name(hw.backend));
+    }
 
     if (!profile.empty()) {
       const auto report = obs::capture_report("bpmax_batch --profile", secs);

@@ -35,6 +35,7 @@
 #include "rri/obs/obs.hpp"
 #include "rri/obs/report.hpp"
 #include "rri/rna/fasta.hpp"
+#include "rri/trace/trace.hpp"
 
 namespace {
 
@@ -333,6 +334,11 @@ int main(int argc, char** argv) {
                            "--profile=FILE.json also writes the JSON report "
                            "(schema rri-obs-report/1, see tools/perf_diff)",
                            "-");
+  args.add_implicit_option("trace",
+                           "record a per-thread span timeline and write "
+                           "Chrome trace-event JSON (chrome://tracing / "
+                           "Perfetto); --trace alone writes trace.json",
+                           "trace.json");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -367,6 +373,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bpmax: --profile requested but instrumentation was "
                  "compiled out (-DRRI_OBS=OFF); times will be empty\n");
+#endif
+  }
+  const std::string trace_path = args.option("trace");
+  if (!trace_path.empty()) {
+#if RRI_OBS_ENABLED
+    // The span set piggy-backs on the obs phase scopes, so tracing
+    // implies obs recording.
+    obs::set_enabled(true);
+    trace::set_enabled(true);
+    trace::start_hw();
+#else
+    std::fprintf(stderr,
+                 "bpmax: --trace requested but instrumentation was "
+                 "compiled out (-DRRI_OBS=OFF); the trace will be empty\n");
 #endif
   }
 
@@ -439,6 +459,27 @@ int main(int argc, char** argv) {
       rc = run_solve(s1, s2, model, opts, !args.flag("no-reverse"),
                      args.flag("csv"), !args.flag("no-structure"),
                      args.option("save-table"));
+    }
+    if (!trace_path.empty()) {
+      // Mirror the measured hw counters into obs counters first, so a
+      // simultaneous --profile report carries them too.
+      const trace::HwSummary hw = trace::read_hw();
+      obs::set_counter("trace.hw_backend", hw.backend);
+      if (hw.valid()) {
+        obs::set_counter("hw.cycles", hw.cycles);
+        obs::set_counter("hw.instructions", hw.instructions);
+        obs::set_counter("hw.ipc", hw.ipc());
+      }
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "bpmax: cannot write %s\n", trace_path.c_str());
+        return 2;
+      }
+      trace::write_chrome_json(out);
+      const trace::TraceStats ts = trace::stats();
+      std::printf("trace: %s (%zu events, %zu dropped, hw: %s)\n",
+                  trace_path.c_str(), ts.recorded, ts.dropped,
+                  trace::hw_backend_name(trace::read_hw().backend));
     }
     if (!profile.empty()) {
       const auto report =

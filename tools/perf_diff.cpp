@@ -178,6 +178,82 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Measured hardware counters (trace.hw_backend, reports from runs with
+  // --trace / RRI_TRACE). Informational, like the simd backend: a
+  // perf_event -> unavailable flip means the IPC columns are not
+  // comparable, not that the code regressed.
+  {
+    const auto hw_name = [](double value) {
+      return std::string(value == 1.0 ? "perf_event" : "unavailable");
+    };
+    const double* b_hw = find_counter(base, "trace.hw_backend");
+    const double* c_hw = find_counter(cur, "trace.hw_backend");
+    if (b_hw != nullptr && c_hw != nullptr) {
+      if (*b_hw == *c_hw) {
+        notes.push_back("hw counters: " + hw_name(*b_hw) + " (both reports)");
+      } else {
+        notes.push_back("hw counters CHANGED: " + hw_name(*b_hw) + " -> " +
+                        hw_name(*c_hw) + " (IPC not comparable)");
+      }
+    } else if (b_hw != nullptr || c_hw != nullptr) {
+      const bool in_base = b_hw != nullptr;
+      notes.push_back(std::string("hw counters: ") +
+                      (in_base ? "baseline" : "current") +
+                      " report only; other report ran without tracing");
+    }
+  }
+
+  // Latency histograms (reports from builds with the histogram section).
+  // Percentiles are compared informationally — shared-runner latency is
+  // far too noisy to gate on.
+  const bool hist_mode = base.has_histograms && cur.has_histograms;
+  if (!hist_mode && (base.has_histograms || cur.has_histograms)) {
+    notes.push_back(std::string("histograms: ") +
+                    (base.has_histograms ? "baseline" : "current") +
+                    " report only; other report predates the histogram "
+                    "section");
+  }
+  harness::ReportTable hist_table(
+      {"latency", "base_ms", "cur_ms", "delta", "status"});
+  bool hist_rows = false;
+  if (hist_mode) {
+    for (const obs::HistogramReport& b : base.histograms) {
+      const obs::HistogramReport* c = cur.find_histogram(b.name);
+      if (c == nullptr) {
+        hist_table.add_row({b.name, harness::fmt_double(b.p50_seconds * 1e3, 3),
+                            "-", "-", "missing"});
+        hist_rows = true;
+        continue;
+      }
+      struct Stat {
+        const char* suffix;
+        double base_s;
+        double cur_s;
+      };
+      const Stat stats[] = {{"p50", b.p50_seconds, c->p50_seconds},
+                            {"p90", b.p90_seconds, c->p90_seconds},
+                            {"p99", b.p99_seconds, c->p99_seconds}};
+      for (const Stat& s : stats) {
+        const double delta_pct =
+            s.base_s > 0.0 ? (s.cur_s - s.base_s) / s.base_s * 100.0
+                           : (s.cur_s > 0.0 ? 100.0 : 0.0);
+        hist_table.add_row({b.name + "." + s.suffix,
+                            harness::fmt_double(s.base_s * 1e3, 3),
+                            harness::fmt_double(s.cur_s * 1e3, 3),
+                            fmt_pct(delta_pct), "info"});
+        hist_rows = true;
+      }
+    }
+    for (const obs::HistogramReport& c : cur.histograms) {
+      if (base.find_histogram(c.name) == nullptr) {
+        hist_table.add_row({c.name, "-",
+                            harness::fmt_double(c.p50_seconds * 1e3, 3), "-",
+                            "new"});
+        hist_rows = true;
+      }
+    }
+  }
+
   // Batch-serving reports (bpmax_batch --profile) carry serve.* counters;
   // compare those and the derived jobs/sec throughput, which regresses
   // when *lower* in the current report — the opposite sign of a time.
@@ -230,6 +306,9 @@ int main(int argc, char** argv) {
     if (serve_mode) {
       serve_table.print_csv(std::cout);
     }
+    if (hist_rows) {
+      hist_table.print_csv(std::cout);
+    }
     for (const std::string& note : notes) {
       std::fprintf(stderr, "note: %s\n", note.c_str());
     }
@@ -243,6 +322,9 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     if (serve_mode) {
       serve_table.print(std::cout);
+    }
+    if (hist_rows) {
+      hist_table.print(std::cout);
     }
     for (const std::string& note : notes) {
       std::printf("note: %s\n", note.c_str());

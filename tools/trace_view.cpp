@@ -1,0 +1,295 @@
+/// trace_view: summarize a Chrome trace-event JSON file produced by
+/// `bpmax --trace` / `bpmax_batch --trace` (docs/observability.md).
+/// Prints the top spans by total time, per-lane busy time and
+/// utilization, and the per-process imbalance — the questions you would
+/// otherwise open chrome://tracing to answer.
+///
+///   trace_view trace.json
+///   trace_view --top 20 --csv trace.json
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rri/harness/args.hpp"
+#include "rri/harness/report.hpp"
+#include "rri/obs/json.hpp"
+
+namespace {
+
+using namespace rri;
+
+struct Interval {
+  double begin_us = 0.0;
+  double end_us = 0.0;
+};
+
+struct LaneKey {
+  long long pid = 0;
+  long long tid = 0;
+  bool operator<(const LaneKey& o) const {
+    return pid != o.pid || tid != o.tid
+               ? (pid != o.pid ? pid < o.pid : tid < o.tid)
+               : false;
+  }
+};
+
+struct LaneData {
+  std::string name;               // thread_name metadata, if any
+  std::vector<Interval> spans;    // raw (possibly nested) span intervals
+};
+
+struct NameData {
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Merge possibly-nested/overlapping intervals and return covered time.
+double merged_busy_us(std::vector<Interval>* spans) {
+  std::sort(spans->begin(), spans->end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin_us < b.begin_us;
+            });
+  double busy = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  for (const Interval& s : *spans) {
+    if (s.begin_us > cur_end) {
+      if (cur_end >= cur_begin && cur_end >= 0.0) {
+        busy += cur_end - cur_begin;
+      }
+      cur_begin = s.begin_us;
+      cur_end = s.end_us;
+    } else {
+      cur_end = std::max(cur_end, s.end_us);
+    }
+  }
+  if (cur_end >= cur_begin && cur_end >= 0.0) {
+    busy += cur_end - cur_begin;
+  }
+  return busy;
+}
+
+std::string fmt_ms(double us) { return harness::fmt_double(us / 1e3, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "trace_view",
+      "Summarize a Chrome trace-event JSON file (from bpmax --trace or "
+      "bpmax_batch --trace): top spans by total time, per-lane busy time "
+      "and utilization, per-process imbalance, and recorder health "
+      "(dropped spans, hardware-counter backend).");
+  args.set_positional_usage("TRACE.json", 1, 1);
+  args.add_option("top", "rows in the top-spans table", "10");
+  args.add_flag("csv", "emit CSV tables instead of aligned text");
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  const std::string path = args.positional()[0];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_view: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  obs::JsonValue root;
+  try {
+    root = obs::json_parse(buf.str());
+  } catch (const obs::JsonError& e) {
+    std::fprintf(stderr, "trace_view: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  const obs::JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is(obs::JsonValue::Type::kArray)) {
+    std::fprintf(stderr, "trace_view: %s: no traceEvents array\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::map<LaneKey, LaneData> lanes;
+  std::map<long long, std::string> process_names;
+  std::map<std::string, NameData> by_name;
+  std::size_t flow_events = 0;
+  std::size_t instants = 0;
+  bool malformed = false;
+
+  for (const obs::JsonValue& ev : events->as_array()) {
+    if (!ev.is(obs::JsonValue::Type::kObject)) {
+      malformed = true;
+      continue;
+    }
+    const obs::JsonValue* ph = ev.find("ph");
+    const obs::JsonValue* pid = ev.find("pid");
+    const obs::JsonValue* tid = ev.find("tid");
+    if (ph == nullptr || pid == nullptr || tid == nullptr) {
+      malformed = true;
+      continue;
+    }
+    const LaneKey key{static_cast<long long>(pid->as_number()),
+                      static_cast<long long>(tid->as_number())};
+    const std::string& kind = ph->as_string();
+    if (kind == "M") {
+      const std::string& what = ev.get("name").as_string();
+      const obs::JsonValue& a = ev.get("args");
+      if (what == "thread_name") {
+        lanes[key].name = a.get("name").as_string();
+      } else if (what == "process_name") {
+        process_names[key.pid] = a.get("name").as_string();
+      }
+      continue;
+    }
+    if (kind == "s" || kind == "f") {
+      ++flow_events;
+      continue;
+    }
+    if (kind == "i") {
+      ++instants;
+      continue;
+    }
+    if (kind != "X") {
+      continue;
+    }
+    const double ts = ev.get("ts").as_number();
+    const double dur = ev.get("dur").as_number();
+    if (ts < 0.0 || dur < 0.0) {
+      std::fprintf(stderr,
+                   "trace_view: %s: negative ts/dur on span '%s'\n",
+                   path.c_str(), ev.get("name").as_string().c_str());
+      return 1;
+    }
+    lanes[key].spans.push_back({ts, ts + dur});
+    NameData& nd = by_name[ev.get("name").as_string()];
+    ++nd.count;
+    nd.total_us += dur;
+    nd.max_us = std::max(nd.max_us, dur);
+  }
+  if (malformed) {
+    std::fprintf(stderr, "trace_view: %s: malformed trace event(s)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const bool csv = args.flag("csv");
+
+  // Top spans by total (inclusive) duration.
+  std::vector<std::pair<std::string, NameData>> ranked(by_name.begin(),
+                                                       by_name.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.total_us > b.second.total_us;
+            });
+  const std::size_t top =
+      std::min(ranked.size(),
+               static_cast<std::size_t>(std::max(1, args.option_int("top"))));
+  harness::ReportTable span_table(
+      {"span", "count", "total_ms", "mean_us", "max_us"});
+  for (std::size_t i = 0; i < top; ++i) {
+    const NameData& nd = ranked[i].second;
+    span_table.add_row(
+        {ranked[i].first, std::to_string(nd.count), fmt_ms(nd.total_us),
+         harness::fmt_double(nd.total_us / static_cast<double>(nd.count), 1),
+         harness::fmt_double(nd.max_us, 1)});
+  }
+
+  // Per-lane busy time; the wall window is per process so serve workers
+  // are not judged against the main process's full run.
+  std::map<long long, std::pair<double, double>> window;  // pid -> {lo,hi}
+  for (auto& [key, lane] : lanes) {
+    for (const Interval& s : lane.spans) {
+      auto it = window.find(key.pid);
+      if (it == window.end()) {
+        window[key.pid] = {s.begin_us, s.end_us};
+      } else {
+        it->second.first = std::min(it->second.first, s.begin_us);
+        it->second.second = std::max(it->second.second, s.end_us);
+      }
+    }
+  }
+  harness::ReportTable lane_table(
+      {"lane", "process", "spans", "busy_ms", "util"});
+  std::map<long long, std::pair<double, double>> busy_range;  // pid->{min,max}
+  for (auto& [key, lane] : lanes) {
+    if (lane.spans.empty()) {
+      continue;  // metadata-only lane (e.g. a worker that got no jobs)
+    }
+    const std::size_t count = lane.spans.size();
+    const double busy = merged_busy_us(&lane.spans);
+    const auto& w = window[key.pid];
+    const double wall = std::max(w.second - w.first, 1e-9);
+    std::string label = lane.name.empty()
+                            ? "pid" + std::to_string(key.pid) + "/t" +
+                                  std::to_string(key.tid)
+                            : lane.name;
+    const auto pn = process_names.find(key.pid);
+    lane_table.add_row(
+        {label, pn == process_names.end() ? std::to_string(key.pid)
+                                          : pn->second,
+         std::to_string(count), fmt_ms(busy),
+         harness::fmt_double(busy / wall * 100.0, 1) + "%"});
+    auto it = busy_range.find(key.pid);
+    if (it == busy_range.end()) {
+      busy_range[key.pid] = {busy, busy};
+    } else {
+      it->second.first = std::min(it->second.first, busy);
+      it->second.second = std::max(it->second.second, busy);
+    }
+  }
+
+  if (csv) {
+    span_table.print_csv(std::cout);
+    lane_table.print_csv(std::cout);
+  } else {
+    std::cout << "trace: " << path << " (" << lanes.size() << " lane(s), "
+              << flow_events << " flow event(s), " << instants
+              << " instant(s))\n\n";
+    span_table.print(std::cout);
+    std::cout << "\n";
+    lane_table.print(std::cout);
+  }
+
+  // Imbalance per process: how much busy time the least-loaded lane is
+  // missing relative to the most-loaded one. 0% = perfectly balanced.
+  for (const auto& [pid, range] : busy_range) {
+    if (range.second <= 0.0) {
+      continue;
+    }
+    const auto pn = process_names.find(pid);
+    const std::string name =
+        pn == process_names.end() ? "pid " + std::to_string(pid) : pn->second;
+    std::cout << "imbalance " << name << ": "
+              << harness::fmt_double(
+                     (range.second - range.first) / range.second * 100.0, 1)
+              << "%\n";
+  }
+
+  if (const obs::JsonValue* other = root.find("otherData")) {
+    if (const obs::JsonValue* hw = other->find("hw_backend")) {
+      std::cout << "hw backend: " << hw->as_string();
+      if (const obs::JsonValue* ipc = other->find("hw_ipc")) {
+        std::cout << " (ipc " << harness::fmt_double(ipc->as_number(), 2)
+                  << ")";
+      }
+      std::cout << "\n";
+    }
+    if (const obs::JsonValue* dropped = other->find("dropped_spans")) {
+      if (dropped->as_number() > 0.0) {
+        std::cout << "note: " << dropped->as_number()
+                  << " span(s) dropped (ring full; raise "
+                     "RRI_TRACE_CAPACITY)\n";
+      }
+    }
+  }
+  return 0;
+}
