@@ -1,30 +1,53 @@
 #!/usr/bin/env sh
-# Run the PR-5 bench bundle: the fig13 double max-plus sweep (one run
-# per SIMD backend) plus a small batch-serving sweep, and bundle both
-# perf reports into BENCH_pr5.json at the repo root (schema
-# rri-bench-bundle/1, documented in docs/observability.md). CI uploads
-# the bundle as an artifact; locally it is a one-command snapshot you
-# can perf_diff against a later checkout.
+# Run the bench bundle: the fig13 double max-plus sweep (one run per
+# SIMD backend), a small batch-serving sweep, and a daemon sweep that
+# drives rri_served through rri_client at 1/2/4 workers — bundled into
+# one JSON document (schema rri-bench-bundle/1, documented in
+# docs/observability.md). CI uploads the bundle as an artifact; locally
+# it is a one-command snapshot you can perf_diff against a later
+# checkout.
 #
 #   ci/run_bench.sh [build-dir]   (default: build)
 #
-# Knobs: RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13
-# sweep exactly as for any bench binary.
+# Knobs:
+#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr6.json)
+#   RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13 sweep
+#   exactly as for any bench binary.
 
 set -eu
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${REPO_ROOT}/BENCH_pr5.json"
+OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr6.json}"
 WORK="$(mktemp -d)"
-trap 'rm -rf "${WORK}"' EXIT
+DAEMON_PID=""
+
+# One cleanup path for every exit: kill a still-running daemon first
+# (otherwise its port and the work dir linger), then drop the work dir.
+# Quote-safe — ${WORK} is expanded at cleanup time, not trap-set time.
+cleanup() {
+  if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    kill "${DAEMON_PID}" 2>/dev/null || true
+    wait "${DAEMON_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM HUP
+
+if ! command -v jq > /dev/null 2>&1; then
+  echo "run_bench: jq is required to extract daemon percentiles from" \
+       "the obs reports — install it (apt-get install jq) and re-run" >&2
+  exit 2
+fi
 
 FIG13="${BUILD_DIR}/bench/fig13_dmp_perf"
 BATCH="${BUILD_DIR}/tools/bpmax_batch"
-for bin in "${FIG13}" "${BATCH}"; do
+DAEMON="${BUILD_DIR}/tools/rri_served"
+CLIENT="${BUILD_DIR}/tools/rri_client"
+for bin in "${FIG13}" "${BATCH}" "${DAEMON}" "${CLIENT}"; do
   if [ ! -x "${bin}" ]; then
-    echo "run_bench: missing ${bin} (build the fig13_dmp_perf and" \
-         "bpmax_batch targets first)" >&2
+    echo "run_bench: missing ${bin} (build the fig13_dmp_perf," \
+         "bpmax_batch, rri_served and rri_client targets first)" >&2
     exit 2
   fi
 done
@@ -49,14 +72,50 @@ EOF
 "${BATCH}" --manifest "${WORK}/bench_manifest.jsonl" --jobs 2 \
   --profile="${WORK}/batch_report.json" --out "${WORK}/batch_results.jsonl"
 
-# 3. Bundle: both documents are complete rri-obs-report/1 reports, so
-#    jq '.fig13' / jq '.batch_serve' recovers something perf_diff reads.
+# 3. daemon sweep: a fresh rri_served per worker count, driven over the
+#    socket by rri_client. Distinct pairs (no cache hits) so queue-wait
+#    reflects real kernel runs; jobs/sec comes from the client's summary
+#    line, the p99 of serve.queue_wait_s from the daemon's obs report.
+echo "run_bench: daemon sweep (1/2/4 workers)..."
+awk 'BEGIN {
+  b = "ACGUGGGAAACCCAUGCAAGGCCUU";
+  for (i = 0; i < 16; ++i)
+    printf "{\"id\":\"d%02d\",\"s1\":\"%sGGGAAACCC%s\",\"s2\":\"UUGCCAAGG\"}\n",
+           i, substr(b, 1, 9 + i % 8), substr(b, 1 + i, 8);
+}' > "${WORK}/daemon_manifest.jsonl"
+DAEMON_ROWS=""
+for W in 1 2 4; do
+  rm -f "${WORK}/port.txt"
+  RRI_OBS=1 RRI_OBS_JSON="${WORK}/daemon_w${W}.json" \
+    "${DAEMON}" --port 0 --port-file "${WORK}/port.txt" --jobs "${W}" \
+    > "${WORK}/served_w${W}.log" 2>&1 &
+  DAEMON_PID=$!
+  "${CLIENT}" --port-file "${WORK}/port.txt" submit \
+    --manifest "${WORK}/daemon_manifest.jsonl" \
+    --out "${WORK}/daemon_results_w${W}.jsonl" \
+    2> "${WORK}/client_w${W}.log"
+  "${CLIENT}" --port-file "${WORK}/port.txt" drain > /dev/null
+  wait "${DAEMON_PID}"
+  DAEMON_PID=""
+  jobs_per_sec="$(sed -nE 's|.*\(([0-9.]+) jobs/sec.*|\1|p' \
+    "${WORK}/client_w${W}.log")"
+  p99="$(jq '[.histograms[] | select(.name == "serve.queue_wait_s")][0]
+             .p99_seconds // 0' "${WORK}/daemon_w${W}.json")"
+  echo "run_bench:   workers=${W}: ${jobs_per_sec} jobs/sec," \
+       "queue-wait p99 ${p99}s"
+  row="{\"workers\":${W},\"jobs_per_sec\":${jobs_per_sec},"
+  row="${row}\"queue_wait_p99_s\":${p99}}"
+  DAEMON_ROWS="${DAEMON_ROWS}${DAEMON_ROWS:+,}${row}"
+done
+
+# 4. Bundle: fig13 and batch_serve are complete rri-obs-report/1
+#    documents (perf_diff reads them); daemon is the sweep table.
 echo "run_bench: writing ${OUT}"
 {
   printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
   cat "${FIG13_JSON}"
   printf ',\n"batch_serve":'
   cat "${WORK}/batch_report.json"
-  printf '}\n'
+  printf ',\n"daemon":[%s]}\n' "${DAEMON_ROWS}"
 } > "${OUT}"
 echo "run_bench: done ($(wc -c < "${OUT}") bytes)"

@@ -1,0 +1,60 @@
+#ifndef RRI_SERVE_CLIENT_HPP
+#define RRI_SERVE_CLIENT_HPP
+
+/// \file client.hpp
+/// Blocking client for the rri_served frame protocol: one TCP
+/// connection, one request frame out, one response frame back. Used by
+/// tools/rri_client and the daemon tests; deliberately synchronous —
+/// the daemon handles many connections, so a client that wants
+/// pipelining opens more clients.
+
+#include <string>
+
+#include "rri/obs/json.hpp"
+#include "rri/serve/job.hpp"
+#include "rri/serve/protocol.hpp"
+
+namespace rri::serve {
+
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+  ~DaemonClient();
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Connect, retrying until `timeout_s` elapses (covers the daemon
+  /// still binding its socket). Throws std::runtime_error on failure.
+  void connect(const std::string& host, int port, double timeout_s = 5.0);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Send one payload, read one response frame, parse it as JSON.
+  /// Throws std::runtime_error on a closed/failed connection and
+  /// ProtocolError on an unparseable response.
+  obs::JsonValue request(const std::string& payload);
+
+  // Convenience wrappers over request(). Each returns the full response
+  // document; callers check "ok" / "code" themselves — a daemon-side
+  // error is data, not an exception.
+  obs::JsonValue ping();
+  obs::JsonValue submit(const Job& job);
+  obs::JsonValue status(const std::string& id = "");
+  obs::JsonValue result(const std::string& id, bool wait);
+  obs::JsonValue cancel(const std::string& id);
+  obs::JsonValue drain();
+  obs::JsonValue stats();
+
+  /// Rebuild a JobOutcome from an ok result response — the fields
+  /// round-trip through manifest.cpp's write_result_line unchanged, so
+  /// client output is byte-identical to bpmax_batch's.
+  static JobOutcome outcome_from_response(const obs::JsonValue& doc);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_CLIENT_HPP

@@ -1,0 +1,152 @@
+#ifndef RRI_SERVE_DAEMON_HPP
+#define RRI_SERVE_DAEMON_HPP
+
+/// \file daemon.hpp
+/// The long-running serving daemon behind tools/rri_served: a TCP
+/// listener speaking the length-prefixed JSONL frame protocol
+/// (protocol.hpp), a journaled JobStore (jobstore.hpp) so accepted work
+/// survives `kill -9`, and a streaming worker pool — the batch engine's
+/// lifecycle reworked from "drain one manifest, then exit" to "serve
+/// until asked to stop". The scheduler's closed-form cost model gates
+/// admission: a job whose F-table exceeds the budget is refused at
+/// submit time with a structured error frame instead of an OOM kill
+/// mid-flight. Duplicate submissions of served pairs hit the same
+/// ResultCache the batch engine uses.
+///
+/// Lifecycle: start() binds + listens; run() serves until a `drain`
+/// frame arrives or the configured stop flag goes true (the SIGTERM /
+/// SIGINT path in rri_served). Drain stops intake, lets the workers
+/// finish everything accepted, journals the final states, closes the
+/// connections, and returns — the tool then exits 0. A `kill -9`
+/// instead of a drain is the crash path: on the next start, recover()
+/// replays the journal, serves completed jobs from their recorded
+/// outcomes, and re-enqueues the interrupted ones.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/serve/cache.hpp"
+#include "rri/serve/job.hpp"
+#include "rri/serve/jobstore.hpp"
+#include "rri/serve/protocol.hpp"
+#include "rri/serve/queue.hpp"
+
+namespace rri::serve {
+
+struct DaemonConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = let the kernel pick an ephemeral port; start() returns it.
+  int port = 0;
+  int workers = 1;
+  /// OpenMP threads per kernel run (the grain, as in EngineConfig).
+  int kernel_threads = 1;
+  core::Variant variant = core::Variant::kHybridTiled;
+  core::TileShape3 tile{};
+  /// ResultCache byte budget; 0 disables memoization.
+  std::size_t cache_bytes = 64u << 20;
+  /// Admission control: a job whose F-table (closed form, the --max-mem
+  /// model) exceeds this is rejected at submit. 0 = unlimited.
+  double job_budget_bytes = 0.0;
+  /// Defaults merged under each submit's "params" object.
+  JobParams param_defaults{};
+  /// Journal persistence; null = in-memory only (no crash durability).
+  mpisim::BlobStore* journal_store = nullptr;
+  /// Worker-queue capacity; 0 = max(64, 4 x workers). Submits beyond it
+  /// block the submitting connection (backpressure), never drop work.
+  std::size_t queue_capacity = 0;
+  /// External stop request (SIGTERM/SIGINT handler sets it); polled by
+  /// the accept loop a few times a second. Equivalent to `drain`.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Test/CI hook mirroring EngineConfig::max_jobs: once this many jobs
+  /// finish in this run, stop executing (journal intact, queued jobs
+  /// left queued) and return — a deterministic in-process stand-in for
+  /// `kill -9`. <0 = no limit.
+  int fail_after = -1;
+};
+
+struct DaemonStats {
+  JobCounts jobs;                    ///< at shutdown
+  std::size_t connections = 0;       ///< accepted over the lifetime
+  std::size_t frames = 0;            ///< request frames handled
+  std::size_t protocol_errors = 0;   ///< frames answered with an error
+  std::size_t jobs_submitted = 0;    ///< accepted this run
+  std::size_t jobs_rejected = 0;     ///< refused by admission control
+  std::size_t jobs_executed = 0;     ///< kernel runs this run
+  std::size_t jobs_replayed = 0;     ///< terminal jobs adopted from journal
+  std::size_t jobs_requeued = 0;     ///< interrupted jobs re-enqueued
+  bool interrupted = false;          ///< stopped by fail_after
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Replay the journal, bind and listen. Returns the bound port.
+  /// Throws std::runtime_error when the socket cannot be set up.
+  int start();
+
+  /// Serve until drain (verb, stop flag, or request_drain()) or the
+  /// fail_after hook. Blocks; returns after the shutdown sequence.
+  void run();
+
+  /// Ask a running daemon to drain (thread-safe; idempotent).
+  void request_drain();
+
+  int port() const noexcept { return port_; }
+  DaemonStats stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void worker_loop(int worker_id);
+  void handle_connection(Connection* conn);
+  std::string handle_request(const Request& req, bool* drain_out);
+  std::string submit_response(const Request& req);
+  std::string result_response(const Request& req);
+  JobOutcome execute(const Job& job);
+  void finish_remaining_inline();
+  void enqueue(const std::string& id);
+
+  DaemonConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  mutable std::mutex mutex_;             ///< guards store_/stats_/conns_
+  std::condition_variable terminal_cv_;  ///< result-waiters
+  JobStore store_;
+  ResultCache cache_;
+  BoundedQueue<std::string> queue_;
+  DaemonStats stats_;
+  /// Admission timestamps for the serve.queue_wait_s histogram.
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point>
+      admitted_;
+  /// Interrupted jobs recovered by start(), re-enqueued by run().
+  std::vector<std::string> requeued_;
+  std::size_t finished_this_run_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> interrupted_{false};
+  std::atomic<bool> closing_{false};
+
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_DAEMON_HPP

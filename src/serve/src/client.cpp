@@ -1,0 +1,159 @@
+#include "rri/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace rri::serve {
+namespace {
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+DaemonClient::~DaemonClient() { close(); }
+
+void DaemonClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void DaemonClient::connect(const std::string& host, int port,
+                           double timeout_s) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad host \"" + host +
+                             "\" (expected a dotted-quad address)");
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("socket(): ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      fd_ = fd;
+      return;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("cannot connect to " + host + ":" +
+                               std::to_string(port) + " within " +
+                               std::to_string(timeout_s) +
+                               "s: " + std::strerror(err));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+obs::JsonValue DaemonClient::request(const std::string& payload) {
+  if (fd_ < 0) {
+    throw std::runtime_error("not connected");
+  }
+  if (!send_all(fd_, encode_frame(payload))) {
+    throw std::runtime_error(std::string("send failed: ") +
+                             std::strerror(errno));
+  }
+  char buffer[65536];
+  for (;;) {
+    if (auto frame = reader_.next()) {
+      try {
+        return obs::json_parse(*frame);
+      } catch (const obs::JsonError& e) {
+        throw ProtocolError("bad_json",
+                            std::string("unparseable response frame: ") +
+                                e.what());
+      }
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      throw std::runtime_error(
+          "connection closed by the daemon before a response arrived");
+    }
+    reader_.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+obs::JsonValue DaemonClient::ping() {
+  return request("{\"op\":\"ping\"}\n");
+}
+
+obs::JsonValue DaemonClient::submit(const Job& job) {
+  return request(submit_payload(job));
+}
+
+obs::JsonValue DaemonClient::status(const std::string& id) {
+  if (id.empty()) {
+    return request("{\"op\":\"status\"}\n");
+  }
+  return request("{\"op\":\"status\",\"id\":\"" + obs::json_escape(id) +
+                 "\"}\n");
+}
+
+obs::JsonValue DaemonClient::result(const std::string& id, bool wait) {
+  return request("{\"op\":\"result\",\"id\":\"" + obs::json_escape(id) +
+                 "\",\"wait\":" + (wait ? "true" : "false") + "}\n");
+}
+
+obs::JsonValue DaemonClient::cancel(const std::string& id) {
+  return request("{\"op\":\"cancel\",\"id\":\"" + obs::json_escape(id) +
+                 "\"}\n");
+}
+
+obs::JsonValue DaemonClient::drain() {
+  return request("{\"op\":\"drain\"}\n");
+}
+
+obs::JsonValue DaemonClient::stats() {
+  return request("{\"op\":\"stats\"}\n");
+}
+
+JobOutcome DaemonClient::outcome_from_response(const obs::JsonValue& doc) {
+  JobOutcome o;
+  o.id = doc.get("id").as_string();
+  o.key = static_cast<std::uint32_t>(
+      std::strtoul(doc.get("key").as_string().c_str(), nullptr, 16));
+  o.m = static_cast<int>(doc.get("m").as_number());
+  o.n = static_cast<int>(doc.get("n").as_number());
+  o.score = static_cast<float>(doc.get("score").as_number());
+  o.cache_hit = doc.get("cache_hit").as_bool();
+  o.seconds = doc.get("seconds").as_number();
+  return o;
+}
+
+}  // namespace rri::serve

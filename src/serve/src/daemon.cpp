@@ -1,0 +1,660 @@
+#include "rri/serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "rri/core/crc32.hpp"
+#include "rri/harness/timing.hpp"
+#include "rri/obs/json.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/serve/scheduler.hpp"
+#include "rri/trace/trace.hpp"
+
+namespace rri::serve {
+namespace {
+
+/// Poll granularity of the accept loop — how quickly a SIGTERM or a
+/// drain verb from another connection is noticed.
+constexpr int kAcceptPollMs = 200;
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string fmt_key(std::uint32_t key) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", key);
+  return buffer;
+}
+
+std::string ok_head(const char* op) {
+  return std::string("{\"ok\":true,\"op\":\"") + op + "\"";
+}
+
+/// The outcome fields exactly as manifest.cpp's write_result_line emits
+/// them, so rri_client can reproduce bpmax_batch's output byte for byte.
+std::string outcome_fields(const JobOutcome& o) {
+  char buffer[64];
+  std::string out = ",\"key\":\"" + fmt_key(o.key) + "\",\"m\":" +
+                    std::to_string(o.m) + ",\"n\":" + std::to_string(o.n);
+  std::snprintf(buffer, sizeof(buffer), "%.9g",
+                static_cast<double>(o.score));
+  out += ",\"score\":";
+  out += buffer;
+  out += ",\"cache_hit\":";
+  out += o.cache_hit ? "true" : "false";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", o.seconds);
+  out += ",\"seconds\":";
+  out += buffer;
+  return out;
+}
+
+}  // namespace
+
+/// One accepted client connection: its socket, trace lane id, and the
+/// thread running handle_connection.
+struct Daemon::Connection {
+  int fd = -1;
+  int id = 0;
+  std::thread thread;
+};
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      store_(config_.journal_store),
+      cache_(config_.cache_bytes),
+      queue_(config_.queue_capacity > 0
+                 ? config_.queue_capacity
+                 : std::max<std::size_t>(
+                       64, 4 * static_cast<std::size_t>(
+                               std::max(1, config_.workers)))) {
+  config_.workers = std::max(1, config_.workers);
+}
+
+Daemon::~Daemon() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+int Daemon::start() {
+  // Journal replay before the socket opens: nothing can race it.
+  const std::vector<std::string> requeued = store_.recover();
+  const JobCounts replayed = store_.counts();
+  stats_.jobs_replayed =
+      replayed.done + replayed.failed + replayed.cancelled;
+  stats_.jobs_requeued = requeued.size();
+  requeued_ = requeued;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("rri_served: bad host \"" + config_.host +
+                             "\" (expected a dotted-quad address)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("bind(" + config_.host + ":" +
+                             std::to_string(config_.port) +
+                             "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error(std::string("listen(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0) {
+    throw std::runtime_error(std::string("getsockname(): ") +
+                             std::strerror(errno));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return port_;
+}
+
+void Daemon::request_drain() {
+  draining_.store(true);
+}
+
+DaemonStats Daemon::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DaemonStats out = stats_;
+  out.jobs = store_.counts();
+  out.interrupted = interrupted_.load();
+  return out;
+}
+
+void Daemon::enqueue(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_[id] = std::chrono::steady_clock::now();
+  }
+  // push() may block (backpressure) or fail once the queue is closed by
+  // drain/interrupt; a false return is fine — the job is journaled as
+  // queued and the drain pass (or the next restart) finishes it.
+  queue_.push(id);
+}
+
+void Daemon::run() {
+  started_at_ = std::chrono::steady_clock::now();
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  // Re-enqueue interrupted work from the journal now that workers can
+  // drain the queue (the list may exceed the queue capacity).
+  for (const std::string& id : requeued_) {
+    enqueue(id);
+  }
+  requeued_.clear();
+
+  accept_loop();
+
+  // ---- shutdown sequence (drain, stop flag, or fail_after) ----
+  queue_.close();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+  // Whatever is still queued (a submit that raced queue close, or a
+  // backlog beyond fail_after) is finished inline — drain means "every
+  // accepted job reaches a terminal state before exit". The interrupted
+  // path deliberately leaves the backlog queued for the next restart.
+  if (!interrupted_.load()) {
+    finish_remaining_inline();
+  }
+  closing_.store(true);
+  terminal_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  obs::set_counter("serve.daemon.uptime_s", uptime);
+  obs::set_counter("serve.daemon.workers",
+                   static_cast<double>(config_.workers));
+}
+
+void Daemon::accept_loop() {
+  int next_conn_id = 0;
+  while (true) {
+    if (draining_.load() || interrupted_.load() ||
+        (config_.stop_flag != nullptr && config_.stop_flag->load())) {
+      draining_.store(true);
+      return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check the stop conditions
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id++;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.connections;
+      conns_.push_back(std::move(conn));
+    }
+    RRI_OBS_COUNTER("serve.daemon.connections", 1);
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void Daemon::handle_connection(Connection* conn) {
+  // One timeline lane per connection: frame handling (and result-wait
+  // blocking) is visible per client in the trace view.
+  RRI_TRACE_LANE(trace::kProcDaemon, conn->id);
+  FrameReader reader;
+  char buffer[65536];
+  bool open = true;
+  while (open) {
+    ssize_t n = 0;
+    {
+      RRI_TRACE_SPAN("daemon.read");
+      n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    }
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (reader.mid_frame()) {
+        RRI_OBS_COUNTER("serve.daemon.frames_truncated", 1);
+      }
+      break;  // peer closed (or shutdown() during drain)
+    }
+    reader.feed(buffer, static_cast<std::size_t>(n));
+    while (open) {
+      std::string payload;
+      try {
+        auto next = reader.next();
+        if (!next.has_value()) {
+          break;
+        }
+        payload = std::move(*next);
+      } catch (const ProtocolError& e) {
+        // Framing is unrecoverable: answer once, then hang up.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.protocol_errors;
+        }
+        RRI_OBS_COUNTER("serve.daemon.protocol_errors", 1);
+        send_all(conn->fd,
+                 encode_frame(error_payload("", "", e.code(), e.what())));
+        open = false;
+        break;
+      }
+      RRI_TRACE_SPAN("daemon.handle");
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frames;
+      }
+      RRI_OBS_COUNTER("serve.daemon.frames", 1);
+      std::string response;
+      bool drain = false;
+      try {
+        const Request req = parse_request(payload, config_.param_defaults);
+        response = handle_request(req, &drain);
+      } catch (const ProtocolError& e) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.protocol_errors;
+        }
+        RRI_OBS_COUNTER("serve.daemon.protocol_errors", 1);
+        response = error_payload("", "", e.code(), e.what());
+      }
+      if (!send_all(conn->fd, encode_frame(response))) {
+        open = false;
+      }
+      if (drain) {
+        request_drain();
+      }
+    }
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+std::string Daemon::handle_request(const Request& req, bool* drain_out) {
+  switch (req.verb) {
+    case Verb::kPing:
+      return ok_head("ping") + "}\n";
+    case Verb::kSubmit:
+      return submit_response(req);
+    case Verb::kResult:
+      return result_response(req);
+    case Verb::kStatus: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!req.id.empty()) {
+        const StoredJob* stored = store_.find(req.id);
+        if (stored == nullptr) {
+          return error_payload("status", req.id, "unknown_id",
+                               "no job with id \"" + req.id + "\"");
+        }
+        return ok_head("status") + ",\"id\":\"" +
+               obs::json_escape(req.id) + "\",\"state\":\"" +
+               job_state_name(stored->state) + "\"}\n";
+      }
+      const JobCounts c = store_.counts();
+      return ok_head("status") + ",\"jobs\":{\"queued\":" +
+             std::to_string(c.queued) + ",\"running\":" +
+             std::to_string(c.running) + ",\"done\":" +
+             std::to_string(c.done) + ",\"failed\":" +
+             std::to_string(c.failed) + ",\"cancelled\":" +
+             std::to_string(c.cancelled) + ",\"total\":" +
+             std::to_string(c.total()) + "}}\n";
+    }
+    case Verb::kCancel: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const StoredJob* stored = store_.find(req.id);
+      if (stored == nullptr) {
+        return error_payload("cancel", req.id, "unknown_id",
+                             "no job with id \"" + req.id + "\"");
+      }
+      if (store_.cancel(req.id)) {
+        RRI_OBS_COUNTER("serve.daemon.jobs_cancelled", 1);
+        terminal_cv_.notify_all();
+        return ok_head("cancel") + ",\"id\":\"" +
+               obs::json_escape(req.id) + "\",\"state\":\"cancelled\"}\n";
+      }
+      return error_payload("cancel", req.id, "not_cancellable",
+                           "job is " +
+                               std::string(job_state_name(stored->state)) +
+                               "; only queued jobs can be cancelled");
+    }
+    case Verb::kDrain: {
+      *drain_out = true;
+      const JobCounts c = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return store_.counts();
+      }();
+      return ok_head("drain") + ",\"pending\":" +
+             std::to_string(c.queued + c.running) + "}\n";
+    }
+    case Verb::kStats: {
+      const double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at_)
+              .count();
+      const auto cache_stats = cache_.stats();
+      std::lock_guard<std::mutex> lock(mutex_);
+      const JobCounts c = store_.counts();
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.3f", uptime);
+      std::string out = ok_head("stats");
+      out += ",\"uptime_s\":";
+      out += buffer;
+      out += ",\"workers\":" + std::to_string(config_.workers);
+      out += ",\"connections\":" + std::to_string(stats_.connections);
+      out += ",\"frames\":" + std::to_string(stats_.frames);
+      out += ",\"jobs\":{\"queued\":" + std::to_string(c.queued) +
+             ",\"running\":" + std::to_string(c.running) + ",\"done\":" +
+             std::to_string(c.done) + ",\"failed\":" +
+             std::to_string(c.failed) + ",\"cancelled\":" +
+             std::to_string(c.cancelled) + "}";
+      out += ",\"submitted\":" + std::to_string(stats_.jobs_submitted);
+      out += ",\"rejected\":" + std::to_string(stats_.jobs_rejected);
+      out += ",\"executed\":" + std::to_string(stats_.jobs_executed);
+      out += ",\"replayed\":" + std::to_string(stats_.jobs_replayed);
+      out += ",\"requeued\":" + std::to_string(stats_.jobs_requeued);
+      out += ",\"cache\":{\"hits\":" + std::to_string(cache_stats.hits) +
+             ",\"misses\":" + std::to_string(cache_stats.misses) +
+             ",\"entries\":" + std::to_string(cache_stats.entries) +
+             ",\"bytes\":" + std::to_string(cache_stats.bytes_in_use) + "}";
+      out += ",\"draining\":";
+      out += draining_.load() ? "true" : "false";
+      out += "}\n";
+      return out;
+    }
+  }
+  return error_payload("", "", "bad_request", "unhandled verb");
+}
+
+std::string Daemon::submit_response(const Request& req) {
+  const double table_bytes =
+      job_table_bytes(req.job.s1.size(), req.job.s2.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_.load()) {
+      return error_payload("submit", req.id, "draining",
+                           "daemon is draining and no longer accepts jobs");
+    }
+    const StoredJob* existing = store_.find(req.id);
+    if (existing != nullptr) {
+      // Idempotent resubmission (e.g. the same manifest replayed after a
+      // restart) — as long as it is the same job.
+      if (job_key_text(existing->job) == job_key_text(req.job)) {
+        return ok_head("submit") + ",\"id\":\"" +
+               obs::json_escape(req.id) + "\",\"state\":\"" +
+               job_state_name(existing->state) +
+               "\",\"resubmitted\":true}\n";
+      }
+      return error_payload("submit", req.id, "id_conflict",
+                           "id \"" + req.id +
+                               "\" already names a different job");
+    }
+    // Admission control: the --max-mem closed form, applied before any
+    // memory is committed. The error frame carries the numbers the
+    // client needs to right-size or shard the request.
+    if (config_.job_budget_bytes > 0.0 &&
+        table_bytes > config_.job_budget_bytes) {
+      ++stats_.jobs_rejected;
+      RRI_OBS_COUNTER("serve.daemon.jobs_rejected", 1);
+      char need[32];
+      char have[32];
+      std::snprintf(need, sizeof(need), "%.2f",
+                    table_bytes / (1024.0 * 1024.0 * 1024.0));
+      std::snprintf(have, sizeof(have), "%.2f",
+                    config_.job_budget_bytes / (1024.0 * 1024.0 * 1024.0));
+      return error_payload(
+          "submit", req.id, "over_budget",
+          "job (" + std::to_string(req.job.s1.size()) + " x " +
+              std::to_string(req.job.s2.size()) + ") would need " + need +
+              " GiB of F-table; the admission budget is " + std::string(have) +
+              " GiB (--max-mem)");
+    }
+    store_.submit(req.job);  // journaled before the ack below
+    ++stats_.jobs_submitted;
+    RRI_OBS_COUNTER("serve.daemon.jobs_submitted", 1);
+  }
+  enqueue(req.id);
+  return ok_head("submit") + ",\"id\":\"" + obs::json_escape(req.id) +
+         "\",\"state\":\"queued\",\"key\":\"" + fmt_key(job_key(req.job)) +
+         "\"}\n";
+}
+
+std::string Daemon::result_response(const Request& req) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const StoredJob* stored = store_.find(req.id);
+  if (stored == nullptr) {
+    return error_payload("result", req.id, "unknown_id",
+                         "no job with id \"" + req.id + "\"");
+  }
+  if (req.wait) {
+    terminal_cv_.wait(lock, [&] {
+      stored = store_.find(req.id);
+      return stored == nullptr || is_terminal(stored->state) ||
+             closing_.load();
+    });
+    if (stored == nullptr) {
+      return error_payload("result", req.id, "unknown_id",
+                           "job vanished while waiting");
+    }
+  }
+  switch (stored->state) {
+    case JobState::kDone:
+      return ok_head("result") + ",\"id\":\"" + obs::json_escape(req.id) +
+             "\"" + outcome_fields(stored->outcome) +
+             ",\"state\":\"done\"}\n";
+    case JobState::kFailed:
+      return error_payload("result", req.id, "failed", stored->error);
+    case JobState::kCancelled:
+      return error_payload("result", req.id, "cancelled",
+                           "job was cancelled");
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return error_payload(
+          "result", req.id,
+          closing_.load() && req.wait ? "shutdown" : "not_done",
+          "job is " + std::string(job_state_name(stored->state)));
+  }
+  return error_payload("result", req.id, "bad_request", "unreachable");
+}
+
+JobOutcome Daemon::execute(const Job& job) {
+  JobOutcome o;
+  o.id = job.id;
+  const std::string key_text = job_key_text(job);
+  o.key = core::crc32(key_text.data(), key_text.size());
+  o.m = static_cast<int>(job.s1.size());
+  o.n = static_cast<int>(job.s2.size());
+  harness::StopWatch sw;
+  RRI_OBS_PHASE(obs::Phase::kServe);
+  const auto hit = cache_.get(o.key, key_text);
+  if (hit.has_value()) {
+    o.score = *hit;
+    o.cache_hit = true;
+    o.seconds = 0.0;
+    return o;
+  }
+  core::BpmaxOptions opts;
+  opts.variant = config_.variant;
+  opts.tile = config_.tile;
+  opts.num_threads = config_.kernel_threads;
+  const rna::Sequence s2 =
+      job.params.reverse ? job.s2.reversed() : job.s2;
+  o.score = core::bpmax_score(job.s1, s2, job.params.model(), opts);
+  o.seconds = sw.seconds();
+  cache_.put(o.key, key_text, o.score);
+  RRI_OBS_COUNTER("serve.jobs_computed", 1);
+  return o;
+}
+
+void Daemon::worker_loop(int worker_id) {
+  RRI_TRACE_LANE(trace::kProcServe, worker_id);
+  for (;;) {
+    std::optional<std::string> popped;
+    {
+      RRI_TRACE_SPAN("serve.wait");
+      popped = queue_.pop();
+    }
+    if (!popped.has_value()) {
+      return;
+    }
+    if (interrupted_.load()) {
+      continue;  // drain the queue without executing (fail_after hook)
+    }
+    const std::string id = *popped;
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto admitted_it = admitted_.find(id);
+      if (admitted_it != admitted_.end()) {
+        RRI_OBS_LATENCY(
+            "serve.queue_wait_s",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          admitted_it->second)
+                .count());
+        admitted_.erase(admitted_it);
+      }
+      if (!store_.mark_running(id)) {
+        continue;  // cancelled (or otherwise settled) while queued
+      }
+      job = store_.find(id)->job;
+    }
+    RRI_TRACE_SPAN("serve.execute");
+    harness::StopWatch sw;
+    JobOutcome outcome;
+    std::string error;
+    try {
+      outcome = execute(job);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error.empty()) {
+        store_.mark_done(id, outcome);
+        ++stats_.jobs_executed;
+      } else {
+        store_.mark_failed(id, error);
+        RRI_OBS_COUNTER("serve.daemon.jobs_failed", 1);
+      }
+      ++finished_this_run_;
+      if (config_.fail_after >= 0 &&
+          finished_this_run_ >=
+              static_cast<std::size_t>(config_.fail_after)) {
+        interrupted_.store(true);
+      }
+    }
+    RRI_OBS_COUNTER("serve.jobs_served", 1);
+    RRI_OBS_LATENCY("serve.execute_s", sw.seconds());
+    terminal_cv_.notify_all();
+    if (interrupted_.load()) {
+      queue_.close();
+    }
+  }
+}
+
+void Daemon::finish_remaining_inline() {
+  // Post-drain sweep: the store, not the queue, is the source of truth
+  // for accepted work. Loop until nothing is left queued.
+  for (;;) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const JobCounts c = store_.counts();
+      if (c.queued == 0) {
+        return;
+      }
+      bool found = false;
+      for (const auto& id : store_.queued_ids()) {
+        if (store_.mark_running(id)) {
+          job = store_.find(id)->job;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return;
+      }
+    }
+    JobOutcome outcome;
+    std::string error;
+    try {
+      outcome = execute(job);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error.empty()) {
+        store_.mark_done(job.id, outcome);
+        ++stats_.jobs_executed;
+      } else {
+        store_.mark_failed(job.id, error);
+      }
+      ++finished_this_run_;
+    }
+    terminal_cv_.notify_all();
+  }
+}
+
+}  // namespace rri::serve

@@ -48,6 +48,7 @@ namespace rri::trace {
 inline constexpr int kProcMain = 1;   ///< main thread + OpenMP workers
 inline constexpr int kProcRanks = 2;  ///< simulated BSP ranks (mpisim)
 inline constexpr int kProcServe = 3;  ///< batch-serving workers
+inline constexpr int kProcDaemon = 4;  ///< rri_served connection handlers
 
 /// A timeline lane: (pid, tid) in Chrome trace terms.
 struct Lane {

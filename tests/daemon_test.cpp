@@ -1,0 +1,401 @@
+/// Tests for the serving daemon (src/serve/{jobstore,daemon,client}):
+/// RRJL journal durability (round-trip, corruption fallback), the
+/// JobStore's transition/recovery semantics over a MemoryBlobStore, the
+/// daemon end to end over a real socket (submit / result-wait / status
+/// / stats / cancel / admission rejection / drain), and the crash path:
+/// a fail_after-interrupted daemon whose successor replays the journal
+/// and completes the batch with identical scores.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rri/core/bpmax.hpp"
+#include "rri/core/serialize.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/serve/client.hpp"
+#include "rri/serve/daemon.hpp"
+#include "rri/serve/jobstore.hpp"
+
+namespace rri::serve {
+namespace {
+
+Job make_job(const std::string& id, const std::string& s1,
+             const std::string& s2) {
+  Job job;
+  job.id = id;
+  job.s1 = rna::Sequence::from_string(s1);
+  job.s2 = rna::Sequence::from_string(s2);
+  return job;
+}
+
+float direct_score(const Job& job) {
+  const rna::Sequence s2 =
+      job.params.reverse ? job.s2.reversed() : job.s2;
+  core::BpmaxOptions opts;
+  opts.variant = core::Variant::kBaseline;
+  return core::bpmax_score(job.s1, s2, job.params.model(), opts);
+}
+
+// ------------------------------------------------------------- journal
+
+TEST(Journal, EncodeDecodeRoundTrips) {
+  std::vector<JournalRecord> records;
+  JournalRecord submit;
+  submit.kind = JournalRecord::Kind::kSubmit;
+  submit.id = "j1";
+  submit.s1 = "GGGAAACCC";
+  submit.s2 = "GGGUUUCCC";
+  submit.params.min_hairpin = 3;
+  submit.params.unit_weights = true;
+  submit.params.reverse = false;
+  records.push_back(submit);
+  JournalRecord start;
+  start.kind = JournalRecord::Kind::kStart;
+  start.id = "j1";
+  records.push_back(start);
+  JournalRecord done;
+  done.kind = JournalRecord::Kind::kDone;
+  done.id = "j1";
+  done.outcome.id = "j1";
+  done.outcome.key = 0xdeadbeefu;
+  done.outcome.m = 9;
+  done.outcome.n = 9;
+  done.outcome.score = 24.0f;
+  done.outcome.seconds = 0.5;
+  records.push_back(done);
+  JournalRecord failed;
+  failed.kind = JournalRecord::Kind::kFailed;
+  failed.id = "j2";
+  failed.error = "kernel exploded \"loudly\"";
+  records.push_back(failed);
+
+  const std::string bytes = encode_journal(records);
+  const std::vector<JournalRecord> back = decode_journal(bytes);
+  ASSERT_EQ(back.size(), records.size());
+  EXPECT_EQ(back[0].id, "j1");
+  EXPECT_EQ(back[0].s1, "GGGAAACCC");
+  EXPECT_EQ(back[0].params.min_hairpin, 3);
+  EXPECT_TRUE(back[0].params.unit_weights);
+  EXPECT_FALSE(back[0].params.reverse);
+  EXPECT_EQ(back[1].kind, JournalRecord::Kind::kStart);
+  EXPECT_EQ(back[2].outcome.key, 0xdeadbeefu);
+  EXPECT_EQ(back[2].outcome.score, 24.0f);
+  EXPECT_EQ(back[3].error, "kernel exploded \"loudly\"");
+}
+
+TEST(Journal, DecodeRejectsCorruption) {
+  std::vector<JournalRecord> records(1);
+  records[0].kind = JournalRecord::Kind::kSubmit;
+  records[0].id = "j1";
+  records[0].s1 = "AA";
+  records[0].s2 = "UU";
+  const std::string good = encode_journal(records);
+
+  // Truncation: every proper prefix must fail, never mis-parse.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_THROW(decode_journal(good.substr(0, cut)), core::SerializeError)
+        << "prefix length " << cut;
+  }
+  // Single bit flips anywhere trip the CRC (or an earlier check).
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x10);
+    EXPECT_THROW(decode_journal(bad), core::SerializeError)
+        << "flip at byte " << i;
+  }
+}
+
+// ------------------------------------------------------------ jobstore
+
+TEST(JobStore, TransitionsAndIdempotentSubmit) {
+  mpisim::MemoryBlobStore blobs;
+  JobStore store(&blobs);
+  EXPECT_TRUE(store.recover().empty());
+
+  const Job job = make_job("j1", "GGGAAACCC", "GGGUUUCCC");
+  EXPECT_TRUE(store.submit(job));
+  EXPECT_FALSE(store.submit(job)) << "duplicate id must be refused";
+  EXPECT_EQ(store.counts().queued, 1u);
+
+  EXPECT_TRUE(store.mark_running("j1"));
+  EXPECT_FALSE(store.mark_running("j1")) << "already running";
+  JobOutcome outcome;
+  outcome.id = "j1";
+  outcome.score = 24.0f;
+  store.mark_done("j1", outcome);
+  const StoredJob* stored = store.find("j1");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->state, JobState::kDone);
+  EXPECT_EQ(stored->outcome.score, 24.0f);
+
+  EXPECT_FALSE(store.cancel("j1")) << "terminal jobs cannot be cancelled";
+  EXPECT_TRUE(store.submit(make_job("j2", "AA", "UU")));
+  EXPECT_TRUE(store.cancel("j2"));
+  EXPECT_EQ(store.counts().cancelled, 1u);
+  EXPECT_EQ(store.find("nope"), nullptr);
+}
+
+TEST(JobStore, RecoverRequeuesInterruptedKeepsTerminal) {
+  mpisim::MemoryBlobStore blobs;
+  {
+    JobStore store(&blobs);
+    store.recover();
+    store.submit(make_job("done", "GGGAAACCC", "GGGUUUCCC"));
+    store.submit(make_job("running", "ACGUACGU", "UGCAUGCA"));
+    store.submit(make_job("queued", "GGCC", "GGCC"));
+    store.submit(make_job("gone", "AU", "AU"));
+    store.mark_running("done");
+    JobOutcome outcome;
+    outcome.id = "done";
+    outcome.score = 7.0f;
+    store.mark_done("done", outcome);
+    store.mark_running("running");
+    store.cancel("gone");
+    // `kill -9` here: the store object dies, the blobs survive.
+  }
+  JobStore store(&blobs);
+  const std::vector<std::string> requeued = store.recover();
+  // Interrupted kRunning and untouched kQueued both come back queued,
+  // in submit order; terminal jobs keep their recorded state.
+  EXPECT_EQ(requeued, (std::vector<std::string>{"running", "queued"}));
+  EXPECT_EQ(store.find("done")->state, JobState::kDone);
+  EXPECT_EQ(store.find("done")->outcome.score, 7.0f);
+  EXPECT_EQ(store.find("running")->state, JobState::kQueued);
+  EXPECT_EQ(store.find("gone")->state, JobState::kCancelled);
+}
+
+TEST(JobStore, RecoverFallsBackPastATornNewestBlob) {
+  mpisim::MemoryBlobStore blobs;
+  {
+    JobStore store(&blobs);
+    store.recover();
+    store.submit(make_job("j1", "GGGAAACCC", "GGGUUUCCC"));
+    store.submit(make_job("j2", "ACGU", "ACGU"));
+  }
+  // Corrupt the newest journal blob; the previous one (holding only j1)
+  // must be adopted instead of the store giving up.
+  blobs.corrupt_newest(/*bit=*/40);
+
+  JobStore store(&blobs);
+  const std::vector<std::string> requeued = store.recover();
+  EXPECT_EQ(requeued, std::vector<std::string>{"j1"});
+  EXPECT_EQ(store.find("j2"), nullptr) << "j2 only existed in the torn blob";
+}
+
+TEST(JobStore, NullStoreWorksWithoutDurability) {
+  JobStore store(nullptr);
+  EXPECT_TRUE(store.recover().empty());
+  EXPECT_TRUE(store.submit(make_job("j1", "AA", "UU")));
+  EXPECT_EQ(store.counts().queued, 1u);
+}
+
+// -------------------------------------------------------- daemon e2e
+
+struct RunningDaemon {
+  explicit RunningDaemon(DaemonConfig config) : daemon(std::move(config)) {
+    port = daemon.start();
+    thread = std::thread([this] { daemon.run(); });
+  }
+  ~RunningDaemon() {
+    daemon.request_drain();
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  Daemon daemon;
+  int port = 0;
+  std::thread thread;
+};
+
+TEST(DaemonE2E, ServesSubmitResultStatusStats) {
+  DaemonConfig config;
+  config.workers = 2;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  EXPECT_TRUE(client.ping().get("ok").as_bool());
+
+  const Job j1 = make_job("j1", "GGGAAACCC", "GGGUUUCCC");
+  const Job j2 = make_job("j2", "ACGUACGUACGUACGU", "UGCAUGCAUGCA");
+  EXPECT_TRUE(client.submit(j1).get("ok").as_bool());
+  EXPECT_TRUE(client.submit(j2).get("ok").as_bool());
+
+  const obs::JsonValue r1 = client.result("j1", /*wait=*/true);
+  ASSERT_TRUE(r1.get("ok").as_bool());
+  const JobOutcome o1 = DaemonClient::outcome_from_response(r1);
+  EXPECT_EQ(o1.score, direct_score(j1));
+  EXPECT_EQ(o1.key, job_key(j1));
+  EXPECT_EQ(o1.m, 9);
+
+  const obs::JsonValue r2 = client.result("j2", /*wait=*/true);
+  ASSERT_TRUE(r2.get("ok").as_bool());
+  EXPECT_EQ(DaemonClient::outcome_from_response(r2).score, direct_score(j2));
+
+  // Identical resubmission is idempotent, not an error.
+  const obs::JsonValue again = client.submit(j1);
+  EXPECT_TRUE(again.get("ok").as_bool());
+  EXPECT_TRUE(again.get("resubmitted").as_bool());
+  // Same id with a different job is a conflict.
+  const obs::JsonValue clash =
+      client.submit(make_job("j1", "AAAA", "UUUU"));
+  EXPECT_FALSE(clash.get("ok").as_bool());
+  EXPECT_EQ(clash.get("code").as_string(), "id_conflict");
+
+  const obs::JsonValue status = client.status("j1");
+  EXPECT_TRUE(status.get("ok").as_bool());
+  EXPECT_EQ(status.get("state").as_string(), "done");
+  const obs::JsonValue missing = client.status("never-submitted");
+  EXPECT_FALSE(missing.get("ok").as_bool());
+  EXPECT_EQ(missing.get("code").as_string(), "unknown_id");
+
+  // Cancelling a finished job is refused; the outcome stands.
+  const obs::JsonValue cancel = client.cancel("j1");
+  EXPECT_FALSE(cancel.get("ok").as_bool());
+  EXPECT_EQ(cancel.get("code").as_string(), "not_cancellable");
+
+  const obs::JsonValue stats = client.stats();
+  EXPECT_TRUE(stats.get("ok").as_bool());
+  EXPECT_EQ(static_cast<int>(stats.get("jobs").get("done").as_number()), 2);
+  EXPECT_GE(stats.get("workers").as_number(), 2.0);
+}
+
+TEST(DaemonE2E, RejectsOverBudgetJobsAtSubmit) {
+  DaemonConfig config;
+  config.job_budget_bytes = 1024.0;  // nothing real fits
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  const obs::JsonValue doc =
+      client.submit(make_job("big", "GGGAAACCC", "GGGUUUCCC"));
+  EXPECT_FALSE(doc.get("ok").as_bool());
+  EXPECT_EQ(doc.get("code").as_string(), "over_budget");
+  EXPECT_NE(doc.get("error").as_string().find("GiB"), std::string::npos)
+      << "the rejection must be actionable: " << doc.get("error").as_string();
+  // A rejected job is not in the store at all.
+  const obs::JsonValue status = client.status("big");
+  EXPECT_EQ(status.get("code").as_string(), "unknown_id");
+}
+
+TEST(DaemonE2E, MalformedFramesGetErrorThenHangup) {
+  DaemonConfig config;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  const obs::JsonValue doc = client.request("this is not json\n");
+  EXPECT_FALSE(doc.get("ok").as_bool());
+  EXPECT_EQ(doc.get("code").as_string(), "bad_json");
+  // The daemon keeps the connection for well-formed-but-invalid JSON…
+  const obs::JsonValue doc2 = client.request("{\"op\":\"nonsense\"}\n");
+  EXPECT_EQ(doc2.get("code").as_string(), "bad_request");
+  // …and a fresh connection still serves.
+  DaemonClient second;
+  second.connect("127.0.0.1", server.port);
+  EXPECT_TRUE(second.ping().get("ok").as_bool());
+}
+
+TEST(DaemonE2E, DrainVerbStopsIntakeAndFinishesWork) {
+  DaemonConfig config;
+  config.workers = 1;
+  Daemon daemon(config);
+  const int port = daemon.start();
+  std::thread runner([&] { daemon.run(); });
+
+  DaemonClient client;
+  client.connect("127.0.0.1", port);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client
+                    .submit(make_job("j" + std::to_string(i),
+                                     "GGGAAACCCGGGAAACCC",
+                                     "GGGUUUCCCGGGUUUCCC" +
+                                         std::string(i, 'A')))
+                    .get("ok")
+                    .as_bool());
+  }
+  const obs::JsonValue ack = client.drain();
+  EXPECT_TRUE(ack.get("ok").as_bool());
+  runner.join();
+
+  // Every accepted job reached a terminal state before run() returned.
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.jobs.done, 4u);
+  EXPECT_EQ(stats.jobs.queued + stats.jobs.running, 0u);
+  EXPECT_FALSE(stats.interrupted);
+}
+
+TEST(DaemonE2E, RestartReplaysJournalAndCompletesBatch) {
+  mpisim::MemoryBlobStore blobs;
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job("j" + std::to_string(i),
+                            "GGGAAACCCGGGAAACCC",
+                            "GGGUUUCCC" + std::string(i + 1, 'A')));
+  }
+
+  // First run: accept everything, crash (fail_after) after 2 finishes.
+  {
+    DaemonConfig config;
+    config.workers = 1;
+    config.journal_store = &blobs;
+    config.fail_after = 2;
+    Daemon daemon(config);
+    const int port = daemon.start();
+    std::thread runner([&] { daemon.run(); });
+    DaemonClient client;
+    client.connect("127.0.0.1", port);
+    for (const Job& job : jobs) {
+      ASSERT_TRUE(client.submit(job).get("ok").as_bool());
+    }
+    runner.join();
+    const DaemonStats stats = daemon.stats();
+    EXPECT_TRUE(stats.interrupted);
+    EXPECT_EQ(stats.jobs.done, 2u);
+    EXPECT_EQ(stats.jobs.queued, 3u) << "unfinished jobs stay journaled";
+  }
+
+  // Second run over the same blobs: replay adopts the finished jobs and
+  // re-runs the rest; every result matches the direct solver.
+  DaemonConfig config;
+  config.workers = 2;
+  config.journal_store = &blobs;
+  RunningDaemon server(config);
+  const DaemonStats boot = server.daemon.stats();
+  EXPECT_EQ(boot.jobs_replayed, 2u);
+  EXPECT_EQ(boot.jobs_requeued, 3u);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  for (const Job& job : jobs) {
+    const obs::JsonValue doc = client.result(job.id, /*wait=*/true);
+    ASSERT_TRUE(doc.get("ok").as_bool()) << job.id;
+    EXPECT_EQ(DaemonClient::outcome_from_response(doc).score,
+              direct_score(job))
+        << job.id;
+  }
+}
+
+TEST(DaemonE2E, StopFlagDrainsLikeSigterm) {
+  std::atomic<bool> stop{false};
+  DaemonConfig config;
+  config.stop_flag = &stop;
+  Daemon daemon(config);
+  const int port = daemon.start();
+  std::thread runner([&] { daemon.run(); });
+  DaemonClient client;
+  client.connect("127.0.0.1", port);
+  ASSERT_TRUE(
+      client.submit(make_job("j", "GGGAAACCC", "GGGUUUCCC")).get("ok")
+          .as_bool());
+  stop.store(true);
+  runner.join();
+  EXPECT_EQ(daemon.stats().jobs.done, 1u);
+}
+
+}  // namespace
+}  // namespace rri::serve

@@ -1,0 +1,300 @@
+/// Fuzz and unit tests for the rri_served frame protocol
+/// (src/serve/protocol.{hpp,cpp}): frame round-trips under arbitrary
+/// chunking, truncated / oversized / garbage input, mid-frame
+/// disconnect accounting, and request parsing. The parser's contract is
+/// that hostile bytes produce a clean ProtocolError — never a crash,
+/// never a read past the fed buffer — which the CI sanitize job checks
+/// under ASan+UBSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rri/obs/json.hpp"
+#include "rri/serve/protocol.hpp"
+
+namespace rri::serve {
+namespace {
+
+std::string frame_for(const std::string& payload) {
+  return encode_frame(payload);
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(Frame, RoundTripsOnePayload) {
+  FrameReader reader;
+  const std::string payload = "{\"op\":\"ping\"}\n";
+  reader.feed(frame_for(payload));
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.mid_frame());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Frame, RoundTripsManyPayloadsByteAtATime) {
+  // Arbitrary TCP segmentation: feeding one byte at a time must yield
+  // exactly the frames that were encoded, in order.
+  std::vector<std::string> payloads;
+  std::string wire;
+  for (int i = 0; i < 17; ++i) {
+    payloads.push_back("{\"seq\":" + std::to_string(i) + "}");
+    wire += frame_for(payloads.back());
+  }
+  FrameReader reader;
+  std::vector<std::string> got;
+  for (const char byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto frame = reader.next()) {
+      got.push_back(*frame);
+    }
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Frame, EmptyPayloadIsAFrame) {
+  FrameReader reader;
+  reader.feed(frame_for(""));
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Frame, TruncatedHeaderReportsMidFrame) {
+  FrameReader reader;
+  reader.feed("\x00\x00", 2);  // half a length prefix
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.mid_frame());
+}
+
+TEST(Frame, TruncatedBodyReportsMidFrame) {
+  FrameReader reader;
+  const std::string wire = frame_for("{\"op\":\"ping\"}");
+  reader.feed(wire.substr(0, wire.size() - 3));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.mid_frame());
+  // The missing bytes arriving later completes the frame.
+  reader.feed(wire.substr(wire.size() - 3));
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(Frame, OversizedDeclaredLengthPoisonsTheReader) {
+  FrameReader reader;
+  const std::string wire = "\xff\xff\xff\xff";  // ~4 GiB declared
+  reader.feed(wire);
+  EXPECT_THROW(reader.next(), ProtocolError);
+  // Poisoned: even valid frames afterwards are refused — the stream
+  // framing can no longer be trusted.
+  reader.feed(frame_for("{}"));
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(Frame, OversizedErrorCarriesACode) {
+  FrameReader reader;
+  reader.feed("\x7f\x00\x00\x00", 4);
+  try {
+    reader.next();
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), "oversized_frame");
+    EXPECT_NE(std::string(e.what()).find("frame"), std::string::npos);
+  }
+}
+
+TEST(Frame, EncodeRejectsOversizedPayload) {
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(encode_frame(big), ProtocolError);
+}
+
+TEST(Frame, LargestLegalPayloadRoundTrips) {
+  const std::string big(kMaxFrameBytes, 'y');
+  FrameReader reader;
+  reader.feed(encode_frame(big));
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), big.size());
+}
+
+TEST(Frame, GarbageFuzzNeverCrashes) {
+  // Seeded random garbage in random chunk sizes. Every outcome is
+  // acceptable except a crash or an over-read: frames, mid-frame
+  // stalls, and ProtocolError all count as handled.
+  std::mt19937 rng(0xbada55u);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> chunk(1, 37);
+  for (int round = 0; round < 200; ++round) {
+    std::string noise(static_cast<std::size_t>(chunk(rng)) * 11, '\0');
+    for (char& c : noise) {
+      c = static_cast<char>(byte(rng));
+    }
+    FrameReader reader;
+    std::size_t off = 0;
+    bool poisoned = false;
+    while (off < noise.size() && !poisoned) {
+      const std::size_t n =
+          std::min<std::size_t>(static_cast<std::size_t>(chunk(rng)),
+                                noise.size() - off);
+      reader.feed(noise.data() + off, n);
+      off += n;
+      try {
+        while (reader.next().has_value()) {
+        }
+      } catch (const ProtocolError&) {
+        poisoned = true;  // clean refusal; stop feeding this stream
+      }
+    }
+  }
+}
+
+TEST(Frame, SlicedValidStreamFuzzRecoversEveryFrame) {
+  // Valid frames cut at random chunk boundaries must always reassemble.
+  std::mt19937 rng(7u);
+  std::uniform_int_distribution<int> len(0, 200);
+  std::uniform_int_distribution<int> chunk(1, 13);
+  std::string wire;
+  int expect = 0;
+  for (int i = 0; i < 50; ++i) {
+    wire += frame_for(std::string(static_cast<std::size_t>(len(rng)), 'a'));
+    ++expect;
+  }
+  FrameReader reader;
+  int got = 0;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(chunk(rng)), wire.size() - off);
+    reader.feed(wire.data() + off, n);
+    off += n;
+    while (reader.next().has_value()) {
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+// ------------------------------------------------------------ requests
+
+TEST(ParseRequest, AcceptsEveryVerb) {
+  const struct {
+    const char* payload;
+    Verb verb;
+  } cases[] = {
+      {"{\"op\":\"ping\"}", Verb::kPing},
+      {"{\"op\":\"status\"}", Verb::kStatus},
+      {"{\"op\":\"stats\"}", Verb::kStats},
+      {"{\"op\":\"drain\"}", Verb::kDrain},
+      {"{\"op\":\"result\",\"id\":\"j\"}", Verb::kResult},
+      {"{\"op\":\"cancel\",\"id\":\"j\"}", Verb::kCancel},
+  };
+  for (const auto& c : cases) {
+    const Request req = parse_request(c.payload, JobParams{});
+    EXPECT_EQ(req.verb, c.verb) << c.payload;
+  }
+}
+
+TEST(ParseRequest, SubmitCarriesTheJob) {
+  const Request req = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j9\",\"s1\":\"GGGAAACCC\","
+      "\"s2\":\"gggtttccc\",\"params\":{\"min-hairpin\":3}}",
+      JobParams{});
+  EXPECT_EQ(req.verb, Verb::kSubmit);
+  EXPECT_EQ(req.job.id, "j9");
+  EXPECT_EQ(req.job.s1.size(), 9u);
+  EXPECT_EQ(req.job.s2.to_string(), "GGGUUUCCC");  // T canonicalized to U
+  EXPECT_EQ(req.job.params.min_hairpin, 3);
+}
+
+TEST(ParseRequest, DefaultsFillUnspecifiedParams) {
+  JobParams defaults;
+  defaults.min_hairpin = 4;
+  defaults.reverse = false;
+  const Request req = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\"}",
+      defaults);
+  EXPECT_EQ(req.job.params.min_hairpin, 4);
+  EXPECT_FALSE(req.job.params.reverse);
+}
+
+TEST(ParseRequest, RejectsBadInput) {
+  const struct {
+    const char* payload;
+    const char* code;
+  } cases[] = {
+      {"not json at all", "bad_json"},
+      {"[1,2,3]", "bad_request"},
+      {"{\"no_op\":true}", "bad_request"},
+      {"{\"op\":\"launch_missiles\"}", "bad_request"},
+      {"{\"op\":\"result\"}", "bad_request"},          // id required
+      {"{\"op\":\"cancel\",\"id\":\"\"}", "bad_request"},
+      {"{\"op\":\"submit\",\"id\":\"j\"}", "bad_request"},  // no strands
+      {"{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AXA\",\"s2\":\"UU\"}",
+       "bad_sequence"},
+      {"{\"op\":\"submit\",\"id\":\"j\",\"s1\":7,\"s2\":\"UU\"}",
+       "bad_request"},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse_request(c.payload, JobParams{});
+      FAIL() << "expected ProtocolError for: " << c.payload;
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), c.code) << c.payload;
+    }
+  }
+}
+
+TEST(ParseRequest, GarbageJsonFuzzErrorsCleanly) {
+  std::mt19937 rng(31337u);
+  std::uniform_int_distribution<int> byte(32, 126);
+  std::uniform_int_distribution<int> len(0, 120);
+  for (int round = 0; round < 500; ++round) {
+    std::string noise(static_cast<std::size_t>(len(rng)), ' ');
+    for (char& c : noise) {
+      c = static_cast<char>(byte(rng));
+    }
+    try {
+      parse_request(noise, JobParams{});
+    } catch (const ProtocolError&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST(Payloads, SubmitPayloadParsesBack) {
+  Job job;
+  job.id = "weird \"id\" with\\escapes";
+  job.s1 = rna::Sequence::from_string("GGGAAACCC");
+  job.s2 = rna::Sequence::from_string("GGGUUUCCC");
+  job.params.min_hairpin = 2;
+  job.params.unit_weights = true;
+  job.params.reverse = false;
+  const Request req = parse_request(submit_payload(job), JobParams{});
+  EXPECT_EQ(req.job.id, job.id);
+  EXPECT_EQ(req.job.s1.to_string(), "GGGAAACCC");
+  EXPECT_EQ(req.job.params.min_hairpin, 2);
+  EXPECT_TRUE(req.job.params.unit_weights);
+  EXPECT_FALSE(req.job.params.reverse);
+}
+
+TEST(Payloads, ErrorPayloadEscapesAndRoundTrips) {
+  const std::string payload =
+      error_payload("submit", "job \"7\"", "over_budget",
+                    "needs 9.00 GiB\nbudget 1.00 GiB");
+  // A structured error frame is itself a valid single-line JSON object.
+  EXPECT_EQ(payload.find('\n'), payload.size() - 1);
+  const obs::JsonValue doc = obs::json_parse(payload);
+  EXPECT_FALSE(doc.get("ok").as_bool());
+  EXPECT_EQ(doc.get("op").as_string(), "submit");
+  EXPECT_EQ(doc.get("id").as_string(), "job \"7\"");
+  EXPECT_EQ(doc.get("code").as_string(), "over_budget");
+}
+
+}  // namespace
+}  // namespace rri::serve

@@ -1,0 +1,284 @@
+/// rri_client: command-line client for rri_served (docs/serving.md).
+/// The first positional argument is the verb:
+///
+///   rri_client --port N ping [--timeout 10]
+///   rri_client --port N submit --manifest jobs.jsonl --out results.jsonl
+///   rri_client --port N submit --manifest jobs.jsonl --no-wait
+///   rri_client --port N wait --manifest jobs.jsonl --out results.jsonl
+///   rri_client --port N status [--id j1]
+///   rri_client --port N result --id j1 [--no-wait]
+///   rri_client --port N cancel --id j1
+///   rri_client --port N stats
+///   rri_client --port N drain
+///
+/// `submit` (without --no-wait) submits every manifest job, then waits
+/// and writes results JSONL in manifest order — byte-identical to
+/// `bpmax_batch` output modulo timings, so the two front ends diff
+/// clean. Resubmitting a manifest after a daemon restart is safe: the
+/// daemon treats an identical (id, job) pair as idempotent. `wait`
+/// skips the submit pass — the collect half of a submit --no-wait or a
+/// restart-recovery flow.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rri/harness/args.hpp"
+#include "rri/harness/timing.hpp"
+#include "rri/serve/client.hpp"
+#include "rri/serve/manifest.hpp"
+
+namespace {
+
+using namespace rri;
+
+/// Fetch one result (waiting if asked) and fold it into a JobOutcome;
+/// daemon-side rejections become the same "rejected" result line
+/// bpmax_batch writes. Returns false for failures that should flunk the
+/// whole run (unknown id, failed job, shutdown before terminal).
+bool collect_outcome(serve::DaemonClient& client, const std::string& id,
+                     bool wait, serve::JobOutcome* out) {
+  const obs::JsonValue doc = client.result(id, wait);
+  if (doc.get("ok").as_bool()) {
+    *out = serve::DaemonClient::outcome_from_response(doc);
+    return true;
+  }
+  const std::string code = doc.get("code").as_string();
+  if (code == "over_budget") {
+    // Should not happen (submit already reported it), but keep the
+    // mapping total.
+    out->id = id;
+    out->rejected = true;
+    return true;
+  }
+  std::fprintf(stderr, "rri_client: result %s: %s (%s)\n", id.c_str(),
+               doc.get("error").as_string().c_str(), code.c_str());
+  return false;
+}
+
+int apply_params(const std::vector<std::string>& items,
+                 serve::JobParams* params) {
+  for (const std::string& item : items) {
+    const auto [key, value] = harness::ArgParser::split_key_value(item);
+    const bool truthy =
+        value.empty() || value == "1" || value == "true" || value == "yes";
+    if (key == "unit-weights") {
+      params->unit_weights = truthy;
+    } else if (key == "min-hairpin") {
+      params->min_hairpin = std::atoi(value.c_str());
+    } else if (key == "no-reverse") {
+      params->reverse = !truthy;
+    } else {
+      std::fprintf(stderr, "rri_client: unknown --param key '%s'\n",
+                   key.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "rri_client",
+      "Drive rri_served: submit manifests, wait for results, poke "
+      "status/stats, cancel jobs, drain the daemon.");
+  args.set_positional_usage(
+      "VERB (ping|submit|wait|status|result|cancel|stats|drain)", 1, 1);
+  args.add_option("host", "daemon address", "127.0.0.1");
+  args.add_option("port", "daemon TCP port", "0");
+  args.add_option("port-file", "read the port from this file (written by "
+                               "rri_served --port-file)", "");
+  args.add_option("manifest", "JSONL manifest for submit/wait", "");
+  args.add_option("out", "results JSONL path (default: stdout)", "-");
+  args.add_option("id", "job id for status/result/cancel", "");
+  args.add_option("timeout", "seconds to keep retrying the connection",
+                  "5");
+  args.add_list_option("param", "batch-wide job default, k=v: "
+                                "unit-weights, min-hairpin, no-reverse");
+  args.add_flag("no-wait", "submit/result: do not block on completion");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+  const std::string verb = args.positional()[0];
+  const bool wait = !args.flag("no-wait");
+
+  const int timeout_s = std::max(0, args.option_int("timeout"));
+  int port = args.option_int("port");
+  const std::string port_file = args.option("port-file");
+  if (!port_file.empty()) {
+    // The daemon writes the file only once it is listening; retry within
+    // the connect timeout so `rri_served ... & rri_client ...` just works.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeout_s);
+    for (;;) {
+      std::ifstream in(port_file);
+      if (in && (in >> port) && port > 0) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "rri_client: cannot read a port from %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "rri_client: give --port or --port-file\n");
+    return 2;
+  }
+
+  serve::JobParams defaults;
+  if (apply_params(args.list("param"), &defaults) != 0) {
+    return 2;
+  }
+
+  try {
+    serve::DaemonClient client;
+    client.connect(args.option("host"), port, timeout_s);
+
+    if (verb == "ping") {
+      const obs::JsonValue doc = client.ping();
+      std::printf("%s", doc.get("ok").as_bool() ? "pong\n" : "no pong\n");
+      return doc.get("ok").as_bool() ? 0 : 1;
+    }
+
+    if (verb == "submit" || verb == "wait") {
+      const std::string manifest = args.option("manifest");
+      if (manifest.empty()) {
+        std::fprintf(stderr, "rri_client: %s needs --manifest\n",
+                     verb.c_str());
+        return 2;
+      }
+      const std::vector<serve::Job> jobs =
+          serve::load_manifest_file(manifest, defaults);
+      if (jobs.empty()) {
+        std::fprintf(stderr, "rri_client: no jobs in %s\n",
+                     manifest.c_str());
+        return 2;
+      }
+      harness::StopWatch sw;
+      std::vector<char> rejected(jobs.size(), 0);
+      if (verb == "submit") {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          const obs::JsonValue doc = client.submit(jobs[i]);
+          if (doc.get("ok").as_bool()) {
+            continue;
+          }
+          const std::string code = doc.get("code").as_string();
+          if (code == "over_budget") {
+            rejected[i] = 1;  // a per-job error line, not a run failure
+            std::fprintf(stderr, "rri_client: %s rejected: %s\n",
+                         jobs[i].id.c_str(),
+                         doc.get("error").as_string().c_str());
+            continue;
+          }
+          std::fprintf(stderr, "rri_client: submit %s refused: %s (%s)\n",
+                       jobs[i].id.c_str(),
+                       doc.get("error").as_string().c_str(), code.c_str());
+          return 1;
+        }
+        if (!wait) {
+          std::fprintf(stderr,
+                       "rri_client: submitted %zu job(s); collect them "
+                       "later with: rri_client wait --manifest %s\n",
+                       jobs.size(), manifest.c_str());
+          return 0;
+        }
+      }
+
+      std::ostream* out = &std::cout;
+      std::ofstream file;
+      const std::string out_path = args.option("out");
+      if (out_path != "-") {
+        file.open(out_path);
+        if (!file) {
+          std::fprintf(stderr, "rri_client: cannot write %s\n",
+                       out_path.c_str());
+          return 2;
+        }
+        out = &file;
+      }
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        serve::JobOutcome outcome;
+        if (rejected[i]) {
+          outcome.id = jobs[i].id;
+          outcome.key = serve::job_key(jobs[i]);
+          outcome.m = static_cast<int>(jobs[i].s1.size());
+          outcome.n = static_cast<int>(jobs[i].s2.size());
+          outcome.rejected = true;
+        } else if (!collect_outcome(client, jobs[i].id, true, &outcome)) {
+          return 1;
+        } else if (outcome.cache_hit) {
+          ++hits;
+        }
+        serve::write_result_line(*out, outcome);
+      }
+      const double secs = sw.seconds();
+      std::fprintf(stderr,
+                   "rri_client: served %zu job(s) in %.3fs (%.2f jobs/sec, "
+                   "%zu cache hit(s))\n",
+                   jobs.size(), secs,
+                   secs > 0.0 ? static_cast<double>(jobs.size()) / secs : 0.0,
+                   hits);
+      return 0;
+    }
+
+    if (verb == "result") {
+      const std::string id = args.option("id");
+      if (id.empty()) {
+        std::fprintf(stderr, "rri_client: result needs --id\n");
+        return 2;
+      }
+      serve::JobOutcome outcome;
+      if (!collect_outcome(client, id, wait, &outcome)) {
+        return 1;
+      }
+      serve::write_result_line(std::cout, outcome);
+      return 0;
+    }
+
+    if (verb == "status" || verb == "stats" || verb == "cancel" ||
+        verb == "drain") {
+      obs::JsonValue doc;
+      if (verb == "status") {
+        doc = client.status(args.option("id"));
+      } else if (verb == "stats") {
+        doc = client.stats();
+      } else if (verb == "drain") {
+        doc = client.drain();
+      } else {
+        const std::string id = args.option("id");
+        if (id.empty()) {
+          std::fprintf(stderr, "rri_client: cancel needs --id\n");
+          return 2;
+        }
+        doc = client.cancel(id);
+      }
+      doc.write(std::cout);
+      std::cout << "\n";
+      return doc.get("ok").as_bool() ? 0 : 1;
+    }
+
+    std::fprintf(stderr,
+                 "rri_client: unknown verb '%s' (ping, submit, wait, "
+                 "status, result, cancel, stats, drain)\n", verb.c_str());
+    return 2;
+  } catch (const rna::ParseError& e) {
+    std::fprintf(stderr, "rri_client: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rri_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,168 @@
+/// rri_served: the long-running BPMax serving daemon (docs/serving.md).
+/// Listens on a TCP socket speaking the length-prefixed JSONL frame
+/// protocol (submit / status / result / cancel / drain / stats / ping),
+/// executes jobs on a worker pool, and journals every job-state
+/// transition so a `kill -9` loses no accepted work: restart with the
+/// same --journal directory and the daemon replays the journal, serves
+/// finished jobs from their recorded outcomes, and re-runs the
+/// interrupted ones.
+///
+///   rri_served --port 7641 --journal /var/lib/rri/journal --jobs 4
+///   rri_served --port 0 --port-file port.txt --journal j --max-mem 4
+///
+/// SIGTERM / SIGINT drain gracefully: intake stops, accepted jobs
+/// finish, the final states are journaled, and the process exits 0.
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "rri/harness/args.hpp"
+#include "rri/mpisim/checkpoint.hpp"
+#include "rri/serve/daemon.hpp"
+
+namespace {
+
+using namespace rri;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+core::Variant parse_variant(const std::string& name, bool* ok) {
+  *ok = true;
+  for (const core::Variant v : core::all_variants()) {
+    if (name == core::variant_name(v)) {
+      return v;
+    }
+  }
+  *ok = false;
+  return core::Variant::kHybridTiled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "rri_served",
+      "Serve BPMax jobs over a TCP socket: length-prefixed JSONL frames "
+      "in, journaled job store underneath, worker pool behind. Survives "
+      "kill -9 via journal replay; SIGTERM drains and exits 0.");
+  args.set_positional_usage("", 0, 0);
+  args.add_option("host", "address to bind", "127.0.0.1");
+  args.add_option("port", "TCP port; 0 picks an ephemeral one (printed, "
+                          "and written to --port-file)", "0");
+  args.add_option("port-file", "write the bound port here once listening "
+                               "(for scripts driving --port 0)", "");
+  args.add_option("journal", "journal directory (RRJL blobs via the "
+                             "checkpoint store); omit for a volatile "
+                             "in-memory daemon", "");
+  args.add_option("jobs", "worker threads executing jobs", "1");
+  args.add_option("threads", "OpenMP threads per worker kernel", "1");
+  args.add_option("variant", "kernel variant: baseline, serial_permuted, "
+                             "coarse, fine, hybrid, hybrid_tiled",
+                  "hybrid_tiled");
+  args.add_option("cache-mb", "result cache budget in MiB (0 disables "
+                              "memoization)", "64");
+  args.add_option("max-mem", "admission budget in GiB: a submit whose "
+                             "F-table exceeds it is rejected with an "
+                             "over_budget error frame (0 = unlimited)",
+                  "8");
+  args.add_option("queue-cap", "worker queue capacity (0 = max(64, "
+                               "4 x jobs)); full queue = backpressure on "
+                               "the submitting connection", "0");
+  args.add_option("fail-after", "test hook: stop executing after this "
+                                "many completions and exit 3 (restart "
+                                "replays the journal)", "-1");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  bool ok = true;
+  serve::DaemonConfig config;
+  config.host = args.option("host");
+  config.port = args.option_int("port");
+  config.workers = std::max(1, args.option_int("jobs"));
+  config.kernel_threads = std::max(0, args.option_int("threads"));
+  config.variant = parse_variant(args.option("variant"), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "rri_served: unknown variant '%s'\n",
+                 args.option("variant").c_str());
+    return 2;
+  }
+  config.cache_bytes =
+      static_cast<std::size_t>(
+          std::max(0, args.option_int("cache-mb"))) << 20;
+  const double max_mem_gib =
+      std::strtod(args.option("max-mem").c_str(), nullptr);
+  if (max_mem_gib < 0.0) {
+    std::fprintf(stderr, "rri_served: --max-mem must be >= 0 GiB\n");
+    return 2;
+  }
+  config.job_budget_bytes = max_mem_gib * 1024.0 * 1024.0 * 1024.0;
+  config.queue_capacity = static_cast<std::size_t>(
+      std::max(0, args.option_int("queue-cap")));
+  config.fail_after = args.option_int("fail-after");
+  config.stop_flag = &g_stop;
+
+  std::unique_ptr<mpisim::FileBlobStore> store;
+  const std::string journal_dir = args.option("journal");
+  try {
+    if (!journal_dir.empty()) {
+      store = std::make_unique<mpisim::FileBlobStore>(journal_dir,
+                                                      "journal_", ".rrjl");
+      config.journal_store = store.get();
+    }
+
+    serve::Daemon daemon(config);
+    const int port = daemon.start();
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    const serve::DaemonStats boot = daemon.stats();
+    if (boot.jobs_replayed + boot.jobs_requeued > 0) {
+      std::fprintf(stderr,
+                   "rri_served: journal replay adopted %zu finished "
+                   "job(s), re-queued %zu interrupted one(s)\n",
+                   boot.jobs_replayed, boot.jobs_requeued);
+    }
+    std::printf("rri_served: listening on %s:%d (%d worker(s)%s)\n",
+                config.host.c_str(), port, config.workers,
+                journal_dir.empty() ? ", no journal"
+                                    : (", journal " + journal_dir).c_str());
+    std::fflush(stdout);
+    const std::string port_file = args.option("port-file");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) {
+        std::fprintf(stderr, "rri_served: cannot write %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+      out << port << "\n";
+    }
+
+    daemon.run();
+
+    const serve::DaemonStats stats = daemon.stats();
+    std::fprintf(stderr,
+                 "rri_served: %s after %zu connection(s), %zu frame(s); "
+                 "jobs: %zu done, %zu failed, %zu cancelled, %zu queued "
+                 "(%zu executed this run, %zu rejected)\n",
+                 stats.interrupted ? "interrupted" : "drained",
+                 stats.connections, stats.frames, stats.jobs.done,
+                 stats.jobs.failed, stats.jobs.cancelled, stats.jobs.queued,
+                 stats.jobs_executed, stats.jobs_rejected);
+    return stats.interrupted ? 3 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rri_served: %s\n", e.what());
+    return 2;
+  }
+}
