@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Run the bench bundle: the fig13 double max-plus sweep (one run per
-# SIMD backend), a small batch-serving sweep, and a daemon sweep that
-# drives rri_served through rri_client at 1/2/4 workers — bundled into
-# one JSON document (schema rri-bench-bundle/1, documented in
+# SIMD backend), a small batch-serving sweep, a daemon sweep that
+# drives rri_served through rri_client at 1/2/4 workers, and a
+# two-tenant contention sweep (an abusive tenant flooding the queue
+# next to a well-behaved one, quotas off vs on) — bundled into one JSON
+# document (schema rri-bench-bundle/1, documented in
 # docs/observability.md). CI uploads the bundle as an artifact; locally
 # it is a one-command snapshot you can perf_diff against a later
 # checkout.
@@ -10,7 +12,7 @@
 #   ci/run_bench.sh [build-dir]   (default: build)
 #
 # Knobs:
-#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr6.json)
+#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr7.json)
 #   RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13 sweep
 #   exactly as for any bench binary.
 
@@ -18,7 +20,7 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr6.json}"
+OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr7.json}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
 
@@ -108,14 +110,83 @@ for W in 1 2 4; do
   DAEMON_ROWS="${DAEMON_ROWS}${DAEMON_ROWS:+,}${row}"
 done
 
-# 4. Bundle: fig13 and batch_serve are complete rri-obs-report/1
-#    documents (perf_diff reads them); daemon is the sweep table.
+# 4. two-tenant contention: tenant "abuser" floods 16 slow jobs into
+#    the queue, then tenant "polite" submits 4 small ones behind them.
+#    Run once with quotas off and once with the abuser capped at 2
+#    concurrent jobs; the polite tenant's queue-wait p99 (from its
+#    per-tenant serve.queue_wait_s.tenant.polite histogram) is the
+#    number quotas exist to protect.
+echo "run_bench: two-tenant contention sweep (quotas off/on)..."
+awk 'BEGIN {
+  b = "ACGUGGGAAACCCAUGCAAGGCCUU";
+  for (i = 0; i < 16; ++i)
+    printf "{\"id\":\"a%02d\",\"s1\":\"%sGGGAAACCCAUGCGGGAAACCC\",\"s2\":\"UUGCCAAGGUUGCC\"}\n",
+           i, substr(b, 1, 9 + i % 8);
+}' > "${WORK}/abuser_manifest.jsonl"
+awk 'BEGIN {
+  for (i = 0; i < 4; ++i)
+    printf "{\"id\":\"p%02d\",\"s1\":\"GGGAAACCCAUG%s\",\"s2\":\"UUGCCAAGG\"}\n",
+           i, substr("CAGU", 1 + i, 1);
+}' > "${WORK}/polite_manifest.jsonl"
+cat > "${WORK}/tenants.jsonl" <<'EOF'
+{"tenant":"abuser","max_concurrent":2}
+EOF
+TENANT_ROWS=""
+for MODE in off on; do
+  rm -f "${WORK}/port.txt"
+  if [ "${MODE}" = "on" ]; then
+    QUOTA_ARGS="--tenant-config ${WORK}/tenants.jsonl"
+  else
+    QUOTA_ARGS=""
+  fi
+  # shellcheck disable=SC2086 -- QUOTA_ARGS is deliberately word-split
+  RRI_OBS=1 RRI_OBS_JSON="${WORK}/tenant_${MODE}.json" \
+    "${DAEMON}" --port 0 --port-file "${WORK}/port.txt" --jobs 2 \
+    ${QUOTA_ARGS} > "${WORK}/served_tenant_${MODE}.log" 2>&1 &
+  DAEMON_PID=$!
+  # The abuser floods and walks away (--no-wait); with quotas on its
+  # over-cap submits are refused after the retry budget (exit 4 — not
+  # an error here, it is the mechanism under test).
+  "${CLIENT}" --port-file "${WORK}/port.txt" --tenant abuser \
+    --retries 1 submit --manifest "${WORK}/abuser_manifest.jsonl" \
+    --no-wait 2> "${WORK}/abuser_${MODE}.log" || true
+  # The polite tenant submits behind the flood and waits for results.
+  "${CLIENT}" --port-file "${WORK}/port.txt" --tenant polite \
+    submit --manifest "${WORK}/polite_manifest.jsonl" \
+    --out "${WORK}/polite_${MODE}.jsonl" 2> "${WORK}/polite_${MODE}.log"
+  "${CLIENT}" --port-file "${WORK}/port.txt" drain > /dev/null
+  wait "${DAEMON_PID}"
+  DAEMON_PID=""
+  polite_p99="$(jq '[.histograms[]
+      | select(.name == "serve.queue_wait_s.tenant.polite")][0]
+      .p99_seconds // 0' "${WORK}/tenant_${MODE}.json")"
+  echo "run_bench:   quotas ${MODE}: polite queue-wait p99 ${polite_p99}s"
+  row="{\"quotas\":\"${MODE}\",\"polite_queue_wait_p99_s\":${polite_p99}}"
+  TENANT_ROWS="${TENANT_ROWS}${TENANT_ROWS:+,}${row}"
+  if [ "${MODE}" = "off" ]; then
+    P99_OFF="${polite_p99}"
+  else
+    awk -v off="${P99_OFF}" -v on="${polite_p99}" 'BEGIN {
+      if (on < off)
+        printf "run_bench:   quotas cut the polite p99 %.3fs -> %.3fs\n",
+               off, on;
+      else
+        printf "run_bench: WARNING: polite p99 did not improve " \
+               "(%.3fs off vs %.3fs on)\n", off, on;
+    }'
+  fi
+done
+
+# 5. Bundle: fig13 and batch_serve are complete rri-obs-report/1
+#    documents (perf_diff reads them); daemon and tenant_contention are
+#    sweep tables.
 echo "run_bench: writing ${OUT}"
 {
   printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
   cat "${FIG13_JSON}"
   printf ',\n"batch_serve":'
   cat "${WORK}/batch_report.json"
-  printf ',\n"daemon":[%s]}\n' "${DAEMON_ROWS}"
+  printf ',\n"daemon":[%s],\n' "${DAEMON_ROWS}"
+  printf '"tenant_contention":[%s]}\n' "${TENANT_ROWS}"
 } > "${OUT}"
 echo "run_bench: done ($(wc -c < "${OUT}") bytes)"

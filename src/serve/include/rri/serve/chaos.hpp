@@ -1,0 +1,86 @@
+#ifndef RRI_SERVE_CHAOS_HPP
+#define RRI_SERVE_CHAOS_HPP
+
+/// \file chaos.hpp
+/// Seeded socket-fault injection for the serving daemon — mpisim's
+/// FaultPlan idea lifted to the TCP layer. A ChaosPlan is consulted in
+/// the daemon's read and write paths and injects three fault kinds:
+///
+///   stall  — sleep `ms` before the I/O call (slow network / GC pause)
+///   split  — write a response frame in two sends with a yield between
+///            them (exercises every partial-frame path in FrameReader)
+///   reset  — abort the connection with an RST instead of completing
+///            the I/O (client sees ECONNRESET mid-request)
+///
+/// Spec grammar (parsed by ChaosPlan::parse, set via RRI_CHAOS=):
+///
+///   spec    := clause (';' clause)*
+///   clause  := 'stall' ':' 'p=' FLOAT ',' 'ms=' INT [',' 'seed=' INT]
+///            | 'split' ':' 'p=' FLOAT            [',' 'seed=' INT]
+///            | 'reset' ':' 'p=' FLOAT            [',' 'seed=' INT]
+///
+/// e.g. "stall:p=0.05,ms=40;split:p=0.3;reset:p=0.02,seed=7".
+/// Probabilities are per I/O operation. Each clause draws from its own
+/// seeded mt19937_64 stream, so a plan's decision sequence is a pure
+/// function of (seed, draw index); connection threads interleave draws
+/// through an internal mutex, which perturbs *which* operation a fault
+/// lands on across runs but never the fault rate — chaos tests assert
+/// byte-identical *results*, not byte-identical fault schedules.
+///
+/// Chaos never corrupts payload bytes. TCP already guarantees that a
+/// split write is invisible to a correct reader, and resets/stalls are
+/// exactly what a flaky network serves up — so a retrying client must
+/// converge to the chaos-free answer, and the tests prove it does.
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+
+namespace rri::serve {
+
+class ChaosPlan {
+ public:
+  ChaosPlan() = default;
+  ChaosPlan(const ChaosPlan& other);
+  ChaosPlan& operator=(const ChaosPlan& other);
+
+  /// Parse the grammar above; throws std::invalid_argument with a
+  /// message naming the offending clause. Empty spec = no chaos.
+  static ChaosPlan parse(const std::string& spec);
+
+  /// True when no clause is armed — the daemon skips injection.
+  bool empty() const noexcept {
+    return stall_p_ <= 0.0 && split_p_ <= 0.0 && reset_p_ <= 0.0;
+  }
+
+  // Per-I/O draws (thread-safe). Each advances its clause's stream.
+  /// Milliseconds to stall before the I/O, or 0 for none.
+  int draw_stall_ms();
+  /// True: split this write into two sends.
+  bool draw_split();
+  /// True: reset the connection instead of completing the I/O.
+  bool draw_reset();
+
+ private:
+  static constexpr std::uint64_t kDefaultSeed = 0x5EEDull;
+
+  /// Uniform double in [0, 1) from the top 53 bits — bit-identical
+  /// across standard libraries, unlike uniform_real_distribution.
+  static double unit_draw(std::mt19937_64& rng) {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  }
+
+  double stall_p_ = 0.0;
+  int stall_ms_ = 0;
+  double split_p_ = 0.0;
+  double reset_p_ = 0.0;
+  std::mt19937_64 stall_rng_{kDefaultSeed};
+  std::mt19937_64 split_rng_{kDefaultSeed};
+  std::mt19937_64 reset_rng_{kDefaultSeed};
+  std::mutex mutex_;  ///< connection threads share the streams
+};
+
+}  // namespace rri::serve
+
+#endif  // RRI_SERVE_CHAOS_HPP

@@ -7,7 +7,17 @@
 /// tools/rri_client and the daemon tests; deliberately synchronous —
 /// the daemon handles many connections, so a client that wants
 /// pipelining opens more clients.
+///
+/// Resilience: request_retrying() reconnects and resends through
+/// transport faults (connection reset mid-request, daemon restart) with
+/// capped exponential backoff and seeded deterministic jitter, and
+/// honors the retry_after_s hint on quota_exceeded / overloaded
+/// refusals. Resending a submit is safe because submission is
+/// idempotent via job_key_text; resending the other verbs is read-only
+/// or idempotent by construction.
 
+#include <cstdint>
+#include <random>
 #include <string>
 
 #include "rri/obs/json.hpp"
@@ -16,6 +26,19 @@
 
 namespace rri::serve {
 
+/// Backoff schedule for connect() and request_retrying(). Delay before
+/// attempt k (0-based retry index) is
+///   min(cap_s, base_s * 2^k) * (0.5 + 0.5 * jitter)
+/// with `jitter` drawn from a seeded mt19937_64 stream — deterministic
+/// for a given policy, desynchronized across differently-seeded
+/// clients (no thundering herd after a daemon restart).
+struct RetryPolicy {
+  int max_attempts = 5;    ///< total tries per operation (>= 1)
+  double base_s = 0.05;    ///< first retry delay
+  double cap_s = 2.0;      ///< delay ceiling
+  std::uint64_t seed = 0x5EEDull;  ///< jitter stream seed
+};
+
 class DaemonClient {
  public:
   DaemonClient() = default;
@@ -23,16 +46,28 @@ class DaemonClient {
   DaemonClient(const DaemonClient&) = delete;
   DaemonClient& operator=(const DaemonClient&) = delete;
 
-  /// Connect, retrying until `timeout_s` elapses (covers the daemon
-  /// still binding its socket). Throws std::runtime_error on failure.
+  /// Connect, retrying with the policy's backoff until `timeout_s`
+  /// elapses (covers the daemon still binding its socket). Remembers
+  /// host/port for request_retrying()'s reconnects. Throws
+  /// std::runtime_error on failure.
   void connect(const std::string& host, int port, double timeout_s = 5.0);
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
+
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const noexcept { return policy_; }
 
   /// Send one payload, read one response frame, parse it as JSON.
   /// Throws std::runtime_error on a closed/failed connection and
   /// ProtocolError on an unparseable response.
   obs::JsonValue request(const std::string& payload);
+
+  /// request() hardened for a flaky daemon: on a transport error it
+  /// backs off, reconnects, and resends; on a quota_exceeded /
+  /// overloaded refusal it waits max(retry_after_s, backoff) and
+  /// resubmits. Gives up after policy.max_attempts tries — the last
+  /// refusal is returned as data, the last transport error rethrown.
+  obs::JsonValue request_retrying(const std::string& payload);
 
   // Convenience wrappers over request(). Each returns the full response
   // document; callers check "ok" / "code" themselves — a daemon-side
@@ -41,6 +76,10 @@ class DaemonClient {
   obs::JsonValue submit(const Job& job);
   obs::JsonValue status(const std::string& id = "");
   obs::JsonValue result(const std::string& id, bool wait);
+  /// submit / result through request_retrying() — what a client facing
+  /// a chaos-injected or quota-enforcing daemon should use.
+  obs::JsonValue submit_retrying(const Job& job);
+  obs::JsonValue result_retrying(const std::string& id, bool wait);
   obs::JsonValue cancel(const std::string& id);
   obs::JsonValue drain();
   obs::JsonValue stats();
@@ -51,8 +90,19 @@ class DaemonClient {
   static JobOutcome outcome_from_response(const obs::JsonValue& doc);
 
  private:
+  /// Backoff delay before retry `attempt` (0-based), jittered.
+  double backoff_s(int attempt);
+  /// True when the response is a refusal worth retrying after its
+  /// retry_after_s hint (quota_exceeded / overloaded).
+  static bool retryable_refusal(const obs::JsonValue& doc);
+
   int fd_ = -1;
   FrameReader reader_;
+  RetryPolicy policy_{};
+  std::mt19937_64 jitter_rng_{policy_.seed};
+  std::string host_;
+  int port_ = 0;
+  double connect_timeout_s_ = 5.0;
 };
 
 }  // namespace rri::serve

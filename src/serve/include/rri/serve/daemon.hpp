@@ -37,10 +37,12 @@
 #include "rri/core/bpmax.hpp"
 #include "rri/mpisim/checkpoint.hpp"
 #include "rri/serve/cache.hpp"
+#include "rri/serve/chaos.hpp"
 #include "rri/serve/job.hpp"
 #include "rri/serve/jobstore.hpp"
 #include "rri/serve/protocol.hpp"
 #include "rri/serve/queue.hpp"
+#include "rri/serve/tenant.hpp"
 
 namespace rri::serve {
 
@@ -73,6 +75,22 @@ struct DaemonConfig {
   /// left queued) and return — a deterministic in-process stand-in for
   /// `kill -9`. <0 = no limit.
   int fail_after = -1;
+  /// Per-tenant quota buckets (--tenant-config). Default-constructed =
+  /// every tenant unlimited; the governor still runs, so the stats verb
+  /// always reports per-tenant tallies.
+  TenantConfig tenant_config{};
+  /// Queue-depth high watermark: a submit arriving while the worker
+  /// queue holds at least this many jobs is shed with an "overloaded"
+  /// error carrying retry_after_s. 0 = never shed (backpressure only).
+  std::size_t shed_queue_depth = 0;
+  /// Per-connection read timeout: a connection that delivers no bytes
+  /// for this long is answered with an "idle_timeout" error frame and
+  /// closed, so a slowloris client cannot pin a connection thread.
+  /// 0 = wait forever (the pre-quota behavior).
+  double idle_timeout_s = 0.0;
+  /// Socket fault injection on the daemon's read/write paths
+  /// (RRI_CHAOS= in rri_served). Empty = no chaos.
+  ChaosPlan chaos{};
 };
 
 struct DaemonStats {
@@ -85,6 +103,11 @@ struct DaemonStats {
   std::size_t jobs_executed = 0;     ///< kernel runs this run
   std::size_t jobs_replayed = 0;     ///< terminal jobs adopted from journal
   std::size_t jobs_requeued = 0;     ///< interrupted jobs re-enqueued
+  std::size_t quota_rejections = 0;  ///< submits refused by tenant quotas
+  std::size_t shed_overload = 0;     ///< submits shed at the queue watermark
+  std::size_t shed_deadline = 0;     ///< jobs shed expired at dequeue
+  std::size_t idle_timeouts = 0;     ///< connections closed for idleness
+  std::size_t chaos_events = 0;      ///< injected stalls + splits + resets
   bool interrupted = false;          ///< stopped by fail_after
 };
 
@@ -112,15 +135,36 @@ class Daemon {
  private:
   struct Connection;
 
+  /// Admission metadata kept from submit until the job goes terminal:
+  /// the timestamp feeds the serve.queue_wait_s histograms and the
+  /// deadline check at dequeue; tenant + table_bytes are what finish()
+  /// releases back to the governor. Ephemeral by design — a restart
+  /// re-admits recovered jobs with a fresh clock and no deadline.
+  struct Admission {
+    std::chrono::steady_clock::time_point at{};
+    double deadline_s = 0.0;
+    std::string tenant;
+    double table_bytes = 0.0;
+  };
+
   void accept_loop();
   void worker_loop(int worker_id);
   void handle_connection(Connection* conn);
+  /// One response frame through the chaos plan (stall / split / reset).
+  /// False when the write failed or chaos reset the connection.
+  bool send_frame(Connection* conn, const std::string& payload);
   std::string handle_request(const Request& req, bool* drain_out);
   std::string submit_response(const Request& req);
   std::string result_response(const Request& req);
   JobOutcome execute(const Job& job);
   void finish_remaining_inline();
-  void enqueue(const std::string& id);
+  /// Record admission bookkeeping for a job (mutex_ held).
+  void record_admission_locked(const Job& job, double table_bytes);
+  /// Release a job's admission back to the governor (mutex_ held).
+  void release_admission_locked(const std::string& id);
+  /// Shed `id` as deadline_exceeded when it expired while queued
+  /// (mutex_ held). True when the job was shed.
+  bool shed_if_expired_locked(const std::string& id);
 
   DaemonConfig config_;
   int listen_fd_ = -1;
@@ -131,10 +175,9 @@ class Daemon {
   JobStore store_;
   ResultCache cache_;
   BoundedQueue<std::string> queue_;
+  TenantGovernor governor_;
   DaemonStats stats_;
-  /// Admission timestamps for the serve.queue_wait_s histogram.
-  std::unordered_map<std::string, std::chrono::steady_clock::time_point>
-      admitted_;
+  std::unordered_map<std::string, Admission> admitted_;
   /// Interrupted jobs recovered by start(), re-enqueued by run().
   std::vector<std::string> requeued_;
   std::size_t finished_this_run_ = 0;

@@ -32,11 +32,18 @@ struct JobParams {
 };
 
 /// One scoring request as ingested from a manifest or FASTA pair.
+/// `tenant` and `deadline_s` are serving-side admission metadata:
+/// deliberately excluded from job_key_text, so identical computations
+/// share cache entries and idempotent resubmission across tenants and
+/// deadlines, and the score can never depend on who asked.
 struct Job {
   std::string id;     ///< unique within a batch (manifest order breaks ties)
   rna::Sequence s1;   ///< strand 1, 5'->3'
   rna::Sequence s2;   ///< strand 2 as given (see JobParams::reverse)
   JobParams params;
+  std::string tenant;      ///< quota bucket; "" = the anonymous tenant
+  double deadline_s = 0.0; ///< shed if not started this many seconds after
+                           ///< admission; 0 = no deadline
 };
 
 /// What the engine reports per served job. `seconds` is the only

@@ -63,11 +63,16 @@ struct JournalRecord {
   std::string s1;         ///< kSubmit: canonical strand text
   std::string s2;         ///< kSubmit
   JobParams params;       ///< kSubmit
+  std::string tenant;     ///< kSubmit (v2; "" when replaying a v1 journal)
+  double deadline_s = 0.0;  ///< kSubmit (v2): Job::deadline_s
   JobOutcome outcome;     ///< kDone
   std::string error;      ///< kFailed
 };
 
-/// Serialize / parse the whole journal ("RRJL" v1 + CRC-32 footer).
+/// Serialize / parse the whole journal ("RRJL" v2 + CRC-32 footer).
+/// v2 adds the tenant name and deadline to submit records; v1 journals
+/// written before per-tenant quotas still decode (tenant folds to ""
+/// and no deadline), so an upgraded daemon replays an old journal.
 /// decode throws core::SerializeError on a bad magic, torn tail, CRC
 /// mismatch, or inconsistent fields.
 std::string encode_journal(const std::vector<JournalRecord>& records);

@@ -121,6 +121,14 @@ std::string error_payload(const std::string& op, const std::string& id,
                           const std::string& code,
                           const std::string& message);
 
+/// Error payload with a "retry_after_s" hint — quota_exceeded and
+/// overloaded refusals tell the client when resubmitting may succeed.
+/// A retrying DaemonClient honors the hint; resubmission is safe
+/// because submits are idempotent via job_key_text.
+std::string error_payload(const std::string& op, const std::string& id,
+                          const std::string& code,
+                          const std::string& message, double retry_after_s);
+
 }  // namespace rri::serve
 
 #endif  // RRI_SERVE_PROTOCOL_HPP

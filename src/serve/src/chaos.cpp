@@ -1,0 +1,150 @@
+#include "rri/serve/chaos.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rri::serve {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("bad chaos clause '" + clause + "': " + why);
+}
+
+std::map<std::string, std::string> parse_kv(const std::string& clause,
+                                            const std::string& body) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(body);
+  std::string pair;
+  while (std::getline(in, pair, ',')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      bad_spec(clause, "expected key=value, got '" + pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    if (!out.emplace(key, pair.substr(eq + 1)).second) {
+      bad_spec(clause, "duplicate key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+long long parse_int(const std::string& clause, const std::string& key,
+                    const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    bad_spec(clause, key + " must be an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double parse_probability(const std::string& clause, const std::string& text) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(p >= 0.0) || !(p <= 1.0)) {
+    bad_spec(clause, "p must be a probability in [0, 1], got '" + text + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(const ChaosPlan& other) { *this = other; }
+
+ChaosPlan& ChaosPlan::operator=(const ChaosPlan& other) {
+  if (this != &other) {
+    // Copy parameters and stream state; each copy gets its own mutex.
+    stall_p_ = other.stall_p_;
+    stall_ms_ = other.stall_ms_;
+    split_p_ = other.split_p_;
+    reset_p_ = other.reset_p_;
+    stall_rng_ = other.stall_rng_;
+    split_rng_ = other.split_rng_;
+    reset_rng_ = other.reset_rng_;
+  }
+  return *this;
+}
+
+ChaosPlan ChaosPlan::parse(const std::string& spec) {
+  ChaosPlan plan;
+  std::istringstream in(spec);
+  std::string clause;
+  while (std::getline(in, clause, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      bad_spec(clause, "expected kind:key=value,...");
+    }
+    const std::string kind = clause.substr(0, colon);
+    auto kv = parse_kv(clause, clause.substr(colon + 1));
+    const auto take = [&](const char* key, bool required,
+                          const std::string& fallback) {
+      const auto it = kv.find(key);
+      if (it == kv.end()) {
+        if (required) {
+          bad_spec(clause, std::string("missing ") + key + "=");
+        }
+        return fallback;
+      }
+      std::string value = it->second;
+      kv.erase(it);
+      return value;
+    };
+    if (kind != "stall" && kind != "split" && kind != "reset") {
+      bad_spec(clause, "unknown kind '" + kind +
+                           "' (expected stall, split, or reset)");
+    }
+    const double p = parse_probability(clause, take("p", true, ""));
+    const std::uint64_t seed = static_cast<std::uint64_t>(parse_int(
+        clause, "seed", take("seed", false, std::to_string(kDefaultSeed))));
+    if (kind == "stall") {
+      const long long ms = parse_int(clause, "ms", take("ms", true, ""));
+      if (ms < 0 || ms > 60'000) {
+        bad_spec(clause, "ms must be in [0, 60000]");
+      }
+      plan.stall_p_ = p;
+      plan.stall_ms_ = static_cast<int>(ms);
+      plan.stall_rng_.seed(seed);
+    } else if (kind == "split") {
+      plan.split_p_ = p;
+      plan.split_rng_.seed(seed);
+    } else {
+      plan.reset_p_ = p;
+      plan.reset_rng_.seed(seed);
+    }
+    if (!kv.empty()) {
+      bad_spec(clause, "unknown key '" + kv.begin()->first + "'");
+    }
+  }
+  return plan;
+}
+
+int ChaosPlan::draw_stall_ms() {
+  if (stall_p_ <= 0.0) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unit_draw(stall_rng_) < stall_p_ ? stall_ms_ : 0;
+}
+
+bool ChaosPlan::draw_split() {
+  if (split_p_ <= 0.0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unit_draw(split_rng_) < split_p_;
+}
+
+bool ChaosPlan::draw_reset() {
+  if (reset_p_ <= 0.0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unit_draw(reset_rng_) < reset_p_;
+}
+
+}  // namespace rri::serve

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -43,9 +44,31 @@ void DaemonClient::close() {
   }
 }
 
+void DaemonClient::set_retry_policy(const RetryPolicy& policy) {
+  policy_ = policy;
+  policy_.max_attempts = std::max(1, policy_.max_attempts);
+  jitter_rng_.seed(policy_.seed);
+}
+
+double DaemonClient::backoff_s(int attempt) {
+  double delay = policy_.base_s;
+  for (int i = 0; i < attempt && delay < policy_.cap_s; ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, policy_.cap_s);
+  // Top-53-bit draw, bit-identical across standard libraries; jitter
+  // in [0.5, 1.0) keeps retries bounded below the cap yet spread out.
+  const double unit =
+      static_cast<double>(jitter_rng_() >> 11) * 0x1.0p-53;
+  return delay * (0.5 + 0.5 * unit);
+}
+
 void DaemonClient::connect(const std::string& host, int port,
                            double timeout_s) {
   close();
+  host_ = host;
+  port_ = port;
+  connect_timeout_s_ = timeout_s;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -55,7 +78,7 @@ void DaemonClient::connect(const std::string& host, int port,
   }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
-  for (;;) {
+  for (int attempt = 0;; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       throw std::runtime_error(std::string("socket(): ") +
@@ -64,6 +87,7 @@ void DaemonClient::connect(const std::string& host, int port,
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
       fd_ = fd;
+      reader_ = FrameReader();  // no stale bytes across reconnects
       return;
     }
     const int err = errno;
@@ -74,7 +98,15 @@ void DaemonClient::connect(const std::string& host, int port,
                                std::to_string(timeout_s) +
                                "s: " + std::strerror(err));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Capped exponential backoff with jitter instead of a fixed-period
+    // hammer: cheap on a daemon that is seconds away from binding, and
+    // restarting clients spread out instead of stampeding.
+    const double delay =
+        std::min(backoff_s(attempt),
+                 std::max(0.0, std::chrono::duration<double>(
+                                   deadline - std::chrono::steady_clock::now())
+                                   .count()));
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
 }
 
@@ -109,6 +141,51 @@ obs::JsonValue DaemonClient::request(const std::string& payload) {
   }
 }
 
+bool DaemonClient::retryable_refusal(const obs::JsonValue& doc) {
+  const obs::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is(obs::JsonValue::Type::kBool) ||
+      ok->as_bool()) {
+    return false;
+  }
+  const obs::JsonValue* code = doc.find("code");
+  if (code == nullptr || !code->is(obs::JsonValue::Type::kString)) {
+    return false;
+  }
+  return code->as_string() == "quota_exceeded" ||
+         code->as_string() == "overloaded";
+}
+
+obs::JsonValue DaemonClient::request_retrying(const std::string& payload) {
+  obs::JsonValue last;
+  for (int attempt = 0;; ++attempt) {
+    const bool last_try = attempt + 1 >= policy_.max_attempts;
+    try {
+      last = request(payload);
+    } catch (const std::runtime_error&) {
+      // Transport fault: connection reset / daemon restart. The socket
+      // is dead either way; back off, reconnect, resend. Safe because
+      // every verb is idempotent (submit via job_key_text).
+      if (last_try) {
+        throw;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_s(attempt)));
+      connect(host_, port_, connect_timeout_s_);
+      continue;
+    }
+    if (!retryable_refusal(last) || last_try) {
+      return last;  // success, a non-retryable error, or out of tries
+    }
+    double wait = backoff_s(attempt);
+    if (const obs::JsonValue* hint = last.find("retry_after_s")) {
+      if (hint->is(obs::JsonValue::Type::kNumber)) {
+        wait = std::min(std::max(wait, hint->as_number()), policy_.cap_s);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+  }
+}
+
 obs::JsonValue DaemonClient::ping() {
   return request("{\"op\":\"ping\"}\n");
 }
@@ -128,6 +205,18 @@ obs::JsonValue DaemonClient::status(const std::string& id) {
 obs::JsonValue DaemonClient::result(const std::string& id, bool wait) {
   return request("{\"op\":\"result\",\"id\":\"" + obs::json_escape(id) +
                  "\",\"wait\":" + (wait ? "true" : "false") + "}\n");
+}
+
+obs::JsonValue DaemonClient::submit_retrying(const Job& job) {
+  return request_retrying(submit_payload(job));
+}
+
+obs::JsonValue DaemonClient::result_retrying(const std::string& id,
+                                             bool wait) {
+  return request_retrying("{\"op\":\"result\",\"id\":\"" +
+                          obs::json_escape(id) +
+                          "\",\"wait\":" + (wait ? "true" : "false") +
+                          "}\n");
 }
 
 obs::JsonValue DaemonClient::cancel(const std::string& id) {

@@ -27,6 +27,28 @@ namespace {
 /// drain verb from another connection is noticed.
 constexpr int kAcceptPollMs = 200;
 
+/// Poll granularity of a connection's read loop — bounds how stale an
+/// idle-timeout check can get, and how long a shutdown() takes to be
+/// noticed on a quiet connection.
+constexpr int kConnPollMs = 200;
+
+/// Monotonic seconds for the tenant governor's token buckets.
+double mono_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Arm an RST-on-close: with SO_LINGER {on, 0} the eventual ::close()
+/// aborts the connection instead of lingering through a FIN handshake —
+/// the chaos "reset" fault, delivered as ECONNRESET at the peer.
+void arm_reset(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+}
+
 bool send_all(int fd, const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
@@ -74,9 +96,11 @@ std::string outcome_fields(const JobOutcome& o) {
 }  // namespace
 
 /// One accepted client connection: its socket, trace lane id, and the
-/// thread running handle_connection.
+/// thread running handle_connection. `fd` is atomic because the
+/// connection thread retires it while run()'s shutdown sweep reads it
+/// to shutdown() lingering sockets.
 struct Daemon::Connection {
-  int fd = -1;
+  std::atomic<int> fd{-1};
   int id = 0;
   std::thread thread;
 };
@@ -89,7 +113,8 @@ Daemon::Daemon(DaemonConfig config)
                  ? config_.queue_capacity
                  : std::max<std::size_t>(
                        64, 4 * static_cast<std::size_t>(
-                               std::max(1, config_.workers)))) {
+                               std::max(1, config_.workers)))),
+      governor_(config_.tenant_config) {
   config_.workers = std::max(1, config_.workers);
 }
 
@@ -155,15 +180,50 @@ DaemonStats Daemon::stats() const {
   return out;
 }
 
-void Daemon::enqueue(const std::string& id) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    admitted_[id] = std::chrono::steady_clock::now();
+void Daemon::record_admission_locked(const Job& job, double table_bytes) {
+  Admission a;
+  a.at = std::chrono::steady_clock::now();
+  a.deadline_s = job.deadline_s;
+  a.tenant = job.tenant;
+  a.table_bytes = table_bytes;
+  admitted_[job.id] = std::move(a);
+}
+
+void Daemon::release_admission_locked(const std::string& id) {
+  const auto it = admitted_.find(id);
+  if (it == admitted_.end()) {
+    return;
   }
-  // push() may block (backpressure) or fail once the queue is closed by
-  // drain/interrupt; a false return is fine — the job is journaled as
-  // queued and the drain pass (or the next restart) finishes it.
-  queue_.push(id);
+  governor_.finish(it->second.tenant, it->second.table_bytes);
+  admitted_.erase(it);
+}
+
+bool Daemon::shed_if_expired_locked(const std::string& id) {
+  const auto it = admitted_.find(id);
+  if (it == admitted_.end() || it->second.deadline_s <= 0.0) {
+    return false;
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    it->second.at)
+          .count();
+  if (waited <= it->second.deadline_s) {
+    return false;
+  }
+  const StoredJob* stored = store_.find(id);
+  if (stored == nullptr || stored->state != JobState::kQueued) {
+    return false;
+  }
+  char text[128];
+  std::snprintf(text, sizeof(text),
+                "deadline_exceeded: queued %.3f s against a %.3f s deadline",
+                waited, it->second.deadline_s);
+  store_.mark_failed(id, text);
+  ++stats_.shed_deadline;
+  RRI_OBS_COUNTER("serve.daemon.shed_deadline", 1);
+  trace::instant("daemon.deadline_exceeded");
+  release_admission_locked(id);
+  return true;
 }
 
 void Daemon::run() {
@@ -172,9 +232,27 @@ void Daemon::run() {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
   // Re-enqueue interrupted work from the journal now that workers can
-  // drain the queue (the list may exceed the queue capacity).
+  // drain the queue (the list may exceed the queue capacity). adopt()
+  // (not admit()) re-accounts the in-flight budgets without a token
+  // draw — a restart must not rate-penalize recovered work.
   for (const std::string& id : requeued_) {
-    enqueue(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const StoredJob* stored = store_.find(id);
+      if (stored == nullptr) {
+        continue;
+      }
+      Job job = stored->job;
+      job.deadline_s = 0.0;  // the original admission clock is gone
+      const double table_bytes =
+          job_table_bytes(job.s1.size(), job.s2.size());
+      record_admission_locked(job, table_bytes);
+      governor_.adopt(job.tenant, table_bytes, mono_now_s());
+    }
+    // push() may block (backpressure) or fail once the queue is closed
+    // by drain/interrupt; a false return is fine — the job is journaled
+    // as queued and the drain pass (or the next restart) finishes it.
+    queue_.push(id);
   }
   requeued_.clear();
 
@@ -223,6 +301,18 @@ void Daemon::run() {
   obs::set_counter("serve.daemon.uptime_s", uptime);
   obs::set_counter("serve.daemon.workers",
                    static_cast<double>(config_.workers));
+  // Per-tenant tallies become counters so perf_diff can compare runs;
+  // the anonymous tenant reports as "anonymous".
+  for (const auto& [name, usage] : governor_.usage()) {
+    const std::string prefix =
+        "serve.tenant." + (name.empty() ? std::string("anonymous") : name);
+    obs::set_counter((prefix + ".admitted").c_str(),
+                     static_cast<double>(usage.admitted));
+    obs::set_counter((prefix + ".rejected").c_str(),
+                     static_cast<double>(usage.rejected));
+    obs::set_counter((prefix + ".finished").c_str(),
+                     static_cast<double>(usage.finished));
+  }
 }
 
 void Daemon::accept_loop() {
@@ -258,18 +348,117 @@ void Daemon::accept_loop() {
   }
 }
 
+bool Daemon::send_frame(Connection* conn, const std::string& payload) {
+  const int fd = conn->fd.load();
+  std::string bytes = encode_frame(payload);
+  if (!config_.chaos.empty()) {
+    if (const int ms = config_.chaos.draw_stall_ms()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.chaos_events;
+      }
+      RRI_OBS_COUNTER("serve.daemon.chaos_stalls", 1);
+      trace::instant("daemon.chaos_stall");
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    if (config_.chaos.draw_reset()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.chaos_events;
+      }
+      RRI_OBS_COUNTER("serve.daemon.chaos_resets", 1);
+      trace::instant("daemon.chaos_reset");
+      arm_reset(fd);  // the close at the end of handle_connection RSTs
+      return false;
+    }
+    if (config_.chaos.draw_split() && bytes.size() > 1) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.chaos_events;
+      }
+      RRI_OBS_COUNTER("serve.daemon.chaos_splits", 1);
+      trace::instant("daemon.chaos_split");
+      const std::size_t cut = bytes.size() / 2;
+      if (!send_all(fd, bytes.substr(0, cut))) {
+        return false;
+      }
+      std::this_thread::yield();
+      return send_all(fd, bytes.substr(cut));
+    }
+  }
+  return send_all(fd, bytes);
+}
+
 void Daemon::handle_connection(Connection* conn) {
   // One timeline lane per connection: frame handling (and result-wait
   // blocking) is visible per client in the trace view.
   RRI_TRACE_LANE(trace::kProcDaemon, conn->id);
+  const int fd = conn->fd.load();
   FrameReader reader;
   char buffer[65536];
   bool open = true;
+  auto last_bytes_at = std::chrono::steady_clock::now();
   while (open) {
+    // poll() before recv(): the timeout slice keeps the idle check live
+    // and lets run()'s shutdown() wake a quiet connection promptly.
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kConnPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0) {
+      if (config_.idle_timeout_s > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        last_bytes_at)
+                  .count() >= config_.idle_timeout_s) {
+        // Slowloris defense: answer once so a well-meaning slow client
+        // learns why, then free this thread.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.idle_timeouts;
+        }
+        RRI_OBS_COUNTER("serve.daemon.idle_timeouts", 1);
+        trace::instant("daemon.idle_timeout");
+        send_frame(conn, error_payload(
+                             "", "", "idle_timeout",
+                             "no bytes received for " +
+                                 std::to_string(config_.idle_timeout_s) +
+                                 " s; closing the connection"));
+        break;
+      }
+      continue;
+    }
+    if (!config_.chaos.empty()) {
+      // Read-side chaos mirrors a flaky network in front of the daemon.
+      if (const int ms = config_.chaos.draw_stall_ms()) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.chaos_events;
+        }
+        RRI_OBS_COUNTER("serve.daemon.chaos_stalls", 1);
+        trace::instant("daemon.chaos_stall");
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      if (config_.chaos.draw_reset()) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.chaos_events;
+        }
+        RRI_OBS_COUNTER("serve.daemon.chaos_resets", 1);
+        trace::instant("daemon.chaos_reset");
+        arm_reset(fd);
+        break;
+      }
+    }
     ssize_t n = 0;
     {
       RRI_TRACE_SPAN("daemon.read");
-      n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+      n = ::recv(fd, buffer, sizeof(buffer), 0);
     }
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
@@ -280,6 +469,7 @@ void Daemon::handle_connection(Connection* conn) {
       }
       break;  // peer closed (or shutdown() during drain)
     }
+    last_bytes_at = std::chrono::steady_clock::now();
     reader.feed(buffer, static_cast<std::size_t>(n));
     while (open) {
       std::string payload;
@@ -296,8 +486,7 @@ void Daemon::handle_connection(Connection* conn) {
           ++stats_.protocol_errors;
         }
         RRI_OBS_COUNTER("serve.daemon.protocol_errors", 1);
-        send_all(conn->fd,
-                 encode_frame(error_payload("", "", e.code(), e.what())));
+        send_frame(conn, error_payload("", "", e.code(), e.what()));
         open = false;
         break;
       }
@@ -320,7 +509,7 @@ void Daemon::handle_connection(Connection* conn) {
         RRI_OBS_COUNTER("serve.daemon.protocol_errors", 1);
         response = error_payload("", "", e.code(), e.what());
       }
-      if (!send_all(conn->fd, encode_frame(response))) {
+      if (!send_frame(conn, response)) {
         open = false;
       }
       if (drain) {
@@ -328,8 +517,8 @@ void Daemon::handle_connection(Connection* conn) {
       }
     }
   }
-  ::close(conn->fd);
-  conn->fd = -1;
+  ::close(fd);
+  conn->fd.store(-1);
 }
 
 std::string Daemon::handle_request(const Request& req, bool* drain_out) {
@@ -369,6 +558,7 @@ std::string Daemon::handle_request(const Request& req, bool* drain_out) {
                              "no job with id \"" + req.id + "\"");
       }
       if (store_.cancel(req.id)) {
+        release_admission_locked(req.id);
         RRI_OBS_COUNTER("serve.daemon.jobs_cancelled", 1);
         terminal_cv_.notify_all();
         return ok_head("cancel") + ",\"id\":\"" +
@@ -418,6 +608,33 @@ std::string Daemon::handle_request(const Request& req, bool* drain_out) {
              ",\"misses\":" + std::to_string(cache_stats.misses) +
              ",\"entries\":" + std::to_string(cache_stats.entries) +
              ",\"bytes\":" + std::to_string(cache_stats.bytes_in_use) + "}";
+      out += ",\"queue_depth\":" + std::to_string(queue_.depth());
+      out += ",\"shed\":{\"quota\":" +
+             std::to_string(stats_.quota_rejections) + ",\"overload\":" +
+             std::to_string(stats_.shed_overload) + ",\"deadline\":" +
+             std::to_string(stats_.shed_deadline) + ",\"idle_timeouts\":" +
+             std::to_string(stats_.idle_timeouts) + "}";
+      out += ",\"chaos_events\":" + std::to_string(stats_.chaos_events);
+      out += ",\"tenants\":{";
+      bool first_tenant = true;
+      for (const auto& [name, usage] : governor_.usage()) {
+        if (!first_tenant) {
+          out += ",";
+        }
+        first_tenant = false;
+        char bytes_buf[32];
+        std::snprintf(bytes_buf, sizeof(bytes_buf), "%.0f",
+                      usage.inflight_bytes);
+        out += "\"" +
+               obs::json_escape(name.empty() ? std::string("anonymous")
+                                             : name) +
+               "\":{\"admitted\":" + std::to_string(usage.admitted) +
+               ",\"rejected\":" + std::to_string(usage.rejected) +
+               ",\"finished\":" + std::to_string(usage.finished) +
+               ",\"inflight\":" + std::to_string(usage.inflight_jobs) +
+               ",\"inflight_bytes\":" + bytes_buf + "}";
+      }
+      out += "}";
       out += ",\"draining\":";
       out += draining_.load() ? "true" : "false";
       out += "}\n";
@@ -470,11 +687,48 @@ std::string Daemon::submit_response(const Request& req) {
               " GiB of F-table; the admission budget is " + std::string(have) +
               " GiB (--max-mem)");
     }
+    // Queue-depth shedding: beyond the high watermark the daemon is
+    // already saturated, so refuse fast with a hint scaled to how much
+    // backlog each worker holds, instead of stacking blocked submits
+    // behind the queue's backpressure.
+    const std::size_t depth = queue_.depth();
+    if (config_.shed_queue_depth > 0 && depth >= config_.shed_queue_depth) {
+      ++stats_.shed_overload;
+      RRI_OBS_COUNTER("serve.daemon.shed_overload", 1);
+      trace::instant("daemon.shed_overload");
+      const double retry_after_s = std::clamp(
+          0.05 * static_cast<double>(depth) /
+              static_cast<double>(std::max(1, config_.workers)),
+          0.05, 5.0);
+      return error_payload("submit", req.id, "overloaded",
+                           "queue depth " + std::to_string(depth) +
+                               " is at the shed watermark of " +
+                               std::to_string(config_.shed_queue_depth),
+                           retry_after_s);
+    }
+    // Per-tenant quotas, priced with the same closed form.
+    const QuotaDecision decision =
+        governor_.admit(req.job.tenant, table_bytes, mono_now_s());
+    if (!decision.admitted) {
+      ++stats_.quota_rejections;
+      RRI_OBS_COUNTER("serve.daemon.quota_rejections", 1);
+      trace::instant("daemon.quota_exceeded");
+      const std::string who =
+          req.job.tenant.empty() ? "anonymous" : req.job.tenant;
+      return error_payload("submit", req.id, "quota_exceeded",
+                           "tenant \"" + who + "\" " + decision.reason +
+                               " quota: " + decision.message,
+                           decision.retry_after_s);
+    }
     store_.submit(req.job);  // journaled before the ack below
+    record_admission_locked(req.job, table_bytes);
     ++stats_.jobs_submitted;
     RRI_OBS_COUNTER("serve.daemon.jobs_submitted", 1);
   }
-  enqueue(req.id);
+  // push() may block (backpressure) or fail once the queue is closed by
+  // drain/interrupt; a false return is fine — the job is journaled as
+  // queued and the drain pass (or the next restart) finishes it.
+  queue_.push(req.id);
   return ok_head("submit") + ",\"id\":\"" + obs::json_escape(req.id) +
          "\",\"state\":\"queued\",\"key\":\"" + fmt_key(job_key(req.job)) +
          "\"}\n";
@@ -504,6 +758,13 @@ std::string Daemon::result_response(const Request& req) {
              "\"" + outcome_fields(stored->outcome) +
              ",\"state\":\"done\"}\n";
     case JobState::kFailed:
+      // Deadline sheds are failures with a dedicated code so a client
+      // can distinguish "too slow, resubmit with more headroom" from a
+      // kernel error.
+      if (stored->error.rfind("deadline_exceeded", 0) == 0) {
+        return error_payload("result", req.id, "deadline_exceeded",
+                             stored->error);
+      }
       return error_payload("result", req.id, "failed", stored->error);
     case JobState::kCancelled:
       return error_payload("result", req.id, "cancelled",
@@ -567,12 +828,25 @@ void Daemon::worker_loop(int worker_id) {
       std::lock_guard<std::mutex> lock(mutex_);
       const auto admitted_it = admitted_.find(id);
       if (admitted_it != admitted_.end()) {
-        RRI_OBS_LATENCY(
-            "serve.queue_wait_s",
+        const double waited =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          admitted_it->second)
-                .count());
-        admitted_.erase(admitted_it);
+                                          admitted_it->second.at)
+                .count();
+        RRI_OBS_LATENCY("serve.queue_wait_s", waited);
+        if (!admitted_it->second.tenant.empty()) {
+          obs::record_latency(("serve.queue_wait_s.tenant." +
+                               admitted_it->second.tenant)
+                                  .c_str(),
+                              waited);
+        }
+      }
+      // Deadline shed at dequeue: a job that expired while queued is
+      // failed here instead of burning a worker on an answer nobody is
+      // waiting for anymore.
+      if (shed_if_expired_locked(id)) {
+        ++finished_this_run_;
+        terminal_cv_.notify_all();
+        continue;
       }
       if (!store_.mark_running(id)) {
         continue;  // cancelled (or otherwise settled) while queued
@@ -597,6 +871,7 @@ void Daemon::worker_loop(int worker_id) {
         store_.mark_failed(id, error);
         RRI_OBS_COUNTER("serve.daemon.jobs_failed", 1);
       }
+      release_admission_locked(id);
       ++finished_this_run_;
       if (config_.fail_after >= 0 &&
           finished_this_run_ >=
@@ -626,6 +901,10 @@ void Daemon::finish_remaining_inline() {
       }
       bool found = false;
       for (const auto& id : store_.queued_ids()) {
+        if (shed_if_expired_locked(id)) {
+          ++finished_this_run_;
+          continue;  // deadlines hold through a drain sweep too
+        }
         if (store_.mark_running(id)) {
           job = store_.find(id)->job;
           found = true;
@@ -633,6 +912,7 @@ void Daemon::finish_remaining_inline() {
         }
       }
       if (!found) {
+        terminal_cv_.notify_all();
         return;
       }
     }
@@ -651,6 +931,7 @@ void Daemon::finish_remaining_inline() {
       } else {
         store_.mark_failed(job.id, error);
       }
+      release_admission_locked(job.id);
       ++finished_this_run_;
     }
     terminal_cv_.notify_all();

@@ -11,7 +11,10 @@ namespace rri::serve {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'R', 'J', 'L'};
-constexpr std::uint32_t kVersion = 1;
+/// v1: pre-quota journals (no tenant/deadline on submit records).
+/// v2: submit records carry the tenant name and deadline_s.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void append_pod(std::string& out, const T& value) {
@@ -98,6 +101,8 @@ std::string encode_journal(const std::vector<JournalRecord>& records) {
         append_pod(out, static_cast<std::uint8_t>(r.params.unit_weights));
         append_pod(out, static_cast<std::int32_t>(r.params.min_hairpin));
         append_pod(out, static_cast<std::uint8_t>(r.params.reverse));
+        append_string(out, r.tenant);
+        append_pod(out, r.deadline_s);
         break;
       case JournalRecord::Kind::kDone:
         append_outcome(out, r.outcome);
@@ -132,7 +137,7 @@ std::vector<JournalRecord> decode_journal(const std::string& bytes) {
   }
   std::size_t pos = sizeof(kMagic);
   const auto version = take_pod<std::uint32_t>(bytes, pos, body);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionLegacy) {
     throw core::SerializeError("unsupported RRJL version " +
                                std::to_string(version));
   }
@@ -156,6 +161,10 @@ std::vector<JournalRecord> decode_journal(const std::string& bytes) {
         r.params.min_hairpin =
             take_pod<std::int32_t>(bytes, pos, body);
         r.params.reverse = take_pod<std::uint8_t>(bytes, pos, body) != 0;
+        if (version >= 2) {
+          r.tenant = take_string(bytes, pos, body);
+          r.deadline_s = take_pod<double>(bytes, pos, body);
+        }
         break;
       case JournalRecord::Kind::kDone:
         r.outcome = take_outcome(bytes, pos, body);
@@ -247,6 +256,8 @@ StoredJob* JobStore::apply(const JournalRecord& record) {
       stored.job.s1 = rna::Sequence::from_string(record.s1);
       stored.job.s2 = rna::Sequence::from_string(record.s2);
       stored.job.params = record.params;
+      stored.job.tenant = record.tenant;
+      stored.job.deadline_s = record.deadline_s;
       stored.state = JobState::kQueued;
       auto [it, inserted] = jobs_.emplace(record.id, std::move(stored));
       if (inserted) {
@@ -298,6 +309,8 @@ bool JobStore::submit(const Job& job) {
   r.s1 = job.s1.to_string();
   r.s2 = job.s2.to_string();
   r.params = job.params;
+  r.tenant = job.tenant;
+  r.deadline_s = job.deadline_s;
   append(std::move(r));
   return true;
 }

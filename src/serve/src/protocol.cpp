@@ -1,5 +1,6 @@
 #include "rri/serve/protocol.hpp"
 
+#include <cstdio>
 #include <cstring>
 
 #include "rri/obs/json.hpp"
@@ -158,6 +159,20 @@ Request parse_request(const std::string& payload, const JobParams& defaults) {
     if (req.job.s1.empty() || req.job.s2.empty()) {
       throw ProtocolError("bad_sequence", "strands must be non-empty");
     }
+    if (const obs::JsonValue* tenant = doc.find("tenant")) {
+      if (!tenant->is(obs::JsonValue::Type::kString)) {
+        throw ProtocolError("bad_request", "\"tenant\" must be a string");
+      }
+      req.job.tenant = tenant->as_string();
+    }
+    if (const obs::JsonValue* deadline = doc.find("deadline_s")) {
+      if (!deadline->is(obs::JsonValue::Type::kNumber) ||
+          !(deadline->as_number() >= 0.0)) {
+        throw ProtocolError("bad_request",
+                            "\"deadline_s\" must be a number >= 0");
+      }
+      req.job.deadline_s = deadline->as_number();
+    }
     req.job.params = defaults;
     if (const obs::JsonValue* p = doc.find("params")) {
       if (!p->is(obs::JsonValue::Type::kObject)) {
@@ -198,7 +213,19 @@ std::string submit_payload(const Job& job) {
   out += std::to_string(job.params.min_hairpin);
   out += ",\"no-reverse\":";
   out += job.params.reverse ? "false" : "true";
-  out += "}}\n";
+  out += "}";
+  if (!job.tenant.empty()) {
+    out += ",\"tenant\":\"";
+    out += obs::json_escape(job.tenant);
+    out += "\"";
+  }
+  if (job.deadline_s > 0.0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", job.deadline_s);
+    out += ",\"deadline_s\":";
+    out += buffer;
+  }
+  out += "}\n";
   return out;
 }
 
@@ -218,6 +245,18 @@ std::string error_payload(const std::string& op, const std::string& id,
   out += "\",\"error\":\"";
   out += obs::json_escape(message);
   out += "\"}\n";
+  return out;
+}
+
+std::string error_payload(const std::string& op, const std::string& id,
+                          const std::string& code, const std::string& message,
+                          double retry_after_s) {
+  std::string out = error_payload(op, id, code, message);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", retry_after_s);
+  // Splice before the closing "}\n" so the field order stays stable.
+  out.insert(out.size() - 2,
+             std::string(",\"retry_after_s\":") + buffer);
   return out;
 }
 

@@ -1,0 +1,229 @@
+#include "rri/serve/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "rri/obs/json.hpp"
+#include "rri/rna/sequence.hpp"
+
+namespace rri::serve {
+namespace {
+
+/// Refusals on a dimension without a rate (concurrency, memory) have no
+/// closed-form wait: the bucket frees when some in-flight job finishes.
+/// A small constant keeps retrying clients from hammering the socket
+/// while staying far below typical kernel runtimes.
+constexpr double kSlotRetryS = 0.25;
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& why) {
+  throw rna::ParseError("tenant config line " + std::to_string(line_no) +
+                        ": " + why);
+}
+
+double take_number(const obs::JsonValue& value, const std::string& key,
+                   std::size_t line_no) {
+  if (!value.is(obs::JsonValue::Type::kNumber)) {
+    bad_line(line_no, "\"" + key + "\" must be a number");
+  }
+  const double v = value.as_number();
+  if (!std::isfinite(v) || v < 0.0) {
+    bad_line(line_no, "\"" + key + "\" must be finite and >= 0");
+  }
+  return v;
+}
+
+std::string fmt_gib(double bytes) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                bytes / (1024.0 * 1024.0 * 1024.0));
+  return buffer;
+}
+
+}  // namespace
+
+TenantConfig TenantConfig::parse(std::istream& in) {
+  TenantConfig config;
+  bool saw_default = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    obs::JsonValue doc;
+    try {
+      doc = obs::json_parse(line);
+    } catch (const obs::JsonError& e) {
+      bad_line(line_no, e.what());
+    }
+    if (!doc.is(obs::JsonValue::Type::kObject)) {
+      bad_line(line_no, "expected a JSON object");
+    }
+    std::string name;
+    TenantLimits limits;
+    for (const auto& [key, value] : doc.as_object()) {
+      if (key == "tenant") {
+        if (!value.is(obs::JsonValue::Type::kString) ||
+            value.as_string().empty()) {
+          bad_line(line_no, "\"tenant\" must be a non-empty string");
+        }
+        name = value.as_string();
+      } else if (key == "rate_per_s") {
+        limits.rate_per_s = take_number(value, key, line_no);
+      } else if (key == "burst") {
+        limits.burst = take_number(value, key, line_no);
+        if (limits.burst < 1.0) {
+          bad_line(line_no, "\"burst\" must be >= 1");
+        }
+      } else if (key == "max_concurrent") {
+        const double v = take_number(value, key, line_no);
+        if (v != std::floor(v) || v > 1e9) {
+          bad_line(line_no, "\"max_concurrent\" must be a whole number");
+        }
+        limits.max_concurrent = static_cast<int>(v);
+      } else if (key == "max_mem_gib") {
+        limits.max_mem_bytes =
+            take_number(value, key, line_no) * 1024.0 * 1024.0 * 1024.0;
+      } else {
+        bad_line(line_no, "unknown key \"" + key +
+                              "\" (known: tenant, rate_per_s, burst, "
+                              "max_concurrent, max_mem_gib)");
+      }
+    }
+    if (name.empty()) {
+      bad_line(line_no, "missing \"tenant\"");
+    }
+    if (name == "default") {
+      if (saw_default) {
+        bad_line(line_no, "duplicate tenant \"default\"");
+      }
+      saw_default = true;
+      config.default_limits = limits;
+      continue;
+    }
+    if (!config.tenants.emplace(name, limits).second) {
+      bad_line(line_no, "duplicate tenant \"" + name + "\"");
+    }
+  }
+  return config;
+}
+
+TenantConfig TenantConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw rna::ParseError("cannot open tenant config \"" + path + "\"");
+  }
+  return parse(in);
+}
+
+const TenantLimits& TenantConfig::limits_for(const std::string& tenant) const {
+  const auto it = tenants.find(tenant);
+  return it == tenants.end() ? default_limits : it->second;
+}
+
+TenantGovernor::TenantGovernor(TenantConfig config)
+    : config_(std::move(config)) {}
+
+TenantGovernor::Bucket& TenantGovernor::bucket_for(const std::string& tenant,
+                                                   double now_s) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    Bucket b;
+    b.limits = config_.limits_for(tenant);
+    b.tokens = b.limits.burst;  // new tenants start with a full bucket
+    b.refilled_at_s = now_s;
+    it = buckets_.emplace(tenant, std::move(b)).first;
+  }
+  return it->second;
+}
+
+void TenantGovernor::refill(Bucket& b, double now_s) {
+  if (b.limits.rate_per_s <= 0.0) {
+    return;
+  }
+  const double elapsed = std::max(0.0, now_s - b.refilled_at_s);
+  b.tokens = std::min(b.limits.burst,
+                      b.tokens + elapsed * b.limits.rate_per_s);
+  b.refilled_at_s = now_s;
+}
+
+QuotaDecision TenantGovernor::admit(const std::string& tenant,
+                                    double table_bytes, double now_s) {
+  Bucket& b = bucket_for(tenant, now_s);
+  refill(b, now_s);
+  QuotaDecision d;
+  if (b.limits.rate_per_s > 0.0 && b.tokens < 1.0) {
+    d.admitted = false;
+    d.reason = "rate";
+    d.retry_after_s = (1.0 - b.tokens) / b.limits.rate_per_s;
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%g", b.limits.rate_per_s);
+    d.message = "tenant rate limit of " + std::string(rate) +
+                " jobs/s exhausted";
+  } else if (b.limits.max_concurrent > 0 &&
+             b.usage.inflight_jobs >= b.limits.max_concurrent) {
+    d.admitted = false;
+    d.reason = "concurrency";
+    d.retry_after_s = kSlotRetryS;
+    d.message = "tenant already has " +
+                std::to_string(b.usage.inflight_jobs) + " of " +
+                std::to_string(b.limits.max_concurrent) +
+                " concurrent jobs in flight";
+  } else if (b.limits.max_mem_bytes > 0.0 &&
+             b.usage.inflight_bytes + table_bytes > b.limits.max_mem_bytes) {
+    d.admitted = false;
+    d.reason = "memory";
+    d.retry_after_s = kSlotRetryS;
+    d.message = "job needs " + fmt_gib(table_bytes) +
+                " GiB of F-table but the tenant has " +
+                fmt_gib(b.usage.inflight_bytes) + " of " +
+                fmt_gib(b.limits.max_mem_bytes) + " GiB in flight";
+  }
+  if (!d.admitted) {
+    ++b.usage.rejected;
+    return d;
+  }
+  if (b.limits.rate_per_s > 0.0) {
+    b.tokens -= 1.0;
+  }
+  ++b.usage.admitted;
+  ++b.usage.inflight_jobs;
+  b.usage.inflight_bytes += table_bytes;
+  return d;
+}
+
+void TenantGovernor::adopt(const std::string& tenant, double table_bytes,
+                           double now_s) {
+  Bucket& b = bucket_for(tenant, now_s);
+  ++b.usage.admitted;
+  ++b.usage.inflight_jobs;
+  b.usage.inflight_bytes += table_bytes;
+}
+
+void TenantGovernor::finish(const std::string& tenant, double table_bytes) {
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    return;
+  }
+  Bucket& b = it->second;
+  ++b.usage.finished;
+  b.usage.inflight_jobs = std::max(0, b.usage.inflight_jobs - 1);
+  b.usage.inflight_bytes = std::max(0.0, b.usage.inflight_bytes - table_bytes);
+}
+
+std::map<std::string, TenantUsage> TenantGovernor::usage() const {
+  std::map<std::string, TenantUsage> out;
+  for (const auto& [name, bucket] : buckets_) {
+    out.emplace(name, bucket.usage);
+  }
+  return out;
+}
+
+}  // namespace rri::serve

@@ -380,6 +380,186 @@ TEST(DaemonE2E, RestartReplaysJournalAndCompletesBatch) {
   }
 }
 
+TEST(Journal, V2RecordsCarryTenantAndDeadline) {
+  std::vector<JournalRecord> records(1);
+  records[0].kind = JournalRecord::Kind::kSubmit;
+  records[0].id = "j1";
+  records[0].s1 = "GGGAAACCC";
+  records[0].s2 = "GGGUUUCCC";
+  records[0].tenant = "acme";
+  records[0].deadline_s = 2.5;
+  const std::vector<JournalRecord> back =
+      decode_journal(encode_journal(records));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].tenant, "acme");
+  EXPECT_EQ(back[0].deadline_s, 2.5);
+}
+
+TEST(JobStore, RestartPreservesTenantOnRequeuedJobs) {
+  mpisim::MemoryBlobStore blobs;
+  {
+    JobStore store(&blobs);
+    Job job = make_job("j1", "GGGAAACCC", "GGGUUUCCC");
+    job.tenant = "acme";
+    job.deadline_s = 9.0;
+    ASSERT_TRUE(store.submit(job));
+  }
+  JobStore store(&blobs);
+  const std::vector<std::string> requeued = store.recover();
+  ASSERT_EQ(requeued.size(), 1u);
+  const StoredJob* stored = store.find("j1");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->job.tenant, "acme");
+  EXPECT_EQ(stored->job.deadline_s, 9.0);
+}
+
+TEST(DaemonE2E, QuotaRefusalCarriesRetryAfterAndRetryingClientLands) {
+  DaemonConfig config;
+  config.workers = 2;
+  // 2 jobs/s with burst 1: the second back-to-back submit must be
+  // refused with a ~0.5 s retry_after_s hint.
+  config.tenant_config.tenants["acme"] = {/*rate_per_s=*/2.0,
+                                          /*burst=*/1.0, 0, 0.0};
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  Job j1 = make_job("q1", "GGGAAACCC", "GGGUUUCCC");
+  Job j2 = make_job("q2", "ACGUACGUACGU", "UGCAUGCAUGCA");
+  j1.tenant = j2.tenant = "acme";
+  ASSERT_TRUE(client.submit(j1).get("ok").as_bool());
+  const obs::JsonValue refused = client.submit(j2);
+  ASSERT_FALSE(refused.get("ok").as_bool());
+  EXPECT_EQ(refused.get("code").as_string(), "quota_exceeded");
+  EXPECT_NE(refused.get("error").as_string().find("acme"),
+            std::string::npos);
+  const double hint = refused.get("retry_after_s").as_number();
+  EXPECT_GT(hint, 0.0);
+  EXPECT_LE(hint, 0.5 + 1e-9);
+  // A refused job never entered the store.
+  EXPECT_EQ(client.status("q2").get("code").as_string(), "unknown_id");
+  // Another tenant's bucket is untouched.
+  Job other = make_job("q3", "GCAUGC", "AUGCAU");
+  other.tenant = "lab";
+  EXPECT_TRUE(client.submit(other).get("ok").as_bool());
+
+  // The retrying client waits out the hint and lands the refused job.
+  const obs::JsonValue accepted = client.submit_retrying(j2);
+  ASSERT_TRUE(accepted.get("ok").as_bool());
+  const obs::JsonValue result = client.result("q2", /*wait=*/true);
+  ASSERT_TRUE(result.get("ok").as_bool());
+  EXPECT_EQ(DaemonClient::outcome_from_response(result).score,
+            direct_score(j2));
+
+  // Per-tenant tallies surface in the stats verb.
+  const obs::JsonValue stats = client.stats();
+  const obs::JsonValue& acme = stats.get("tenants").get("acme");
+  EXPECT_EQ(acme.get("admitted").as_number(), 2.0);
+  EXPECT_GE(acme.get("rejected").as_number(), 1.0);
+  EXPECT_GE(stats.get("shed").get("quota").as_number(), 1.0);
+}
+
+TEST(DaemonE2E, ExpiredDeadlineJobsAreShedAtDequeue) {
+  DaemonConfig config;
+  config.workers = 1;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  // A long job pins the single worker...
+  Job slow = make_job("slow", "GGGAAACCCGGGAAACCCGGGAAACCC",
+                      "GGGUUUCCCGGGUUUCCCGGGUUUCCC");
+  ASSERT_TRUE(client.submit(slow).get("ok").as_bool());
+  // ...so a microscopic deadline on the next job expires in the queue.
+  Job doomed = make_job("doomed", "GGGAAACCC", "GGGUUUCCC");
+  doomed.deadline_s = 1e-6;
+  ASSERT_TRUE(client.submit(doomed).get("ok").as_bool());
+
+  const obs::JsonValue result = client.result("doomed", /*wait=*/true);
+  ASSERT_FALSE(result.get("ok").as_bool());
+  EXPECT_EQ(result.get("code").as_string(), "deadline_exceeded");
+  EXPECT_NE(result.get("error").as_string().find("deadline"),
+            std::string::npos);
+  // The pinned job itself still finishes normally.
+  EXPECT_TRUE(client.result("slow", /*wait=*/true).get("ok").as_bool());
+  EXPECT_GE(server.daemon.stats().shed_deadline, 1u);
+}
+
+TEST(DaemonE2E, QueueDepthHighWatermarkShedsWithRetryAfter) {
+  DaemonConfig config;
+  config.workers = 1;
+  config.shed_queue_depth = 1;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  // First job occupies the worker (or the one queue slot); keep
+  // submitting until the watermark refuses one.
+  obs::JsonValue refused;
+  bool saw_overload = false;
+  for (int i = 0; i < 8 && !saw_overload; ++i) {
+    const obs::JsonValue doc = client.submit(
+        make_job("o" + std::to_string(i),
+                 "GGGAAACCCGGGAAACCCGGGAAACCC",
+                 "GGGUUUCCCGGGUUUCCC" + std::string(i, 'A')));
+    if (!doc.get("ok").as_bool()) {
+      EXPECT_EQ(doc.get("code").as_string(), "overloaded");
+      EXPECT_GT(doc.get("retry_after_s").as_number(), 0.0);
+      saw_overload = true;
+    }
+  }
+  EXPECT_TRUE(saw_overload) << "watermark of 1 never shed a submit";
+  EXPECT_GE(server.daemon.stats().shed_overload, 1u);
+}
+
+TEST(DaemonE2E, ChaosDaemonWithRetryingClientMatchesCleanRun) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(make_job("c" + std::to_string(i), "GGGAAACCCAUGC",
+                            "UUGCCAAGG" + std::string(i, 'A')));
+  }
+
+  // Clean run first: the gold answers.
+  std::vector<float> gold;
+  {
+    DaemonConfig config;
+    config.workers = 2;
+    RunningDaemon server(config);
+    DaemonClient client;
+    client.connect("127.0.0.1", server.port);
+    for (const Job& job : jobs) {
+      ASSERT_TRUE(client.submit(job).get("ok").as_bool());
+      const obs::JsonValue doc = client.result(job.id, /*wait=*/true);
+      ASSERT_TRUE(doc.get("ok").as_bool());
+      gold.push_back(DaemonClient::outcome_from_response(doc).score);
+    }
+  }
+
+  // Same batch against a daemon that stalls, splits, and resets its
+  // sockets. The retrying client must converge to identical scores —
+  // chaos may cost retries, never correctness.
+  DaemonConfig config;
+  config.workers = 2;
+  config.chaos =
+      ChaosPlan::parse("stall:p=0.2,ms=10;split:p=0.5;reset:p=0.15,seed=11");
+  RunningDaemon server(config);
+  DaemonClient client;
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.base_s = 0.01;
+  policy.cap_s = 0.2;
+  client.set_retry_policy(policy);
+  client.connect("127.0.0.1", server.port);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const obs::JsonValue sub = client.submit_retrying(jobs[i]);
+    ASSERT_TRUE(sub.get("ok").as_bool()) << jobs[i].id;
+    const obs::JsonValue doc = client.result_retrying(jobs[i].id, true);
+    ASSERT_TRUE(doc.get("ok").as_bool()) << jobs[i].id;
+    EXPECT_EQ(DaemonClient::outcome_from_response(doc).score, gold[i])
+        << jobs[i].id;
+  }
+}
+
 TEST(DaemonE2E, StopFlagDrainsLikeSigterm) {
   std::atomic<bool> stop{false};
   DaemonConfig config;

@@ -283,6 +283,68 @@ TEST(Payloads, SubmitPayloadParsesBack) {
   EXPECT_FALSE(req.job.params.reverse);
 }
 
+TEST(ParseRequest, SubmitCarriesTenantAndDeadline) {
+  const Request req = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"tenant\":\"acme\",\"deadline_s\":2.5}",
+      JobParams{});
+  EXPECT_EQ(req.job.tenant, "acme");
+  EXPECT_EQ(req.job.deadline_s, 2.5);
+  // Both are optional; absent means anonymous with no deadline.
+  const Request bare = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\"}",
+      JobParams{});
+  EXPECT_TRUE(bare.job.tenant.empty());
+  EXPECT_EQ(bare.job.deadline_s, 0.0);
+}
+
+TEST(ParseRequest, RejectsBadTenantAndDeadline) {
+  const char* bad[] = {
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"tenant\":7}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"deadline_s\":\"soon\"}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"deadline_s\":-1}",
+  };
+  for (const char* payload : bad) {
+    try {
+      parse_request(payload, JobParams{});
+      FAIL() << "accepted: " << payload;
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), std::string("bad_request")) << payload;
+    }
+  }
+}
+
+TEST(Payloads, SubmitPayloadRoundTripsTenantAndDeadline) {
+  Job job;
+  job.id = "j";
+  job.s1 = rna::Sequence::from_string("GGGAAACCC");
+  job.s2 = rna::Sequence::from_string("GGGUUUCCC");
+  job.tenant = "acme \"corp\"";
+  job.deadline_s = 0.125;
+  const Request req = parse_request(submit_payload(job), JobParams{});
+  EXPECT_EQ(req.job.tenant, job.tenant);
+  EXPECT_EQ(req.job.deadline_s, 0.125);
+  // Tenant/deadline do not perturb identity: same strands, same key.
+  Job anonymous = job;
+  anonymous.tenant.clear();
+  anonymous.deadline_s = 0.0;
+  EXPECT_EQ(job_key_text(job), job_key_text(anonymous));
+}
+
+TEST(Payloads, ErrorPayloadCarriesRetryAfter) {
+  const std::string payload =
+      error_payload("submit", "j", "quota_exceeded",
+                    "tenant rate limit exhausted", 0.625);
+  const obs::JsonValue doc = obs::json_parse(payload);
+  EXPECT_FALSE(doc.get("ok").as_bool());
+  EXPECT_EQ(doc.get("code").as_string(), "quota_exceeded");
+  EXPECT_EQ(doc.get("retry_after_s").as_number(), 0.625);
+  EXPECT_EQ(payload.find('\n'), payload.size() - 1);
+}
+
 TEST(Payloads, ErrorPayloadEscapesAndRoundTrips) {
   const std::string payload =
       error_payload("submit", "job \"7\"", "over_budget",

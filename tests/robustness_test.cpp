@@ -1,15 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <random>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "rri/core/bpmax.hpp"
 #include "rri/core/serialize.hpp"
 #include "rri/core/traceback.hpp"
 #include "rri/rna/fasta.hpp"
 #include "rri/rna/random.hpp"
+#include "rri/serve/chaos.hpp"
+#include "rri/serve/daemon.hpp"
+#include "rri/serve/tenant.hpp"
 
 namespace {
 
@@ -271,6 +281,145 @@ TEST(Serialize, HostileDimensionsRejectedBeforeAllocation) {
   std::memcpy(bytes.data() + 16, &huge, sizeof(huge));  // n
   std::stringstream in(bytes);
   EXPECT_THROW(core::load_ftable(in), core::SerializeError);
+}
+
+// ------------------------------------------- serving-config fuzzing
+
+/// The tenant-config parser faces operator-written files: truncation,
+/// byte soup, and structurally-valid-but-wrong lines must all land on a
+/// typed ParseError naming a line, never a crash or a silent accept of
+/// nonsense limits.
+TEST(TenantConfigFuzz, ByteSoupNeverCrashes) {
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 300);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    const int l = len(rng);
+    for (int i = 0; i < l; ++i) {
+      soup.push_back(static_cast<char>(byte(rng)));
+    }
+    std::istringstream in(soup);
+    try {
+      rri::serve::TenantConfig::parse(in);
+    } catch (const rri::rna::ParseError&) {
+      // fine: rejected with a typed, line-numbered error
+    }
+  }
+}
+
+TEST(TenantConfigFuzz, TruncationOfAValidFileNeverCrashes) {
+  const std::string good =
+      "{\"tenant\":\"acme\",\"rate_per_s\":2,\"burst\":4,"
+      "\"max_concurrent\":8,\"max_mem_gib\":0.5}\n"
+      "{\"tenant\":\"default\",\"rate_per_s\":1}\n";
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    std::istringstream in(good.substr(0, cut));
+    try {
+      rri::serve::TenantConfig::parse(in);
+    } catch (const rri::rna::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("tenant config line"),
+                std::string::npos)
+          << "cut at " << cut << ": " << e.what();
+    }
+  }
+}
+
+TEST(TenantConfigFuzz, JsonShapedGarbageRejectedCleanly) {
+  // JSON-valid lines with hostile values: every one must throw, none
+  // may produce a config with negative or NaN limits.
+  const char* lines[] = {
+      "{\"tenant\":\"a\",\"rate_per_s\":-3}",
+      "{\"tenant\":\"a\",\"rate_per_s\":1e999}",
+      "{\"tenant\":\"a\",\"burst\":-1}",
+      "{\"tenant\":\"a\",\"max_concurrent\":3.7}",
+      "{\"tenant\":\"a\",\"max_concurrent\":1e12}",
+      "{\"tenant\":\"a\",\"max_mem_gib\":\"lots\"}",
+      "{\"tenant\":42}",
+      "{\"tenant\":\"a\"} {\"tenant\":\"b\"}",
+      "{\"tenant\":\"dup\"}\n{\"tenant\":\"dup\"}",
+  };
+  for (const char* text : lines) {
+    std::istringstream in(text);
+    EXPECT_THROW(rri::serve::TenantConfig::parse(in), rri::rna::ParseError)
+        << text;
+  }
+}
+
+TEST(ChaosPlanFuzz, ByteSoupNeverCrashes) {
+  std::mt19937_64 rng(37);
+  // Bias toward grammar-adjacent characters to reach deep parser paths.
+  const std::string alphabet = "stalpreize:;,=0123456789.-eE \t\xff\x01";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 80);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string soup;
+    const int l = len(rng);
+    for (int i = 0; i < l; ++i) {
+      soup.push_back(alphabet[pick(rng)]);
+    }
+    try {
+      rri::serve::ChaosPlan::parse(soup);
+    } catch (const std::invalid_argument&) {
+      // fine: rejected with a message naming the clause
+    }
+  }
+}
+
+TEST(ChaosPlanFuzz, TruncationOfAValidSpecNeverCrashes) {
+  const std::string good = "stall:p=0.05,ms=40;split:p=0.3;reset:p=0.02,seed=7";
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    try {
+      rri::serve::ChaosPlan::parse(good.substr(0, cut));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// ---------------------------------------------------- slowloris defense
+
+/// A client that connects and trickles (or sends nothing) must not pin a
+/// connection thread forever: with --idle-timeout armed the daemon sends
+/// an idle_timeout error frame and hangs up on its own.
+TEST(Slowloris, IdleConnectionTimedOutAndClosed) {
+  rri::serve::DaemonConfig config;
+  config.idle_timeout_s = 0.3;
+  rri::serve::Daemon daemon(config);
+  const int port = daemon.start();
+  std::thread runner([&] { daemon.run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Send a partial frame header — a length prefix promising bytes that
+  // never come — then go silent, the classic slowloris shape.
+  const char partial[3] = {0, 0, 0};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+
+  // The daemon must speak first: an idle_timeout error frame, then EOF.
+  std::string got;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    got.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(got.find("idle_timeout"), std::string::npos)
+      << "raw bytes: " << got;
+
+  daemon.request_drain();
+  runner.join();
+  EXPECT_EQ(daemon.stats().idle_timeouts, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+/// Tests for the per-tenant admission layer (src/serve/tenant.cpp) and
+/// the socket chaos plan parser (src/serve/chaos.cpp): config parsing
+/// with line-numbered errors, the token-bucket governor driven by a
+/// fake clock (identical call sequences must yield identical decisions
+/// and retry_after_s hints), journal-replay adoption, and the chaos
+/// grammar's accept/reject behavior and seeded determinism.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "rri/rna/sequence.hpp"
+#include "rri/serve/chaos.hpp"
+#include "rri/serve/tenant.hpp"
+
+namespace rri::serve {
+namespace {
+
+TenantConfig parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return TenantConfig::parse(in);
+}
+
+// ------------------------------------------------------- config parser
+
+TEST(TenantConfig, ParsesTenantsDefaultAndComments) {
+  const TenantConfig config = parse_text(
+      "# quota file\n"
+      "\n"
+      "{\"tenant\":\"acme\",\"rate_per_s\":2,\"burst\":4}\r\n"
+      "{\"tenant\":\"default\",\"max_concurrent\":8}\n"
+      "{\"tenant\":\"lab\",\"max_mem_gib\":0.5}\n");
+  ASSERT_EQ(config.tenants.size(), 2u);
+  EXPECT_EQ(config.tenants.at("acme").rate_per_s, 2.0);
+  EXPECT_EQ(config.tenants.at("acme").burst, 4.0);
+  EXPECT_EQ(config.default_limits.max_concurrent, 8);
+  EXPECT_EQ(config.tenants.at("lab").max_mem_bytes,
+            0.5 * 1024.0 * 1024.0 * 1024.0);
+  // Unlisted tenants (and the anonymous "") get the default bucket.
+  EXPECT_EQ(config.limits_for("nobody").max_concurrent, 8);
+  EXPECT_EQ(config.limits_for("").max_concurrent, 8);
+  EXPECT_EQ(config.limits_for("acme").rate_per_s, 2.0);
+}
+
+TEST(TenantConfig, EmptyConfigAdmitsEverything) {
+  const TenantConfig config = parse_text("");
+  EXPECT_EQ(config.limits_for("anyone"), TenantLimits{});
+}
+
+TEST(TenantConfig, ErrorsCarryLineNumbers) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } cases[] = {
+      {"{\"tenant\":\"a\"}\nnot json\n", "line 2"},
+      {"{\"rate_per_s\":1}\n", "missing \"tenant\""},
+      {"{\"tenant\":\"\"}\n", "non-empty"},
+      {"{\"tenant\":\"a\",\"rate_per_s\":-1}\n", ">= 0"},
+      {"{\"tenant\":\"a\",\"rate_per_s\":\"fast\"}\n", "must be a number"},
+      {"{\"tenant\":\"a\",\"burst\":0.5}\n", "\"burst\" must be >= 1"},
+      {"{\"tenant\":\"a\",\"max_concurrent\":1.5}\n", "whole number"},
+      {"{\"tenant\":\"a\",\"color\":\"red\"}\n", "unknown key"},
+      {"{\"tenant\":\"a\"}\n{\"tenant\":\"a\"}\n", "duplicate tenant"},
+      {"{\"tenant\":\"default\"}\n{\"tenant\":\"default\"}\n",
+       "duplicate tenant \"default\""},
+      {"[1,2,3]\n", "expected a JSON object"},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse_text(c.text);
+      FAIL() << "accepted: " << c.text;
+    } catch (const rna::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "error for {" << c.text << "} was: " << e.what();
+      EXPECT_NE(std::string(e.what()).find("tenant config line"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TenantConfig, LoadFileMissingPathIsTypedError) {
+  EXPECT_THROW(TenantConfig::load_file("/no/such/tenants.jsonl"),
+               rna::ParseError);
+}
+
+// ----------------------------------------------------------- governor
+
+TEST(TenantGovernor, UnlimitedByDefault) {
+  TenantGovernor governor;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(governor.admit("anyone", 1e9, 0.0).admitted);
+  }
+}
+
+TEST(TenantGovernor, TokenBucketRateAndRetryAfterMath) {
+  TenantConfig config;
+  config.tenants["t"] = {/*rate_per_s=*/2.0, /*burst=*/2.0, 0, 0.0};
+  TenantGovernor governor(config);
+
+  // Full bucket at first sight: burst jobs pass back to back.
+  EXPECT_TRUE(governor.admit("t", 0.0, 10.0).admitted);
+  EXPECT_TRUE(governor.admit("t", 0.0, 10.0).admitted);
+  const QuotaDecision refused = governor.admit("t", 0.0, 10.0);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.reason, "rate");
+  // Empty bucket, rate 2/s: one token is 0.5 s away.
+  EXPECT_DOUBLE_EQ(refused.retry_after_s, 0.5);
+  EXPECT_NE(refused.message.find("rate limit"), std::string::npos);
+
+  // 0.25 s later half a token has refilled; still short.
+  const QuotaDecision still = governor.admit("t", 0.0, 10.25);
+  EXPECT_FALSE(still.admitted);
+  EXPECT_DOUBLE_EQ(still.retry_after_s, 0.25);
+  // At the hinted time the job passes.
+  EXPECT_TRUE(governor.admit("t", 0.0, 10.5).admitted);
+  // A refused admit consumed nothing: the bucket is empty again.
+  EXPECT_FALSE(governor.admit("t", 0.0, 10.5).admitted);
+}
+
+TEST(TenantGovernor, DeterministicAcrossIdenticalCallSequences) {
+  TenantConfig config;
+  config.tenants["t"] = {/*rate_per_s=*/3.0, /*burst=*/1.0, 0, 0.0};
+  TenantGovernor a(config);
+  TenantGovernor b(config);
+  for (int i = 0; i < 50; ++i) {
+    const double now = 5.0 + 0.1 * i;
+    const QuotaDecision da = a.admit("t", 100.0, now);
+    const QuotaDecision db = b.admit("t", 100.0, now);
+    EXPECT_EQ(da.admitted, db.admitted) << i;
+    EXPECT_EQ(da.retry_after_s, db.retry_after_s) << i;
+  }
+}
+
+TEST(TenantGovernor, ConcurrencyCapFreesOnFinish) {
+  TenantConfig config;
+  config.tenants["t"] = {0.0, 1.0, /*max_concurrent=*/2, 0.0};
+  TenantGovernor governor(config);
+
+  EXPECT_TRUE(governor.admit("t", 10.0, 0.0).admitted);
+  EXPECT_TRUE(governor.admit("t", 10.0, 0.0).admitted);
+  const QuotaDecision refused = governor.admit("t", 10.0, 0.0);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.reason, "concurrency");
+  EXPECT_GT(refused.retry_after_s, 0.0);
+  // Another tenant is not affected by t's saturation.
+  EXPECT_TRUE(governor.admit("other", 10.0, 0.0).admitted);
+
+  governor.finish("t", 10.0);
+  EXPECT_TRUE(governor.admit("t", 10.0, 0.0).admitted);
+}
+
+TEST(TenantGovernor, MemoryBudgetTracksInflightBytes) {
+  TenantConfig config;
+  config.tenants["t"] = {0.0, 1.0, 0, /*max_mem_bytes=*/1000.0};
+  TenantGovernor governor(config);
+
+  EXPECT_TRUE(governor.admit("t", 600.0, 0.0).admitted);
+  const QuotaDecision refused = governor.admit("t", 600.0, 0.0);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.reason, "memory");
+  EXPECT_TRUE(governor.admit("t", 400.0, 0.0).admitted);
+
+  governor.finish("t", 600.0);
+  EXPECT_TRUE(governor.admit("t", 600.0, 0.0).admitted);
+}
+
+TEST(TenantGovernor, AdoptCountsInflightWithoutTokenDraw) {
+  TenantConfig config;
+  config.tenants["t"] = {/*rate_per_s=*/1.0, /*burst=*/1.0,
+                         /*max_concurrent=*/2, 0.0};
+  TenantGovernor governor(config);
+
+  // Journal replay re-accounts two in-flight jobs; the rate bucket is
+  // untouched, so a fresh submit still has its full burst...
+  governor.adopt("t", 10.0, 0.0);
+  governor.adopt("t", 10.0, 0.0);
+  const QuotaDecision d = governor.admit("t", 10.0, 0.0);
+  // ...but the concurrency cap sees the adopted jobs.
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, "concurrency");
+  governor.finish("t", 10.0);
+  EXPECT_TRUE(governor.admit("t", 10.0, 0.0).admitted);
+}
+
+TEST(TenantGovernor, UsageTalliesPerTenant) {
+  TenantConfig config;
+  config.tenants["t"] = {0.0, 1.0, /*max_concurrent=*/1, 0.0};
+  TenantGovernor governor(config);
+  EXPECT_TRUE(governor.admit("t", 5.0, 0.0).admitted);
+  EXPECT_FALSE(governor.admit("t", 5.0, 0.0).admitted);
+  EXPECT_TRUE(governor.admit("", 7.0, 0.0).admitted);
+  governor.finish("t", 5.0);
+
+  const auto usage = governor.usage();
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage.at("t").admitted, 1u);
+  EXPECT_EQ(usage.at("t").rejected, 1u);
+  EXPECT_EQ(usage.at("t").finished, 1u);
+  EXPECT_EQ(usage.at("t").inflight_jobs, 0);
+  EXPECT_EQ(usage.at("").admitted, 1u);
+  EXPECT_EQ(usage.at("").inflight_bytes, 7.0);
+}
+
+// ---------------------------------------------------------- chaos plan
+
+TEST(ChaosPlan, EmptySpecMeansNoChaos) {
+  EXPECT_TRUE(ChaosPlan().empty());
+  EXPECT_TRUE(ChaosPlan::parse("").empty());
+  EXPECT_EQ(ChaosPlan().draw_stall_ms(), 0);
+  EXPECT_FALSE(ChaosPlan().draw_split());
+  EXPECT_FALSE(ChaosPlan().draw_reset());
+}
+
+TEST(ChaosPlan, ParsesFullGrammar) {
+  ChaosPlan plan =
+      ChaosPlan::parse("stall:p=1,ms=40;split:p=1;reset:p=0,seed=7");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.draw_stall_ms(), 40);
+  EXPECT_TRUE(plan.draw_split());
+  EXPECT_FALSE(plan.draw_reset());
+}
+
+TEST(ChaosPlan, DrawsAreSeededAndDeterministic) {
+  const std::string spec = "split:p=0.5,seed=42";
+  ChaosPlan a = ChaosPlan::parse(spec);
+  ChaosPlan b = ChaosPlan::parse(spec);
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool da = a.draw_split();
+    EXPECT_EQ(da, b.draw_split()) << "draw " << i;
+    hits += da ? 1 : 0;
+  }
+  // p=0.5 over 200 draws: far from both degenerate outcomes.
+  EXPECT_GT(hits, 50);
+  EXPECT_LT(hits, 150);
+}
+
+TEST(ChaosPlan, CopyPreservesStreamState) {
+  ChaosPlan a = ChaosPlan::parse("reset:p=0.5,seed=9");
+  for (int i = 0; i < 17; ++i) {
+    a.draw_reset();
+  }
+  ChaosPlan b = a;  // DaemonConfig copies plans by value
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.draw_reset(), b.draw_reset()) << "draw " << i;
+  }
+}
+
+TEST(ChaosPlan, RejectsBadSpecsByName) {
+  const char* bad[] = {
+      "stall",                 // no clause body
+      "stall:ms=5",            // missing p
+      "stall:p=0.5",           // stall needs ms
+      "split:p=2",             // p out of range
+      "split:p=-0.1",          // negative p
+      "split:p=nope",          // non-numeric
+      "reset:p=0.1,ms=4",      // ms only valid on stall
+      "jitter:p=0.5",          // unknown clause
+      "stall:p=0.1,ms=999999", // ms out of range
+      "split:p=0.1,seed=abc",  // bad seed
+      "stall:p=0.1,p=0.2,ms=5",  // duplicate key
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(ChaosPlan::parse(spec), std::invalid_argument) << spec;
+  }
+  // Empty clauses are skipped, not errors (trailing ';' is harmless).
+  EXPECT_TRUE(ChaosPlan::parse(";;").empty());
+  EXPECT_FALSE(ChaosPlan::parse("split:p=1;").empty());
+}
+
+}  // namespace
+}  // namespace rri::serve

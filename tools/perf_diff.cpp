@@ -46,6 +46,16 @@ const double* find_counter(const obs::PerfReport& report,
   return nullptr;
 }
 
+bool has_tenant_counters(const obs::PerfReport& report) {
+  for (const auto& [counter, value] : report.counters) {
+    (void)value;
+    if (counter.rfind("serve.tenant.", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool has_serve_counters(const obs::PerfReport& report) {
   for (const auto& [counter, value] : report.counters) {
     (void)value;
@@ -263,6 +273,16 @@ int main(int argc, char** argv) {
     notes.push_back(std::string("serve counters: ") +
                     (has_serve_counters(base) ? "baseline" : "current") +
                     " report only; skipping serve section");
+  }
+  // Per-tenant counters arrived after quotas shipped; a report from an
+  // older daemon simply lacks them. One-sided is a note, not an error —
+  // the rest of the serve section still diffs cleanly.
+  const bool b_tenants = has_tenant_counters(base);
+  const bool c_tenants = has_tenant_counters(cur);
+  if (b_tenants != c_tenants) {
+    notes.push_back(std::string("tenant counters: ") +
+                    (b_tenants ? "baseline" : "current") +
+                    " report only; other run predates per-tenant quotas");
   }
   harness::ReportTable serve_table(
       {"serve", "base", "cur", "delta", "status"});

@@ -18,9 +18,16 @@
 /// daemon treats an identical (id, job) pair as idempotent. `wait`
 /// skips the submit pass — the collect half of a submit --no-wait or a
 /// restart-recovery flow.
+///
+/// Every request runs through the client's retry policy (--retries,
+/// capped exponential backoff with seeded jitter, honoring the
+/// daemon's retry_after_s hints). Exit codes: 0 ok, 1 run/transport
+/// failure, 2 usage, 4 at least one job refused by quota even after
+/// the retry budget (throttled, not broken).
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,7 +51,7 @@ using namespace rri;
 /// whole run (unknown id, failed job, shutdown before terminal).
 bool collect_outcome(serve::DaemonClient& client, const std::string& id,
                      bool wait, serve::JobOutcome* out) {
-  const obs::JsonValue doc = client.result(id, wait);
+  const obs::JsonValue doc = client.result_retrying(id, wait);
   if (doc.get("ok").as_bool()) {
     *out = serve::DaemonClient::outcome_from_response(doc);
     return true;
@@ -104,6 +111,17 @@ int main(int argc, char** argv) {
   args.add_list_option("param", "batch-wide job default, k=v: "
                                 "unit-weights, min-hairpin, no-reverse");
   args.add_flag("no-wait", "submit/result: do not block on completion");
+  args.add_option("tenant", "tenant name stamped on every submitted job "
+                            "(quota bucket; empty = anonymous)", "");
+  args.add_option("deadline", "per-job deadline in seconds: jobs still "
+                              "queued past it are shed as "
+                              "deadline_exceeded (0 = none)", "0");
+  args.add_option("retries", "attempts per request through transport "
+                             "faults and quota refusals (capped "
+                             "exponential backoff with seeded jitter, "
+                             "honoring retry_after_s)", "5");
+  args.add_option("retry-base-ms", "first retry delay in ms", "50");
+  args.add_option("retry-seed", "jitter stream seed (decimal)", "24301");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -142,8 +160,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string tenant = args.option("tenant");
+  const double deadline_s =
+      std::max(0.0, std::strtod(args.option("deadline").c_str(), nullptr));
+  serve::RetryPolicy policy;
+  policy.max_attempts = std::max(1, args.option_int("retries"));
+  policy.base_s =
+      std::max(0, args.option_int("retry-base-ms")) / 1000.0;
+  policy.seed = static_cast<std::uint64_t>(
+      std::strtoull(args.option("retry-seed").c_str(), nullptr, 10));
+
   try {
     serve::DaemonClient client;
+    client.set_retry_policy(policy);
     client.connect(args.option("host"), port, timeout_s);
 
     if (verb == "ping") {
@@ -159,18 +188,24 @@ int main(int argc, char** argv) {
                      verb.c_str());
         return 2;
       }
-      const std::vector<serve::Job> jobs =
+      std::vector<serve::Job> jobs =
           serve::load_manifest_file(manifest, defaults);
       if (jobs.empty()) {
         std::fprintf(stderr, "rri_client: no jobs in %s\n",
                      manifest.c_str());
         return 2;
       }
+      for (serve::Job& job : jobs) {
+        job.tenant = tenant;
+        job.deadline_s = deadline_s;
+      }
       harness::StopWatch sw;
       std::vector<char> rejected(jobs.size(), 0);
+      std::vector<char> quota_refused(jobs.size(), 0);
+      bool any_quota_refused = false;
       if (verb == "submit") {
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-          const obs::JsonValue doc = client.submit(jobs[i]);
+          const obs::JsonValue doc = client.submit_retrying(jobs[i]);
           if (doc.get("ok").as_bool()) {
             continue;
           }
@@ -178,6 +213,17 @@ int main(int argc, char** argv) {
           if (code == "over_budget") {
             rejected[i] = 1;  // a per-job error line, not a run failure
             std::fprintf(stderr, "rri_client: %s rejected: %s\n",
+                         jobs[i].id.c_str(),
+                         doc.get("error").as_string().c_str());
+            continue;
+          }
+          if (code == "quota_exceeded" || code == "overloaded") {
+            // Refused even after the retry budget: skip the job, keep
+            // submitting the rest, and exit 4 (distinct from transport
+            // failures) so scripts can tell throttling from outages.
+            quota_refused[i] = 1;
+            any_quota_refused = true;
+            std::fprintf(stderr, "rri_client: %s refused by quota: %s\n",
                          jobs[i].id.c_str(),
                          doc.get("error").as_string().c_str());
             continue;
@@ -192,7 +238,7 @@ int main(int argc, char** argv) {
                        "rri_client: submitted %zu job(s); collect them "
                        "later with: rri_client wait --manifest %s\n",
                        jobs.size(), manifest.c_str());
-          return 0;
+          return any_quota_refused ? 4 : 0;
         }
       }
 
@@ -211,6 +257,9 @@ int main(int argc, char** argv) {
       std::size_t hits = 0;
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         serve::JobOutcome outcome;
+        if (quota_refused[i]) {
+          continue;  // never accepted; no result line to write
+        }
         if (rejected[i]) {
           outcome.id = jobs[i].id;
           outcome.key = serve::job_key(jobs[i]);
@@ -231,7 +280,7 @@ int main(int argc, char** argv) {
                    jobs.size(), secs,
                    secs > 0.0 ? static_cast<double>(jobs.size()) / secs : 0.0,
                    hits);
-      return 0;
+      return any_quota_refused ? 4 : 0;
     }
 
     if (verb == "result") {

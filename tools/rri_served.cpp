@@ -78,6 +78,19 @@ int main(int argc, char** argv) {
   args.add_option("fail-after", "test hook: stop executing after this "
                                 "many completions and exit 3 (restart "
                                 "replays the journal)", "-1");
+  args.add_option("tenant-config", "JSONL per-tenant quota file (tenant, "
+                                   "rate_per_s, burst, max_concurrent, "
+                                   "max_mem_gib; \"default\" = unknown "
+                                   "tenants); omit for unlimited tenants",
+                  "");
+  args.add_option("shed-depth", "queue-depth high watermark: submits "
+                                "arriving beyond it are shed with an "
+                                "overloaded error + retry_after_s "
+                                "(0 = never shed)", "0");
+  args.add_option("idle-timeout", "seconds a connection may sit without "
+                                  "delivering bytes before it is closed "
+                                  "with an idle_timeout error "
+                                  "(0 = wait forever)", "0");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -109,10 +122,30 @@ int main(int argc, char** argv) {
       std::max(0, args.option_int("queue-cap")));
   config.fail_after = args.option_int("fail-after");
   config.stop_flag = &g_stop;
+  config.shed_queue_depth = static_cast<std::size_t>(
+      std::max(0, args.option_int("shed-depth")));
+  const double idle_timeout_s =
+      std::strtod(args.option("idle-timeout").c_str(), nullptr);
+  if (idle_timeout_s < 0.0) {
+    std::fprintf(stderr, "rri_served: --idle-timeout must be >= 0 s\n");
+    return 2;
+  }
+  config.idle_timeout_s = idle_timeout_s;
 
   std::unique_ptr<mpisim::FileBlobStore> store;
   const std::string journal_dir = args.option("journal");
   try {
+    const std::string tenant_file = args.option("tenant-config");
+    if (!tenant_file.empty()) {
+      config.tenant_config = serve::TenantConfig::load_file(tenant_file);
+    }
+    if (const char* chaos_spec = std::getenv("RRI_CHAOS")) {
+      config.chaos = serve::ChaosPlan::parse(chaos_spec);
+      if (!config.chaos.empty()) {
+        std::fprintf(stderr, "rri_served: chaos plan armed: %s\n",
+                     chaos_spec);
+      }
+    }
     if (!journal_dir.empty()) {
       store = std::make_unique<mpisim::FileBlobStore>(journal_dir,
                                                       "journal_", ".rrjl");
@@ -160,6 +193,16 @@ int main(int argc, char** argv) {
                  stats.connections, stats.frames, stats.jobs.done,
                  stats.jobs.failed, stats.jobs.cancelled, stats.jobs.queued,
                  stats.jobs_executed, stats.jobs_rejected);
+    if (stats.quota_rejections + stats.shed_overload + stats.shed_deadline +
+            stats.idle_timeouts + stats.chaos_events >
+        0) {
+      std::fprintf(stderr,
+                   "rri_served: shed: %zu quota, %zu overload, %zu "
+                   "deadline, %zu idle timeout(s); %zu chaos event(s)\n",
+                   stats.quota_rejections, stats.shed_overload,
+                   stats.shed_deadline, stats.idle_timeouts,
+                   stats.chaos_events);
+    }
     return stats.interrupted ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rri_served: %s\n", e.what());

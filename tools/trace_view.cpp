@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
   std::map<LaneKey, LaneData> lanes;
   std::map<long long, std::string> process_names;
   std::map<std::string, NameData> by_name;
+  std::map<std::string, std::size_t> instants_by_name;
   std::size_t flow_events = 0;
   std::size_t instants = 0;
   bool malformed = false;
@@ -156,6 +157,11 @@ int main(int argc, char** argv) {
     }
     if (kind == "i") {
       ++instants;
+      if (const obs::JsonValue* name = ev.find("name")) {
+        if (name->is(obs::JsonValue::Type::kString)) {
+          ++instants_by_name[name->as_string()];
+        }
+      }
       continue;
     }
     if (kind != "X") {
@@ -247,9 +253,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Instant events (daemon shed/quota/chaos markers). Traces recorded
+  // before the daemon grew them simply have none — a note, not an error,
+  // so pre-quota traces still summarize cleanly.
+  std::vector<std::pair<std::string, std::size_t>> instant_ranked(
+      instants_by_name.begin(), instants_by_name.end());
+  std::sort(instant_ranked.begin(), instant_ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  harness::ReportTable instant_table({"instant", "count"});
+  for (const auto& [name, count] : instant_ranked) {
+    instant_table.add_row({name, std::to_string(count)});
+  }
+
   if (csv) {
     span_table.print_csv(std::cout);
     lane_table.print_csv(std::cout);
+    if (!instant_ranked.empty()) {
+      instant_table.print_csv(std::cout);
+    }
   } else {
     std::cout << "trace: " << path << " (" << lanes.size() << " lane(s), "
               << flow_events << " flow event(s), " << instants
@@ -257,6 +281,14 @@ int main(int argc, char** argv) {
     span_table.print(std::cout);
     std::cout << "\n";
     lane_table.print(std::cout);
+    if (!instant_ranked.empty()) {
+      std::cout << "\n";
+      instant_table.print(std::cout);
+    }
+  }
+  if (instants == 0) {
+    std::cout << "note: no instant events; trace predates daemon "
+                 "shed/quota/chaos markers\n";
   }
 
   // Imbalance per process: how much busy time the least-loaded lane is
