@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Run the bench bundle: the fig13 double max-plus sweep (one run per
 # SIMD backend), a small batch-serving sweep, a daemon sweep that
-# drives rri_served through rri_client at 1/2/4 workers, and a
-# two-tenant contention sweep (an abusive tenant flooding the queue
-# next to a well-behaved one, quotas off vs on) — bundled into one JSON
-# document (schema rri-bench-bundle/1, documented in
+# drives rri_served through rri_client at 1/2/4 workers, a two-tenant
+# contention sweep (an abusive tenant flooding the queue next to a
+# well-behaved one, quotas off vs on), and a bppart partition-function
+# sweep (per-variant wall time in the logsumexp algebra) — bundled into
+# one JSON document (schema rri-bench-bundle/1, documented in
 # docs/observability.md). CI uploads the bundle as an artifact; locally
 # it is a one-command snapshot you can perf_diff against a later
 # checkout.
@@ -12,7 +13,7 @@
 #   ci/run_bench.sh [build-dir]   (default: build)
 #
 # Knobs:
-#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr7.json)
+#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr8.json)
 #   RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13 sweep
 #   exactly as for any bench binary.
 
@@ -20,7 +21,7 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr7.json}"
+OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr8.json}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
 
@@ -46,10 +47,12 @@ FIG13="${BUILD_DIR}/bench/fig13_dmp_perf"
 BATCH="${BUILD_DIR}/tools/bpmax_batch"
 DAEMON="${BUILD_DIR}/tools/rri_served"
 CLIENT="${BUILD_DIR}/tools/rri_client"
-for bin in "${FIG13}" "${BATCH}" "${DAEMON}" "${CLIENT}"; do
+BPPART="${BUILD_DIR}/tools/bppart"
+for bin in "${FIG13}" "${BATCH}" "${DAEMON}" "${CLIENT}" "${BPPART}"; do
   if [ ! -x "${bin}" ]; then
     echo "run_bench: missing ${bin} (build the fig13_dmp_perf," \
-         "bpmax_batch, rri_served and rri_client targets first)" >&2
+         "bpmax_batch, rri_served, rri_client and bppart targets" \
+         "first)" >&2
     exit 2
   fi
 done
@@ -177,9 +180,39 @@ for MODE in off on; do
   fi
 done
 
-# 5. Bundle: fig13 and batch_serve are complete rri-obs-report/1
-#    documents (perf_diff reads them); daemon and tenant_contention are
-#    sweep tables.
+# 5. bppart sweep: the partition-function workload in the logsumexp
+#    algebra, one run per fill variant on the same pair. The CSV row the
+#    CLI prints carries the wall time; the log_z column doubles as a
+#    cross-variant consistency check (the engine pins the reduction
+#    order, so every variant must print identical digits).
+echo "run_bench: bppart partition-function sweep..."
+BP_S1="$(awk 'BEGIN { for (i = 0; i < 4; ++i) printf "GGGAAACCCAUGC" }')"
+BP_S2="$(awk 'BEGIN { for (i = 0; i < 3; ++i) printf "UUGCCAAGGUUGCC" }')"
+BPPART_ROWS=""
+BP_LOG_Z=""
+for V in serial row_parallel tiled; do
+  "${BPPART}" --csv --variant "${V}" "${BP_S1}" "${BP_S2}" \
+    > "${WORK}/bppart_${V}.csv"
+  row="$(awk -F, 'NR == 2 {
+    printf "{\"variant\":\"%s\",\"m\":%s,\"n\":%s,\"log_z\":%s,\"seconds\":%s}",
+           $6, $1, $2, $3, $5
+  }' "${WORK}/bppart_${V}.csv")"
+  log_z="$(awk -F, 'NR == 2 { print $3 }' "${WORK}/bppart_${V}.csv")"
+  echo "run_bench:   variant=${V}: log_z=${log_z}"
+  if [ -z "${BP_LOG_Z}" ]; then
+    BP_LOG_Z="${log_z}"
+  elif [ "${log_z}" != "${BP_LOG_Z}" ]; then
+    echo "run_bench: ERROR: bppart variant ${V} disagrees" \
+         "(${log_z} vs ${BP_LOG_Z}) — the engine promises bit-identical" \
+         "fills across variants" >&2
+    exit 1
+  fi
+  BPPART_ROWS="${BPPART_ROWS}${BPPART_ROWS:+,}${row}"
+done
+
+# 6. Bundle: fig13 and batch_serve are complete rri-obs-report/1
+#    documents (perf_diff reads them); daemon, tenant_contention and
+#    bppart are sweep tables.
 echo "run_bench: writing ${OUT}"
 {
   printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
@@ -187,6 +220,7 @@ echo "run_bench: writing ${OUT}"
   printf ',\n"batch_serve":'
   cat "${WORK}/batch_report.json"
   printf ',\n"daemon":[%s],\n' "${DAEMON_ROWS}"
-  printf '"tenant_contention":[%s]}\n' "${TENANT_ROWS}"
+  printf '"tenant_contention":[%s],\n' "${TENANT_ROWS}"
+  printf '"bppart":[%s]}\n' "${BPPART_ROWS}"
 } > "${OUT}"
 echo "run_bench: done ($(wc -c < "${OUT}") bytes)"

@@ -53,6 +53,22 @@ FTable solve_double_maxplus(int m, int n, std::uint64_t seed, DmpVariant v,
 float dmp_reference_cell(int m, int n, std::uint64_t seed, int i1, int j1,
                          int i2, int j2);
 
+/// Log-sum-exp twin of the standalone problem: the same recurrence with
+/// (max, +) replaced by (logaddexp, +) over fp64, exercising the lse_*
+/// kernel dispatch in isolation. Inputs are dmp_input_value widened to
+/// double. Every variant applies each cell's reduction in the same
+/// (k1, k2)-lexicographic order, so all variants (including kBaseline)
+/// produce bit-identical tables; kRegTiled has no log-domain
+/// register-blocked kernel yet and runs the row-streamed schedule.
+ZTable solve_double_lse(int m, int n, std::uint64_t seed, DmpVariant v,
+                        TileShape3 tile = {});
+
+/// Recursive reference for one cell of the log-sum-exp problem. Applies
+/// the same reduction order as solve_double_lse, but compare with a
+/// tolerance anyway — the contract is the math, not the rounding.
+double dmp_lse_reference_cell(int m, int n, std::uint64_t seed, int i1,
+                              int j1, int i2, int j2);
+
 }  // namespace rri::core
 
 #endif  // RRI_CORE_DOUBLE_MAXPLUS_HPP

@@ -26,6 +26,23 @@ ExhaustiveResult exhaustive_bpmax(const rna::Sequence& s1,
                                   const rna::Sequence& s2,
                                   const rna::ScoringModel& model);
 
+/// Ground truth for BPPart: brute-force sum of Boltzmann weights.
+struct ExhaustivePartition {
+  double log_z = 0.0;               ///< log sum of exp(score/T)
+  std::vector<double> pair_prob;    ///< P[(a,b) inter-paired], M×N row-major
+  std::size_t structures_seen = 0;  ///< number of planar structures summed
+};
+
+/// Enumerate every *planar* joint structure — the BPMax space restricted
+/// so no intramolecular arc encloses an inter-paired position of its
+/// strand — and sum exp(score / temperature) in the probability domain
+/// (fine at test sizes), plus per-inter-pair marginals. Exponential
+/// time; strands of length <= ~10 only.
+ExhaustivePartition exhaustive_bppart(const rna::Sequence& s1,
+                                      const rna::Sequence& s2,
+                                      const rna::ScoringModel& model,
+                                      double temperature = 1.0);
+
 }  // namespace rri::core
 
 #endif  // RRI_CORE_EXHAUSTIVE_HPP

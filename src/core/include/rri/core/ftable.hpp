@@ -2,14 +2,22 @@
 #define RRI_CORE_FTABLE_HPP
 
 /// \file ftable.hpp
-/// Storage for the 4-D BPMax table F[i1][j1][i2][j2]: a triangular
+/// Storage for the 4-D BPMax/BPPart table T[i1][j1][i2][j2]: a triangular
 /// collection of triangles. This is the paper's default memory map — the
-/// bounding box of the variable's domain, M²·N² floats of which one
+/// bounding box of the variable's domain, M²·N² elements of which one
 /// quarter is used. As the paper notes, the unused elements are never
 /// moved through the memory hierarchy, so the waste costs capacity but
 /// not bandwidth. Each inner triangle (fixed i1,j1) is a contiguous N×N
 /// block whose rows are unit-stride in j2, which is what the vectorized
 /// kernels stream over.
+///
+/// The layout is algebra-independent, so the class is templated on the
+/// element type: `FTable` (float) holds BPMax scores, `ZTable` (double)
+/// holds the BPPart log-partition values. Cells start at the semiring
+/// zero of their algebra — -inf for both max-plus and log-sum-exp —
+/// which doubles as the reduction identity when kernels accumulate in
+/// place (the paper's Phase-III memory map where the reduction variables
+/// share storage with F).
 
 #include <cstddef>
 #include <limits>
@@ -17,35 +25,34 @@
 
 namespace rri::core {
 
-class FTable {
+template <typename T>
+class BasicFTable {
  public:
-  FTable() = default;
+  BasicFTable() = default;
 
-  /// Allocate for strand lengths m and n; all cells start at -inf (the
-  /// max-plus zero), which doubles as the reduction identity when kernels
-  /// accumulate R0/R3/R4 in place (the paper's Phase-III memory map where
-  /// the reduction variables share storage with F).
-  FTable(int m, int n)
+  /// Allocate for strand lengths m and n; all cells start at `fill`
+  /// (default -inf, the max-plus AND log-sum-exp zero).
+  BasicFTable(int m, int n, T fill = -std::numeric_limits<T>::infinity())
       : m_(m),
         n_(n),
         data_(static_cast<std::size_t>(m) * static_cast<std::size_t>(m) *
                   static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-              -std::numeric_limits<float>::infinity()) {}
+              fill) {}
 
   int m() const noexcept { return m_; }
   int n() const noexcept { return n_; }
 
-  /// Number of allocated floats (the bounding box, 4x the used cells).
+  /// Number of allocated elements (the bounding box, 4x the used cells).
   std::size_t allocated() const noexcept { return data_.size(); }
 
-  /// F(i1,j1,i2,j2); requires 0 <= i1 <= j1 < m, 0 <= i2 <= j2 < n.
-  float at(int i1, int j1, int i2, int j2) const noexcept {
+  /// T(i1,j1,i2,j2); requires 0 <= i1 <= j1 < m, 0 <= i2 <= j2 < n.
+  T at(int i1, int j1, int i2, int j2) const noexcept {
     return block(i1, j1)[static_cast<std::size_t>(i2) *
                              static_cast<std::size_t>(n_) +
                          static_cast<std::size_t>(j2)];
   }
 
-  float& at(int i1, int j1, int i2, int j2) noexcept {
+  T& at(int i1, int j1, int i2, int j2) noexcept {
     return block(i1, j1)[static_cast<std::size_t>(i2) *
                              static_cast<std::size_t>(n_) +
                          static_cast<std::size_t>(j2)];
@@ -53,19 +60,19 @@ class FTable {
 
   /// Pointer to the inner triangle for strand-1 interval [i1, j1]:
   /// an N×N row-major block; row i2 is unit-stride in j2.
-  float* block(int i1, int j1) noexcept {
+  T* block(int i1, int j1) noexcept {
     return data_.data() + block_offset(i1, j1);
   }
-  const float* block(int i1, int j1) const noexcept {
+  const T* block(int i1, int j1) const noexcept {
     return data_.data() + block_offset(i1, j1);
   }
 
   /// Unit-stride row: row(i1,j1,i2)[j2] == at(i1,j1,i2,j2).
-  float* row(int i1, int j1, int i2) noexcept {
+  T* row(int i1, int j1, int i2) noexcept {
     return block(i1, j1) +
            static_cast<std::size_t>(i2) * static_cast<std::size_t>(n_);
   }
-  const float* row(int i1, int j1, int i2) const noexcept {
+  const T* row(int i1, int j1, int i2) const noexcept {
     return block(i1, j1) +
            static_cast<std::size_t>(i2) * static_cast<std::size_t>(n_);
   }
@@ -79,8 +86,16 @@ class FTable {
 
   int m_ = 0;
   int n_ = 0;
-  std::vector<float> data_;
+  std::vector<T> data_;
 };
+
+/// The BPMax score table (fp32, tropical algebra).
+using FTable = BasicFTable<float>;
+
+/// The BPPart inside table (fp64, log-sum-exp algebra): Z(i1,j1,i2,j2)
+/// is the log of the partition function of the sub-problem restricted to
+/// strand-1 interval [i1,j1] and strand-2 interval [i2,j2].
+using ZTable = BasicFTable<double>;
 
 }  // namespace rri::core
 

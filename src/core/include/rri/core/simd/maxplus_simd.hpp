@@ -29,6 +29,7 @@
 /// docs/kernels.md.
 
 #include "rri/core/bpmax.hpp"
+#include "rri/semiring/logsumexp.hpp"
 
 namespace rri::core::simd {
 
@@ -63,10 +64,23 @@ void reset_backend() noexcept;
 /// lets the accumulator tile stay in registers across the k2 sweep.
 int row_block() noexcept;
 
+/// The backend the dispatched kernels use for `algebra`. The tropical
+/// kernels follow active_backend(); the log-sum-exp kernels have a
+/// scalar implementation only today, so they report kScalar no matter
+/// what the tropical path resolved to. New vector backends for the
+/// log-domain algebra slot in here without touching any caller.
+Backend active_backend(semiring::Algebra algebra) noexcept;
+
 /// Record the resolved backend into the obs registry as the
 /// `core.simd_backend` counter (set-semantics; no-op when obs is
 /// disabled). Called by the fill entry points at solve granularity.
 void record_backend_counter();
+
+/// Per-algebra form: records `core.simd_backend` for the backend the
+/// given algebra actually runs on, plus the `core.algebra` set-counter
+/// (0 = tropical, 1 = logsumexp) so mixed-workload profiles attribute
+/// both choices.
+void record_backend_counter(semiring::Algebra algebra);
 
 // ------------------------------------------------------------- kernels
 //
@@ -106,6 +120,34 @@ void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
 void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
                    float r4add, int n, TileShape3 tile, int tile_begin,
                    int tile_end) noexcept;
+
+// ----------------------------------------------- log-sum-exp kernels
+//
+// The same contract with (max, +) replaced by (logaddexp, +) over
+// doubles — the BPPart inside fill's hot path. Passing r3add = 0
+// (the semiring one) and r4add = -inf (the semiring zero, annihilating
+// under +) reduces the dense wedge to `acc[i2][j2] logaddexp=
+// a[i2][j2]`. Dispatched through the same seam as the tropical kernels;
+// only the scalar backend exists for this algebra today (see
+// active_backend(Algebra)).
+
+/// Pure-R0 log-sum-exp instance over rows [row_begin, row_end).
+void lse_r0_rows(double* acc, const double* a, const double* b, int n,
+                 int row_begin, int row_end) noexcept;
+
+/// Pure-R0 log-sum-exp instance, TileShape3-tiled.
+void lse_r0_tiled(double* acc, const double* a, const double* b, int n,
+                  TileShape3 tile, int tile_begin, int tile_end) noexcept;
+
+/// R0 + dense-wedge log-sum-exp instance over rows [row_begin, row_end).
+void lse_maxplus_rows(double* acc, const double* a, const double* b,
+                      double r3add, double r4add, int n, int row_begin,
+                      int row_end) noexcept;
+
+/// R0 + dense-wedge log-sum-exp instance, TileShape3-tiled.
+void lse_maxplus_tiled(double* acc, const double* a, const double* b,
+                       double r3add, double r4add, int n, TileShape3 tile,
+                       int tile_begin, int tile_end) noexcept;
 
 }  // namespace rri::core::simd
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rri/core/bpmax.hpp"
+#include "rri/semiring/logsumexp.hpp"
 
 namespace rri::core {
 
@@ -23,6 +24,12 @@ struct ScanOptions {
   /// there are many, so the default uses the serial in-window variant.
   BpmaxOptions solver{Variant::kSerialPermuted, TileShape3{}, 0};
   bool parallel_windows = true;  ///< OpenMP across windows
+  /// Scoring algebra per window: kTropical scores each window with the
+  /// BPMax optimum; kLogSumExp with the BPPart log partition function
+  /// (a softer occupancy-style signal), serial within a window.
+  semiring::Algebra algebra = semiring::Algebra::kTropical;
+  /// Boltzmann temperature; used by the kLogSumExp algebra only.
+  double temperature = 1.0;
 };
 
 struct WindowScore {

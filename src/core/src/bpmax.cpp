@@ -33,9 +33,10 @@ void fill_variant(FTable& f, const STable& s1t, const STable& s2t,
                   const rna::ScoreTables& scores,
                   const BpmaxOptions& options) {
   RRI_OBS_PHASE(obs::Phase::kFill);
-  // Which kernel backend this fill runs on (core.simd_backend,
-  // set-semantics) — surfaced by bpmax --profile and perf_diff.
-  simd::record_backend_counter();
+  // Which kernel backend this fill runs on (core.simd_backend) and which
+  // algebra (core.algebra, 0 = tropical), both set-semantics — surfaced
+  // by bpmax --profile and perf_diff.
+  simd::record_backend_counter(semiring::Algebra::kTropical);
 #if RRI_OBS_ENABLED
   if (obs::enabled()) {
     // Attribute the fill's exact operation counts (and the paper's

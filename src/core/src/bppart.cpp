@@ -1,0 +1,357 @@
+#include "rri/core/bppart.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "rri/core/simd/maxplus_simd.hpp"
+#include "rri/harness/flops.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/semiring/logsumexp.hpp"
+#include "rri/trace/trace.hpp"
+
+namespace rri::core {
+
+namespace {
+
+using LogSum = semiring::LogSumExp<double>;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// RAII save/restore of the OpenMP max-thread setting (same contract as
+/// the bpmax fill's guard).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int requested)
+      : saved_(omp_get_max_threads()), active_(requested > 0) {
+    if (active_) {
+      omp_set_num_threads(requested);
+    }
+  }
+  ~ThreadCountGuard() {
+    if (active_) {
+      omp_set_num_threads(saved_);
+    }
+  }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+  bool active_;
+};
+
+/// Scratch rows [row_begin, row_end) of the split operand A' for split
+/// position a of triangle (i1, j1):
+///
+///   A'[i2][b] = w(a,b) x Zleft(i1, a-1, i2, b-1) x Zn1(a+1, j1)
+///
+/// i.e. everything of the last-inter-pair term except the trailing
+/// Zn2(b+1, j2), which is exactly what the lse kernels' B operand
+/// contributes (R0 pairs A'[i2][b] with Zn2[b+1][j2] for b < j2; the
+/// dense wedge adds A'[i2][j2] itself, covering b == j2 where the Zn2
+/// suffix is empty). Zleft empty-interval cases degrade per the grammar.
+void build_split_rows(double* scratch, const ZTable& z, const PartTable& zn1,
+                      const PartTable& zn2, const double* inter_w, int i1,
+                      int a, int j1, int n, int row_begin, int row_end) {
+  const double tail1 = zn1.at(a + 1, j1);
+  const double* wrow =
+      inter_w + static_cast<std::size_t>(a) * static_cast<std::size_t>(n);
+  for (int i2 = row_begin; i2 < row_end; ++i2) {
+    double* row =
+        scratch + static_cast<std::size_t>(i2) * static_cast<std::size_t>(n);
+    for (int b = i2; b < n; ++b) {
+      const double w = wrow[b];
+      if (w == kNegInf) {
+        row[b] = kNegInf;
+        continue;
+      }
+      double prefix;
+      if (a > i1) {
+        prefix = (b > i2) ? z.at(i1, a - 1, i2, b - 1) : zn1.at(i1, a - 1);
+      } else {
+        prefix = (b > i2) ? zn2.at(i2, b - 1) : 0.0;
+      }
+      row[b] = w + prefix + tail1;
+    }
+  }
+}
+
+/// Inside fill of one triangle (i1, j1). Per-cell reduction order is
+/// identical in every variant — split a ascending, wedge before R0
+/// within a split, the no-inter term last — so all schedules produce
+/// bit-identical tables despite log-add-exp's non-associativity.
+void fill_triangle(ZTable& z, const PartTable& zn1, const PartTable& zn2,
+                   const std::vector<double>& inter_w, int i1, int j1,
+                   const BppartOptions& options,
+                   std::vector<std::vector<double>>& scratch) {
+  const int n = z.n();
+  double* acc = z.block(i1, j1);
+  const double* znb2 = zn2.data();
+  {
+    RRI_OBS_PHASE(obs::Phase::kDmpBand);
+    switch (options.variant) {
+      case BppartVariant::kSerial: {
+        RRI_TRACE_SPAN("dmp_band.lse");
+        double* sc = scratch[0].data();
+        for (int a = i1; a <= j1; ++a) {
+          build_split_rows(sc, z, zn1, zn2, inter_w.data(), i1, a, j1, n, 0,
+                           n);
+          simd::lse_maxplus_rows(acc, sc, znb2, 0.0, kNegInf, n, 0, n);
+        }
+        break;
+      }
+      case BppartVariant::kRowParallel: {
+        // Row i2 of A' only ever feeds row i2 of acc, so rows are
+        // independent across the whole a-loop and each thread runs its
+        // rows' full split sweep privately.
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.lse");
+          double* sc = scratch[static_cast<std::size_t>(
+                                   omp_get_thread_num())]
+                           .data();
+#pragma omp for schedule(static)
+          for (int i2 = 0; i2 < n; ++i2) {
+            for (int a = i1; a <= j1; ++a) {
+              build_split_rows(sc, z, zn1, zn2, inter_w.data(), i1, a, j1, n,
+                               i2, i2 + 1);
+              simd::lse_maxplus_rows(acc, sc, znb2, 0.0, kNegInf, n, i2,
+                                     i2 + 1);
+            }
+          }
+        }
+        break;
+      }
+      case BppartVariant::kTiled: {
+        const TileShape3 tile = options.tile;
+        const int num_tiles = (n + tile.ti2 - 1) / tile.ti2;
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.lse");
+          double* sc = scratch[static_cast<std::size_t>(
+                                   omp_get_thread_num())]
+                           .data();
+#pragma omp for schedule(static)
+          for (int t = 0; t < num_tiles; ++t) {
+            const int row_begin = t * tile.ti2;
+            const int row_end =
+                row_begin + tile.ti2 < n ? row_begin + tile.ti2 : n;
+            for (int a = i1; a <= j1; ++a) {
+              build_split_rows(sc, z, zn1, zn2, inter_w.data(), i1, a, j1, n,
+                               row_begin, row_end);
+              simd::lse_maxplus_tiled(acc, sc, znb2, 0.0, kNegInf, n, tile, t,
+                                      t + 1);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  {
+    // No-inter term: acc[i2][j2] logaddexp= Zn1(i1,j1) + Zn2(i2,j2).
+    // Cannot ride the kernels (they always run the R0 reduction too), so
+    // it is a dedicated O(N^2) pass.
+    RRI_OBS_PHASE(obs::Phase::kFinalize);
+    RRI_TRACE_SPAN("finalize.lse");
+    const double no_inter1 = zn1.at(i1, j1);
+    for (int i2 = 0; i2 < n; ++i2) {
+      double* row = z.row(i1, j1, i2);
+      for (int j2 = i2; j2 < n; ++j2) {
+        row[j2] = LogSum::plus(row[j2], no_inter1 + zn2.at(i2, j2));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PartTable::PartTable(const rna::Sequence& seq, const rna::ScoringModel& model,
+                     double temperature) {
+  l_ = static_cast<int>(seq.size());
+  // Sub-diagonal and diagonal cells are 0 = log 1: empty and
+  // single-base intervals admit exactly the empty structure.
+  data_.assign(static_cast<std::size_t>(l_) * static_cast<std::size_t>(l_),
+               0.0);
+  for (int d = 1; d < l_; ++d) {
+    for (int i = 0; i + d < l_; ++i) {
+      const int j = i + d;
+      // Condition on j: unpaired, or paired to some k — each structure
+      // lands in exactly one branch, so the sum is unambiguous.
+      double v = at(i, j - 1);
+      for (int k = i; k < j; ++k) {
+        if (!model.hairpin_ok(k, j)) {
+          continue;
+        }
+        const float w = model.intra(seq[static_cast<std::size_t>(k)],
+                                    seq[static_cast<std::size_t>(j)]);
+        if (w == rna::kForbidden) {
+          continue;
+        }
+        v = LogSum::plus(v, at(i, k - 1) +
+                                static_cast<double>(w) / temperature +
+                                at(k + 1, j - 1));
+      }
+      data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(l_) +
+            static_cast<std::size_t>(j)] = v;
+    }
+  }
+}
+
+const char* bppart_variant_name(BppartVariant v) noexcept {
+  switch (v) {
+    case BppartVariant::kSerial: return "serial";
+    case BppartVariant::kRowParallel: return "row_parallel";
+    case BppartVariant::kTiled: return "tiled";
+  }
+  return "unknown";
+}
+
+const std::vector<BppartVariant>& all_bppart_variants() {
+  static const std::vector<BppartVariant> variants = {
+      BppartVariant::kSerial,
+      BppartVariant::kRowParallel,
+      BppartVariant::kTiled,
+  };
+  return variants;
+}
+
+BppartResult bppart_solve(const rna::Sequence& strand1,
+                          const rna::Sequence& strand2,
+                          const rna::ScoringModel& model,
+                          const BppartOptions& options) {
+  const double temperature = options.temperature;
+  if (!(temperature > 0.0)) {
+    throw std::invalid_argument("bppart: temperature must be > 0");
+  }
+
+  BppartResult result;
+  result.temperature = temperature;
+  {
+    RRI_OBS_PHASE(obs::Phase::kStable);
+    result.zn1 = PartTable(strand1, model, temperature);
+    result.zn2 = PartTable(strand2, model, temperature);
+#if RRI_OBS_ENABLED
+    if (obs::enabled()) {
+      obs::add_flops(obs::Phase::kStable,
+                     harness::stable_flops(static_cast<int>(strand1.size())) +
+                         harness::stable_flops(
+                             static_cast<int>(strand2.size())));
+    }
+#endif
+  }
+
+  const int m = static_cast<int>(strand1.size());
+  const int n = static_cast<int>(strand2.size());
+  // Degenerate inputs: with one strand empty the joint partition
+  // function collapses to the other strand's single-strand Zn (1 when
+  // both are empty — PartTable::at's empty-interval convention).
+  if (m == 0 || n == 0) {
+    result.log_z =
+        (m == 0) ? result.zn2.at(0, n - 1) : result.zn1.at(0, m - 1);
+    return result;
+  }
+
+  {
+    RRI_OBS_PHASE(obs::Phase::kSetup);
+    const rna::ScoreTables scores(strand1, strand2, model);
+    result.inter_w.assign(
+        static_cast<std::size_t>(m) * static_cast<std::size_t>(n), kNegInf);
+    for (int a = 0; a < m; ++a) {
+      for (int b = 0; b < n; ++b) {
+        const float w = scores.inter(a, b);
+        if (w != rna::kForbidden) {
+          result.inter_w[static_cast<std::size_t>(a) *
+                             static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(b)] =
+              static_cast<double>(w) / temperature;
+        }
+      }
+    }
+    result.z = ZTable(m, n);
+  }
+
+  {
+    RRI_OBS_PHASE(obs::Phase::kFill);
+    simd::record_backend_counter(semiring::Algebra::kLogSumExp);
+#if RRI_OBS_ENABLED
+    if (obs::enabled()) {
+      // The band's candidate count matches BPMax's R0+wedge shape (one
+      // split loop times the kernel's k2 reduction); the log-domain
+      // tables are fp64, so the AI = 1/6 traffic model doubles to 12
+      // bytes per flop-pair.
+      const auto c = harness::bpmax_flops(m, n);
+      obs::add_flops(obs::Phase::kDmpBand, c.r0 + c.r3 + c.r4);
+      obs::add_bytes(obs::Phase::kDmpBand, 12.0 * (c.r0 + c.r3 + c.r4));
+      obs::add_flops(obs::Phase::kFinalize, c.cells);
+      obs::add_bytes(obs::Phase::kFinalize, 12.0 * c.cells);
+    }
+#endif
+    ThreadCountGuard guard(options.num_threads);
+    const int num_scratch = options.variant == BppartVariant::kSerial
+                                ? 1
+                                : omp_get_max_threads();
+    std::vector<std::vector<double>> scratch(
+        static_cast<std::size_t>(num_scratch));
+    for (auto& s : scratch) {
+      s.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+               kNegInf);
+    }
+    for (int d1 = 0; d1 < m; ++d1) {
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        fill_triangle(result.z, result.zn1, result.zn2, result.inter_w, i1,
+                      i1 + d1, options, scratch);
+      }
+    }
+  }
+  result.log_z = result.z.at(0, m - 1, 0, n - 1);
+  return result;
+}
+
+double bppart_log_z(const rna::Sequence& strand1, const rna::Sequence& strand2,
+                    const rna::ScoringModel& model,
+                    const BppartOptions& options) {
+  return bppart_solve(strand1, strand2, model, options).log_z;
+}
+
+std::vector<double> bppart_pair_probabilities(const BppartResult& result) {
+  const int m = result.z.m();
+  const int n = result.z.n();
+  std::vector<double> prob;
+  if (m == 0 || n == 0) {
+    return prob;
+  }
+  prob.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n), 0.0);
+  for (int a = 0; a < m; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const std::size_t idx = static_cast<std::size_t>(a) *
+                                  static_cast<std::size_t>(n) +
+                              static_cast<std::size_t>(b);
+      const double w = result.inter_w[idx];
+      if (w == kNegInf) {
+        continue;  // forbidden pair: exactly 0
+      }
+      // Structures containing (a,b) factor into a planar prefix before
+      // the pair and an independent suffix after it; both are stored
+      // inside values, so the "outside" weight is two table lookups.
+      const double prefix =
+          (a > 0) ? ((b > 0) ? result.z.at(0, a - 1, 0, b - 1)
+                             : result.zn1.at(0, a - 1))
+                  : ((b > 0) ? result.zn2.at(0, b - 1) : 0.0);
+      const double suffix =
+          (a < m - 1) ? ((b < n - 1) ? result.z.at(a + 1, m - 1, b + 1, n - 1)
+                                     : result.zn1.at(a + 1, m - 1))
+                      : ((b < n - 1) ? result.zn2.at(b + 1, n - 1) : 0.0);
+      const double p = std::exp(prefix + w + suffix - result.log_z);
+      prob[idx] = p < 1.0 ? p : 1.0;
+    }
+  }
+  return prob;
+}
+
+}  // namespace rri::core

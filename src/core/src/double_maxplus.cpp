@@ -6,6 +6,7 @@
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/harness/flops.hpp"
 #include "rri/obs/obs.hpp"
+#include "rri/semiring/logsumexp.hpp"
 #include "rri/trace/trace.hpp"
 
 namespace rri::core {
@@ -210,6 +211,159 @@ float dmp_reference_cell(int m, int n, std::uint64_t seed, int i1, int j1,
     for (int k2 = i2; k2 < j2; ++k2) {
       v = std::max(v, dmp_reference_cell(m, n, seed, i1, k1, i2, k2) +
                           dmp_reference_cell(m, n, seed, k1 + 1, j1, k2 + 1, j2));
+    }
+  }
+  return v;
+}
+
+// ------------------------------------------------- log-sum-exp twin
+
+namespace {
+
+using LogSum = semiring::LogSumExp<double>;
+
+void write_inputs_lse(ZTable& f, std::uint64_t seed, int i1, int j1) {
+  const int n = f.n();
+  if (i1 == j1) {
+    for (int i2 = 0; i2 < n; ++i2) {
+      for (int j2 = i2; j2 < n; ++j2) {
+        f.at(i1, j1, i2, j2) =
+            static_cast<double>(dmp_input_value(seed, i1, j1, i2, j2));
+      }
+    }
+  } else {
+    for (int i2 = 0; i2 < n; ++i2) {
+      f.at(i1, j1, i2, i2) =
+          static_cast<double>(dmp_input_value(seed, i1, j1, i2, i2));
+    }
+  }
+}
+
+void fill_triangle_lse(ZTable& f, std::uint64_t seed, int i1, int j1,
+                       DmpVariant v, TileShape3 tile) {
+  const int n = f.n();
+  double* acc = f.block(i1, j1);
+  RRI_OBS_PHASE(obs::Phase::kDmpBand);
+  for (int k1 = i1; k1 < j1; ++k1) {
+    const double* a = f.block(i1, k1);
+    const double* b = f.block(k1 + 1, j1);
+    switch (v) {
+      case DmpVariant::kPermuted:
+      case DmpVariant::kCoarse:
+      case DmpVariant::kRegTiled:  // no log-domain register kernel yet
+        simd::lse_r0_rows(acc, a, b, n, 0, n);
+        break;
+      case DmpVariant::kFine: {
+        const int rb = simd::row_block();
+        const int n_blocks = (n + rb - 1) / rb;
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.lse");
+#pragma omp for schedule(dynamic)
+          for (int ib = 0; ib < n_blocks; ++ib) {
+            simd::lse_r0_rows(acc, a, b, n, ib * rb,
+                              std::min(ib * rb + rb, n));
+          }
+        }
+        break;
+      }
+      case DmpVariant::kTiled: {
+        const int ti = tile.ti2 > 0 ? tile.ti2 : n;
+        const int n_tiles = (n + ti - 1) / ti;
+#pragma omp parallel
+        {
+          RRI_TRACE_SPAN("dmp_band.lse");
+#pragma omp for schedule(dynamic)
+          for (int it = 0; it < n_tiles; ++it) {
+            simd::lse_r0_tiled(acc, a, b, n, tile, it, it + 1);
+          }
+        }
+        break;
+      }
+      case DmpVariant::kBaseline:
+        break;  // handled by fill_baseline_order_lse
+    }
+  }
+  write_inputs_lse(f, seed, i1, j1);
+}
+
+void fill_baseline_order_lse(ZTable& f, std::uint64_t seed) {
+  const int m = f.m();
+  const int n = f.n();
+  for (int i1 = 0; i1 < m; ++i1) {
+    write_inputs_lse(f, seed, i1, i1);
+  }
+  for (int d1 = 1; d1 < m; ++d1) {
+    for (int i1 = 0; i1 + d1 < m; ++i1) {
+      write_inputs_lse(f, seed, i1, i1 + d1);
+    }
+    for (int d2 = 1; d2 < n; ++d2) {
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        const int j1 = i1 + d1;
+        for (int i2 = 0; i2 + d2 < n; ++i2) {
+          const int j2 = i2 + d2;
+          double v = -std::numeric_limits<double>::infinity();
+          for (int k1 = i1; k1 < j1; ++k1) {
+            for (int k2 = i2; k2 < j2; ++k2) {
+              v = LogSum::plus(v, f.at(i1, k1, i2, k2) +
+                                      f.at(k1 + 1, j1, k2 + 1, j2));
+            }
+          }
+          f.at(i1, j1, i2, j2) = v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ZTable solve_double_lse(int m, int n, std::uint64_t seed, DmpVariant v,
+                        TileShape3 tile) {
+  RRI_OBS_PHASE(obs::Phase::kFill);
+  simd::record_backend_counter(semiring::Algebra::kLogSumExp);
+#if RRI_OBS_ENABLED
+  if (obs::enabled()) {
+    const double flops = harness::double_maxplus_flops(m, n);
+    const obs::Phase target = (v == DmpVariant::kBaseline)
+                                  ? obs::Phase::kFill
+                                  : obs::Phase::kDmpBand;
+    obs::add_flops(target, flops);
+    // fp64 tables: the AI = 1/6 traffic model doubles to 12 B per pair.
+    obs::add_bytes(target, 12.0 * flops);
+  }
+#endif
+  ZTable f(m, n);
+  if (v == DmpVariant::kBaseline) {
+    fill_baseline_order_lse(f, seed);
+    return f;
+  }
+  for (int d1 = 0; d1 < m; ++d1) {
+    if (v == DmpVariant::kCoarse) {
+#pragma omp parallel for schedule(dynamic)
+      for (int i1 = 0; i1 < m - d1; ++i1) {
+        fill_triangle_lse(f, seed, i1, i1 + d1, v, tile);
+      }
+    } else {
+      for (int i1 = 0; i1 + d1 < m; ++i1) {
+        fill_triangle_lse(f, seed, i1, i1 + d1, v, tile);
+      }
+    }
+  }
+  return f;
+}
+
+double dmp_lse_reference_cell(int m, int n, std::uint64_t seed, int i1,
+                              int j1, int i2, int j2) {
+  if (is_input_cell(i1, j1, i2, j2)) {
+    return static_cast<double>(dmp_input_value(seed, i1, j1, i2, j2));
+  }
+  double v = -std::numeric_limits<double>::infinity();
+  for (int k1 = i1; k1 < j1; ++k1) {
+    for (int k2 = i2; k2 < j2; ++k2) {
+      v = LogSum::plus(
+          v, dmp_lse_reference_cell(m, n, seed, i1, k1, i2, k2) +
+                 dmp_lse_reference_cell(m, n, seed, k1 + 1, j1, k2 + 1, j2));
     }
   }
   return v;

@@ -1,6 +1,7 @@
 #include "rri/core/exhaustive.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rri::core {
 namespace {
@@ -122,12 +123,183 @@ class Enumerator {
   ExhaustiveResult result_;
 };
 
+/// Backtracking enumerator over the *planar* structure space BPPart sums
+/// over. Same search order as Enumerator with two extra pruning rules
+/// that encode "no crossings in the two-line interaction diagram":
+///
+///  * an inter pair at strand-1 position p is rejected when an existing
+///    intra1 arc (x, y) strictly encloses p (x < p < y) — existing inter
+///    ends are all < p, so intra1 arcs never need the mirror check;
+///  * an intra2 arc (c, d) is rejected when any inter pair's strand-2
+///    end e lies strictly inside it (c < e < d).
+///
+/// Weights are summed in the probability domain (doubles are ample at
+/// the <= ~10-base test sizes this is meant for).
+class PlanarEnumerator {
+ public:
+  PlanarEnumerator(const rna::Sequence& s1, const rna::Sequence& s2,
+                   const rna::ScoringModel& model, double temperature)
+      : s1_(s1), s2_(s2), model_(model), temperature_(temperature),
+        m_(static_cast<int>(s1.size())), n_(static_cast<int>(s2.size())),
+        used1_(static_cast<std::size_t>(m_), 0),
+        used2_(static_cast<std::size_t>(n_), 0) {}
+
+  ExhaustivePartition run() {
+    z_ = 0.0;
+    pair_w_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(n_),
+                   0.0);
+    decide_strand1(0, 0.0f);
+    ExhaustivePartition out;
+    out.log_z = std::log(z_);
+    out.structures_seen = count_;
+    out.pair_prob.resize(pair_w_.size());
+    for (std::size_t i = 0; i < pair_w_.size(); ++i) {
+      out.pair_prob[i] = pair_w_[i] / z_;
+    }
+    return out;
+  }
+
+ private:
+  static bool crosses(const std::vector<std::pair<int, int>>& pairs, int p,
+                      int q) {
+    return std::any_of(pairs.begin(), pairs.end(), [&](const auto& xy) {
+      return p < xy.second && xy.second < q;
+    });
+  }
+
+  /// True when an arc in `pairs` strictly encloses position p.
+  static bool enclosed(const std::vector<std::pair<int, int>>& pairs, int p) {
+    return std::any_of(pairs.begin(), pairs.end(), [&](const auto& xy) {
+      return xy.first < p && p < xy.second;
+    });
+  }
+
+  void decide_strand1(int p, float score) {
+    if (p == m_) {
+      decide_strand2(0, score);
+      return;
+    }
+    if (used1_[static_cast<std::size_t>(p)]) {
+      decide_strand1(p + 1, score);
+      return;
+    }
+    decide_strand1(p + 1, score);
+    for (int q = p + 1; q < m_; ++q) {
+      if (used1_[static_cast<std::size_t>(q)] || !model_.hairpin_ok(p, q)) {
+        continue;
+      }
+      const float w = model_.intra(s1_[static_cast<std::size_t>(p)],
+                                   s1_[static_cast<std::size_t>(q)]);
+      if (w == rna::kForbidden || crosses(current_.intra1, p, q)) {
+        continue;
+      }
+      used1_[static_cast<std::size_t>(p)] =
+          used1_[static_cast<std::size_t>(q)] = 1;
+      current_.intra1.emplace_back(p, q);
+      decide_strand1(p + 1, score + w);
+      current_.intra1.pop_back();
+      used1_[static_cast<std::size_t>(p)] =
+          used1_[static_cast<std::size_t>(q)] = 0;
+    }
+    if (enclosed(current_.intra1, p)) {
+      return;  // planarity: p sits under an intra1 arc, no inter pair
+    }
+    const int c_min =
+        current_.inter.empty() ? 0 : current_.inter.back().second + 1;
+    for (int c = c_min; c < n_; ++c) {
+      if (used2_[static_cast<std::size_t>(c)]) {
+        continue;
+      }
+      const float w = model_.inter(s1_[static_cast<std::size_t>(p)],
+                                   s2_[static_cast<std::size_t>(c)]);
+      if (w == rna::kForbidden) {
+        continue;
+      }
+      used1_[static_cast<std::size_t>(p)] =
+          used2_[static_cast<std::size_t>(c)] = 1;
+      current_.inter.emplace_back(p, c);
+      decide_strand1(p + 1, score + w);
+      current_.inter.pop_back();
+      used1_[static_cast<std::size_t>(p)] =
+          used2_[static_cast<std::size_t>(c)] = 0;
+    }
+  }
+
+  void decide_strand2(int c, float score) {
+    if (c == n_) {
+      ++count_;
+      const double w =
+          std::exp(static_cast<double>(score) / temperature_);
+      z_ += w;
+      for (const auto& ab : current_.inter) {
+        pair_w_[static_cast<std::size_t>(ab.first) *
+                    static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(ab.second)] += w;
+      }
+      return;
+    }
+    if (used2_[static_cast<std::size_t>(c)]) {
+      decide_strand2(c + 1, score);
+      return;
+    }
+    decide_strand2(c + 1, score);
+    for (int d = c + 1; d < n_; ++d) {
+      if (used2_[static_cast<std::size_t>(d)] || !model_.hairpin_ok(c, d)) {
+        continue;
+      }
+      const float w = model_.intra(s2_[static_cast<std::size_t>(c)],
+                                   s2_[static_cast<std::size_t>(d)]);
+      if (w == rna::kForbidden || crosses(current_.intra2, c, d)) {
+        continue;
+      }
+      // Planarity: no inter pair's strand-2 end inside the new arc.
+      bool covers_inter = false;
+      for (const auto& ab : current_.inter) {
+        if (c < ab.second && ab.second < d) {
+          covers_inter = true;
+          break;
+        }
+      }
+      if (covers_inter) {
+        continue;
+      }
+      used2_[static_cast<std::size_t>(c)] =
+          used2_[static_cast<std::size_t>(d)] = 1;
+      current_.intra2.emplace_back(c, d);
+      decide_strand2(c + 1, score + w);
+      current_.intra2.pop_back();
+      used2_[static_cast<std::size_t>(c)] =
+          used2_[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+
+  const rna::Sequence& s1_;
+  const rna::Sequence& s2_;
+  const rna::ScoringModel& model_;
+  const double temperature_;
+  const int m_;
+  const int n_;
+  std::vector<int> used1_;
+  std::vector<int> used2_;
+  JointStructure current_;
+  double z_ = 0.0;
+  std::vector<double> pair_w_;
+  std::size_t count_ = 0;
+};
+
 }  // namespace
 
 ExhaustiveResult exhaustive_bpmax(const rna::Sequence& s1,
                                   const rna::Sequence& s2,
                                   const rna::ScoringModel& model) {
   return Enumerator(s1, s2, model).run();
+}
+
+ExhaustivePartition exhaustive_bppart(const rna::Sequence& s1,
+                                      const rna::Sequence& s2,
+                                      const rna::ScoringModel& model,
+                                      double temperature) {
+  return PlanarEnumerator(s1, s2, model, temperature).run();
 }
 
 }  // namespace rri::core

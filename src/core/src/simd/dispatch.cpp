@@ -116,9 +116,25 @@ int row_block() noexcept {
   return 1;
 }
 
+Backend active_backend(semiring::Algebra algebra) noexcept {
+  // The log-sum-exp kernels are scalar-only today; the tropical path
+  // keeps its resolved choice. A vectorized log-domain backend would be
+  // gated here (and nowhere else).
+  if (algebra == semiring::Algebra::kLogSumExp) {
+    return Backend::kScalar;
+  }
+  return active_backend();
+}
+
 void record_backend_counter() {
   obs::set_counter("core.simd_backend",
                    static_cast<double>(active_backend()));
+}
+
+void record_backend_counter(semiring::Algebra algebra) {
+  obs::set_counter("core.simd_backend",
+                   static_cast<double>(active_backend(algebra)));
+  obs::set_counter("core.algebra", static_cast<double>(algebra));
 }
 
 // ------------------------------------------------------------- kernels
@@ -179,6 +195,33 @@ void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
 #endif
   scalar::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
                         tile_end);
+}
+
+// Log-sum-exp kernels: active_backend(kLogSumExp) is always kScalar for
+// now, so these route straight to the scalar backend. The indirection
+// stays so a future vector backend changes dispatch, not callers.
+
+void lse_r0_rows(double* acc, const double* a, const double* b, int n,
+                 int row_begin, int row_end) noexcept {
+  scalar::lse_r0_rows(acc, a, b, n, row_begin, row_end);
+}
+
+void lse_r0_tiled(double* acc, const double* a, const double* b, int n,
+                  TileShape3 tile, int tile_begin, int tile_end) noexcept {
+  scalar::lse_r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
+}
+
+void lse_maxplus_rows(double* acc, const double* a, const double* b,
+                      double r3add, double r4add, int n, int row_begin,
+                      int row_end) noexcept {
+  scalar::lse_maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
+}
+
+void lse_maxplus_tiled(double* acc, const double* a, const double* b,
+                       double r3add, double r4add, int n, TileShape3 tile,
+                       int tile_begin, int tile_end) noexcept {
+  scalar::lse_maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
+                            tile_end);
 }
 
 }  // namespace rri::core::simd

@@ -26,6 +26,20 @@ void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
                    float r4add, int n, TileShape3 tile, int tile_begin,
                    int tile_end) noexcept;
 
+// Log-sum-exp (double) instantiations of the same kernel shapes. Only
+// the scalar backend implements these today; the dispatch layer routes
+// every log-sum-exp call here regardless of the tropical backend choice.
+void lse_r0_rows(double* acc, const double* a, const double* b, int n,
+                 int row_begin, int row_end) noexcept;
+void lse_r0_tiled(double* acc, const double* a, const double* b, int n,
+                  TileShape3 tile, int tile_begin, int tile_end) noexcept;
+void lse_maxplus_rows(double* acc, const double* a, const double* b,
+                      double r3add, double r4add, int n, int row_begin,
+                      int row_end) noexcept;
+void lse_maxplus_tiled(double* acc, const double* a, const double* b,
+                       double r3add, double r4add, int n, TileShape3 tile,
+                       int tile_begin, int tile_end) noexcept;
+
 }  // namespace rri::core::simd::scalar
 
 #if RRI_SIMD_HAVE_AVX2

@@ -1,161 +1,73 @@
 /// Portable-scalar backend: the reference loop nests (j2 innermost,
-/// `#pragma omp simd` hints, no intrinsics). The maxplus_* forms are the
-/// shared triangle_ops building blocks; the pure-R0 forms are the
-/// standalone double max-plus nests that previously lived in
-/// double_maxplus.cpp. Every other backend must match these bit for bit.
+/// `#pragma omp simd` hints, no intrinsics), expressed as the tropical
+/// float instantiation of the semiring-generic bodies in
+/// kernels_generic.hpp. MaxPlus<float>::plus is the same by-value
+/// `a > b ? a : b` the old max2 helper used and times is the same
+/// per-element fp32 +, so this TU compiles to the pre-refactor kernels —
+/// every other backend must match these bit for bit. The lse_* entry
+/// points are the LogSumExp<double> instantiations of the same bodies
+/// (the BPPart inside fill and the log-domain dmp mini-app).
 
 #include "simd/kernels.hpp"
 
-#include <algorithm>
-
-#include "rri/core/detail/triangle_ops.hpp"
-#include "rri/core/maxops.hpp"
+#include "rri/semiring/logsumexp.hpp"
+#include "simd/kernels_generic.hpp"
 
 namespace rri::core::simd::scalar {
 
+using Tropical = semiring::MaxPlus<float>;
+using LogSum = semiring::LogSumExp<double>;
+
 void r0_rows(float* acc, const float* a, const float* b, int n,
              int row_begin, int row_end) noexcept {
-  const auto stride = static_cast<std::size_t>(n);
-  for (int i2 = row_begin; i2 < row_end; ++i2) {
-    float* accrow = acc + static_cast<std::size_t>(i2) * stride;
-    const float* arow = a + static_cast<std::size_t>(i2) * stride;
-    for (int k2 = i2; k2 < n - 1; ++k2) {
-      const float alpha = arow[k2];
-      const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-      for (int j2 = k2 + 1; j2 < n; ++j2) {
-        accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
-      }
-    }
-  }
+  generic::r0_rows<Tropical>(acc, a, b, n, row_begin, row_end);
 }
 
 void r0_tiled(float* acc, const float* a, const float* b, int n,
               TileShape3 tile, int tile_begin, int tile_end) noexcept {
-  const auto stride = static_cast<std::size_t>(n);
-  const int ti = tile.ti2 > 0 ? tile.ti2 : n;
-  const int tk = tile.tk2 > 0 ? tile.tk2 : n;
-  const int tj = tile.tj2 > 0 ? tile.tj2 : n;
-  for (int it = tile_begin; it < tile_end; ++it) {
-    const int i2_lo = it * ti;
-    const int i2_hi = std::min(i2_lo + ti, n);
-    for (int kk = i2_lo; kk < n - 1; kk += tk) {
-      const int k2_cap = std::min(kk + tk, n - 1);
-      for (int jj = kk + 1; jj < n; jj += tj) {
-        const int j2_cap = std::min(jj + tj, n);
-        for (int i2 = i2_lo; i2 < i2_hi; ++i2) {
-          float* accrow = acc + static_cast<std::size_t>(i2) * stride;
-          const float* arow = a + static_cast<std::size_t>(i2) * stride;
-          const int k2_lo = std::max(kk, i2);
-          for (int k2 = k2_lo; k2 < k2_cap; ++k2) {
-            const float alpha = arow[k2];
-            const float* b2 = b + static_cast<std::size_t>(k2 + 1) * stride;
-            const int j2_lo = std::max(jj, k2 + 1);
-#pragma omp simd
-            for (int j2 = j2_lo; j2 < j2_cap; ++j2) {
-              accrow[j2] = max2(accrow[j2], alpha + b2[j2]);
-            }
-          }
-        }
-      }
-    }
-  }
+  generic::r0_tiled<Tropical>(acc, a, b, n, tile, tile_begin, tile_end);
 }
 
-/// Register-blocked pure-R0 schedule (the paper's future-work second
-/// tiling level). Accumulators for a 4-row x 32-column block stay in a
-/// local array the compiler keeps in vector registers across the whole
-/// k2 reduction, so each max-plus touches memory only for the B row —
-/// roughly one load per two flops instead of three memory operations.
-/// Boundary rows/columns and the near-diagonal wedge (where a k2 would
-/// contribute to only part of a block) fall back to the streaming form.
 void r0_regblocked(float* acc, const float* a, const float* b,
                    int n) noexcept {
-  constexpr int kRows = 4;
-  constexpr int kCols = 32;
-  const auto stride = static_cast<std::size_t>(n);
-  int ib = 0;
-  for (; ib + kRows <= n; ib += kRows) {
-    for (int jj = ib + 1; jj < n; jj += kCols) {
-      const int jw = std::min(kCols, n - jj);
-      // Full-block contributions: k2 >= ib+kRows-1 keeps every row of the
-      // block valid, k2 <= jj-1 keeps every column valid.
-      const int k_lo = ib + kRows - 1;
-      const int k_hi = jj - 1;
-      if (k_lo <= k_hi) {
-        float racc[kRows][kCols];
-        for (int r = 0; r < kRows; ++r) {
-          const float* arow = acc + static_cast<std::size_t>(ib + r) * stride;
-#pragma omp simd
-          for (int x = 0; x < jw; ++x) {
-            racc[r][x] = arow[jj + x];
-          }
-        }
-        for (int k2 = k_lo; k2 <= k_hi; ++k2) {
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride + jj;
-          for (int r = 0; r < kRows; ++r) {
-            const float alpha =
-                a[static_cast<std::size_t>(ib + r) * stride +
-                  static_cast<std::size_t>(k2)];
-#pragma omp simd
-            for (int x = 0; x < jw; ++x) {
-              racc[r][x] = max2(racc[r][x], alpha + bv[x]);
-            }
-          }
-        }
-        for (int r = 0; r < kRows; ++r) {
-          float* arow = acc + static_cast<std::size_t>(ib + r) * stride;
-#pragma omp simd
-          for (int x = 0; x < jw; ++x) {
-            arow[jj + x] = racc[r][x];
-          }
-        }
-      }
-      // Per-row remainders: the head k2 range a row owns before the
-      // block-uniform k_lo, and the partial wedge with k2 inside the
-      // column block.
-      for (int r = 0; r < kRows; ++r) {
-        const int row = ib + r;
-        float* accrow = acc + static_cast<std::size_t>(row) * stride;
-        const float* arow = a + static_cast<std::size_t>(row) * stride;
-        const int head_hi = std::min(k_lo - 1, k_hi);
-        for (int k2 = row; k2 <= head_hi; ++k2) {
-          const float alpha = arow[k2];
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-          for (int j2 = jj; j2 < jj + jw; ++j2) {
-            accrow[j2] = max2(accrow[j2], alpha + bv[j2]);
-          }
-        }
-        const int wedge_lo = std::max(row, jj);
-        const int wedge_hi = std::min(jj + jw - 2, n - 2);
-        for (int k2 = wedge_lo; k2 <= wedge_hi; ++k2) {
-          const float alpha = arow[k2];
-          const float* bv = b + static_cast<std::size_t>(k2 + 1) * stride;
-#pragma omp simd
-          for (int j2 = k2 + 1; j2 < jj + jw; ++j2) {
-            accrow[j2] = max2(accrow[j2], alpha + bv[j2]);
-          }
-        }
-      }
-    }
-  }
-  if (ib < n) {
-    r0_rows(acc, a, b, n, ib, n);
-  }
+  generic::r0_regblocked<Tropical>(acc, a, b, n);
 }
 
 void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
                   float r4add, int n, int row_begin, int row_end) noexcept {
-  detail::maxplus_instance_rows(acc, a, b, r3add, r4add, n, row_begin,
-                                row_end);
+  generic::maxplus_rows<Tropical>(acc, a, b, r3add, r4add, n, row_begin,
+                                  row_end);
 }
 
 void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
                    float r4add, int n, TileShape3 tile, int tile_begin,
                    int tile_end) noexcept {
-  detail::maxplus_instance_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
-                                 tile_end);
+  generic::maxplus_tiled<Tropical>(acc, a, b, r3add, r4add, n, tile,
+                                   tile_begin, tile_end);
+}
+
+void lse_r0_rows(double* acc, const double* a, const double* b, int n,
+                 int row_begin, int row_end) noexcept {
+  generic::r0_rows<LogSum>(acc, a, b, n, row_begin, row_end);
+}
+
+void lse_r0_tiled(double* acc, const double* a, const double* b, int n,
+                  TileShape3 tile, int tile_begin, int tile_end) noexcept {
+  generic::r0_tiled<LogSum>(acc, a, b, n, tile, tile_begin, tile_end);
+}
+
+void lse_maxplus_rows(double* acc, const double* a, const double* b,
+                      double r3add, double r4add, int n, int row_begin,
+                      int row_end) noexcept {
+  generic::maxplus_rows<LogSum>(acc, a, b, r3add, r4add, n, row_begin,
+                                row_end);
+}
+
+void lse_maxplus_tiled(double* acc, const double* a, const double* b,
+                       double r3add, double r4add, int n, TileShape3 tile,
+                       int tile_begin, int tile_end) noexcept {
+  generic::maxplus_tiled<LogSum>(acc, a, b, r3add, r4add, n, tile,
+                                 tile_begin, tile_end);
 }
 
 }  // namespace rri::core::simd::scalar

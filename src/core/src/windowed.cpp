@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rri/core/bppart.hpp"
 #include "rri/obs/obs.hpp"
 
 namespace rri::core {
@@ -37,9 +38,18 @@ std::vector<WindowScore> scan_windows(const rna::Sequence& long_strand,
         long_strand.bases().begin() + off,
         long_strand.bases().begin() + off + w);
     const rna::Sequence sub{std::move(slice)};
-    out[idx] = WindowScore{off, w,
-                           bpmax_score(sub, short_strand, model,
-                                       options.solver)};
+    float score;
+    if (options.algebra == semiring::Algebra::kLogSumExp) {
+      // Windows are the parallel grain here, so each solve runs serial.
+      BppartOptions popt;
+      popt.temperature = options.temperature;
+      popt.variant = BppartVariant::kSerial;
+      score = static_cast<float>(
+          bppart_log_z(sub, short_strand, model, popt));
+    } else {
+      score = bpmax_score(sub, short_strand, model, options.solver);
+    }
+    out[idx] = WindowScore{off, w, score};
   };
 
   if (options.parallel_windows) {

@@ -1,0 +1,99 @@
+#ifndef RRI_SEMIRING_LOGSUMEXP_HPP
+#define RRI_SEMIRING_LOGSUMEXP_HPP
+
+/// \file logsumexp.hpp
+/// The log-domain sum-product semiring and the runtime algebra tag the
+/// solver engine dispatches on.
+///
+/// BPPart (Ebrahimpour-Boroojeny et al. 2019) runs the BPMax recurrence
+/// shapes over (+, x) to obtain an interaction partition function. Raw
+/// (+, x) overflows double's exponent range once total weights exceed
+/// ~709, so the production instantiation works in the log domain: a value
+/// stores log(x), "multiplication" is ordinary +, and "addition" is the
+/// numerically-stable log-add-exp
+///
+///     plus(a, b) = max(a, b) + log1p(exp(-|a - b|))
+///
+/// which never exponentiates anything larger than 0. Keeping every
+/// intermediate in log space IS the scaling/overflow guard for long
+/// strands — there is no rescaling pass to tune or get wrong.
+///
+/// Unlike max-plus, log-add-exp only approximately associates in floating
+/// point: reassociating the reduction moves results by O(eps) per term.
+/// The engine therefore fixes one reduction order across its schedules
+/// (see docs/kernels.md "The algebra seam"), and cross-implementation
+/// comparisons use relative tolerances instead of the bit-equality the
+/// tropical instantiation guarantees.
+
+#include <cmath>
+#include <concepts>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+#include "rri/semiring/tropical.hpp"
+
+namespace rri::semiring {
+
+/// Log-domain sum-product semiring over T: (logaddexp, +, -inf, 0).
+/// A value v represents the weight exp(v); zero() = -inf represents 0 and
+/// annihilates under times() (the -inf + finite = -inf of IEEE), one() = 0
+/// represents 1.
+template <std::floating_point T = double>
+struct LogSumExp {
+  using value_type = T;
+  static constexpr T zero() noexcept {
+    return -std::numeric_limits<T>::infinity();
+  }
+  static constexpr T one() noexcept { return T(0); }
+  static T plus(T a, T b) noexcept {
+    // The -inf guards keep the identity exact (and dodge the -inf - -inf
+    // = NaN that the symmetric formula would produce).
+    if (a == -std::numeric_limits<T>::infinity()) {
+      return b;
+    }
+    if (b == -std::numeric_limits<T>::infinity()) {
+      return a;
+    }
+    const T hi = a > b ? a : b;
+    const T lo = a > b ? b : a;
+    return hi + std::log1p(std::exp(lo - hi));
+  }
+  static constexpr T times(T a, T b) noexcept { return a + b; }
+};
+
+static_assert(SemiringPolicy<LogSumExp<double>>);
+
+/// Runtime tag for the scoring algebra a job/solve runs under. Values are
+/// stable: they are journaled by the serving layer (RRJL v3) and reported
+/// as the `core.algebra` obs counter.
+enum class Algebra : int {
+  kTropical = 0,   ///< (max, +) over float — BPMax scores
+  kLogSumExp = 1,  ///< log-domain (+, x) over double — BPPart partitions
+};
+
+/// Stable lower_snake name ("tropical", "logsumexp") for keys, journals,
+/// reports and CLI flags.
+constexpr const char* algebra_name(Algebra a) noexcept {
+  switch (a) {
+    case Algebra::kTropical: return "tropical";
+    case Algebra::kLogSumExp: return "logsumexp";
+  }
+  return "unknown";
+}
+
+/// Parse an algebra name; nullopt for anything unknown (callers own the
+/// error message so each surface can list what it accepts).
+inline std::optional<Algebra> parse_algebra(std::string_view name) noexcept {
+  if (name == "tropical") {
+    return Algebra::kTropical;
+  }
+  if (name == "logsumexp") {
+    return Algebra::kLogSumExp;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rri::semiring
+
+#endif  // RRI_SEMIRING_LOGSUMEXP_HPP

@@ -31,12 +31,15 @@ class ResultCache {
   explicit ResultCache(std::size_t budget_bytes);
 
   /// Probe by hash + full key text; promotes the entry to most recent.
-  std::optional<float> get(std::uint32_t key, const std::string& key_text);
+  /// The value is one double: a tropical job's score, or an lse job's
+  /// log partition function at full precision (the algebra is part of
+  /// the key text, so the two kinds can never alias).
+  std::optional<double> get(std::uint32_t key, const std::string& key_text);
 
-  /// Insert (or refresh) a score. Evicts least-recently-used entries
+  /// Insert (or refresh) a value. Evicts least-recently-used entries
   /// until the entry fits; an entry larger than the whole budget is not
   /// cached at all.
-  void put(std::uint32_t key, const std::string& key_text, float score);
+  void put(std::uint32_t key, const std::string& key_text, double value);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -53,7 +56,7 @@ class ResultCache {
   struct Entry {
     std::uint32_t key = 0;
     std::string key_text;
-    float score = 0.0f;
+    double value = 0.0;
 
     std::size_t bytes() const noexcept {
       return key_text.size() + kCacheEntryOverhead;

@@ -14,6 +14,7 @@
 
 #include "rri/rna/scoring.hpp"
 #include "rri/rna/sequence.hpp"
+#include "rri/semiring/logsumexp.hpp"
 
 namespace rri::serve {
 
@@ -24,6 +25,12 @@ struct JobParams {
   bool unit_weights = false;  ///< score every admissible pair 1
   int min_hairpin = 0;        ///< minimum loop size for intra pairs
   bool reverse = true;        ///< strand 2 arrives 5'->3' (solver reverses)
+  /// Scoring algebra: kTropical runs BPMax (max score), kLogSumExp runs
+  /// BPPart (log partition function over double-width tables).
+  semiring::Algebra algebra = semiring::Algebra::kTropical;
+  /// Boltzmann temperature for kLogSumExp; ignored by kTropical (and
+  /// therefore absent from a tropical job's cache key). Must be > 0.
+  double temperature = 1.0;
 
   /// Materialize the ScoringModel these params describe.
   rna::ScoringModel model() const;
@@ -56,7 +63,12 @@ struct JobOutcome {
   std::uint32_t key = 0;   ///< cache key (job_key)
   int m = 0;               ///< strand-1 length
   int n = 0;               ///< strand-2 length
+  /// The algebra that produced this outcome. For kLogSumExp `log_z`
+  /// holds the full-precision answer and `score` its float narrowing
+  /// (so tools that only know "score" still sort/report sensibly).
+  semiring::Algebra algebra = semiring::Algebra::kTropical;
   float score = 0.0f;
+  double log_z = 0.0;      ///< kLogSumExp only: log partition function
   bool cache_hit = false;  ///< served from ResultCache, no kernel run
   double seconds = 0.0;    ///< wall time to serve (≈0 for cache hits)
   bool rejected = false;   ///< refused by the scheduler's memory budget
@@ -65,7 +77,11 @@ struct JobOutcome {
 /// Canonical key text: uppercase-U solver-input sequences plus the
 /// scoring params, e.g. "GGAU|UACC|w=bpmax|mh=0". The kernel variant is
 /// deliberately absent — all variants produce bit-identical tables, so
-/// results are interchangeable across them.
+/// results are interchangeable across them. Non-tropical algebras append
+/// "|alg=<name>|T=<temperature>" — tropical jobs keep their historical
+/// keys (and tropical ignores temperature, so it is canonicalized away),
+/// while a bppart job on the same strands can never share a tropical
+/// job's cache entry.
 std::string job_key_text(const Job& job);
 
 /// CRC-32 of job_key_text(). The cache verifies the full text on hit, so

@@ -69,10 +69,12 @@ struct JournalRecord {
   std::string error;      ///< kFailed
 };
 
-/// Serialize / parse the whole journal ("RRJL" v2 + CRC-32 footer).
-/// v2 adds the tenant name and deadline to submit records; v1 journals
-/// written before per-tenant quotas still decode (tenant folds to ""
-/// and no deadline), so an upgraded daemon replays an old journal.
+/// Serialize / parse the whole journal ("RRJL" v3 + CRC-32 footer).
+/// v2 added the tenant name and deadline to submit records; v3 adds the
+/// scoring algebra + temperature to submit records and the algebra +
+/// log_z to outcomes. Older journals still decode — the missing fields
+/// fold to the tropical defaults, which is exactly what those runs
+/// computed — so an upgraded daemon replays an old journal.
 /// decode throws core::SerializeError on a bad magic, torn tail, CRC
 /// mismatch, or inconsistent fields.
 std::string encode_journal(const std::vector<JournalRecord>& records);

@@ -4,8 +4,9 @@
 /// \file scheduler.hpp
 /// Size-aware admission control and ordering for a batch of BPMax jobs.
 /// Costs come from the same closed forms the CLI's --max-mem guard uses:
-/// the F-table of an (M, N) pair is M²N²·sizeof(float) bytes and the
-/// fill is Θ(M³N³) operations. The plan is deterministic for a given
+/// the table of an (M, N) pair is M²N² cells — 4-byte floats for the
+/// tropical (BPMax) algebra, 8-byte doubles for log-sum-exp (BPPart) —
+/// and the fill is Θ(M³N³) operations. The plan is deterministic for a given
 /// (job list, config): jobs are ordered largest-cost-first (LPT), equal
 /// costs are tie-broken by a seeded hash of the job id, and each job is
 /// assigned to the predicted least-loaded worker. Jobs whose table alone
@@ -20,8 +21,17 @@
 
 namespace rri::serve {
 
-/// Closed-form F-table footprint in bytes for strand lengths (m, n).
-double job_table_bytes(std::size_t m, std::size_t n);
+/// Closed-form table footprint in bytes for strand lengths (m, n):
+/// M²N² cells of `elem_bytes` each. The element width is the algebra's:
+/// tropical BPMax fills float tables, log-sum-exp BPPart doubles.
+double job_table_bytes(std::size_t m, std::size_t n,
+                       std::size_t elem_bytes = sizeof(float));
+
+/// The footprint of one job, element width chosen by its algebra.
+double job_table_bytes(const Job& job);
+
+/// The element width (bytes per table cell) of a job's algebra.
+std::size_t job_elem_bytes(const Job& job) noexcept;
 
 /// Closed-form operation count proxy for strand lengths (m, n): the
 /// dominant double max-plus band is Θ(M³N³); the constant is irrelevant

@@ -10,7 +10,10 @@ namespace rri::serve {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'R', 'B', 'S'};
-constexpr std::uint32_t kVersion = 1;
+/// v2 appends the algebra tag + log_z to each outcome (mirroring RRJL
+/// v3); v1 checkpoints decode with the tropical defaults.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void append_pod(std::string& out, const T& value) {
@@ -73,6 +76,8 @@ std::string encode_batch_state(const BatchState& state) {
     append_pod(out, static_cast<std::uint8_t>(o.cache_hit ? 1 : 0));
     append_pod(out, static_cast<std::uint8_t>(o.rejected ? 1 : 0));
     append_pod(out, o.seconds);
+    append_pod(out, static_cast<std::uint8_t>(o.algebra));
+    append_pod(out, o.log_z);
   }
   append_pod(out, core::crc32(out.data(), out.size()));
   return out;
@@ -96,7 +101,7 @@ BatchState decode_batch_state(const std::string& bytes) {
   }
   std::size_t pos = sizeof(kMagic);
   const auto version = take_pod<std::uint32_t>(bytes, pos, body);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionLegacy) {
     throw core::SerializeError("unsupported RRBS version " +
                                std::to_string(version));
   }
@@ -114,6 +119,11 @@ BatchState decode_batch_state(const std::string& bytes) {
     o.cache_hit = take_pod<std::uint8_t>(bytes, pos, body) != 0;
     o.rejected = take_pod<std::uint8_t>(bytes, pos, body) != 0;
     o.seconds = take_pod<double>(bytes, pos, body);
+    if (version >= 2) {
+      o.algebra = static_cast<semiring::Algebra>(
+          take_pod<std::uint8_t>(bytes, pos, body));
+      o.log_z = take_pod<double>(bytes, pos, body);
+    }
     state.completed.push_back(std::move(o));
   }
   if (pos != body) {

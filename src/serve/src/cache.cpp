@@ -7,8 +7,8 @@ namespace rri::serve {
 ResultCache::ResultCache(std::size_t budget_bytes)
     : budget_bytes_(budget_bytes) {}
 
-std::optional<float> ResultCache::get(std::uint32_t key,
-                                      const std::string& key_text) {
+std::optional<double> ResultCache::get(std::uint32_t key,
+                                       const std::string& key_text) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end() || it->second->key_text != key_text) {
@@ -21,11 +21,11 @@ std::optional<float> ResultCache::get(std::uint32_t key,
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to most recent
   ++hits_;
   RRI_OBS_COUNTER("serve.cache_hits", 1);
-  return it->second->score;
+  return it->second->value;
 }
 
 void ResultCache::put(std::uint32_t key, const std::string& key_text,
-                      float score) {
+                      double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -40,7 +40,7 @@ void ResultCache::put(std::uint32_t key, const std::string& key_text,
     return;  // larger than the whole budget: never cached
   }
   evict_until_fits(incoming);
-  lru_.push_front(Entry{key, key_text, score});
+  lru_.push_front(Entry{key, key_text, value});
   index_[key] = lru_.begin();
   bytes_in_use_ += incoming;
   ++insertions_;

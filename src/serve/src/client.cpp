@@ -240,6 +240,20 @@ JobOutcome DaemonClient::outcome_from_response(const obs::JsonValue& doc) {
   o.m = static_cast<int>(doc.get("m").as_number());
   o.n = static_cast<int>(doc.get("n").as_number());
   o.score = static_cast<float>(doc.get("score").as_number());
+  // Non-tropical outcomes name their algebra and carry the full-precision
+  // log_z; absent fields mean a tropical result (possibly from a daemon
+  // that predates the semiring seam).
+  const obs::JsonValue* algebra = doc.find("algebra");
+  if (algebra != nullptr) {
+    const auto parsed = semiring::parse_algebra(algebra->as_string());
+    if (parsed.has_value()) {
+      o.algebra = *parsed;
+    }
+  }
+  const obs::JsonValue* log_z = doc.find("log_z");
+  if (log_z != nullptr) {
+    o.log_z = log_z->as_number();
+  }
   o.cache_hit = doc.get("cache_hit").as_bool();
   o.seconds = doc.get("seconds").as_number();
   return o;

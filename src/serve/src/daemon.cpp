@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rri/core/bppart.hpp"
 #include "rri/core/crc32.hpp"
 #include "rri/harness/timing.hpp"
 #include "rri/obs/json.hpp"
@@ -81,6 +82,13 @@ std::string outcome_fields(const JobOutcome& o) {
   char buffer[64];
   std::string out = ",\"key\":\"" + fmt_key(o.key) + "\",\"m\":" +
                     std::to_string(o.m) + ",\"n\":" + std::to_string(o.n);
+  if (o.algebra != semiring::Algebra::kTropical) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", o.log_z);
+    out += ",\"algebra\":\"";
+    out += semiring::algebra_name(o.algebra);
+    out += "\",\"log_z\":";
+    out += buffer;
+  }
   std::snprintf(buffer, sizeof(buffer), "%.9g",
                 static_cast<double>(o.score));
   out += ",\"score\":";
@@ -244,8 +252,7 @@ void Daemon::run() {
       }
       Job job = stored->job;
       job.deadline_s = 0.0;  // the original admission clock is gone
-      const double table_bytes =
-          job_table_bytes(job.s1.size(), job.s2.size());
+      const double table_bytes = job_table_bytes(job);
       record_admission_locked(job, table_bytes);
       governor_.adopt(job.tenant, table_bytes, mono_now_s());
     }
@@ -645,8 +652,7 @@ std::string Daemon::handle_request(const Request& req, bool* drain_out) {
 }
 
 std::string Daemon::submit_response(const Request& req) {
-  const double table_bytes =
-      job_table_bytes(req.job.s1.size(), req.job.s2.size());
+  const double table_bytes = job_table_bytes(req.job);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_.load()) {
@@ -684,7 +690,9 @@ std::string Daemon::submit_response(const Request& req) {
           "submit", req.id, "over_budget",
           "job (" + std::to_string(req.job.s1.size()) + " x " +
               std::to_string(req.job.s2.size()) + ") would need " + need +
-              " GiB of F-table; the admission budget is " + std::string(have) +
+              " GiB of table at " +
+              std::to_string(job_elem_bytes(req.job)) +
+              " bytes/cell; the admission budget is " + std::string(have) +
               " GiB (--max-mem)");
     }
     // Queue-depth shedding: beyond the high watermark the daemon is
@@ -788,22 +796,42 @@ JobOutcome Daemon::execute(const Job& job) {
   o.n = static_cast<int>(job.s2.size());
   harness::StopWatch sw;
   RRI_OBS_PHASE(obs::Phase::kServe);
+  o.algebra = job.params.algebra;
+  const bool lse = o.algebra == semiring::Algebra::kLogSumExp;
   const auto hit = cache_.get(o.key, key_text);
   if (hit.has_value()) {
-    o.score = *hit;
+    if (lse) {
+      o.log_z = *hit;
+    }
+    o.score = static_cast<float>(*hit);
     o.cache_hit = true;
     o.seconds = 0.0;
     return o;
   }
-  core::BpmaxOptions opts;
-  opts.variant = config_.variant;
-  opts.tile = config_.tile;
-  opts.num_threads = config_.kernel_threads;
   const rna::Sequence s2 =
       job.params.reverse ? job.s2.reversed() : job.s2;
-  o.score = core::bpmax_score(job.s1, s2, job.params.model(), opts);
+  double value;
+  if (lse) {
+    core::BppartOptions popt;
+    popt.temperature = job.params.temperature;
+    popt.variant = config_.kernel_threads > 1
+                       ? core::BppartVariant::kRowParallel
+                       : core::BppartVariant::kSerial;
+    popt.tile = config_.tile;
+    popt.num_threads = config_.kernel_threads;
+    value = core::bppart_log_z(job.s1, s2, job.params.model(), popt);
+    o.log_z = value;
+    o.score = static_cast<float>(value);
+  } else {
+    core::BpmaxOptions opts;
+    opts.variant = config_.variant;
+    opts.tile = config_.tile;
+    opts.num_threads = config_.kernel_threads;
+    o.score = core::bpmax_score(job.s1, s2, job.params.model(), opts);
+    value = static_cast<double>(o.score);
+  }
   o.seconds = sw.seconds();
-  cache_.put(o.key, key_text, o.score);
+  cache_.put(o.key, key_text, value);
   RRI_OBS_COUNTER("serve.jobs_computed", 1);
   return o;
 }

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rri/core/bppart.hpp"
 #include "rri/core/crc32.hpp"
 #include "rri/harness/timing.hpp"
 #include "rri/obs/obs.hpp"
@@ -139,7 +140,10 @@ BatchResult run_batch(const std::vector<Job>& jobs,
         run.completed.push_back(o);
         run.groups[key_texts[i]].done = true;
         if (!o.rejected) {
-          cache.put(keys[i], key_texts[i], o.score);
+          cache.put(keys[i], key_texts[i],
+                    o.algebra == semiring::Algebra::kLogSumExp
+                        ? o.log_z
+                        : static_cast<double>(o.score));
         }
         ++run.resumed;
       }
@@ -197,8 +201,15 @@ BatchResult run_batch(const std::vector<Job>& jobs,
           o.key = keys[dup];
           o.m = outcome.m;
           o.n = outcome.n;
+          o.algebra = jobs[dup].params.algebra;
           const auto hit = cache.get(keys[dup], key_texts[dup]);
-          o.score = hit.value_or(outcome.score);
+          if (o.algebra == semiring::Algebra::kLogSumExp) {
+            o.log_z = hit.value_or(outcome.log_z);
+            o.score = static_cast<float>(o.log_z);
+          } else {
+            o.score = static_cast<float>(
+                hit.value_or(static_cast<double>(outcome.score)));
+          }
           o.cache_hit = hit.has_value();
           o.seconds = 0.0;
           record(dup, std::move(o));
@@ -258,27 +269,48 @@ BatchResult run_batch(const std::vector<Job>& jobs,
       o.key = keys[i];
       o.m = static_cast<int>(jobs[i].s1.size());
       o.n = static_cast<int>(jobs[i].s2.size());
+      o.algebra = jobs[i].params.algebra;
+      const bool lse = o.algebra == semiring::Algebra::kLogSumExp;
       const auto hit = cache.get(keys[i], key_texts[i]);
       if (hit.has_value()) {
-        o.score = *hit;
+        if (lse) {
+          o.log_z = *hit;
+        }
+        o.score = static_cast<float>(*hit);
         o.cache_hit = true;
         o.seconds = 0.0;
       } else {
-        core::BpmaxOptions opts;
-        opts.variant = config.variant;
-        opts.tile = config.tile;
-        opts.num_threads = config.kernel_threads;
         const rna::Sequence s2 =
             jobs[i].params.reverse ? jobs[i].s2.reversed() : jobs[i].s2;
-        o.score = core::bpmax_score(jobs[i].s1, s2,
-                                    jobs[i].params.model(), opts);
+        double value;
+        if (lse) {
+          core::BppartOptions popt;
+          popt.temperature = jobs[i].params.temperature;
+          popt.variant = config.kernel_threads > 1
+                             ? core::BppartVariant::kRowParallel
+                             : core::BppartVariant::kSerial;
+          popt.tile = config.tile;
+          popt.num_threads = config.kernel_threads;
+          value = core::bppart_log_z(jobs[i].s1, s2,
+                                     jobs[i].params.model(), popt);
+          o.log_z = value;
+          o.score = static_cast<float>(value);
+        } else {
+          core::BpmaxOptions opts;
+          opts.variant = config.variant;
+          opts.tile = config.tile;
+          opts.num_threads = config.kernel_threads;
+          o.score = core::bpmax_score(jobs[i].s1, s2,
+                                      jobs[i].params.model(), opts);
+          value = static_cast<double>(o.score);
+        }
         o.seconds = sw.seconds();
         {
           std::lock_guard<std::mutex> lock(run.mutex);
           ++run.computed;
         }
         RRI_OBS_COUNTER("serve.jobs_computed", 1);
-        cache.put(keys[i], key_texts[i], o.score);
+        cache.put(keys[i], key_texts[i], value);
       }
       record(i, std::move(o));
       const double spent = sw.seconds();

@@ -1,5 +1,7 @@
 #include "rri/serve/job.hpp"
 
+#include <cstdio>
+
 #include "rri/core/crc32.hpp"
 
 namespace rri::serve {
@@ -22,6 +24,17 @@ std::string job_key_text(const Job& job) {
   text += s2.to_string();
   text += job.params.unit_weights ? "|w=unit|mh=" : "|w=bpmax|mh=";
   text += std::to_string(job.params.min_hairpin);
+  // The algebra (and, for algebras that use it, the temperature) is part
+  // of what the solver computes, so it must split the key space. Tropical
+  // stays suffix-free — historical keys survive the upgrade — and its
+  // temperature is canonicalized away because the max never depends on it.
+  if (job.params.algebra != semiring::Algebra::kTropical) {
+    text += "|alg=";
+    text += semiring::algebra_name(job.params.algebra);
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "|T=%.17g", job.params.temperature);
+    text += buffer;
+  }
   return text;
 }
 

@@ -13,8 +13,11 @@ namespace {
 constexpr char kMagic[4] = {'R', 'R', 'J', 'L'};
 /// v1: pre-quota journals (no tenant/deadline on submit records).
 /// v2: submit records carry the tenant name and deadline_s.
-constexpr std::uint32_t kVersionLegacy = 1;
-constexpr std::uint32_t kVersion = 2;
+/// v3: submit records carry the algebra tag + temperature; outcomes
+///     carry the algebra tag + log_z. Older journals decode with the
+///     tropical defaults, which is exactly what they computed.
+constexpr std::uint32_t kVersionOldest = 1;
+constexpr std::uint32_t kVersion = 3;
 
 template <typename T>
 void append_pod(std::string& out, const T& value) {
@@ -57,10 +60,12 @@ void append_outcome(std::string& out, const JobOutcome& o) {
   append_pod(out, static_cast<std::uint8_t>(o.cache_hit ? 1 : 0));
   append_pod(out, static_cast<std::uint8_t>(o.rejected ? 1 : 0));
   append_pod(out, o.seconds);
+  append_pod(out, static_cast<std::uint8_t>(o.algebra));
+  append_pod(out, o.log_z);
 }
 
 JobOutcome take_outcome(const std::string& bytes, std::size_t& pos,
-                        std::size_t end) {
+                        std::size_t end, std::uint32_t version) {
   JobOutcome o;
   o.id = take_string(bytes, pos, end);
   o.key = take_pod<std::uint32_t>(bytes, pos, end);
@@ -70,6 +75,11 @@ JobOutcome take_outcome(const std::string& bytes, std::size_t& pos,
   o.cache_hit = take_pod<std::uint8_t>(bytes, pos, end) != 0;
   o.rejected = take_pod<std::uint8_t>(bytes, pos, end) != 0;
   o.seconds = take_pod<double>(bytes, pos, end);
+  if (version >= 3) {
+    o.algebra = static_cast<semiring::Algebra>(
+        take_pod<std::uint8_t>(bytes, pos, end));
+    o.log_z = take_pod<double>(bytes, pos, end);
+  }
   return o;
 }
 
@@ -103,6 +113,8 @@ std::string encode_journal(const std::vector<JournalRecord>& records) {
         append_pod(out, static_cast<std::uint8_t>(r.params.reverse));
         append_string(out, r.tenant);
         append_pod(out, r.deadline_s);
+        append_pod(out, static_cast<std::uint8_t>(r.params.algebra));
+        append_pod(out, r.params.temperature);
         break;
       case JournalRecord::Kind::kDone:
         append_outcome(out, r.outcome);
@@ -137,7 +149,7 @@ std::vector<JournalRecord> decode_journal(const std::string& bytes) {
   }
   std::size_t pos = sizeof(kMagic);
   const auto version = take_pod<std::uint32_t>(bytes, pos, body);
-  if (version != kVersion && version != kVersionLegacy) {
+  if (version < kVersionOldest || version > kVersion) {
     throw core::SerializeError("unsupported RRJL version " +
                                std::to_string(version));
   }
@@ -165,9 +177,14 @@ std::vector<JournalRecord> decode_journal(const std::string& bytes) {
           r.tenant = take_string(bytes, pos, body);
           r.deadline_s = take_pod<double>(bytes, pos, body);
         }
+        if (version >= 3) {
+          r.params.algebra = static_cast<semiring::Algebra>(
+              take_pod<std::uint8_t>(bytes, pos, body));
+          r.params.temperature = take_pod<double>(bytes, pos, body);
+        }
         break;
       case JournalRecord::Kind::kDone:
-        r.outcome = take_outcome(bytes, pos, body);
+        r.outcome = take_outcome(bytes, pos, body, version);
         break;
       case JournalRecord::Kind::kFailed:
         r.error = take_string(bytes, pos, body);

@@ -31,6 +31,20 @@ JobParams params_from_json(const obs::JsonValue& obj,
         params.min_hairpin = static_cast<int>(value.as_number());
       } else if (key == "no-reverse") {
         params.reverse = !value.as_bool();
+      } else if (key == "algebra") {
+        const auto algebra = semiring::parse_algebra(value.as_string());
+        if (!algebra.has_value()) {
+          throw rna::ParseError("manifest line " + std::to_string(line_no) +
+                                ": unknown algebra \"" + value.as_string() +
+                                "\" (known: tropical, logsumexp)");
+        }
+        params.algebra = *algebra;
+      } else if (key == "temperature") {
+        if (!(value.as_number() > 0.0)) {
+          throw rna::ParseError("manifest line " + std::to_string(line_no) +
+                                ": \"temperature\" must be a number > 0");
+        }
+        params.temperature = value.as_number();
       } else {
         throw rna::ParseError("manifest line " + std::to_string(line_no) +
                               ": unknown param \"" + key + "\"");
@@ -157,6 +171,14 @@ void write_result_line(std::ostream& out, const JobOutcome& outcome) {
     out << ",\"error\":\"rejected: table exceeds the worker memory "
            "budget\"}\n";
     return;
+  }
+  // Non-tropical outcomes name their algebra and carry the full-precision
+  // log partition function; "score" stays the float narrowing of log_z so
+  // downstream tooling that only knows "score" keeps working.
+  if (outcome.algebra != semiring::Algebra::kTropical) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", outcome.log_z);
+    out << ",\"algebra\":\"" << semiring::algebra_name(outcome.algebra)
+        << "\",\"log_z\":" << buffer;
   }
   // %.9g round-trips any float exactly; scores are small integers in
   // practice, so this usually prints "12".

@@ -186,6 +186,20 @@ Request parse_request(const std::string& payload, const JobParams& defaults) {
             req.job.params.min_hairpin = static_cast<int>(value.as_number());
           } else if (key == "no-reverse") {
             req.job.params.reverse = !value.as_bool();
+          } else if (key == "algebra") {
+            const auto algebra = semiring::parse_algebra(value.as_string());
+            if (!algebra.has_value()) {
+              throw ProtocolError("bad_request",
+                                  "unknown algebra \"" + value.as_string() +
+                                      "\" (known: tropical, logsumexp)");
+            }
+            req.job.params.algebra = *algebra;
+          } else if (key == "temperature") {
+            if (!(value.as_number() > 0.0)) {
+              throw ProtocolError("bad_request",
+                                  "\"temperature\" must be a number > 0");
+            }
+            req.job.params.temperature = value.as_number();
           } else {
             throw ProtocolError("bad_request",
                                 "unknown param \"" + key + "\"");
@@ -213,6 +227,17 @@ std::string submit_payload(const Job& job) {
   out += std::to_string(job.params.min_hairpin);
   out += ",\"no-reverse\":";
   out += job.params.reverse ? "false" : "true";
+  // Optional v3 fields: emitted only when non-default, so pre-algebra
+  // daemons keep accepting the payloads of tropical-only clients.
+  if (job.params.algebra != semiring::Algebra::kTropical) {
+    out += ",\"algebra\":\"";
+    out += semiring::algebra_name(job.params.algebra);
+    out += "\"";
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", job.params.temperature);
+    out += ",\"temperature\":";
+    out += buffer;
+  }
   out += "}";
   if (!job.tenant.empty()) {
     out += ",\"tenant\":\"";

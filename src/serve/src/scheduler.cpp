@@ -21,10 +21,21 @@ std::uint64_t tie_break(std::uint64_t seed, const std::string& id) {
 
 }  // namespace
 
-double job_table_bytes(std::size_t m, std::size_t n) {
+double job_table_bytes(std::size_t m, std::size_t n,
+                       std::size_t elem_bytes) {
   const double dm = static_cast<double>(m);
   const double dn = static_cast<double>(n);
-  return dm * dm * dn * dn * sizeof(float);
+  return dm * dm * dn * dn * static_cast<double>(elem_bytes);
+}
+
+std::size_t job_elem_bytes(const Job& job) noexcept {
+  return job.params.algebra == semiring::Algebra::kLogSumExp
+             ? sizeof(double)
+             : sizeof(float);
+}
+
+double job_table_bytes(const Job& job) {
+  return job_table_bytes(job.s1.size(), job.s2.size(), job_elem_bytes(job));
 }
 
 double job_cost_flops(std::size_t m, std::size_t n) {
@@ -49,7 +60,7 @@ Schedule plan_schedule(const std::vector<Job>& jobs,
     PlannedJob p;
     p.job_index = i;
     p.cost_flops = job_cost_flops(jobs[i].s1.size(), jobs[i].s2.size());
-    p.table_bytes = job_table_bytes(jobs[i].s1.size(), jobs[i].s2.size());
+    p.table_bytes = job_table_bytes(jobs[i]);
     if (config.worker_budget_bytes > 0.0 &&
         p.table_bytes > config.worker_budget_bytes) {
       schedule.rejected.push_back(i);

@@ -14,11 +14,13 @@
 #include <vector>
 
 #include "rri/core/bpmax.hpp"
+#include "rri/core/bppart.hpp"
 #include "rri/core/serialize.hpp"
 #include "rri/mpisim/checkpoint.hpp"
 #include "rri/serve/client.hpp"
 #include "rri/serve/daemon.hpp"
 #include "rri/serve/jobstore.hpp"
+#include "rri/serve/scheduler.hpp"
 
 namespace rri::serve {
 namespace {
@@ -558,6 +560,153 @@ TEST(DaemonE2E, ChaosDaemonWithRetryingClientMatchesCleanRun) {
     EXPECT_EQ(DaemonClient::outcome_from_response(doc).score, gold[i])
         << jobs[i].id;
   }
+}
+
+TEST(Journal, V3RecordsCarryAlgebraAndTemperature) {
+  std::vector<JournalRecord> records(2);
+  records[0].kind = JournalRecord::Kind::kSubmit;
+  records[0].id = "p1";
+  records[0].s1 = "GGGAAACCC";
+  records[0].s2 = "GGGUUUCCC";
+  records[0].params.algebra = semiring::Algebra::kLogSumExp;
+  records[0].params.temperature = 2.5;
+  records[1].kind = JournalRecord::Kind::kDone;
+  records[1].id = "p1";
+  records[1].outcome.id = "p1";
+  records[1].outcome.algebra = semiring::Algebra::kLogSumExp;
+  records[1].outcome.log_z = 20.196838686873523;
+  records[1].outcome.score = static_cast<float>(records[1].outcome.log_z);
+  const std::vector<JournalRecord> back =
+      decode_journal(encode_journal(records));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].params.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(back[0].params.temperature, 2.5);
+  EXPECT_EQ(back[1].outcome.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(back[1].outcome.log_z, 20.196838686873523);
+}
+
+double direct_log_z(const Job& job) {
+  const rna::Sequence s2 =
+      job.params.reverse ? job.s2.reversed() : job.s2;
+  core::BppartOptions opts;
+  opts.temperature = job.params.temperature;
+  opts.variant = core::BppartVariant::kSerial;
+  return core::bppart_log_z(job.s1, s2, job.params.model(), opts);
+}
+
+TEST(DaemonE2E, BppartJobsServeTheStandaloneLogZ) {
+  DaemonConfig config;
+  config.workers = 2;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  Job part = make_job("p1", "GGGAAACCC", "GGGUUUCCC");
+  part.params.algebra = semiring::Algebra::kLogSumExp;
+  Job hot = make_job("p2", "GGGAAACCC", "GGGUUUCCC");
+  hot.params.algebra = semiring::Algebra::kLogSumExp;
+  hot.params.temperature = 2.0;
+  const Job max = make_job("m1", "GGGAAACCC", "GGGUUUCCC");
+  ASSERT_TRUE(client.submit(part).get("ok").as_bool());
+  ASSERT_TRUE(client.submit(hot).get("ok").as_bool());
+  ASSERT_TRUE(client.submit(max).get("ok").as_bool());
+
+  const obs::JsonValue r1 = client.result("p1", /*wait=*/true);
+  ASSERT_TRUE(r1.get("ok").as_bool());
+  const JobOutcome o1 = DaemonClient::outcome_from_response(r1);
+  EXPECT_EQ(o1.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(o1.log_z, direct_log_z(part)) << "full-precision over the wire";
+  EXPECT_EQ(o1.score, static_cast<float>(o1.log_z));
+
+  const obs::JsonValue r2 = client.result("p2", /*wait=*/true);
+  ASSERT_TRUE(r2.get("ok").as_bool());
+  EXPECT_EQ(DaemonClient::outcome_from_response(r2).log_z,
+            direct_log_z(hot));
+
+  // The tropical job on the same pair is untouched by the seam — and its
+  // response carries no algebra/log_z fields at all.
+  const obs::JsonValue r3 = client.result("m1", /*wait=*/true);
+  ASSERT_TRUE(r3.get("ok").as_bool());
+  const JobOutcome o3 = DaemonClient::outcome_from_response(r3);
+  EXPECT_EQ(o3.algebra, semiring::Algebra::kTropical);
+  EXPECT_EQ(o3.score, direct_score(max));
+  EXPECT_EQ(r3.find("log_z"), nullptr);
+}
+
+TEST(DaemonE2E, RestartReplaysBppartJobsFromTheJournal) {
+  // The acceptance gauntlet: a mixed bpmax/bppart batch, a kill-9 after
+  // two finishes, and a successor daemon that replays the journal. Every
+  // bppart result must match the standalone solver bit for bit.
+  mpisim::MemoryBlobStore blobs;
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    Job job = make_job("j" + std::to_string(i), "GGGAAACCCGGGAAACCC",
+                       "GGGUUUCCC" + std::string(i + 1, 'A'));
+    if (i % 2 == 0) {
+      job.params.algebra = semiring::Algebra::kLogSumExp;
+      job.params.temperature = 1.0 + 0.5 * i;
+    }
+    jobs.push_back(job);
+  }
+
+  {
+    DaemonConfig config;
+    config.workers = 1;
+    config.journal_store = &blobs;
+    config.fail_after = 2;
+    Daemon daemon(config);
+    const int port = daemon.start();
+    std::thread runner([&] { daemon.run(); });
+    DaemonClient client;
+    client.connect("127.0.0.1", port);
+    for (const Job& job : jobs) {
+      ASSERT_TRUE(client.submit(job).get("ok").as_bool());
+    }
+    runner.join();
+    EXPECT_TRUE(daemon.stats().interrupted);
+  }
+
+  DaemonConfig config;
+  config.workers = 2;
+  config.journal_store = &blobs;
+  RunningDaemon server(config);
+  EXPECT_EQ(server.daemon.stats().jobs_replayed, 2u);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  for (const Job& job : jobs) {
+    const obs::JsonValue doc = client.result(job.id, /*wait=*/true);
+    ASSERT_TRUE(doc.get("ok").as_bool()) << job.id;
+    const JobOutcome outcome = DaemonClient::outcome_from_response(doc);
+    if (job.params.algebra == semiring::Algebra::kLogSumExp) {
+      EXPECT_EQ(outcome.algebra, semiring::Algebra::kLogSumExp) << job.id;
+      EXPECT_EQ(outcome.log_z, direct_log_z(job)) << job.id;
+    } else {
+      EXPECT_EQ(outcome.score, direct_score(job)) << job.id;
+    }
+  }
+}
+
+TEST(DaemonE2E, BppartAdmissionPricesDoubleWidthTables) {
+  // A budget between the float and double footprints of one pair: the
+  // bpmax submit passes, the bppart submit is refused, and the refusal
+  // names the 8 bytes/cell it priced.
+  const Job max = make_job("m", "GGGAAACCC", "GGGUUUCCC");
+  Job part = make_job("p", "GGGAAACCC", "GGGUUUCCC");
+  part.params.algebra = semiring::Algebra::kLogSumExp;
+  DaemonConfig config;
+  config.job_budget_bytes = job_table_bytes(max) + 1.0;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  EXPECT_TRUE(client.submit(max).get("ok").as_bool());
+  const obs::JsonValue refused = client.submit(part);
+  ASSERT_FALSE(refused.get("ok").as_bool());
+  EXPECT_EQ(refused.get("code").as_string(), "over_budget");
+  EXPECT_NE(refused.get("error").as_string().find("8 bytes/cell"),
+            std::string::npos)
+      << refused.get("error").as_string();
 }
 
 TEST(DaemonE2E, StopFlagDrainsLikeSigterm) {

@@ -187,4 +187,84 @@ TEST(DmpApi, VariantNamesStable) {
   EXPECT_EQ(all_dmp_variants().size(), 6u);
 }
 
+// -------------------------------------------------------- log-sum-exp twin
+
+::testing::AssertionResult ztables_equal(const ZTable& a, const ZTable& b) {
+  for (int i1 = 0; i1 < a.m(); ++i1) {
+    for (int j1 = i1; j1 < a.m(); ++j1) {
+      for (int i2 = 0; i2 < a.n(); ++i2) {
+        for (int j2 = i2; j2 < a.n(); ++j2) {
+          if (a.at(i1, j1, i2, j2) != b.at(i1, j1, i2, j2)) {
+            return ::testing::AssertionFailure()
+                   << "Z(" << i1 << "," << j1 << "," << i2 << "," << j2
+                   << "): " << a.at(i1, j1, i2, j2)
+                   << " != " << b.at(i1, j1, i2, j2);
+          }
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Every variant of the lse twin is bit-identical to the baseline: the
+/// pinned per-cell reduction order is the whole contract (log-add-exp
+/// does not reassociate exactly, so this would fail for ANY reordering).
+TEST(DmpLse, AllVariantsBitIdenticalToBaseline) {
+  const std::uint64_t seed = 777;
+  for (const auto& [m, n] : {std::pair{9, 12}, std::pair{12, 9},
+                             std::pair{1, 10}, std::pair{16, 16}}) {
+    const ZTable ref = solve_double_lse(m, n, seed, DmpVariant::kBaseline);
+    for (const DmpVariant v : all_dmp_variants()) {
+      const ZTable got = solve_double_lse(m, n, seed, v, {3, 2, 5});
+      ASSERT_TRUE(ztables_equal(got, ref))
+          << dmp_variant_name(v) << " m=" << m << " n=" << n;
+    }
+  }
+}
+
+/// Interior cells against the recursive reference — with a tolerance,
+/// because the contract with the reference is the math, not the rounding.
+TEST(DmpLse, MatchesRecursiveReference) {
+  const std::uint64_t seed = 31337;
+  for (const auto& [m, n] : {std::pair{2, 2}, std::pair{3, 3},
+                             std::pair{4, 2}, std::pair{2, 5}}) {
+    const ZTable z = solve_double_lse(m, n, seed, DmpVariant::kBaseline);
+    for (int i1 = 0; i1 < m; ++i1) {
+      for (int j1 = i1; j1 < m; ++j1) {
+        for (int i2 = 0; i2 < n; ++i2) {
+          for (int j2 = i2; j2 < n; ++j2) {
+            const double expected =
+                dmp_lse_reference_cell(m, n, seed, i1, j1, i2, j2);
+            ASSERT_NEAR(z.at(i1, j1, i2, j2), expected,
+                        1e-9 * std::max(1.0, std::fabs(expected)))
+                << i1 << " " << j1 << " " << i2 << " " << j2;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The lse fill dominates the max-plus fill cell-for-cell: a log-sum over
+/// the same split terms is at least the max over them.
+TEST(DmpLse, DominatesTheTropicalFill) {
+  const int m = 7;
+  const int n = 8;
+  const std::uint64_t seed = 2024;
+  const FTable f = solve_double_maxplus(m, n, seed, DmpVariant::kBaseline);
+  const ZTable z = solve_double_lse(m, n, seed, DmpVariant::kBaseline);
+  for (int i1 = 0; i1 < m; ++i1) {
+    for (int j1 = i1; j1 < m; ++j1) {
+      for (int i2 = 0; i2 < n; ++i2) {
+        for (int j2 = i2; j2 < n; ++j2) {
+          ASSERT_GE(z.at(i1, j1, i2, j2) + 1e-9,
+                    static_cast<double>(f.at(i1, j1, i2, j2)))
+              << i1 << " " << j1 << " " << i2 << " " << j2;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace

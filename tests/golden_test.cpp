@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "rri/core/bpmax.hpp"
+#include "rri/core/bppart.hpp"
 #include "rri/core/simd/maxplus_simd.hpp"
 
 #ifndef RRI_GOLDEN_DIR
@@ -39,6 +41,12 @@ struct GoldenCase {
   std::string model = "default";
   int min_hairpin = 0;
   float score = 0.0f;
+  /// "" for tropical score entries; "logsumexp" marks a BPPart entry
+  /// whose pinned value is log_z at `temperature` (see bppart.json for
+  /// the tolerance contract).
+  std::string algebra;
+  double temperature = 1.0;
+  double log_z = 0.0;
   std::string file;
 };
 
@@ -89,6 +97,9 @@ std::vector<GoldenCase> load_corpus() {
       c.min_hairpin =
           static_cast<int>(extract_number(line, "min_hairpin", 0.0));
       c.score = static_cast<float>(extract_number(line, "score", 0.0));
+      c.algebra = extract_string(line, "algebra");
+      c.temperature = extract_number(line, "temperature", 1.0);
+      c.log_z = extract_number(line, "log_z", 0.0);
       c.file = entry.path().filename().string();
       cases.push_back(std::move(c));
     }
@@ -123,6 +134,9 @@ TEST(GoldenCorpus, ReplayExactScores) {
   for (const core::simd::Backend backend : backends) {
     ASSERT_TRUE(core::simd::set_backend(backend));
     for (const GoldenCase& c : cases) {
+      if (c.algebra == "logsumexp") {
+        continue;  // pinned as log_z; replayed by BppartReplay below
+      }
       const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
       const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
       const float got = core::bpmax_score(s1, s2, model_for(c), {});
@@ -144,11 +158,40 @@ TEST(GoldenCorpus, BaselineVariantAgrees) {
   core::BpmaxOptions options;
   options.variant = core::Variant::kBaseline;
   for (const GoldenCase& c : cases) {
+    if (c.algebra == "logsumexp") {
+      continue;
+    }
     const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
     const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
     EXPECT_EQ(c.score, core::bpmax_score(s1, s2, model_for(c), options))
         << c.file << ":" << c.id;
   }
+}
+
+/// Replay the logsumexp (BPPart) entries. Tolerance per bppart.json:
+/// 1e-9 relative — the engine is bit-deterministic across variants, but
+/// log-add-exp does not reassociate, so the pinned values reserve room
+/// for within-cell instruction-level changes (fma, vector log1p).
+TEST(GoldenCorpus, BppartReplay) {
+  const std::vector<GoldenCase> cases = load_corpus();
+  int replayed = 0;
+  for (const GoldenCase& c : cases) {
+    if (c.algebra != "logsumexp") {
+      continue;
+    }
+    const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
+    const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
+    core::BppartOptions options;
+    options.temperature = c.temperature;
+    const double got = core::bppart_log_z(s1, s2, model_for(c), options);
+    const double tol = 1e-9 * std::max(1.0, std::fabs(c.log_z));
+    EXPECT_NEAR(c.log_z, got, tol)
+        << c.file << ":" << c.id << " (s1=" << c.s1 << " s2=" << c.s2
+        << " model=" << c.model << " min_hairpin=" << c.min_hairpin
+        << " T=" << c.temperature << ")";
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 4) << "bppart corpus lost entries?";
 }
 
 }  // namespace

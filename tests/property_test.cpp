@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "rri/core/bpmax.hpp"
+#include "rri/core/bppart.hpp"
 #include "rri/core/exhaustive.hpp"
 #include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/core/windowed.hpp"
@@ -194,6 +196,146 @@ TEST(PropertyDifferential, TinyInstancesMatchExhaustiveOracle) {
             << core::simd::backend_name(backend) << " RRI_PROPERTY_SEED="
             << seed << " iter=" << iter << " s1='" << s1.to_string()
             << "' s2='" << s2.to_string() << "'";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ bppart oracle
+
+/// |a - b| <= tol * max(1, |a|, |b|): relative, with an absolute floor
+/// so log Z near zero still compares sanely.
+::testing::AssertionResult near_rel(double a, double b, double tol) {
+  const double scale =
+      std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+  if (std::fabs(a - b) <= tol * scale) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (rel err "
+         << std::fabs(a - b) / scale << ")";
+}
+
+/// The partition-function engine against the brute-force enumerator on
+/// random tiny instances: log Z and every pairing probability within
+/// 1e-9 relative, probabilities in [0, 1], per-position marginals <= 1.
+TEST(PropertyBppart, TinyInstancesMatchExhaustiveOracle) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  const int iters =
+      std::max(4, static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL)) / 2);
+
+  for (int iter = 0; iter < iters; ++iter) {
+    std::mt19937_64 rng(seed * 131 + static_cast<std::uint64_t>(iter));
+    std::uniform_int_distribution<int> len1(1, 7);
+    std::uniform_int_distribution<int> len2(1, 6);
+    std::uniform_int_distribution<int> pick(0, 2);
+    const rna::Sequence s1 =
+        rna::random_sequence(static_cast<std::size_t>(len1(rng)), rng);
+    const rna::Sequence s2 =
+        rna::random_sequence(static_cast<std::size_t>(len2(rng)), rng);
+    rna::ScoringModel model = pick(rng) == 0 ? rna::ScoringModel::unit()
+                                             : rna::ScoringModel::bpmax_default();
+    if (pick(rng) == 1) {
+      model.set_min_hairpin(2);
+    }
+    const double temperature = 0.5 + 0.5 * static_cast<double>(pick(rng));
+    const std::string repro =
+        "RRI_PROPERTY_SEED=" + std::to_string(seed) + " iter=" +
+        std::to_string(iter) + " s1='" + s1.to_string() + "' s2='" +
+        s2.to_string() + "' T=" + std::to_string(temperature);
+
+    const core::ExhaustivePartition truth =
+        core::exhaustive_bppart(s1, s2, model, temperature);
+    core::BppartOptions opts;
+    opts.temperature = temperature;
+    opts.variant = core::BppartVariant::kSerial;
+    const core::BppartResult got = core::bppart_solve(s1, s2, model, opts);
+    ASSERT_TRUE(near_rel(truth.log_z, got.log_z, 1e-9)) << repro;
+
+    const std::vector<double> prob = core::bppart_pair_probabilities(got);
+    const int m = static_cast<int>(s1.size());
+    const int n = static_cast<int>(s2.size());
+    ASSERT_EQ(prob.size(), truth.pair_prob.size()) << repro;
+    for (int a = 0; a < m; ++a) {
+      double marginal = 0.0;
+      for (int b = 0; b < n; ++b) {
+        const std::size_t idx = static_cast<std::size_t>(a) *
+                                    static_cast<std::size_t>(n) +
+                                static_cast<std::size_t>(b);
+        ASSERT_GE(prob[idx], 0.0) << repro;
+        ASSERT_LE(prob[idx], 1.0) << repro;
+        ASSERT_TRUE(near_rel(truth.pair_prob[idx], prob[idx], 1e-9))
+            << repro << " pair (" << a << "," << b << ")";
+        marginal += prob[idx];
+      }
+      // Position a pairs with at most one partner per structure, so its
+      // inter-pair marginals cannot sum past 1 (tolerance for rounding).
+      ASSERT_LE(marginal, 1.0 + 1e-9) << repro << " a=" << a;
+    }
+  }
+}
+
+/// A pinned 10x8 instance — the largest shape the enumerator can cover —
+/// nailed at a fixed temperature so any drift in either formulation
+/// (engine or oracle) shows up in CI, not just under lucky seeds.
+TEST(PropertyBppart, PinnedTenByEightMatchesOracle) {
+  const rna::Sequence s1 = rna::Sequence::from_string("GGGGGAAAAA");
+  const rna::Sequence s2 = rna::Sequence::from_string("CCCCCAAA");
+  const rna::ScoringModel model = rna::ScoringModel::bpmax_default();
+  const core::ExhaustivePartition truth =
+      core::exhaustive_bppart(s1, s2, model, 1.0);
+  ASSERT_GT(truth.structures_seen, 0u);
+  core::BppartOptions opts;
+  const core::BppartResult got = core::bppart_solve(s1, s2, model, opts);
+  ASSERT_TRUE(near_rel(truth.log_z, got.log_z, 1e-9));
+  const std::vector<double> prob = core::bppart_pair_probabilities(got);
+  for (std::size_t i = 0; i < prob.size(); ++i) {
+    ASSERT_TRUE(near_rel(truth.pair_prob[i], prob[i], 1e-9)) << "i=" << i;
+  }
+}
+
+/// All BppartVariant schedules are bit-identical (the per-cell reduction
+/// order is pinned), across tile shapes and thread counts.
+TEST(PropertyBppart, AllVariantsBitIdentical) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  const int iters =
+      std::max(4, static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL)) / 3);
+  for (int iter = 0; iter < iters; ++iter) {
+    std::mt19937_64 rng(seed * 977 + static_cast<std::uint64_t>(iter));
+    std::uniform_int_distribution<int> len(1, 12);
+    const rna::Sequence s1 =
+        rna::random_sequence(static_cast<std::size_t>(len(rng)), rng);
+    const rna::Sequence s2 =
+        rna::random_sequence(static_cast<std::size_t>(len(rng)), rng);
+    const rna::ScoringModel model = rna::ScoringModel::bpmax_default();
+
+    core::BppartOptions ref_opts;
+    ref_opts.variant = core::BppartVariant::kSerial;
+    const core::BppartResult ref =
+        core::bppart_solve(s1, s2, model, ref_opts);
+
+    for (const core::BppartVariant v : core::all_bppart_variants()) {
+      core::BppartOptions opts;
+      opts.variant = v;
+      opts.num_threads = 1 + iter % 3;
+      opts.tile = core::TileShape3{1 + iter % 5, 1 + iter % 3,
+                                   (iter % 4 == 0) ? 0 : 1 + iter % 7};
+      const core::BppartResult got =
+          core::bppart_solve(s1, s2, model, opts);
+      ASSERT_EQ(ref.log_z, got.log_z)
+          << core::bppart_variant_name(v) << " RRI_PROPERTY_SEED=" << seed
+          << " iter=" << iter << " s1='" << s1.to_string() << "' s2='"
+          << s2.to_string() << "'";
+      for (int i1 = 0; i1 < ref.z.m(); ++i1) {
+        for (int j1 = i1; j1 < ref.z.m(); ++j1) {
+          for (int i2 = 0; i2 < ref.z.n(); ++i2) {
+            for (int j2 = i2; j2 < ref.z.n(); ++j2) {
+              ASSERT_EQ(ref.z.at(i1, j1, i2, j2), got.z.at(i1, j1, i2, j2))
+                  << core::bppart_variant_name(v) << " Z(" << i1 << ","
+                  << j1 << "," << i2 << "," << j2 << ") iter=" << iter;
+            }
+          }
+        }
       }
     }
   }

@@ -334,6 +334,73 @@ TEST(Payloads, SubmitPayloadRoundTripsTenantAndDeadline) {
   EXPECT_EQ(job_key_text(job), job_key_text(anonymous));
 }
 
+TEST(ParseRequest, SubmitCarriesAlgebraAndTemperature) {
+  const Request req = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"params\":{\"algebra\":\"logsumexp\",\"temperature\":2.5}}",
+      JobParams{});
+  EXPECT_EQ(req.job.params.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(req.job.params.temperature, 2.5);
+  // Absent means the defaults: tropical at T=1.
+  const Request bare = parse_request(
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\"}",
+      JobParams{});
+  EXPECT_EQ(bare.job.params.algebra, semiring::Algebra::kTropical);
+  EXPECT_EQ(bare.job.params.temperature, 1.0);
+}
+
+TEST(ParseRequest, UnknownAlgebraNamesTheKnownOnes) {
+  // The error contract docs/serving.md promises: bad_request, quoting
+  // the offending name and listing what this daemon understands.
+  try {
+    parse_request(
+        "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+        "\"params\":{\"algebra\":\"viterbi\"}}",
+        JobParams{});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), std::string("bad_request"));
+    const std::string what = e.what();
+    EXPECT_NE(what.find("viterbi"), std::string::npos) << what;
+    EXPECT_NE(what.find("tropical"), std::string::npos) << what;
+    EXPECT_NE(what.find("logsumexp"), std::string::npos) << what;
+  }
+  const char* bad_temps[] = {
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"params\":{\"temperature\":0}}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"params\":{\"temperature\":-2}}",
+      "{\"op\":\"submit\",\"id\":\"j\",\"s1\":\"AA\",\"s2\":\"UU\","
+      "\"params\":{\"temperature\":\"hot\"}}",
+  };
+  for (const char* payload : bad_temps) {
+    try {
+      parse_request(payload, JobParams{});
+      FAIL() << "accepted: " << payload;
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), std::string("bad_request")) << payload;
+    }
+  }
+}
+
+TEST(Payloads, SubmitPayloadRoundTripsAlgebraAndTemperature) {
+  Job job;
+  job.id = "p";
+  job.s1 = rna::Sequence::from_string("GGGAAACCC");
+  job.s2 = rna::Sequence::from_string("GGGUUUCCC");
+  job.params.algebra = semiring::Algebra::kLogSumExp;
+  job.params.temperature = 0.75;
+  const Request req = parse_request(submit_payload(job), JobParams{});
+  EXPECT_EQ(req.job.params.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(req.job.params.temperature, 0.75);
+  // Tropical submits stay byte-compatible with pre-algebra daemons: the
+  // optional fields are only emitted when they differ from the default.
+  Job tropical = job;
+  tropical.params = JobParams{};
+  EXPECT_EQ(submit_payload(tropical).find("algebra"), std::string::npos);
+  EXPECT_EQ(submit_payload(tropical).find("temperature"), std::string::npos);
+}
+
 TEST(Payloads, ErrorPayloadCarriesRetryAfter) {
   const std::string payload =
       error_payload("submit", "j", "quota_exceeded",

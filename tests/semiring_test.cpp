@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
+#include "rri/semiring/logsumexp.hpp"
 #include "rri/semiring/matrix.hpp"
 #include "rri/semiring/product.hpp"
 #include "rri/semiring/streaming.hpp"
@@ -69,6 +71,64 @@ TEST(Tropical, ArithmeticPolicyIsOrdinary) {
   using S = Arithmetic<double>;
   EXPECT_EQ(S::plus(2.0, 3.0), 5.0);
   EXPECT_EQ(S::times(2.0, 3.0), 6.0);
+}
+
+// ----------------------------------------------------------- logsumexp
+
+TEST(LogSumExp, IdentitiesAreExact) {
+  using S = LogSumExp<double>;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(S::zero(), -inf);
+  EXPECT_EQ(S::one(), 0.0);
+  // zero is the exact plus-identity (the -inf guard, not log1p rounding).
+  EXPECT_EQ(S::plus(S::zero(), 3.25), 3.25);
+  EXPECT_EQ(S::plus(3.25, S::zero()), 3.25);
+  EXPECT_EQ(S::plus(S::zero(), S::zero()), S::zero());
+  // zero annihilates under times; one is its exact identity.
+  EXPECT_EQ(S::times(S::zero(), 5.0), S::zero());
+  EXPECT_EQ(S::times(5.0, S::zero()), S::zero());
+  EXPECT_EQ(S::times(S::one(), 5.0), 5.0);
+}
+
+TEST(LogSumExp, PlusIsLogAddExp) {
+  using S = LogSumExp<double>;
+  // log(e^a + e^b) hand-checked against the direct (unstable) formula in
+  // the range where that formula is itself exact enough to trust.
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-30.0, 30.0);
+  for (int i = 0; i < 200; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng);
+    const double direct = std::log(std::exp(a) + std::exp(b));
+    EXPECT_NEAR(S::plus(a, b), direct, 1e-12 * std::max(1.0, std::fabs(direct)));
+    EXPECT_EQ(S::plus(a, b), S::plus(b, a));  // formula is symmetric
+    EXPECT_GE(S::plus(a, b), std::max(a, b));  // sum >= either term
+  }
+  EXPECT_DOUBLE_EQ(S::plus(0.0, 0.0), std::log(2.0));
+}
+
+TEST(LogSumExp, StableWhereTheDirectFormulaOverflows) {
+  using S = LogSumExp<double>;
+  // exp(1000) overflows double; the log-domain sum must not.
+  const double sum = S::plus(1000.0, 1000.0);
+  EXPECT_TRUE(std::isfinite(sum));
+  EXPECT_DOUBLE_EQ(sum, 1000.0 + std::log(2.0));
+  // A dominated term degrades gracefully to the dominant one.
+  EXPECT_EQ(S::plus(1000.0, -1000.0), 1000.0);
+  EXPECT_TRUE(std::isfinite(S::plus(-745.0, -745.0)));
+}
+
+TEST(LogSumExp, AlgebraNamesRoundTrip) {
+  EXPECT_STREQ(algebra_name(Algebra::kTropical), "tropical");
+  EXPECT_STREQ(algebra_name(Algebra::kLogSumExp), "logsumexp");
+  EXPECT_EQ(parse_algebra("tropical"), Algebra::kTropical);
+  EXPECT_EQ(parse_algebra("logsumexp"), Algebra::kLogSumExp);
+  EXPECT_FALSE(parse_algebra("boltzmann").has_value());
+  EXPECT_FALSE(parse_algebra("").has_value());
+  EXPECT_FALSE(parse_algebra("Tropical").has_value());  // names are exact
+  // The enum values are journaled (RRJL v3) — they must never move.
+  EXPECT_EQ(static_cast<int>(Algebra::kTropical), 0);
+  EXPECT_EQ(static_cast<int>(Algebra::kLogSumExp), 1);
 }
 
 // ------------------------------------------------------------- matrices

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rri/core/bpmax.hpp"
+#include "rri/core/bppart.hpp"
 #include "rri/core/serialize.hpp"
 #include "rri/mpisim/checkpoint.hpp"
 #include "rri/serve/batch_state.hpp"
@@ -67,6 +68,41 @@ TEST(JobKey, ParamsDifferentiate) {
             job_key_text(make_job("a", "GGGAAACCC", "GGAUCC", hairpin)));
   EXPECT_NE(job_key_text(base),
             job_key_text(make_job("a", "GGGAAACCC", "GGAUCC", unit)));
+}
+
+TEST(JobKey, AlgebraSeparatesBpmaxFromBppart) {
+  // The regression this guards: a bppart job must never collide with a
+  // bpmax job on the same pair, or cached max-scores would be served as
+  // log-partition values (and vice versa).
+  JobParams lse;
+  lse.algebra = semiring::Algebra::kLogSumExp;
+  const Job tropical = make_job("a", "GGGAAACCC", "GGAUCC");
+  const Job partition = make_job("b", "GGGAAACCC", "GGAUCC", lse);
+  EXPECT_NE(job_key_text(tropical), job_key_text(partition));
+  EXPECT_NE(job_key(tropical), job_key(partition));
+  // The algebra and temperature are spelled into the key text.
+  EXPECT_NE(job_key_text(partition).find("|alg=logsumexp"),
+            std::string::npos);
+  EXPECT_NE(job_key_text(partition).find("|T="), std::string::npos);
+}
+
+TEST(JobKey, TemperatureDifferentiatesOnlyWhereItMatters) {
+  // Different temperatures are different partition functions...
+  JobParams warm;
+  warm.algebra = semiring::Algebra::kLogSumExp;
+  warm.temperature = 1.0;
+  JobParams hot = warm;
+  hot.temperature = 2.0;
+  EXPECT_NE(job_key_text(make_job("a", "GGGAAACCC", "GGAUCC", warm)),
+            job_key_text(make_job("b", "GGGAAACCC", "GGAUCC", hot)));
+  // ...but a max never depends on T, so tropical keys canonicalize the
+  // temperature away (and stay byte-identical to pre-algebra keys).
+  JobParams trop_hot;
+  trop_hot.temperature = 2.0;
+  const Job base = make_job("a", "GGGAAACCC", "GGAUCC");
+  EXPECT_EQ(job_key_text(base),
+            job_key_text(make_job("b", "GGGAAACCC", "GGAUCC", trop_hot)));
+  EXPECT_EQ(job_key_text(base).find("|alg="), std::string::npos);
 }
 
 // --------------------------------------------------------------- cache
@@ -132,6 +168,30 @@ TEST(ResultCache, HashCollisionDegradesToMiss) {
   EXPECT_FALSE(cache.get(42, "an-impostor-key").has_value());
 }
 
+TEST(ResultCache, BpmaxAndBppartEntriesNeverShare) {
+  // End-to-end over the real keys: the same sequence pair under the two
+  // algebras occupies two distinct cache entries, and each lookup gets
+  // its own value back at full double precision.
+  JobParams lse;
+  lse.algebra = semiring::Algebra::kLogSumExp;
+  const Job tropical = make_job("a", "GGGAAACCC", "GGAUCC");
+  const Job partition = make_job("b", "GGGAAACCC", "GGAUCC", lse);
+  ResultCache cache(4096);
+  cache.put(job_key(tropical), job_key_text(tropical), 12.0);
+  EXPECT_FALSE(
+      cache.get(job_key(partition), job_key_text(partition)).has_value());
+  const double log_z = 20.196838686873523;  // 17 significant digits
+  cache.put(job_key(partition), job_key_text(partition), log_z);
+  const auto trop_hit = cache.get(job_key(tropical), job_key_text(tropical));
+  const auto lse_hit =
+      cache.get(job_key(partition), job_key_text(partition));
+  ASSERT_TRUE(trop_hit.has_value());
+  ASSERT_TRUE(lse_hit.has_value());
+  EXPECT_EQ(*trop_hit, 12.0);
+  EXPECT_EQ(*lse_hit, log_z);  // exact: the cache stores doubles
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
 // ----------------------------------------------------------- scheduler
 
 std::vector<Job> mixed_size_jobs() {
@@ -172,6 +232,36 @@ TEST(Scheduler, OrdersLargestCostFirst) {
 TEST(Scheduler, CostModelsMatchClosedForms) {
   EXPECT_EQ(job_table_bytes(10, 20), 10.0 * 10.0 * 20.0 * 20.0 * 4.0);
   EXPECT_EQ(job_cost_flops(3, 2), 27.0 * 8.0);
+}
+
+TEST(Scheduler, TableBytesPriceTheElementWidth) {
+  // bppart fills an M²N² table of doubles, twice the bpmax footprint.
+  EXPECT_EQ(job_table_bytes(10, 20, sizeof(double)),
+            10.0 * 10.0 * 20.0 * 20.0 * 8.0);
+  JobParams lse;
+  lse.algebra = semiring::Algebra::kLogSumExp;
+  const Job tropical = make_job("a", "GGGAAACCC", "GGAUCC");
+  const Job partition = make_job("b", "GGGAAACCC", "GGAUCC", lse);
+  EXPECT_EQ(job_elem_bytes(tropical), sizeof(float));
+  EXPECT_EQ(job_elem_bytes(partition), sizeof(double));
+  EXPECT_EQ(job_table_bytes(partition), 2.0 * job_table_bytes(tropical));
+  EXPECT_EQ(job_table_bytes(tropical), job_table_bytes(9, 6));
+}
+
+TEST(Scheduler, AdmissionUsesTheDoubleWidthForBppart) {
+  // A budget that admits a pair as bpmax must reject the same pair as
+  // bppart once the doubled footprint crosses the line.
+  JobParams lse;
+  lse.algebra = semiring::Algebra::kLogSumExp;
+  const std::vector<Job> jobs = {
+      make_job("max", "GGGAAACCCAUGCGGGAAACCC", "UUGCCAAGGUUGCC"),
+      make_job("part", "GGGAAACCCAUGCGGGAAACCC", "UUGCCAAGGUUGCC", lse),
+  };
+  ScheduleConfig config;
+  config.worker_budget_bytes = job_table_bytes(jobs[0]) + 1.0;
+  const Schedule plan = plan_schedule(jobs, config);
+  ASSERT_EQ(plan.rejected.size(), 1u);
+  EXPECT_EQ(jobs[plan.rejected[0]].id, "part");
 }
 
 TEST(Scheduler, RejectsJobsOverTheWorkerBudget) {
@@ -257,7 +347,16 @@ BatchState sample_state() {
   JobOutcome c;
   c.id = "c";
   c.rejected = true;
-  state.completed = {a, b, c};
+  JobOutcome d;
+  d.id = "d";
+  d.key = 0x0BADF00D;
+  d.m = 9;
+  d.n = 6;
+  d.algebra = semiring::Algebra::kLogSumExp;
+  d.log_z = 20.196838686873523;
+  d.score = static_cast<float>(d.log_z);
+  d.seconds = 0.5;
+  state.completed = {a, b, c, d};
   return state;
 }
 
@@ -275,6 +374,8 @@ TEST(BatchState, EncodeDecodeRoundTrips) {
     EXPECT_EQ(back.completed[i].cache_hit, state.completed[i].cache_hit);
     EXPECT_EQ(back.completed[i].rejected, state.completed[i].rejected);
     EXPECT_EQ(back.completed[i].seconds, state.completed[i].seconds);
+    EXPECT_EQ(back.completed[i].algebra, state.completed[i].algebra);
+    EXPECT_EQ(back.completed[i].log_z, state.completed[i].log_z);
   }
 }
 
@@ -434,6 +535,47 @@ TEST(Engine, GrainCompositionKeepsScoresBitIdentical) {
   }
 }
 
+TEST(Engine, LogSumExpJobsMatchTheStandaloneSolver) {
+  // A mixed batch: the lse jobs must carry the standalone bppart log_z at
+  // full precision, the tropical jobs must be untouched by the seam.
+  JobParams lse;
+  lse.algebra = semiring::Algebra::kLogSumExp;
+  JobParams hot = lse;
+  hot.temperature = 2.5;
+  std::vector<Job> jobs = {
+      make_job("max", "GGGAAACCC", "GGAUCC"),
+      make_job("part", "GGGAAACCC", "GGAUCC", lse),
+      make_job("part-hot", "GGGAAACCC", "GGAUCC", hot),
+      make_job("part-dup", "GGGAAACCC", "GGAUCC", lse),
+  };
+  EngineConfig config;
+  config.workers = 2;
+  config.cache_bytes = 1 << 20;
+  const BatchResult result = run_batch(jobs, config);
+  ASSERT_EQ(result.outcomes.size(), jobs.size());
+
+  const auto expected_log_z = [&](const Job& job) {
+    core::BppartOptions opts;
+    opts.temperature = job.params.temperature;
+    opts.variant = core::BppartVariant::kSerial;
+    return core::bppart_log_z(job.s1, job.s2.reversed(), job.params.model(),
+                              opts);
+  };
+  EXPECT_EQ(result.outcomes[0].algebra, semiring::Algebra::kTropical);
+  EXPECT_EQ(result.outcomes[0].score, solo_score(jobs[0]));
+  for (const std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_EQ(result.outcomes[i].algebra, semiring::Algebra::kLogSumExp);
+    EXPECT_EQ(result.outcomes[i].log_z, expected_log_z(jobs[i]))
+        << jobs[i].id;
+    EXPECT_EQ(result.outcomes[i].score,
+              static_cast<float>(result.outcomes[i].log_z));
+  }
+  EXPECT_NE(result.outcomes[1].log_z, result.outcomes[2].log_z);
+  // The duplicate coalesces onto the primary's full-precision value.
+  EXPECT_TRUE(result.outcomes[3].cache_hit);
+  EXPECT_EQ(result.outcomes[3].log_z, result.outcomes[1].log_z);
+}
+
 // ------------------------------------------------------------ manifest
 
 TEST(Manifest, ParsesJsonlWithCommentsAndCrlf) {
@@ -476,6 +618,54 @@ TEST(Manifest, ErrorsCarryLineNumbers) {
   expect_error("{\"id\":\"a\",\"s1\":\"GCAU\",\"s2\":\"AUGC\","
                "\"params\":{\"bogus\":1}}\n",
                "unknown param");
+  expect_error("{\"id\":\"a\",\"s1\":\"GCAU\",\"s2\":\"AUGC\","
+               "\"params\":{\"algebra\":\"boltzmann\"}}\n",
+               "unknown algebra");
+  expect_error("{\"id\":\"a\",\"s1\":\"GCAU\",\"s2\":\"AUGC\","
+               "\"params\":{\"temperature\":0}}\n",
+               "must be a number > 0");
+}
+
+TEST(Manifest, ParsesAlgebraAndTemperatureParams) {
+  std::istringstream in(
+      "{\"id\":\"a\",\"s1\":\"GCAU\",\"s2\":\"AUGC\","
+      "\"params\":{\"algebra\":\"logsumexp\",\"temperature\":2.5}}\n"
+      "{\"id\":\"b\",\"s1\":\"GCAU\",\"s2\":\"AUGC\","
+      "\"params\":{\"algebra\":\"tropical\"}}\n");
+  const auto jobs = load_manifest(in, JobParams{});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].params.algebra, semiring::Algebra::kLogSumExp);
+  EXPECT_EQ(jobs[0].params.temperature, 2.5);
+  EXPECT_EQ(jobs[1].params.algebra, semiring::Algebra::kTropical);
+}
+
+TEST(Manifest, ResultLinesCarryAlgebraAndLogZ) {
+  JobOutcome o;
+  o.id = "p";
+  o.key = 0x1234;
+  o.m = 9;
+  o.n = 6;
+  o.algebra = semiring::Algebra::kLogSumExp;
+  o.log_z = 20.196838686873523;
+  o.score = static_cast<float>(o.log_z);
+  std::ostringstream out;
+  write_result_line(out, o);
+  EXPECT_NE(out.str().find("\"algebra\":\"logsumexp\""), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("\"log_z\":20.196838686873523"),
+            std::string::npos)
+      << out.str();
+  // Tropical lines stay byte-compatible: no algebra, no log_z.
+  JobOutcome t;
+  t.id = "m";
+  t.key = 0x1234;
+  t.m = 9;
+  t.n = 6;
+  t.score = 12.0f;
+  std::ostringstream tout;
+  write_result_line(tout, t);
+  EXPECT_EQ(tout.str().find("algebra"), std::string::npos) << tout.str();
+  EXPECT_EQ(tout.str().find("log_z"), std::string::npos) << tout.str();
 }
 
 TEST(Manifest, ResultLinesAreStableAcrossRuns) {

@@ -13,6 +13,7 @@
 
 #include "rri/rna/sequence.hpp"
 #include "rri/serve/chaos.hpp"
+#include "rri/serve/scheduler.hpp"
 #include "rri/serve/tenant.hpp"
 
 namespace rri::serve {
@@ -202,6 +203,29 @@ TEST(TenantGovernor, UsageTalliesPerTenant) {
   EXPECT_EQ(usage.at("t").inflight_jobs, 0);
   EXPECT_EQ(usage.at("").admitted, 1u);
   EXPECT_EQ(usage.at("").inflight_bytes, 7.0);
+}
+
+TEST(TenantGovernor, MemoryBudgetSeesTheDoubleWidthOfBppart) {
+  // The daemon prices jobs into the governor via job_table_bytes(job),
+  // which doubles for logsumexp jobs. A tenant budget sized for one
+  // bpmax table of a pair must refuse the same pair as bppart.
+  Job job;
+  job.id = "j";
+  job.s1 = rna::Sequence::from_string("GGGAAACCCAUGC");
+  job.s2 = rna::Sequence::from_string("UUGCCAAGG");
+  Job part = job;
+  part.params.algebra = semiring::Algebra::kLogSumExp;
+  ASSERT_EQ(job_table_bytes(part), 2.0 * job_table_bytes(job));
+
+  TenantConfig config;
+  config.tenants["t"] = {0.0, 1.0, 0,
+                         /*max_mem_bytes=*/job_table_bytes(job) + 1.0};
+  TenantGovernor governor(config);
+  const QuotaDecision refused =
+      governor.admit("t", job_table_bytes(part), 0.0);
+  EXPECT_FALSE(refused.admitted);
+  EXPECT_EQ(refused.reason, "memory");
+  EXPECT_TRUE(governor.admit("t", job_table_bytes(job), 0.0).admitted);
 }
 
 // ---------------------------------------------------------- chaos plan

@@ -69,10 +69,25 @@ bool apply_params(const std::vector<std::string>& items,
       ok = !value.empty();
     } else if (key == "no-reverse") {
       params->reverse = !parse_bool(value, &ok);
+    } else if (key == "algebra") {
+      const auto algebra = rri::semiring::parse_algebra(value);
+      if (!algebra.has_value()) {
+        std::fprintf(stderr, "bpmax_batch: unknown algebra '%s' "
+                             "(known: tropical, logsumexp)\n",
+                     value.c_str());
+        return false;
+      }
+      params->algebra = *algebra;
+    } else if (key == "temperature") {
+      char* end = nullptr;
+      params->temperature = std::strtod(value.c_str(), &end);
+      ok = end != value.c_str() && *end == '\0' &&
+           params->temperature > 0.0;
     } else {
       std::fprintf(stderr, "bpmax_batch: unknown --param key '%s' "
                            "(known: unit-weights, min-hairpin, "
-                           "no-reverse)\n", key.c_str());
+                           "no-reverse, algebra, temperature)\n",
+                   key.c_str());
       return false;
     }
     if (!ok) {
@@ -115,7 +130,9 @@ int main(int argc, char** argv) {
   args.add_option("seed", "scheduler tie-break seed (same manifest + "
                           "seed => same job order)", "0");
   args.add_list_option("param", "batch-wide job default, k=v: "
-                                "unit-weights, min-hairpin, no-reverse");
+                                "unit-weights, min-hairpin, no-reverse, "
+                                "algebra (tropical|logsumexp), "
+                                "temperature");
   args.add_option("checkpoint", "write batch progress to this directory "
                                 "(RRBS blobs via the checkpoint store)",
                   "");

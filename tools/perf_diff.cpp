@@ -90,6 +90,19 @@ std::string simd_backend_name(double value) {
   return "unknown(" + harness::fmt_double(value, 0) + ")";
 }
 
+/// Human name for the core.algebra counter value (mirrors
+/// rri::semiring::Algebra, same local-mirror convention as
+/// simd_backend_name).
+std::string algebra_counter_name(double value) {
+  if (value == 0.0) {
+    return "tropical";
+  }
+  if (value == 1.0) {
+    return "logsumexp";
+  }
+  return "unknown(" + harness::fmt_double(value, 0) + ")";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +198,33 @@ int main(int argc, char** argv) {
                       " report only (" +
                       simd_backend_name(in_base ? *b_backend : *c_backend) +
                       "); other report predates the dispatch layer");
+    }
+  }
+
+  // Scoring algebra (core.algebra, reports from builds with the semiring
+  // seam). Comparing a tropical run against a logsumexp run is comparing
+  // different math — flag it loudly, but as a note: a report without the
+  // counter simply predates the seam (or skipped the kernel) and is
+  // assumed tropical, not broken.
+  {
+    const double* b_alg = find_counter(base, "core.algebra");
+    const double* c_alg = find_counter(cur, "core.algebra");
+    if (b_alg != nullptr && c_alg != nullptr) {
+      if (*b_alg == *c_alg) {
+        notes.push_back("algebra: " + algebra_counter_name(*b_alg) +
+                        " (both reports)");
+      } else {
+        notes.push_back("algebra CHANGED: " + algebra_counter_name(*b_alg) +
+                        " -> " + algebra_counter_name(*c_alg) +
+                        " (different math; phase deltas are expected)");
+      }
+    } else if (b_alg != nullptr || c_alg != nullptr) {
+      const bool in_base = b_alg != nullptr;
+      notes.push_back("algebra: " +
+                      std::string(in_base ? "baseline" : "current") +
+                      " report only (" +
+                      algebra_counter_name(in_base ? *b_alg : *c_alg) +
+                      "); other report predates the semiring seam");
     }
   }
 

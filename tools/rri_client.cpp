@@ -81,6 +81,27 @@ int apply_params(const std::vector<std::string>& items,
       params->min_hairpin = std::atoi(value.c_str());
     } else if (key == "no-reverse") {
       params->reverse = !truthy;
+    } else if (key == "algebra") {
+      const auto algebra = semiring::parse_algebra(value);
+      if (!algebra.has_value()) {
+        std::fprintf(stderr,
+                     "rri_client: unknown algebra '%s' (known: tropical, "
+                     "logsumexp)\n",
+                     value.c_str());
+        return 2;
+      }
+      params->algebra = *algebra;
+    } else if (key == "temperature") {
+      char* end = nullptr;
+      const double t = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || !(t > 0.0)) {
+        std::fprintf(stderr,
+                     "rri_client: --param temperature must be a number > 0, "
+                     "got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      params->temperature = t;
     } else {
       std::fprintf(stderr, "rri_client: unknown --param key '%s'\n",
                    key.c_str());
@@ -109,7 +130,8 @@ int main(int argc, char** argv) {
   args.add_option("timeout", "seconds to keep retrying the connection",
                   "5");
   args.add_list_option("param", "batch-wide job default, k=v: "
-                                "unit-weights, min-hairpin, no-reverse");
+                                "unit-weights, min-hairpin, no-reverse, "
+                                "algebra (tropical|logsumexp), temperature");
   args.add_flag("no-wait", "submit/result: do not block on completion");
   args.add_option("tenant", "tenant name stamped on every submitted job "
                             "(quota bucket; empty = anonymous)", "");
