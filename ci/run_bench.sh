@@ -13,7 +13,7 @@
 #   ci/run_bench.sh [build-dir]   (default: build)
 #
 # Knobs:
-#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr8.json)
+#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr9.json)
 #   RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13 sweep
 #   exactly as for any bench binary.
 
@@ -21,7 +21,7 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr8.json}"
+OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr9.json}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
 
@@ -62,6 +62,12 @@ done
 echo "run_bench: fig13 double max-plus sweep..."
 RRI_BENCH_JSON="${WORK}" "${FIG13}" > "${WORK}/fig13.out"
 FIG13_JSON="$(ls "${WORK}"/BENCH_*.json)"
+# Per-backend speedup lines (simd_speedup_min[avx2]: 1.83 ...) become a
+# {"backend":..., "speedup_min":...} table in the bundle; empty on
+# scalar-only hosts.
+SIMD_ROWS="$(sed -nE \
+  's/^simd_speedup_min\[([a-z0-9]+)\]: ([0-9.]+)$/{"backend":"\1","speedup_min":\2}/p' \
+  "${WORK}/fig13.out" | paste -sd, -)"
 
 # 2. batch-serve: a duplicate-heavy manifest exercises scheduling, the
 #    result cache, and the serve latency histograms end to end.
@@ -211,13 +217,14 @@ for V in serial row_parallel tiled; do
 done
 
 # 6. Bundle: fig13 and batch_serve are complete rri-obs-report/1
-#    documents (perf_diff reads them); daemon, tenant_contention and
-#    bppart are sweep tables.
+#    documents (perf_diff reads them); simd_speedups, daemon,
+#    tenant_contention and bppart are sweep tables.
 echo "run_bench: writing ${OUT}"
 {
   printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
   cat "${FIG13_JSON}"
-  printf ',\n"batch_serve":'
+  printf ',\n"simd_speedups":[%s],\n' "${SIMD_ROWS}"
+  printf '"batch_serve":'
   cat "${WORK}/batch_report.json"
   printf ',\n"daemon":[%s],\n' "${DAEMON_ROWS}"
   printf '"tenant_contention":[%s],\n' "${TENANT_ROWS}"

@@ -5,7 +5,7 @@
 /// Runtime-dispatched inner kernels for the double max-plus reduction —
 /// the Θ(M³N³) hot path every BPMax variant spends its time in.
 ///
-/// Two backends implement the same kernel contract:
+/// Three backends implement the same kernel contract:
 ///
 ///  * `kScalar` — the portable reference loop nests (plain C++ with
 ///    `#pragma omp simd` hints; what the repo shipped before this layer).
@@ -15,18 +15,27 @@
 ///    along the contiguous j2 dimension, masked tails for the triangle
 ///    edges. Compiled only when the toolchain supports `-mavx2`
 ///    (RRI_SIMD_HAVE_AVX2) and selected only when CPUID reports AVX2.
+///  * `kAvx512` — the same schedule widened to 512-bit registers: 4-row
+///    × 32-column accumulator blocks (8 zmm), with the AVX2 backend's
+///    arithmetic lane masks replaced by native `__mmask16` masked
+///    loads/stores on every triangle edge. Compiled only when the
+///    toolchain supports `-mavx512f` (RRI_SIMD_HAVE_AVX512) and selected
+///    only when CPUID reports avx512f+avx512bw.
 ///
 /// Backend selection happens once, lazily: the `RRI_SIMD` environment
-/// variable (`scalar`, `avx2`, or `auto`, the default) overrides the
-/// CPUID-based choice; tests force a backend programmatically with
-/// `set_backend`. Every backend produces bit-identical tables — the
-/// max-plus reduction is order-insensitive and each candidate is one
-/// fp32 add — which the property harness (tests/property_test.cpp)
-/// checks across the full variant × backend matrix.
+/// variable (`scalar`, `avx2`, `avx512`, or `auto`, the default)
+/// overrides the CPUID-based choice; tests force a backend
+/// programmatically with `set_backend`. Every backend produces
+/// bit-identical tables — the max-plus reduction is order-insensitive
+/// and each candidate is one fp32 add — which the property harness
+/// (tests/property_test.cpp) checks across the full variant × backend
+/// matrix, including every supported backend pair.
 ///
 /// The chosen backend is recorded in perf reports as the
-/// `core.simd_backend` counter (0 = scalar, 1 = avx2); see
+/// `core.simd_backend` counter (0 = scalar, 1 = avx2, 2 = avx512); see
 /// docs/kernels.md.
+
+#include <vector>
 
 #include "rri/core/bpmax.hpp"
 #include "rri/semiring/logsumexp.hpp"
@@ -36,13 +45,27 @@ namespace rri::core::simd {
 enum class Backend : int {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
-/// Stable lower_snake name ("scalar", "avx2") for reports and logs.
+/// Stable lower_snake name ("scalar", "avx2", "avx512") for reports and
+/// logs.
 const char* backend_name(Backend b) noexcept;
 
 /// True when `b` is both compiled in and supported by this CPU.
 bool backend_available(Backend b) noexcept;
+
+/// Every backend that is both compiled in and supported by this CPU, in
+/// ascending preference order: scalar first (always present), the best
+/// backend last. Tests and benches iterate this instead of hardcoding a
+/// backend list, so a new backend is gated the day it lands.
+std::vector<Backend> supported_backends();
+
+/// The pipe-separated list of RRI_SIMD values the dispatcher accepts
+/// ("scalar|avx2|avx512|auto"), built from the one backend table in
+/// dispatch.cpp — error messages and CLI help stay in sync with the
+/// compiled-in backends automatically.
+const char* known_backend_list() noexcept;
 
 /// The backend the dispatched kernels use right now. Resolved on first
 /// call: an explicit `set_backend` wins, else the `RRI_SIMD` environment

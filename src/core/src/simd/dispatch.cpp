@@ -1,10 +1,10 @@
 /// Runtime backend selection for the rri::core::simd kernels.
 ///
 /// Resolution order: programmatic set_backend (tests, benches) > the
-/// RRI_SIMD environment variable (scalar | avx2 | auto) > the best
-/// backend both compiled in and reported by CPUID. The choice is cached
-/// in one atomic; every dispatched kernel call is a relaxed load plus an
-/// indirect-free switch.
+/// RRI_SIMD environment variable (scalar | avx2 | avx512 | auto) > the
+/// best backend both compiled in and reported by CPUID. The choice is
+/// cached in one atomic; every dispatched kernel call is a relaxed load
+/// plus an indirect-free switch.
 
 #include "rri/core/simd/maxplus_simd.hpp"
 
@@ -25,6 +25,22 @@ constexpr int kUnresolved = -1;
 /// Backend as int, or kUnresolved before first use.
 std::atomic<int> g_backend{kUnresolved};
 
+/// The one backend table: enum value + RRI_SIMD spelling, ascending
+/// preference order (scalar first, best last). backend_name,
+/// backend_available, supported_backends, best_available, and the
+/// RRI_SIMD parser (including its error messages) are all derived from
+/// this table, so adding a backend here is the only registration step.
+struct BackendEntry {
+  Backend backend;
+  const char* name;
+};
+
+constexpr BackendEntry kBackendTable[] = {
+    {Backend::kScalar, "scalar"},
+    {Backend::kAvx2, "avx2"},
+    {Backend::kAvx512, "avx512"},
+};
+
 bool cpu_has_avx2() noexcept {
 #if RRI_SIMD_HAVE_AVX2 && (defined(__x86_64__) || defined(__i386__))
   return __builtin_cpu_supports("avx2") != 0;
@@ -33,43 +49,65 @@ bool cpu_has_avx2() noexcept {
 #endif
 }
 
+bool cpu_has_avx512() noexcept {
+#if RRI_SIMD_HAVE_AVX512 && (defined(__x86_64__) || defined(__i386__))
+  // Foundation is all the float kernels need; BW rides along to keep
+  // the first-gen Phi parts (F+CD only, different mask latencies) off
+  // this path — every server core since Skylake-SP reports both.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
 Backend best_available() noexcept {
-  return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+  if (backend_available(Backend::kAvx512)) {
+    return Backend::kAvx512;
+  }
+  if (backend_available(Backend::kAvx2)) {
+    return Backend::kAvx2;
+  }
+  return Backend::kScalar;
 }
 
 /// Resolve from RRI_SIMD / CPUID. Unknown or unavailable requests fall
-/// back (scalar is always available) with a one-time stderr warning so
-/// a mistyped override does not silently change what was measured.
+/// back to the best available backend with a one-time stderr warning so
+/// a mistyped or over-ambitious override does not silently change what
+/// was measured.
 Backend resolve_from_env() noexcept {
   const char* env = std::getenv("RRI_SIMD");
   if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
     return best_available();
   }
-  if (std::strcmp(env, "scalar") == 0) {
-    return Backend::kScalar;
-  }
-  if (std::strcmp(env, "avx2") == 0) {
-    if (backend_available(Backend::kAvx2)) {
-      return Backend::kAvx2;
+  for (const BackendEntry& e : kBackendTable) {
+    if (std::strcmp(env, e.name) != 0) {
+      continue;
     }
+    if (backend_available(e.backend)) {
+      return e.backend;
+    }
+    const Backend fallback = best_available();
     std::fprintf(stderr,
-                 "rri::core::simd: RRI_SIMD=avx2 requested but AVX2 is not "
-                 "available on this host/build; using scalar\n");
-    return Backend::kScalar;
+                 "rri::core::simd: RRI_SIMD=%s requested but %s is not "
+                 "available on this host/build; using %s\n",
+                 e.name, e.name, backend_name(fallback));
+    return fallback;
   }
   std::fprintf(stderr,
                "rri::core::simd: unknown RRI_SIMD value '%s' (expected "
-               "scalar|avx2|auto); using auto\n",
-               env);
+               "%s); using auto\n",
+               env, known_backend_list());
   return best_available();
 }
 
 }  // namespace
 
 const char* backend_name(Backend b) noexcept {
-  switch (b) {
-    case Backend::kScalar: return "scalar";
-    case Backend::kAvx2: return "avx2";
+  for (const BackendEntry& e : kBackendTable) {
+    if (e.backend == b) {
+      return e.name;
+    }
   }
   return "unknown";
 }
@@ -78,8 +116,35 @@ bool backend_available(Backend b) noexcept {
   switch (b) {
     case Backend::kScalar: return true;
     case Backend::kAvx2: return cpu_has_avx2();
+    case Backend::kAvx512: return cpu_has_avx512();
   }
   return false;
+}
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out;
+  for (const BackendEntry& e : kBackendTable) {
+    if (backend_available(e.backend)) {
+      out.push_back(e.backend);
+    }
+  }
+  return out;
+}
+
+const char* known_backend_list() noexcept {
+  // Formatted once, lazily (thread-safe static init); the buffer is
+  // sized for the table with room to grow.
+  static const char* const list = [] {
+    static char buf[128];
+    std::size_t off = 0;
+    for (const BackendEntry& e : kBackendTable) {
+      off += static_cast<std::size_t>(
+          std::snprintf(buf + off, sizeof(buf) - off, "%s|", e.name));
+    }
+    std::snprintf(buf + off, sizeof(buf) - off, "auto");
+    return buf;
+  }();
+  return list;
 }
 
 Backend active_backend() noexcept {
@@ -108,11 +173,13 @@ void reset_backend() noexcept {
 }
 
 int row_block() noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    return 4;  // register-tile height of the AVX2 backend
+  switch (active_backend()) {
+    case Backend::kAvx2:
+    case Backend::kAvx512:
+      return 4;  // register-tile height of both vector backends
+    case Backend::kScalar:
+      break;
   }
-#endif
   return 1;
 }
 
@@ -141,58 +208,99 @@ void record_backend_counter(semiring::Algebra algebra) {
 
 void r0_rows(float* acc, const float* a, const float* b, int n,
              int row_begin, int row_end) noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    avx2::r0_rows(acc, a, b, n, row_begin, row_end);
-    return;
-  }
+  switch (active_backend()) {
+#if RRI_SIMD_HAVE_AVX512
+    case Backend::kAvx512:
+      avx512::r0_rows(acc, a, b, n, row_begin, row_end);
+      return;
 #endif
+#if RRI_SIMD_HAVE_AVX2
+    case Backend::kAvx2:
+      avx2::r0_rows(acc, a, b, n, row_begin, row_end);
+      return;
+#endif
+    default:
+      break;
+  }
   scalar::r0_rows(acc, a, b, n, row_begin, row_end);
 }
 
 void r0_tiled(float* acc, const float* a, const float* b, int n,
               TileShape3 tile, int tile_begin, int tile_end) noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    avx2::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
-    return;
-  }
+  switch (active_backend()) {
+#if RRI_SIMD_HAVE_AVX512
+    case Backend::kAvx512:
+      avx512::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
+      return;
 #endif
+#if RRI_SIMD_HAVE_AVX2
+    case Backend::kAvx2:
+      avx2::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
+      return;
+#endif
+    default:
+      break;
+  }
   scalar::r0_tiled(acc, a, b, n, tile, tile_begin, tile_end);
 }
 
 void r0_regblocked(float* acc, const float* a, const float* b,
                    int n) noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    avx2::r0_regblocked(acc, a, b, n);
-    return;
-  }
+  switch (active_backend()) {
+#if RRI_SIMD_HAVE_AVX512
+    case Backend::kAvx512:
+      avx512::r0_regblocked(acc, a, b, n);
+      return;
 #endif
+#if RRI_SIMD_HAVE_AVX2
+    case Backend::kAvx2:
+      avx2::r0_regblocked(acc, a, b, n);
+      return;
+#endif
+    default:
+      break;
+  }
   scalar::r0_regblocked(acc, a, b, n);
 }
 
 void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
                   float r4add, int n, int row_begin, int row_end) noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    avx2::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
-    return;
-  }
+  switch (active_backend()) {
+#if RRI_SIMD_HAVE_AVX512
+    case Backend::kAvx512:
+      avx512::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
+      return;
 #endif
+#if RRI_SIMD_HAVE_AVX2
+    case Backend::kAvx2:
+      avx2::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
+      return;
+#endif
+    default:
+      break;
+  }
   scalar::maxplus_rows(acc, a, b, r3add, r4add, n, row_begin, row_end);
 }
 
 void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
                    float r4add, int n, TileShape3 tile, int tile_begin,
                    int tile_end) noexcept {
-#if RRI_SIMD_HAVE_AVX2
-  if (active_backend() == Backend::kAvx2) {
-    avx2::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
-                        tile_end);
-    return;
-  }
+  switch (active_backend()) {
+#if RRI_SIMD_HAVE_AVX512
+    case Backend::kAvx512:
+      avx512::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
+                            tile_end);
+      return;
 #endif
+#if RRI_SIMD_HAVE_AVX2
+    case Backend::kAvx2:
+      avx2::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
+                          tile_end);
+      return;
+#endif
+    default:
+      break;
+  }
   scalar::maxplus_tiled(acc, a, b, r3add, r4add, n, tile, tile_begin,
                         tile_end);
 }

@@ -12,6 +12,10 @@
 #define RRI_SIMD_HAVE_AVX2 0
 #endif
 
+#ifndef RRI_SIMD_HAVE_AVX512
+#define RRI_SIMD_HAVE_AVX512 0
+#endif
+
 namespace rri::core::simd::scalar {
 
 void r0_rows(float* acc, const float* a, const float* b, int n,
@@ -59,5 +63,23 @@ void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
 
 }  // namespace rri::core::simd::avx2
 #endif  // RRI_SIMD_HAVE_AVX2
+
+#if RRI_SIMD_HAVE_AVX512
+namespace rri::core::simd::avx512 {
+
+void r0_rows(float* acc, const float* a, const float* b, int n,
+             int row_begin, int row_end) noexcept;
+void r0_tiled(float* acc, const float* a, const float* b, int n,
+              TileShape3 tile, int tile_begin, int tile_end) noexcept;
+void r0_regblocked(float* acc, const float* a, const float* b,
+                   int n) noexcept;
+void maxplus_rows(float* acc, const float* a, const float* b, float r3add,
+                  float r4add, int n, int row_begin, int row_end) noexcept;
+void maxplus_tiled(float* acc, const float* a, const float* b, float r3add,
+                   float r4add, int n, TileShape3 tile, int tile_begin,
+                   int tile_end) noexcept;
+
+}  // namespace rri::core::simd::avx512
+#endif  // RRI_SIMD_HAVE_AVX512
 
 #endif  // RRI_CORE_SRC_SIMD_KERNELS_HPP

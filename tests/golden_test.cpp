@@ -123,10 +123,10 @@ TEST(GoldenCorpus, ReplayExactScores) {
   const std::vector<GoldenCase> cases = load_corpus();
   ASSERT_FALSE(cases.empty());
 
-  std::vector<core::simd::Backend> backends = {core::simd::Backend::kScalar};
-  if (core::simd::backend_available(core::simd::Backend::kAvx2)) {
-    backends.push_back(core::simd::Backend::kAvx2);
-  }
+  // Every backend compiled in AND supported by this host — scalar plus
+  // whatever vector ISAs CPUID reports; new backends join automatically.
+  const std::vector<core::simd::Backend> backends =
+      core::simd::supported_backends();
   struct Guard {
     ~Guard() { core::simd::reset_backend(); }
   } guard;
@@ -168,28 +168,39 @@ TEST(GoldenCorpus, BaselineVariantAgrees) {
   }
 }
 
-/// Replay the logsumexp (BPPart) entries. Tolerance per bppart.json:
-/// 1e-9 relative — the engine is bit-deterministic across variants, but
-/// log-add-exp does not reassociate, so the pinned values reserve room
-/// for within-cell instruction-level changes (fma, vector log1p).
+/// Replay the logsumexp (BPPart) entries on every supported backend.
+/// The log-domain kernels are scalar-only today (the backend seam routes
+/// them to scalar regardless of the tropical choice), so this loop pins
+/// that routing: log_z must not move when a vector backend is active.
+/// Tolerance per bppart.json: 1e-9 relative — the engine is
+/// bit-deterministic across variants, but log-add-exp does not
+/// reassociate, so the pinned values reserve room for within-cell
+/// instruction-level changes (fma, vector log1p).
 TEST(GoldenCorpus, BppartReplay) {
   const std::vector<GoldenCase> cases = load_corpus();
+  struct Guard {
+    ~Guard() { core::simd::reset_backend(); }
+  } guard;
   int replayed = 0;
-  for (const GoldenCase& c : cases) {
-    if (c.algebra != "logsumexp") {
-      continue;
+  for (const core::simd::Backend backend : core::simd::supported_backends()) {
+    ASSERT_TRUE(core::simd::set_backend(backend));
+    for (const GoldenCase& c : cases) {
+      if (c.algebra != "logsumexp") {
+        continue;
+      }
+      const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
+      const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
+      core::BppartOptions options;
+      options.temperature = c.temperature;
+      const double got = core::bppart_log_z(s1, s2, model_for(c), options);
+      const double tol = 1e-9 * std::max(1.0, std::fabs(c.log_z));
+      EXPECT_NEAR(c.log_z, got, tol)
+          << c.file << ":" << c.id << " on "
+          << core::simd::backend_name(backend) << " (s1=" << c.s1
+          << " s2=" << c.s2 << " model=" << c.model << " min_hairpin="
+          << c.min_hairpin << " T=" << c.temperature << ")";
+      ++replayed;
     }
-    const rna::Sequence s1 = rna::Sequence::from_string(c.s1);
-    const rna::Sequence s2 = rna::Sequence::from_string(c.s2);
-    core::BppartOptions options;
-    options.temperature = c.temperature;
-    const double got = core::bppart_log_z(s1, s2, model_for(c), options);
-    const double tol = 1e-9 * std::max(1.0, std::fabs(c.log_z));
-    EXPECT_NEAR(c.log_z, got, tol)
-        << c.file << ":" << c.id << " (s1=" << c.s1 << " s2=" << c.s2
-        << " model=" << c.model << " min_hairpin=" << c.min_hairpin
-        << " T=" << c.temperature << ")";
-    ++replayed;
   }
   EXPECT_GE(replayed, 4) << "bppart corpus lost entries?";
 }

@@ -44,6 +44,26 @@ struct BackendGuard {
   ~BackendGuard() { core::simd::reset_backend(); }
 };
 
+/// Every backend compiled in and supported by this host, scalar first.
+/// Built from the dispatch layer's own table — a new backend is swept
+/// by every test below the day backend_available() says yes, with no
+/// test edits. Prints one note per process so CI logs show exactly
+/// which backends a run actually covered (a scalar-only sweep must
+/// never masquerade as a full one).
+std::vector<Backend> swept_backends() {
+  static const std::vector<Backend> backends = [] {
+    std::vector<Backend> b = core::simd::supported_backends();
+    std::string names;
+    for (const Backend backend : b) {
+      names += names.empty() ? "" : ", ";
+      names += core::simd::backend_name(backend);
+    }
+    std::printf("note: property sweep covers backends: %s\n", names.c_str());
+    return b;
+  }();
+  return backends;
+}
+
 /// One generated problem instance plus everything needed to replay it.
 struct Instance {
   std::uint64_t seed = 0;
@@ -123,13 +143,7 @@ TEST(PropertyDifferential, AllVariantsAllBackendsBitIdentical) {
       static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL));
   BackendGuard guard;
 
-  std::vector<Backend> backends = {Backend::kScalar};
-  if (core::simd::backend_available(Backend::kAvx2)) {
-    backends.push_back(Backend::kAvx2);
-  } else {
-    std::printf("note: AVX2 unavailable; property sweep covers the scalar "
-                "backend only\n");
-  }
+  const std::vector<Backend> backends = swept_backends();
 
   for (int iter = 0; iter < iters; ++iter) {
     const Instance inst = make_instance(seed, iter);
@@ -163,6 +177,58 @@ TEST(PropertyDifferential, AllVariantsAllBackendsBitIdentical) {
   }
 }
 
+/// Every compiled-and-supported backend **pair**, enumerated explicitly:
+/// for each variant, solve the same instance once per backend and
+/// compare every pair of F-tables directly, with the failure message
+/// naming both backends. Mathematically the sweep above already implies
+/// this (everything matches the scalar reference), but the pairwise form
+/// pins the contract the ISSUE states — tropical results must stay
+/// bit-identical *no matter which kernel ran* — and keeps gating any
+/// future backend (the pair list grows by itself via
+/// supported_backends()).
+TEST(PropertyDifferential, AllBackendPairsBitIdentical) {
+  const std::uint64_t seed = env_u64("RRI_PROPERTY_SEED", 20260805ULL);
+  const int iters =
+      std::max(4, static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL)) / 2);
+  BackendGuard guard;
+
+  const std::vector<Backend> backends = swept_backends();
+  if (backends.size() < 2) {
+    GTEST_SKIP() << "only one backend supported; no pairs to compare";
+  }
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const Instance inst = make_instance(seed, iter);
+    for (const core::Variant v : core::all_variants()) {
+      core::BpmaxOptions options;
+      options.variant = v;
+      options.tile = core::TileShape3{1 + iter % 5, 1 + iter % 3,
+                                      (iter % 4 == 0) ? 0 : 1 + iter % 7};
+      std::vector<core::BpmaxResult> per_backend;
+      per_backend.reserve(backends.size());
+      for (const Backend backend : backends) {
+        ASSERT_TRUE(core::simd::set_backend(backend));
+        per_backend.push_back(
+            core::bpmax_solve(inst.s1, inst.s2, inst.model, options));
+      }
+      for (std::size_t i = 0; i < backends.size(); ++i) {
+        for (std::size_t j = i + 1; j < backends.size(); ++j) {
+          ASSERT_EQ(per_backend[i].score, per_backend[j].score)
+              << core::variant_name(v) << ": "
+              << core::simd::backend_name(backends[i]) << " vs "
+              << core::simd::backend_name(backends[j]) << "\n"
+              << inst.reproducer();
+          ASSERT_TRUE(tables_equal(per_backend[i].f, per_backend[j].f))
+              << core::variant_name(v) << ": "
+              << core::simd::backend_name(backends[i]) << " vs "
+              << core::simd::backend_name(backends[j]) << "\n"
+              << inst.reproducer();
+        }
+      }
+    }
+  }
+}
+
 /// Tiny instances against the independent exhaustive enumerator (not a
 /// re-derivation of the recurrence) on every backend.
 TEST(PropertyDifferential, TinyInstancesMatchExhaustiveOracle) {
@@ -171,10 +237,7 @@ TEST(PropertyDifferential, TinyInstancesMatchExhaustiveOracle) {
       std::max(4, static_cast<int>(env_u64("RRI_PROPERTY_ITERS", 25ULL)) / 2);
   BackendGuard guard;
 
-  std::vector<Backend> backends = {Backend::kScalar};
-  if (core::simd::backend_available(Backend::kAvx2)) {
-    backends.push_back(Backend::kAvx2);
-  }
+  const std::vector<Backend> backends = swept_backends();
 
   for (int iter = 0; iter < iters; ++iter) {
     std::mt19937_64 rng(seed * 31 + static_cast<std::uint64_t>(iter));
@@ -351,10 +414,7 @@ TEST(PropertyDifferential, ScanWindowsMatchDirectSolves) {
   const rna::Sequence short_strand = rna::random_sequence(6, rng);
   const rna::ScoringModel model = rna::ScoringModel::bpmax_default();
 
-  std::vector<Backend> backends = {Backend::kScalar};
-  if (core::simd::backend_available(Backend::kAvx2)) {
-    backends.push_back(Backend::kAvx2);
-  }
+  const std::vector<Backend> backends = swept_backends();
   core::ScanOptions scan;
   scan.window = 7;
   scan.stride = 3;

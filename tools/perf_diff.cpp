@@ -87,6 +87,9 @@ std::string simd_backend_name(double value) {
   if (value == 1.0) {
     return "avx2";
   }
+  if (value == 2.0) {
+    return "avx512";
+  }
   return "unknown(" + harness::fmt_double(value, 0) + ")";
 }
 
