@@ -3,17 +3,19 @@
 # SIMD backend), a small batch-serving sweep, a daemon sweep that
 # drives rri_served through rri_client at 1/2/4 workers, a two-tenant
 # contention sweep (an abusive tenant flooding the queue next to a
-# well-behaved one, quotas off vs on), and a bppart partition-function
-# sweep (per-variant wall time in the logsumexp algebra) — bundled into
-# one JSON document (schema rri-bench-bundle/1, documented in
-# docs/observability.md). CI uploads the bundle as an artifact; locally
-# it is a one-command snapshot you can perf_diff against a later
-# checkout.
+# well-behaved one, quotas off vs on), a bppart partition-function
+# sweep (per-variant wall time in the logsumexp algebra), and a
+# telemetry scrape-overhead sweep (the same daemon workload bare vs
+# scraped once per second with SLO evaluation on; warn-only 2% budget)
+# — bundled into one JSON document (schema rri-bench-bundle/1,
+# documented in docs/observability.md). CI uploads the bundle as an
+# artifact; locally it is a one-command snapshot you can perf_diff
+# against a later checkout.
 #
 #   ci/run_bench.sh [build-dir]   (default: build)
 #
 # Knobs:
-#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr9.json)
+#   RRI_BENCH_OUT    bundle path (default: <repo>/BENCH_pr10.json)
 #   RRI_BENCH_SCALE / RRI_BENCH_REPS shrink or grow the fig13 sweep
 #   exactly as for any bench binary.
 
@@ -21,14 +23,20 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr9.json}"
+OUT="${RRI_BENCH_OUT:-${REPO_ROOT}/BENCH_pr10.json}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
+SCRAPER_PID=""
 
-# One cleanup path for every exit: kill a still-running daemon first
-# (otherwise its port and the work dir linger), then drop the work dir.
-# Quote-safe — ${WORK} is expanded at cleanup time, not trap-set time.
+# One cleanup path for every exit: kill a still-running scraper and
+# daemon first (otherwise the port and the work dir linger), then drop
+# the work dir. Quote-safe — ${WORK} is expanded at cleanup time, not
+# trap-set time.
 cleanup() {
+  if [ -n "${SCRAPER_PID}" ] && kill -0 "${SCRAPER_PID}" 2>/dev/null; then
+    kill "${SCRAPER_PID}" 2>/dev/null || true
+    wait "${SCRAPER_PID}" 2>/dev/null || true
+  fi
   if [ -n "${DAEMON_PID}" ] && kill -0 "${DAEMON_PID}" 2>/dev/null; then
     kill "${DAEMON_PID}" 2>/dev/null || true
     wait "${DAEMON_PID}" 2>/dev/null || true
@@ -216,9 +224,78 @@ for V in serial row_parallel tiled; do
   BPPART_ROWS="${BPPART_ROWS}${BPPART_ROWS:+,}${row}"
 done
 
-# 6. Bundle: fig13 and batch_serve are complete rri-obs-report/1
+# 6. telemetry scrape overhead: the daemon-sweep manifest twice at 2
+#    workers — once bare, once with the live telemetry plane fully on
+#    (HTTP /metrics listener, SLO evaluation every 0.25 s, and a
+#    background scraper pulling the exposition once per second).
+#    Throughput comes from the client's jobs/sec summary line both
+#    times; the scraped run costing more than 2% is worth a warning
+#    (warn-only: shared runners are too noisy to gate on).
+echo "run_bench: telemetry scrape-overhead sweep..."
+cat > "${WORK}/bench_slo.jsonl" <<'EOF'
+{"name":"queue-p99","kind":"latency","histogram":"serve.queue_wait_s","quantile":0.99,"max_seconds":30.0,"fast_window_s":60,"slow_window_s":300}
+EOF
+SCRAPE_ROW=""
+for MODE in bare scraped; do
+  rm -f "${WORK}/port.txt" "${WORK}/mport.txt"
+  if [ "${MODE}" = "scraped" ]; then
+    TELEMETRY_ARGS="--metrics-port 0 --metrics-port-file ${WORK}/mport.txt"
+    TELEMETRY_ARGS="${TELEMETRY_ARGS} --slo-config ${WORK}/bench_slo.jsonl"
+    TELEMETRY_ARGS="${TELEMETRY_ARGS} --telemetry-interval 0.25"
+  else
+    TELEMETRY_ARGS=""
+  fi
+  # shellcheck disable=SC2086 -- TELEMETRY_ARGS is deliberately word-split
+  "${DAEMON}" --port 0 --port-file "${WORK}/port.txt" --jobs 2 \
+    ${TELEMETRY_ARGS} > "${WORK}/served_${MODE}.log" 2>&1 &
+  DAEMON_PID=$!
+  if [ "${MODE}" = "scraped" ]; then
+    # Scrape the protocol-verb exposition once per second in the
+    # background — same encoder as GET /metrics, no curl dependency.
+    (
+      while :; do
+        "${CLIENT}" --port-file "${WORK}/port.txt" metrics \
+          > /dev/null 2>&1 || true
+        sleep 1
+      done
+    ) &
+    SCRAPER_PID=$!
+  fi
+  "${CLIENT}" --port-file "${WORK}/port.txt" submit \
+    --manifest "${WORK}/daemon_manifest.jsonl" \
+    --out "${WORK}/scrape_${MODE}.jsonl" 2> "${WORK}/scrape_${MODE}.log"
+  if [ -n "${SCRAPER_PID}" ]; then
+    kill "${SCRAPER_PID}" 2>/dev/null || true
+    wait "${SCRAPER_PID}" 2>/dev/null || true
+    SCRAPER_PID=""
+  fi
+  "${CLIENT}" --port-file "${WORK}/port.txt" drain > /dev/null
+  wait "${DAEMON_PID}"
+  DAEMON_PID=""
+  jps="$(sed -nE 's|.*\(([0-9.]+) jobs/sec.*|\1|p' \
+    "${WORK}/scrape_${MODE}.log")"
+  echo "run_bench:   ${MODE}: ${jps} jobs/sec"
+  if [ "${MODE}" = "bare" ]; then
+    JPS_BARE="${jps}"
+  else
+    SCRAPE_ROW="$(awk -v bare="${JPS_BARE}" -v scraped="${jps}" 'BEGIN {
+      pct = bare > 0 ? (bare - scraped) / bare * 100 : 0;
+      printf "{\"bare_jobs_per_sec\":%s,\"scraped_jobs_per_sec\":%s,", \
+             bare, scraped;
+      printf "\"overhead_pct\":%.2f}", pct;
+      if (pct >= 2)
+        printf "run_bench: WARNING: telemetry scrape overhead " \
+               "%.1f%% above the 2%% budget\n", pct > "/dev/stderr";
+      else
+        printf "run_bench:   scrape overhead %.1f%% (budget 2%%)\n",
+               pct > "/dev/stderr";
+    }')"
+  fi
+done
+
+# 7. Bundle: fig13 and batch_serve are complete rri-obs-report/1
 #    documents (perf_diff reads them); simd_speedups, daemon,
-#    tenant_contention and bppart are sweep tables.
+#    tenant_contention, bppart and telemetry_overhead are sweep tables.
 echo "run_bench: writing ${OUT}"
 {
   printf '{"schema":"rri-bench-bundle/1",\n"fig13":'
@@ -228,6 +305,7 @@ echo "run_bench: writing ${OUT}"
   cat "${WORK}/batch_report.json"
   printf ',\n"daemon":[%s],\n' "${DAEMON_ROWS}"
   printf '"tenant_contention":[%s],\n' "${TENANT_ROWS}"
-  printf '"bppart":[%s]}\n' "${BPPART_ROWS}"
+  printf '"bppart":[%s],\n' "${BPPART_ROWS}"
+  printf '"telemetry_overhead":%s}\n' "${SCRAPE_ROW:-null}"
 } > "${OUT}"
 echo "run_bench: done ($(wc -c < "${OUT}") bytes)"

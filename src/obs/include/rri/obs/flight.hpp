@@ -1,0 +1,72 @@
+#ifndef RRI_OBS_FLIGHT_HPP
+#define RRI_OBS_FLIGHT_HPP
+
+/// \file flight.hpp
+/// Flight recorder (docs/observability.md, "Live telemetry"): on demand
+/// — SIGUSR2, an SLO breach, or the crash-path hook — dump the last N
+/// seconds of time-series rings plus registry totals, SLO statuses, and
+/// a trace summary to a timestamped JSON file, without stopping the
+/// daemon. The file carries schema "rri-flight/1":
+///
+///   { "schema": "rri-flight/1", "reason": "...", "t_s": <mono seconds>,
+///     "window_s": N, "build": {...}, "series": {<name>: {"kind": ...,
+///     "points": [[t, v], ...]}, ...}, "counters": {...},
+///     "histograms": [...], "slo": [...], "trace": {"recorded": ...,
+///     "dropped": ..., "filtered": ..., "hw": {...}} }
+///
+/// Dumps are atomic (write to <file>.tmp, fsync-free rename) so a
+/// scraper or post-mortem tool never sees a torn file. Note the trace
+/// section is a *summary*, not the event dump: serializing trace rings
+/// requires quiescence (see trace.hpp), which a live daemon cannot
+/// guarantee — post-mortem event timelines still come from RRI_TRACE.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "rri/obs/metrics.hpp"
+#include "rri/obs/slo.hpp"
+#include "rri/obs/timeseries.hpp"
+
+namespace rri::obs {
+
+struct FlightConfig {
+  std::string dir = ".";     ///< where dump files land
+  double window_s = 60.0;    ///< trailing series window per dump
+  std::size_t max_dumps = 32;  ///< guard: stop dumping after this many
+  BuildInfo build;           ///< identity block embedded in each dump
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightConfig config, const Timeseries* series,
+                          const SloEngine* slo = nullptr);
+
+  /// Dump now, tagged with `reason` ("sigusr2", "slo-breach", "crash",
+  /// ...) at monotonic time now_s. Returns the final file path, or ""
+  /// when the dump-count guard tripped or the file could not be
+  /// written. Thread-safe; emits a "flight.dump" trace instant and
+  /// bumps serve.flight.dumps on success.
+  std::string dump(const std::string& reason, double now_s);
+
+  std::size_t dumps() const noexcept { return dumps_; }
+
+  /// Route std::terminate through a final "crash" dump (then chain to
+  /// the previous handler). Call at most once per process, after the
+  /// recorder is fully constructed; the recorder must outlive the
+  /// process (the daemon owns one for its whole run()).
+  void install_crash_hook();
+
+ private:
+  std::string render(const std::string& reason, double now_s) const;
+
+  FlightConfig config_;
+  const Timeseries* series_;
+  const SloEngine* slo_;
+  std::size_t dumps_ = 0;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_FLIGHT_HPP

@@ -1,0 +1,65 @@
+#ifndef RRI_OBS_METRICS_HPP
+#define RRI_OBS_METRICS_HPP
+
+/// \file metrics.hpp
+/// Prometheus text-exposition encoder over the obs registry
+/// (docs/observability.md, "Live telemetry"). The mapping:
+///
+///   | registry object          | Prometheus type | name                     |
+///   |--------------------------|-----------------|--------------------------|
+///   | add_counter accumulation | counter         | rri_<sanitized>          |
+///   | set_counter level        | gauge           | rri_<sanitized>          |
+///   | phase timers             | counter         | rri_phase_seconds_total  |
+///   |                          |                 | rri_phase_calls_total    |
+///   | log2 latency histogram   | histogram       | rri_<sanitized>_bucket/  |
+///   |                          |                 | _sum/_count              |
+///   | build identity           | gauge (== 1)    | rri_build_info           |
+///
+/// Histogram buckets are the registry's log2-nanosecond buckets converted
+/// to seconds: bucket i becomes `le="2^(i+1) ns"`, emitted cumulatively
+/// from the first to the last occupied bucket plus the mandatory +Inf.
+
+#include <string>
+
+namespace rri::obs {
+
+/// Identity of the running binary, for `rri_build_info` and the daemon's
+/// `stats` verb. version/compiler are baked in at compile time; the simd
+/// field is runtime information (the active kernel backend) that obs
+/// cannot know without depending on rri_core, so callers fill it in.
+struct BuildInfo {
+  std::string version;   ///< git describe at configure time
+  std::string compiler;  ///< __VERSION__ (includes vendor + version)
+  std::string simd;      ///< active SIMD backend name ("" = omit label)
+};
+
+/// The compile-time fields of BuildInfo (simd left empty).
+BuildInfo build_info();
+
+struct PrometheusOptions {
+  /// Metric-name prefix prepended after sanitization.
+  std::string prefix = "rri_";
+  /// Emit an `rri_build_info` gauge with these labels. An all-empty
+  /// BuildInfo suppresses the metric entirely.
+  BuildInfo build;
+};
+
+/// Map an arbitrary registry name onto the Prometheus grammar:
+/// every character outside [a-zA-Z0-9_:] becomes '_', and the prefix is
+/// prepended ("serve.queue_wait_s" -> "rri_serve_queue_wait_s").
+std::string prometheus_name(const std::string& name,
+                            const std::string& prefix = "rri_");
+
+/// Escape a label value (backslash, double quote, newline).
+std::string prometheus_label_value(const std::string& value);
+
+/// Encode the current contents of Registry::global() as Prometheus text
+/// exposition format 0.0.4. Every metric gets # HELP / # TYPE headers.
+std::string prometheus_text(const PrometheusOptions& options = {});
+
+/// The Content-Type a conforming scraper expects for prometheus_text().
+const char* prometheus_content_type() noexcept;
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_METRICS_HPP

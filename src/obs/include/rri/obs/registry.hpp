@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,28 @@ class Registry {
   std::map<std::string, double> counter_snapshot() const;
   std::vector<HistogramStats> histogram_snapshot() const;
 
+  /// Names that were last written through set_counter (set-semantics):
+  /// point-in-time values like serve.daemon.uptime_s or core.simd_backend.
+  /// Everything else in counter_snapshot() is a monotonic accumulation.
+  /// The Prometheus encoder maps these to `gauge`, the rest to `counter`,
+  /// and the time-series sampler derives rates only from the latter.
+  std::set<std::string> gauge_name_snapshot() const;
+  bool is_gauge(const std::string& name) const;
+
+  /// In-place visitation under the counter mutex — no copies, so a
+  /// periodic sampler (obs::Timeseries) can walk every counter and
+  /// histogram without allocating on its steady-state path. The
+  /// callbacks must not call back into the registry (the mutex is held).
+  void visit_counters(
+      const std::function<void(const std::string&, double, bool is_gauge)>&
+          fn) const;
+  void visit_histograms(
+      const std::function<void(const std::string&, const HistogramStats&)>&
+          fn) const;
+  /// Active phases (calls > 0 or any time/flops/bytes booked), in enum
+  /// order, read straight from the atomic slots — no vector built.
+  void visit_phases(const std::function<void(const PhaseStats&)>& fn) const;
+
   /// Zero every slot and drop every named counter.
   void reset();
 
@@ -88,6 +112,7 @@ class Registry {
   Slot slots_[kPhaseCount];
   mutable std::mutex counter_mutex_;
   std::map<std::string, double> counters_;
+  std::set<std::string> gauges_;  ///< counters_ keys with set-semantics
   std::map<std::string, HistogramStats> histograms_;
 };
 

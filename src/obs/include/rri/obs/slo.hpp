@@ -1,0 +1,160 @@
+#ifndef RRI_OBS_SLO_HPP
+#define RRI_OBS_SLO_HPP
+
+/// \file slo.hpp
+/// SLO burn-rate engine over the obs registry (docs/observability.md,
+/// "Live telemetry"). Objectives are declared in a JSONL config — one
+/// JSON object per line, `#` and blank lines skipped:
+///
+///   {"name":"queue-p99","kind":"latency","histogram":"serve.queue_wait_s",
+///    "quantile":0.99,"max_seconds":0.05,
+///    "fast_window_s":60,"slow_window_s":300,"warn_burn":1,"breach_burn":2}
+///   {"name":"errors","kind":"ratio","numerator":"serve.daemon.jobs_failed",
+///    "denominator":"serve.daemon.jobs_submitted","max_ratio":0.01, ...}
+///
+/// Evaluation is the multi-window burn-rate scheme: each objective keeps
+/// its own ring of (t, good_total, bad_total) samples taken from the
+/// registry, computes the bad fraction over a fast and a slow trailing
+/// window, and divides by the error budget (1 - quantile for latency,
+/// max_ratio for ratio objectives). State machine per objective:
+///
+///   breach   fast_burn >= breach_burn AND slow_burn >= breach_burn
+///   warning  fast_burn >= warn_burn
+///   ok       otherwise
+///
+/// Transitions bump serve.slo.breaches / serve.slo.warnings, set the
+/// serve.slo.state.<name> gauge (0 ok / 1 warning / 2 breach), emit a
+/// trace instant, and (on entering breach) fire the breach hook so the
+/// daemon can cut a flight-recorder dump.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rri/obs/json.hpp"
+#include "rri/obs/registry.hpp"
+
+namespace rri::obs {
+
+enum class SloKind : int {
+  kLatency = 0,  ///< quantile of a registry latency histogram
+  kRatio = 1,    ///< bad/total ratio of two registry counters
+};
+
+enum class SloState : int { kOk = 0, kWarning = 1, kBreach = 2 };
+const char* slo_state_name(SloState s) noexcept;
+
+/// One declared objective (see file comment for the JSONL grammar).
+struct SloObjective {
+  std::string name;
+  SloKind kind = SloKind::kLatency;
+
+  // kLatency: "histogram quantile must stay under max_seconds".
+  std::string histogram;
+  double quantile = 0.99;
+  double max_seconds = 0.0;
+
+  // kRatio: "numerator/denominator must stay under max_ratio".
+  std::string numerator;
+  std::string denominator;
+  double max_ratio = 0.0;
+
+  double fast_window_s = 60.0;
+  double slow_window_s = 300.0;
+  double warn_burn = 1.0;
+  double breach_burn = 2.0;
+
+  /// Error budget the burn rate is measured against.
+  double budget() const noexcept {
+    return kind == SloKind::kLatency ? 1.0 - quantile : max_ratio;
+  }
+};
+
+/// Parsed config: `parse` takes JSONL text, `load_file` reads a path.
+/// Malformed lines throw JsonError with a line number.
+struct SloConfig {
+  std::vector<SloObjective> objectives;
+
+  static SloConfig parse(const std::string& jsonl_text);
+  static SloConfig load_file(const std::string& path);
+};
+
+/// Live state of one objective, as reported in `stats` and the `slo` verb.
+struct SloStatus {
+  std::string name;
+  SloKind kind = SloKind::kLatency;
+  SloState state = SloState::kOk;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  double budget = 0.0;
+  std::uint64_t transitions = 0;  ///< state changes since start
+  double since_s = 0.0;           ///< evaluate() time of last transition
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(SloConfig config = {});
+
+  bool empty() const noexcept { return objectives_.empty(); }
+
+  /// Called (outside the engine lock, so it may read status back) when
+  /// an objective newly enters breach during evaluate().
+  void set_breach_hook(std::function<void(const SloStatus&)> hook);
+
+  /// Sample the registry and re-evaluate every objective at monotonic
+  /// time now_s. Emits counters/instants on state transitions.
+  /// Thread-safe against status() readers.
+  void evaluate(double now_s);
+
+  /// Current status per objective (stable config order).
+  std::vector<SloStatus> status() const;
+
+  /// Status serialized for the `slo` verb / `stats` section.
+  JsonValue status_json() const;
+
+ private:
+  struct Sample {
+    double t_s = 0.0;
+    double total = 0.0;  ///< events observed (histogram count / denom)
+    double bad = 0.0;    ///< events over threshold (interpolated) / num
+  };
+  struct Tracked {
+    SloObjective objective;
+    std::vector<Sample> ring;  ///< fixed capacity, oldest overwritten
+    std::size_t head = 0;
+    std::size_t count = 0;
+    SloState state = SloState::kOk;
+    std::uint64_t transitions = 0;
+    double since_s = 0.0;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+
+    const Sample& at(std::size_t i) const noexcept {
+      return ring[(head + ring.size() - count + i) % ring.size()];
+    }
+  };
+
+  Sample measure(const SloObjective& o, double now_s) const;
+  double burn_over_window(const Tracked& t, double window_s) const;
+  /// Apply a state change; a new breach is appended to `breached` so
+  /// evaluate() can fire the hook after releasing the lock.
+  void transition(Tracked& t, SloState next, double now_s,
+                  std::vector<SloStatus>* breached);
+  static SloStatus status_of(const Tracked& t);
+
+  mutable std::mutex mutex_;
+  std::vector<Tracked> objectives_;
+  std::function<void(const SloStatus&)> breach_hook_;
+};
+
+/// Estimate how many of a histogram's samples exceeded `threshold_s`:
+/// full buckets whose lower bound is at or above the threshold count
+/// entirely, and the straddling bucket contributes a linear share
+/// (upper - threshold) / (upper - lower). Exposed for tests.
+double histogram_samples_over(const HistogramStats& h, double threshold_s);
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_SLO_HPP

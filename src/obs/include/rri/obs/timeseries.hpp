@@ -1,0 +1,148 @@
+#ifndef RRI_OBS_TIMESERIES_HPP
+#define RRI_OBS_TIMESERIES_HPP
+
+/// \file timeseries.hpp
+/// Live time-series view over the obs registry (docs/observability.md,
+/// "Live telemetry"). Where Registry answers "what are the totals right
+/// now", Timeseries answers "how did they move": a sampler thread (or an
+/// explicit sample_now() in tests) periodically snapshots every counter,
+/// phase timer, and latency histogram into fixed-capacity ring buffers.
+///
+/// Design points:
+///  * Fixed retention: each series owns one preallocated ring of
+///    `retention` points; sampling overwrites the oldest point and never
+///    allocates once a series is registered. New series (a counter that
+///    first appears mid-run) allocate exactly once, at registration.
+///  * Delta-aware: monotonic counters are stored raw (cumulative);
+///    rate() and window_delta() derive per-second rates from consecutive
+///    points, so a scraper or the SLO engine sees rates without the
+///    sampler destroying the underlying totals. Gauges are stored as-is.
+///  * Derived histogram series: for every latency histogram `h` the
+///    sampler records `h.count`, `h.sum_seconds`, `h.p50` and `h.p99` —
+///    enough for a flight-recorder post-mortem to replay how a latency
+///    distribution moved without storing 64 buckets per tick.
+///
+/// Timestamps are caller-supplied monotonic seconds (the daemon feeds
+/// seconds-since-start), which keeps sampling deterministic in tests.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rri/obs/registry.hpp"
+
+namespace rri::obs {
+
+struct TimeseriesConfig {
+  /// Sampler thread period. Ignored by sample_now() callers.
+  double interval_s = 1.0;
+  /// Ring capacity in points per series. With the default 1 s interval,
+  /// 240 points ≈ four minutes of history for the flight recorder.
+  std::size_t retention = 240;
+};
+
+/// One sampled point: (monotonic seconds, value).
+struct SeriesPoint {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// What kind of registry object a series was sampled from — consumers
+/// (flight recorder, rri_top) use it to decide rate vs. level display.
+enum class SeriesKind : int {
+  kCounter = 0,    ///< monotonic accumulation (rates are meaningful)
+  kGauge = 1,      ///< set-semantics level
+  kPhase = 2,      ///< cumulative phase seconds
+  kHistogram = 3,  ///< histogram-derived statistic
+};
+const char* series_kind_name(SeriesKind kind) noexcept;
+
+class Timeseries {
+ public:
+  explicit Timeseries(TimeseriesConfig config = {});
+
+  const TimeseriesConfig& config() const noexcept { return config_; }
+
+  /// Take one snapshot of Registry::global() at monotonic time `now_s`.
+  /// Steady-state cost: one pass over phases/counters/histograms under
+  /// the registry mutex, one ring write per known series, no heap
+  /// allocation. Unknown names register a new ring (one allocation).
+  void sample_now(double now_s);
+
+  /// Number of samples taken so far (== newest ring size until wrap).
+  std::size_t samples() const;
+
+  /// Registered series names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Points for `name`, oldest first. window_s > 0 keeps only points
+  /// with t_s >= newest.t_s - window_s. Unknown names return empty.
+  std::vector<SeriesPoint> points(const std::string& name,
+                                  double window_s = 0.0) const;
+
+  /// Kind recorded for `name` (kCounter if unknown).
+  SeriesKind kind(const std::string& name) const;
+
+  /// Per-second rate of a cumulative series over the trailing window:
+  /// (newest - oldest_in_window) / dt. Returns 0 with fewer than two
+  /// points in the window (no interval to differentiate over).
+  double rate(const std::string& name, double window_s) const;
+
+  /// Delta of a cumulative series across the trailing window. Returns
+  /// false with fewer than two points in the window; otherwise fills
+  /// *delta = newest - reference and *dt = elapsed seconds between them,
+  /// where the reference point is the newest point at least window_s
+  /// older than the head (or the oldest retained point when the ring
+  /// does not reach back that far yet).
+  bool window_delta(const std::string& name, double window_s, double* delta,
+                    double* dt) const;
+
+  /// Visit every series (name, kind, points oldest-first) under the
+  /// lock — the flight recorder's dump path. The callback must not call
+  /// back into this Timeseries.
+  void visit(const std::function<void(const std::string&, SeriesKind,
+                                      const std::vector<SeriesPoint>&,
+                                      std::size_t head, std::size_t count)>&
+                 fn) const;
+
+  /// Drop every series and sample count (tests).
+  void clear();
+
+ private:
+  struct Ring {
+    SeriesKind kind = SeriesKind::kCounter;
+    std::vector<SeriesPoint> slots;  ///< capacity fixed at registration
+    std::size_t head = 0;            ///< next write position
+    std::size_t count = 0;           ///< valid points (<= slots.size())
+
+    void push(double t_s, double value) noexcept {
+      slots[head] = {t_s, value};
+      head = (head + 1) % slots.size();
+      if (count < slots.size()) {
+        ++count;
+      }
+    }
+    /// i-th point, oldest first (i < count).
+    const SeriesPoint& at(std::size_t i) const noexcept {
+      return slots[(head + slots.size() - count + i) % slots.size()];
+    }
+  };
+
+  Ring& ring_for(const std::string& name, SeriesKind kind);
+  const Ring* find(const std::string& name) const;
+  bool window_ref_locked(const Ring& ring, double window_s,
+                         SeriesPoint* newest, SeriesPoint* ref) const;
+
+  TimeseriesConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Ring> series_;
+  std::size_t samples_ = 0;
+  std::string scratch_;  ///< reused name buffer for derived series keys
+};
+
+}  // namespace rri::obs
+
+#endif  // RRI_OBS_TIMESERIES_HPP

@@ -1,0 +1,171 @@
+#include "rri/obs/flight.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <exception>
+#include <fstream>
+
+#include "rri/obs/json.hpp"
+#include "rri/trace/trace.hpp"
+
+namespace rri::obs {
+namespace {
+
+/// The crash hook has to reach a recorder from a handler with no
+/// arguments; a single process-global slot is the honest shape.
+FlightRecorder* g_crash_recorder = nullptr;
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void flight_terminate() {
+  FlightRecorder* rec = g_crash_recorder;
+  g_crash_recorder = nullptr;  // re-entrant terminate must not loop
+  if (rec != nullptr) {
+    rec->dump("crash", 0.0);
+  }
+  if (g_prev_terminate != nullptr) {
+    g_prev_terminate();
+  }
+  std::abort();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightConfig config, const Timeseries* series,
+                               const SloEngine* slo)
+    : config_(std::move(config)), series_(series), slo_(slo) {}
+
+void FlightRecorder::install_crash_hook() {
+  g_crash_recorder = this;
+  g_prev_terminate = std::set_terminate(&flight_terminate);
+}
+
+std::string FlightRecorder::render(const std::string& reason,
+                                   double now_s) const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::string("rri-flight/1"));
+  doc.set("reason", JsonValue::string(reason));
+  doc.set("t_s", JsonValue::number(now_s));
+  doc.set("window_s", JsonValue::number(config_.window_s));
+
+  JsonValue build = JsonValue::object();
+  build.set("version", JsonValue::string(config_.build.version));
+  build.set("compiler", JsonValue::string(config_.build.compiler));
+  build.set("simd", JsonValue::string(config_.build.simd));
+  doc.set("build", std::move(build));
+
+  JsonValue series = JsonValue::object();
+  if (series_ != nullptr) {
+    const double cutoff = now_s - config_.window_s;
+    series_->visit([&](const std::string& name, SeriesKind kind,
+                       const std::vector<SeriesPoint>& slots,
+                       std::size_t head, std::size_t count) {
+      JsonValue entry = JsonValue::object();
+      entry.set("kind", JsonValue::string(series_kind_name(kind)));
+      JsonValue points = JsonValue::array();
+      for (std::size_t i = 0; i < count; ++i) {
+        const SeriesPoint& p = slots[(head + i) % slots.size()];
+        if (p.t_s < cutoff) {
+          continue;
+        }
+        JsonValue pair = JsonValue::array();
+        pair.push_back(JsonValue::number(p.t_s));
+        pair.push_back(JsonValue::number(p.value));
+        points.push_back(std::move(pair));
+      }
+      entry.set("points", std::move(points));
+      series.set(name, std::move(entry));
+    });
+  }
+  doc.set("series", std::move(series));
+
+  const Registry& reg = Registry::global();
+  JsonValue counters = JsonValue::object();
+  reg.visit_counters([&](const std::string& name, double value, bool) {
+    counters.set(name, JsonValue::number(value));
+  });
+  doc.set("counters", std::move(counters));
+
+  JsonValue histograms = JsonValue::array();
+  reg.visit_histograms([&](const std::string& name,
+                           const HistogramStats& h) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::string(name));
+    entry.set("count", JsonValue::number(static_cast<double>(h.count)));
+    entry.set("sum_s", JsonValue::number(h.sum_seconds));
+    entry.set("min_s", JsonValue::number(h.min_seconds));
+    entry.set("max_s", JsonValue::number(h.max_seconds));
+    entry.set("p50_s", JsonValue::number(h.quantile(0.50)));
+    entry.set("p90_s", JsonValue::number(h.quantile(0.90)));
+    entry.set("p99_s", JsonValue::number(h.quantile(0.99)));
+    histograms.push_back(std::move(entry));
+  });
+  doc.set("histograms", std::move(histograms));
+
+  if (slo_ != nullptr) {
+    doc.set("slo", slo_->status_json());
+  }
+
+  const trace::TraceStats ts = trace::stats();
+  const trace::HwSummary hw = trace::read_hw();
+  JsonValue tr = JsonValue::object();
+  tr.set("recorded", JsonValue::number(static_cast<double>(ts.recorded)));
+  tr.set("dropped", JsonValue::number(static_cast<double>(ts.dropped)));
+  tr.set("filtered", JsonValue::number(static_cast<double>(ts.filtered)));
+  JsonValue hwv = JsonValue::object();
+  hwv.set("backend", JsonValue::string(trace::hw_backend_name(hw.backend)));
+  hwv.set("cycles", JsonValue::number(hw.cycles));
+  hwv.set("instructions", JsonValue::number(hw.instructions));
+  hwv.set("ipc", JsonValue::number(hw.ipc()));
+  tr.set("hw", std::move(hwv));
+  tr.set("note", JsonValue::string(
+                     "summary only: full event timelines require RRI_TRACE "
+                     "and process-exit serialization"));
+  doc.set("trace", std::move(tr));
+
+  return doc.dump();
+}
+
+std::string FlightRecorder::dump(const std::string& reason, double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dumps_ >= config_.max_dumps) {
+    return "";
+  }
+
+  const std::time_t wall = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  gmtime_s(&tm_buf, &wall);
+#else
+  gmtime_r(&wall, &tm_buf);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y%m%d-%H%M%S", &tm_buf);
+  char name[128];
+  std::snprintf(name, sizeof name, "rri-flight-%s-%03zu.json", stamp,
+                dumps_);
+
+  const std::string path = config_.dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return "";
+    }
+    out << render(reason, now_s) << '\n';
+    if (!out) {
+      return "";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "";
+  }
+  ++dumps_;
+  Registry::global().add_counter("serve.flight.dumps", 1.0);
+  trace::instant("flight.dump");
+  return path;
+}
+
+}  // namespace rri::obs

@@ -1,0 +1,208 @@
+#include "rri/obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "rri/obs/registry.hpp"
+
+#ifndef RRI_BUILD_VERSION
+#define RRI_BUILD_VERSION "unknown"
+#endif
+
+namespace rri::obs {
+namespace {
+
+/// Shortest round-trip-ish formatting: %.17g is exact but noisy, and the
+/// exposition format has no precision contract, so use %g with enough
+/// digits for counters and seconds while staying grep-friendly.
+void append_value(std::string* out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+  }
+  *out += buf;
+}
+
+void append_header(std::string* out, const std::string& name,
+                   const char* help, const char* type) {
+  *out += "# HELP ";
+  *out += name;
+  *out += ' ';
+  *out += help;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.version = RRI_BUILD_VERSION;
+#if defined(__VERSION__)
+#if defined(__clang__)
+  info.compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+  info.compiler = "gcc " __VERSION__;
+#else
+  info.compiler = __VERSION__;
+#endif
+#else
+  info.compiler = "unknown";
+#endif
+  return info;
+}
+
+std::string prometheus_name(const std::string& name,
+                            const std::string& prefix) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  // A digit cannot follow the (possibly empty) prefix as first char.
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const PrometheusOptions& options) {
+  const Registry& reg = Registry::global();
+  std::string out;
+  out.reserve(4096);
+
+  if (!options.build.version.empty() || !options.build.compiler.empty() ||
+      !options.build.simd.empty()) {
+    const std::string name = options.prefix + "build_info";
+    append_header(&out, name, "Build identity of the serving binary.",
+                  "gauge");
+    out += name;
+    out += "{version=\"";
+    out += prometheus_label_value(options.build.version);
+    out += "\",compiler=\"";
+    out += prometheus_label_value(options.build.compiler);
+    out += '"';
+    if (!options.build.simd.empty()) {
+      out += ",simd=\"";
+      out += prometheus_label_value(options.build.simd);
+      out += '"';
+    }
+    out += "} 1\n";
+  }
+
+  // Phase timers: two labeled counter families over the fixed phase set.
+  bool any_phase = false;
+  reg.visit_phases([&](const PhaseStats&) { any_phase = true; });
+  if (any_phase) {
+    const std::string sec = options.prefix + "phase_seconds_total";
+    const std::string calls = options.prefix + "phase_calls_total";
+    append_header(&out, sec, "Exclusive wall seconds per kernel phase.",
+                  "counter");
+    reg.visit_phases([&](const PhaseStats& st) {
+      out += sec;
+      out += "{phase=\"";
+      out += st.name();
+      out += "\"} ";
+      append_value(&out, st.seconds);
+      out += '\n';
+    });
+    append_header(&out, calls, "Completed scopes per kernel phase.",
+                  "counter");
+    reg.visit_phases([&](const PhaseStats& st) {
+      out += calls;
+      out += "{phase=\"";
+      out += st.name();
+      out += "\"} ";
+      append_value(&out, static_cast<double>(st.calls));
+      out += '\n';
+    });
+  }
+
+  reg.visit_counters([&](const std::string& name, double value,
+                         bool is_gauge) {
+    const std::string metric = prometheus_name(name, options.prefix);
+    append_header(&out, metric,
+                  is_gauge ? "Set-semantics level from the obs registry."
+                           : "Monotonic counter from the obs registry.",
+                  is_gauge ? "gauge" : "counter");
+    out += metric;
+    out += ' ';
+    append_value(&out, value);
+    out += '\n';
+  });
+
+  reg.visit_histograms([&](const std::string& name,
+                           const HistogramStats& h) {
+    const std::string metric = prometheus_name(name, options.prefix);
+    append_header(&out, metric,
+                  "Log2-bucketed latency histogram (seconds).",
+                  "histogram");
+    // Cumulative buckets from the first to the last occupied log2
+    // bucket; le bounds are the bucket upper edges converted to seconds.
+    int first = -1;
+    int last = -1;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] > 0) {
+        if (first < 0) {
+          first = i;
+        }
+        last = i;
+      }
+    }
+    std::uint64_t cumulative = 0;
+    for (int i = (first < 0 ? 0 : first); i <= last; ++i) {
+      cumulative += h.buckets[i];
+      const double upper_s = std::ldexp(1.0, i + 1) / 1e9;
+      char le[48];
+      std::snprintf(le, sizeof le, "%.9g", upper_s);
+      out += metric;
+      out += "_bucket{le=\"";
+      out += le;
+      out += "\"} ";
+      append_value(&out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += metric;
+    out += "_bucket{le=\"+Inf\"} ";
+    append_value(&out, static_cast<double>(h.count));
+    out += '\n';
+    out += metric;
+    out += "_sum ";
+    append_value(&out, h.sum_seconds);
+    out += '\n';
+    out += metric;
+    out += "_count ";
+    append_value(&out, static_cast<double>(h.count));
+    out += '\n';
+  });
+
+  return out;
+}
+
+const char* prometheus_content_type() noexcept {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+}  // namespace rri::obs

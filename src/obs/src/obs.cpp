@@ -224,6 +224,52 @@ void Registry::add_counter(const std::string& name, double delta) {
 void Registry::set_counter(const std::string& name, double value) {
   const std::lock_guard<std::mutex> lock(counter_mutex_);
   counters_[name] = value;
+  gauges_.insert(name);
+}
+
+std::set<std::string> Registry::gauge_name_snapshot() const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  return gauges_;
+}
+
+bool Registry::is_gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  return gauges_.count(name) > 0;
+}
+
+void Registry::visit_counters(
+    const std::function<void(const std::string&, double, bool)>& fn) const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  for (const auto& [name, value] : counters_) {
+    fn(name, value, gauges_.count(name) > 0);
+  }
+}
+
+void Registry::visit_histograms(
+    const std::function<void(const std::string&, const HistogramStats&)>& fn)
+    const {
+  const std::lock_guard<std::mutex> lock(counter_mutex_);
+  for (const auto& [name, h] : histograms_) {
+    fn(name, h);
+  }
+}
+
+void Registry::visit_phases(
+    const std::function<void(const PhaseStats&)>& fn) const {
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Slot& s = slots_[i];
+    PhaseStats st;
+    st.phase = static_cast<Phase>(i);
+    st.calls = s.calls.load(std::memory_order_relaxed);
+    st.seconds =
+        static_cast<double>(s.nanos.load(std::memory_order_relaxed)) / 1e9;
+    st.flops = s.flops.load(std::memory_order_relaxed);
+    st.bytes = s.bytes.load(std::memory_order_relaxed);
+    if (st.calls != 0 || st.flops != 0.0 || st.bytes != 0.0 ||
+        st.seconds != 0.0) {
+      fn(st);
+    }
+  }
 }
 
 namespace {
@@ -322,6 +368,7 @@ void Registry::reset() {
   }
   const std::lock_guard<std::mutex> lock(counter_mutex_);
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 

@@ -1,0 +1,304 @@
+#include "rri/obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "rri/trace/trace.hpp"
+
+namespace rri::obs {
+namespace {
+
+/// Ring capacity per objective: at a 1 s telemetry tick this covers a
+/// 10-minute slow window with headroom; evaluation interpolates between
+/// whatever points exist, so a slower tick only coarsens the windows.
+constexpr std::size_t kSampleRing = 720;
+
+double number_or(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->as_number() : fallback;
+}
+
+std::string string_or(const JsonValue& obj, const char* key,
+                      const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr ? v->as_string() : fallback;
+}
+
+}  // namespace
+
+const char* slo_state_name(SloState s) noexcept {
+  switch (s) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarning: return "warning";
+    case SloState::kBreach: return "breach";
+  }
+  return "unknown";
+}
+
+double histogram_samples_over(const HistogramStats& h, double threshold_s) {
+  if (h.count == 0 || threshold_s <= 0.0) {
+    return static_cast<double>(h.count);
+  }
+  double over = 0.0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (h.buckets[i] == 0) {
+      continue;
+    }
+    const double lower = (i == 0 ? 0.0 : std::ldexp(1.0, i)) / 1e9;
+    const double upper = std::ldexp(1.0, i + 1) / 1e9;
+    if (lower >= threshold_s) {
+      over += static_cast<double>(h.buckets[i]);
+    } else if (upper > threshold_s) {
+      // The straddling bucket: assume uniform occupancy and attribute
+      // the share of the bucket above the threshold.
+      const double share = (upper - threshold_s) / (upper - lower);
+      over += static_cast<double>(h.buckets[i]) * share;
+    }
+  }
+  return over;
+}
+
+SloConfig SloConfig::parse(const std::string& jsonl_text) {
+  SloConfig config;
+  std::istringstream in(jsonl_text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    JsonValue doc;
+    try {
+      doc = json_parse(line);
+    } catch (const JsonError& e) {
+      throw JsonError("slo config line " + std::to_string(lineno) + ": " +
+                      e.what());
+    }
+    SloObjective o;
+    o.name = string_or(doc, "name", "");
+    if (o.name.empty()) {
+      throw JsonError("slo config line " + std::to_string(lineno) +
+                      ": objective needs a \"name\"");
+    }
+    const std::string kind = string_or(doc, "kind", "latency");
+    if (kind == "latency") {
+      o.kind = SloKind::kLatency;
+      o.histogram = string_or(doc, "histogram", "");
+      o.quantile = number_or(doc, "quantile", 0.99);
+      o.max_seconds = number_or(doc, "max_seconds", 0.0);
+      if (o.histogram.empty() || o.max_seconds <= 0.0 || o.quantile <= 0.0 ||
+          o.quantile >= 1.0) {
+        throw JsonError("slo config line " + std::to_string(lineno) +
+                        ": latency objective needs \"histogram\", "
+                        "\"max_seconds\" > 0, and 0 < \"quantile\" < 1");
+      }
+    } else if (kind == "ratio") {
+      o.kind = SloKind::kRatio;
+      o.numerator = string_or(doc, "numerator", "");
+      o.denominator = string_or(doc, "denominator", "");
+      o.max_ratio = number_or(doc, "max_ratio", 0.0);
+      if (o.numerator.empty() || o.denominator.empty() || o.max_ratio <= 0.0) {
+        throw JsonError("slo config line " + std::to_string(lineno) +
+                        ": ratio objective needs \"numerator\", "
+                        "\"denominator\", and \"max_ratio\" > 0");
+      }
+    } else {
+      throw JsonError("slo config line " + std::to_string(lineno) +
+                      ": unknown kind \"" + kind +
+                      "\" (known: latency, ratio)");
+    }
+    o.fast_window_s = number_or(doc, "fast_window_s", 60.0);
+    o.slow_window_s = number_or(doc, "slow_window_s", 300.0);
+    o.warn_burn = number_or(doc, "warn_burn", 1.0);
+    o.breach_burn = number_or(doc, "breach_burn", 2.0);
+    if (o.fast_window_s <= 0.0 || o.slow_window_s < o.fast_window_s) {
+      throw JsonError("slo config line " + std::to_string(lineno) +
+                      ": windows must satisfy 0 < fast_window_s <= "
+                      "slow_window_s");
+    }
+    config.objectives.push_back(std::move(o));
+  }
+  return config;
+}
+
+SloConfig SloConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw JsonError("cannot open slo config: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+SloEngine::SloEngine(SloConfig config) {
+  objectives_.reserve(config.objectives.size());
+  for (auto& o : config.objectives) {
+    Tracked t;
+    t.objective = std::move(o);
+    t.ring.resize(kSampleRing);
+    objectives_.push_back(std::move(t));
+  }
+}
+
+void SloEngine::set_breach_hook(std::function<void(const SloStatus&)> hook) {
+  breach_hook_ = std::move(hook);
+}
+
+SloEngine::Sample SloEngine::measure(const SloObjective& o,
+                                     double now_s) const {
+  Sample s;
+  s.t_s = now_s;
+  const Registry& reg = Registry::global();
+  if (o.kind == SloKind::kLatency) {
+    reg.visit_histograms([&](const std::string& name,
+                             const HistogramStats& h) {
+      if (name == o.histogram) {
+        s.total = static_cast<double>(h.count);
+        s.bad = histogram_samples_over(h, o.max_seconds);
+      }
+    });
+  } else {
+    reg.visit_counters([&](const std::string& name, double value, bool) {
+      if (name == o.numerator) {
+        s.bad = value;
+      }
+      if (name == o.denominator) {
+        s.total = value;
+      }
+    });
+  }
+  return s;
+}
+
+double SloEngine::burn_over_window(const Tracked& t, double window_s) const {
+  if (t.count < 2) {
+    return 0.0;
+  }
+  const Sample& newest = t.at(t.count - 1);
+  // Reference: the newest sample at least window_s older than the head,
+  // or the oldest retained sample when history is still short.
+  const Sample* ref = &t.at(0);
+  for (std::size_t i = t.count - 1; i-- > 0;) {
+    const Sample& s = t.at(i);
+    if (newest.t_s - s.t_s >= window_s) {
+      ref = &s;
+      break;
+    }
+  }
+  const double d_total = newest.total - ref->total;
+  const double d_bad = newest.bad - ref->bad;
+  if (d_total <= 0.0) {
+    return 0.0;  // no traffic in the window: nothing to burn
+  }
+  const double bad_fraction = std::clamp(d_bad / d_total, 0.0, 1.0);
+  const double budget = t.objective.budget();
+  return budget > 0.0 ? bad_fraction / budget : 0.0;
+}
+
+SloStatus SloEngine::status_of(const Tracked& t) {
+  SloStatus st;
+  st.name = t.objective.name;
+  st.kind = t.objective.kind;
+  st.state = t.state;
+  st.fast_burn = t.fast_burn;
+  st.slow_burn = t.slow_burn;
+  st.budget = t.objective.budget();
+  st.transitions = t.transitions;
+  st.since_s = t.since_s;
+  return st;
+}
+
+void SloEngine::transition(Tracked& t, SloState next, double now_s,
+                           std::vector<SloStatus>* breached) {
+  if (next == t.state) {
+    return;
+  }
+  const SloState prev = t.state;
+  t.state = next;
+  ++t.transitions;
+  t.since_s = now_s;
+  Registry& reg = Registry::global();
+  reg.set_counter("serve.slo.state." + t.objective.name,
+                  static_cast<double>(static_cast<int>(next)));
+  // Trace instants take the name by pointer: literals only.
+  if (next == SloState::kBreach) {
+    reg.add_counter("serve.slo.breaches", 1.0);
+    trace::instant("slo.breach");
+  } else if (next == SloState::kWarning) {
+    reg.add_counter("serve.slo.warnings", 1.0);
+    trace::instant("slo.warning");
+  } else {
+    trace::instant("slo.recovered");
+  }
+  if (next == SloState::kBreach && prev != SloState::kBreach) {
+    breached->push_back(status_of(t));
+  }
+}
+
+void SloEngine::evaluate(double now_s) {
+  std::vector<SloStatus> breached;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Tracked& t : objectives_) {
+      const Sample s = measure(t.objective, now_s);
+      t.ring[t.head] = s;
+      t.head = (t.head + 1) % t.ring.size();
+      if (t.count < t.ring.size()) {
+        ++t.count;
+      }
+      t.fast_burn = burn_over_window(t, t.objective.fast_window_s);
+      t.slow_burn = burn_over_window(t, t.objective.slow_window_s);
+      SloState next = SloState::kOk;
+      if (t.fast_burn >= t.objective.breach_burn &&
+          t.slow_burn >= t.objective.breach_burn) {
+        next = SloState::kBreach;
+      } else if (t.fast_burn >= t.objective.warn_burn) {
+        next = SloState::kWarning;
+      }
+      transition(t, next, now_s, &breached);
+    }
+  }
+  // Hooks fire after the lock drops: a flight-recorder hook reads
+  // status_json() back, which would self-deadlock under the lock.
+  if (breach_hook_) {
+    for (const SloStatus& st : breached) {
+      breach_hook_(st);
+    }
+  }
+}
+
+std::vector<SloStatus> SloEngine::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  out.reserve(objectives_.size());
+  for (const Tracked& t : objectives_) {
+    out.push_back(status_of(t));
+  }
+  return out;
+}
+
+JsonValue SloEngine::status_json() const {
+  JsonValue arr = JsonValue::array();
+  for (const SloStatus& st : status()) {
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::string(st.name));
+    obj.set("kind", JsonValue::string(
+                        st.kind == SloKind::kLatency ? "latency" : "ratio"));
+    obj.set("state", JsonValue::string(slo_state_name(st.state)));
+    obj.set("fast_burn", JsonValue::number(st.fast_burn));
+    obj.set("slow_burn", JsonValue::number(st.slow_burn));
+    obj.set("budget", JsonValue::number(st.budget));
+    obj.set("transitions",
+            JsonValue::number(static_cast<double>(st.transitions)));
+    obj.set("since_s", JsonValue::number(st.since_s));
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+}  // namespace rri::obs

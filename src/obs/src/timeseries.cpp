@@ -1,0 +1,187 @@
+#include "rri/obs/timeseries.hpp"
+
+#include <algorithm>
+
+namespace rri::obs {
+
+const char* series_kind_name(SeriesKind kind) noexcept {
+  switch (kind) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kPhase: return "phase";
+    case SeriesKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Timeseries::Timeseries(TimeseriesConfig config) : config_(config) {
+  config_.retention = std::max<std::size_t>(2, config_.retention);
+  config_.interval_s = std::max(0.0, config_.interval_s);
+}
+
+Timeseries::Ring& Timeseries::ring_for(const std::string& name,
+                                       SeriesKind kind) {
+  // mutex_ held by the caller. find-then-emplace so the steady state
+  // (name already registered) touches nothing but the ring.
+  const auto it = series_.find(name);
+  if (it != series_.end()) {
+    return it->second;
+  }
+  Ring ring;
+  ring.kind = kind;
+  ring.slots.resize(config_.retention);
+  return series_.emplace(name, std::move(ring)).first->second;
+}
+
+const Timeseries::Ring* Timeseries::find(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void Timeseries::sample_now(double now_s) {
+  const Registry& reg = Registry::global();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reg.visit_phases([&](const PhaseStats& st) {
+    // One composite key per phase; .seconds is what the flight recorder
+    // and rate() consumers want, calls ride along for per-call math.
+    scratch_.assign("phase.");
+    scratch_ += st.name();
+    const std::size_t base_len = scratch_.size();
+    scratch_ += ".seconds";
+    ring_for(scratch_, SeriesKind::kPhase).push(now_s, st.seconds);
+    scratch_.resize(base_len);
+    scratch_ += ".calls";
+    ring_for(scratch_, SeriesKind::kPhase)
+        .push(now_s, static_cast<double>(st.calls));
+  });
+  reg.visit_counters([&](const std::string& name, double value,
+                         bool is_gauge) {
+    ring_for(name, is_gauge ? SeriesKind::kGauge : SeriesKind::kCounter)
+        .push(now_s, value);
+  });
+  reg.visit_histograms([&](const std::string& name,
+                           const HistogramStats& h) {
+    scratch_.assign(name);
+    const std::size_t base_len = scratch_.size();
+    scratch_ += ".count";
+    ring_for(scratch_, SeriesKind::kHistogram)
+        .push(now_s, static_cast<double>(h.count));
+    scratch_.resize(base_len);
+    scratch_ += ".sum_s";
+    ring_for(scratch_, SeriesKind::kHistogram).push(now_s, h.sum_seconds);
+    scratch_.resize(base_len);
+    scratch_ += ".p50_s";
+    ring_for(scratch_, SeriesKind::kHistogram).push(now_s, h.quantile(0.50));
+    scratch_.resize(base_len);
+    scratch_ += ".p99_s";
+    ring_for(scratch_, SeriesKind::kHistogram).push(now_s, h.quantile(0.99));
+  });
+  ++samples_;
+}
+
+std::size_t Timeseries::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::vector<std::string> Timeseries::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    (void)ring;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> Timeseries::points(const std::string& name,
+                                            double window_s) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Ring* ring = find(name);
+  std::vector<SeriesPoint> out;
+  if (ring == nullptr || ring->count == 0) {
+    return out;
+  }
+  const double newest_t = ring->at(ring->count - 1).t_s;
+  const double cutoff = window_s > 0.0 ? newest_t - window_s : -1e300;
+  out.reserve(ring->count);
+  for (std::size_t i = 0; i < ring->count; ++i) {
+    const SeriesPoint& p = ring->at(i);
+    if (p.t_s >= cutoff) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+SeriesKind Timeseries::kind(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Ring* ring = find(name);
+  return ring == nullptr ? SeriesKind::kCounter : ring->kind;
+}
+
+bool Timeseries::window_ref_locked(const Ring& ring, double window_s,
+                                   SeriesPoint* newest,
+                                   SeriesPoint* ref) const {
+  if (ring.count < 2) {
+    return false;
+  }
+  *newest = ring.at(ring.count - 1);
+  // Walk back to the newest point at least window_s older than the
+  // head; settle for the oldest retained point when the ring is young.
+  *ref = ring.at(0);
+  for (std::size_t i = ring.count - 1; i-- > 0;) {
+    const SeriesPoint& p = ring.at(i);
+    if (newest->t_s - p.t_s >= window_s) {
+      *ref = p;
+      break;
+    }
+  }
+  return newest->t_s > ref->t_s;
+}
+
+double Timeseries::rate(const std::string& name, double window_s) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Ring* ring = find(name);
+  SeriesPoint newest;
+  SeriesPoint ref;
+  if (ring == nullptr || !window_ref_locked(*ring, window_s, &newest, &ref)) {
+    return 0.0;
+  }
+  return (newest.value - ref.value) / (newest.t_s - ref.t_s);
+}
+
+bool Timeseries::window_delta(const std::string& name, double window_s,
+                              double* delta, double* dt) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Ring* ring = find(name);
+  SeriesPoint newest;
+  SeriesPoint ref;
+  if (ring == nullptr || !window_ref_locked(*ring, window_s, &newest, &ref)) {
+    return false;
+  }
+  *delta = newest.value - ref.value;
+  *dt = newest.t_s - ref.t_s;
+  return true;
+}
+
+void Timeseries::visit(
+    const std::function<void(const std::string&, SeriesKind,
+                             const std::vector<SeriesPoint>&, std::size_t,
+                             std::size_t)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, ring] : series_) {
+    fn(name, ring.kind, ring.slots,
+       (ring.head + ring.slots.size() - ring.count) % ring.slots.size(),
+       ring.count);
+  }
+}
+
+void Timeseries::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  series_.clear();
+  samples_ = 0;
+}
+
+}  // namespace rri::obs

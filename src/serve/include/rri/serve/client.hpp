@@ -83,6 +83,10 @@ class DaemonClient {
   obs::JsonValue cancel(const std::string& id);
   obs::JsonValue drain();
   obs::JsonValue stats();
+  /// Prometheus exposition ("body") + content type via the metrics verb.
+  obs::JsonValue metrics();
+  /// Live SLO objective states ("objectives" array).
+  obs::JsonValue slo();
 
   /// Rebuild a JobOutcome from an ok result response — the fields
   /// round-trip through manifest.cpp's write_result_line unchanged, so

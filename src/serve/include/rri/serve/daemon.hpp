@@ -36,6 +36,10 @@
 
 #include "rri/core/bpmax.hpp"
 #include "rri/mpisim/checkpoint.hpp"
+#include "rri/obs/flight.hpp"
+#include "rri/obs/metrics.hpp"
+#include "rri/obs/slo.hpp"
+#include "rri/obs/timeseries.hpp"
 #include "rri/serve/cache.hpp"
 #include "rri/serve/chaos.hpp"
 #include "rri/serve/job.hpp"
@@ -91,6 +95,21 @@ struct DaemonConfig {
   /// Socket fault injection on the daemon's read/write paths
   /// (RRI_CHAOS= in rri_served). Empty = no chaos.
   ChaosPlan chaos{};
+  /// Prometheus `GET /metrics` HTTP/1.0 listener on the same host:
+  /// -1 = off, 0 = ephemeral (metrics_port() returns it after start()).
+  /// The `metrics` protocol verb works regardless of this setting.
+  int metrics_port = -1;
+  /// Telemetry tick: time-series sampling + SLO evaluation period.
+  double telemetry_interval_s = 1.0;
+  /// JSONL SLO objectives (--slo-config); "" = no objectives.
+  std::string slo_config;
+  /// Flight-recorder output directory (--flight-dir); "" = no dumps.
+  std::string flight_dir;
+  /// Trailing series window captured per flight dump.
+  double flight_window_s = 60.0;
+  /// External dump request (the SIGUSR2 handler sets it); polled by the
+  /// telemetry tick, which dumps once and clears the flag.
+  std::atomic<bool>* flight_flag = nullptr;
 };
 
 struct DaemonStats {
@@ -130,6 +149,8 @@ class Daemon {
   void request_drain();
 
   int port() const noexcept { return port_; }
+  /// Bound /metrics HTTP port (0 until start(), or with metrics off).
+  int metrics_port() const noexcept { return metrics_port_; }
   DaemonStats stats() const;
 
  private:
@@ -165,6 +186,18 @@ class Daemon {
   /// Shed `id` as deadline_exceeded when it expired while queued
   /// (mutex_ held). True when the job was shed.
   bool shed_if_expired_locked(const std::string& id);
+  /// Monotonic seconds since run() started (the telemetry time base).
+  double uptime_s() const;
+  /// Refresh the set-semantics registry gauges a live scrape reads:
+  /// uptime, workers, queue depth, per-tenant tallies.
+  void publish_runtime_gauges();
+  /// Current Prometheus exposition (refreshes the gauges first).
+  std::string metrics_exposition();
+  /// Telemetry tick thread: sample the time series, evaluate SLOs,
+  /// honor the SIGUSR2 flight flag.
+  void telemetry_loop();
+  /// Minimal HTTP/1.0 loop answering `GET /metrics` on metrics_fd_.
+  void metrics_loop();
 
   DaemonConfig config_;
   int listen_fd_ = -1;
@@ -188,6 +221,17 @@ class Daemon {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<Connection>> conns_;
   std::chrono::steady_clock::time_point started_at_{};
+
+  // ---- telemetry plane (docs/observability.md, "Live telemetry") ----
+  obs::BuildInfo build_;
+  obs::Timeseries timeseries_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  int metrics_fd_ = -1;
+  int metrics_port_ = 0;
+  std::thread telemetry_thread_;
+  std::thread metrics_thread_;
+  std::atomic<bool> stop_telemetry_{false};
 };
 
 }  // namespace rri::serve

@@ -12,7 +12,8 @@
 /// before buffering a single payload byte.
 ///
 /// Request verbs: submit / status / result / cancel / drain / stats /
-/// ping. Responses always carry "ok" (true/false) and echo "op"; error
+/// ping / metrics / slo. Responses always carry "ok" (true/false) and
+/// echo "op"; error
 /// frames add machine-readable "code" plus a human "error" message.
 /// The full grammar is documented in docs/serving.md.
 
@@ -92,6 +93,8 @@ enum class Verb {
   kDrain,   ///< stop intake; finish in-flight work; daemon exits 0
   kStats,   ///< daemon-level counters (uptime, connections, cache, jobs)
   kPing,    ///< liveness probe
+  kMetrics, ///< Prometheus text exposition of the obs registry
+  kSlo,     ///< live SLO objective states (burn rates, ok/warning/breach)
 };
 const char* verb_name(Verb verb) noexcept;
 

@@ -232,6 +232,14 @@ obs::JsonValue DaemonClient::stats() {
   return request("{\"op\":\"stats\"}\n");
 }
 
+obs::JsonValue DaemonClient::metrics() {
+  return request("{\"op\":\"metrics\"}\n");
+}
+
+obs::JsonValue DaemonClient::slo() {
+  return request("{\"op\":\"slo\"}\n");
+}
+
 JobOutcome DaemonClient::outcome_from_response(const obs::JsonValue& doc) {
   JobOutcome o;
   o.id = doc.get("id").as_string();

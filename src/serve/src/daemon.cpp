@@ -15,6 +15,7 @@
 
 #include "rri/core/bppart.hpp"
 #include "rri/core/crc32.hpp"
+#include "rri/core/simd/maxplus_simd.hpp"
 #include "rri/harness/timing.hpp"
 #include "rri/obs/json.hpp"
 #include "rri/obs/obs.hpp"
@@ -76,6 +77,38 @@ std::string ok_head(const char* op) {
   return std::string("{\"ok\":true,\"op\":\"") + op + "\"";
 }
 
+/// Compact (single-line) objective array for the slo verb and stats —
+/// JsonValue::dump pretty-prints, which would break the one-frame-per-
+/// line JSONL convention.
+std::string slo_json(const std::vector<obs::SloStatus>& statuses) {
+  std::string out = "[";
+  char buffer[32];
+  bool first = true;
+  for (const obs::SloStatus& st : statuses) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"" + obs::json_escape(st.name) + "\",\"kind\":\"";
+    out += st.kind == obs::SloKind::kLatency ? "latency" : "ratio";
+    out += "\",\"state\":\"";
+    out += obs::slo_state_name(st.state);
+    out += "\"";
+    std::snprintf(buffer, sizeof(buffer), "%.6g", st.fast_burn);
+    out += ",\"fast_burn\":";
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "%.6g", st.slow_burn);
+    out += ",\"slow_burn\":";
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "%.6g", st.budget);
+    out += ",\"budget\":";
+    out += buffer;
+    out += ",\"transitions\":" + std::to_string(st.transitions) + "}";
+  }
+  out += "]";
+  return out;
+}
+
 /// The outcome fields exactly as manifest.cpp's write_result_line emits
 /// them, so rri_client can reproduce bpmax_batch's output byte for byte.
 std::string outcome_fields(const JobOutcome& o) {
@@ -130,9 +163,44 @@ Daemon::~Daemon() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
   }
+  if (metrics_fd_ >= 0) {
+    ::close(metrics_fd_);
+  }
 }
 
 int Daemon::start() {
+  // The daemon IS the telemetry producer: every serve.* counter,
+  // gauge, and latency histogram flows through the gated obs hooks,
+  // so a daemon that left the runtime switch off would expose an
+  // always-empty /metrics endpoint. Flip it on unconditionally.
+  obs::set_enabled(true);
+  build_ = obs::build_info();
+  build_.simd = core::simd::backend_name(core::simd::active_backend());
+  if (!config_.slo_config.empty()) {
+    try {
+      slo_ = std::make_unique<obs::SloEngine>(
+          obs::SloConfig::load_file(config_.slo_config));
+    } catch (const obs::JsonError& e) {
+      throw std::runtime_error(std::string("--slo-config: ") + e.what());
+    }
+  }
+  if (!config_.flight_dir.empty()) {
+    obs::FlightConfig fc;
+    fc.dir = config_.flight_dir;
+    fc.window_s = config_.flight_window_s;
+    fc.build = build_;
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        std::move(fc), &timeseries_, slo_.get());
+    flight_->install_crash_hook();
+  }
+  if (slo_ != nullptr && flight_ != nullptr) {
+    // A new breach cuts a dump; the hook runs on the telemetry thread
+    // after the engine lock drops (see SloEngine::evaluate).
+    slo_->set_breach_hook([this](const obs::SloStatus&) {
+      flight_->dump("slo-breach", uptime_s());
+    });
+  }
+
   // Journal replay before the socket opens: nothing can race it.
   const std::vector<std::string> requeued = store_.recover();
   const JobCounts replayed = store_.counts();
@@ -173,6 +241,34 @@ int Daemon::start() {
                              std::strerror(errno));
   }
   port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  if (config_.metrics_port >= 0) {
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_fd_ < 0) {
+      throw std::runtime_error(std::string("metrics socket(): ") +
+                               std::strerror(errno));
+    }
+    ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in maddr{};
+    maddr.sin_family = AF_INET;
+    maddr.sin_port = htons(static_cast<std::uint16_t>(config_.metrics_port));
+    ::inet_pton(AF_INET, config_.host.c_str(), &maddr.sin_addr);
+    if (::bind(metrics_fd_, reinterpret_cast<const sockaddr*>(&maddr),
+               sizeof(maddr)) != 0 ||
+        ::listen(metrics_fd_, 16) != 0) {
+      throw std::runtime_error("metrics bind(" + config_.host + ":" +
+                               std::to_string(config_.metrics_port) +
+                               "): " + std::strerror(errno));
+    }
+    sockaddr_in mbound{};
+    socklen_t mlen = sizeof(mbound);
+    if (::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&mbound),
+                      &mlen) != 0) {
+      throw std::runtime_error(std::string("metrics getsockname(): ") +
+                               std::strerror(errno));
+    }
+    metrics_port_ = static_cast<int>(ntohs(mbound.sin_port));
+  }
   return port_;
 }
 
@@ -239,6 +335,13 @@ void Daemon::run() {
   for (int w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+  // The telemetry tick always runs (it keeps the runtime gauges and
+  // SLO states live for stats/metrics/slo verbs); the HTTP scrape loop
+  // only when a metrics port was requested.
+  telemetry_thread_ = std::thread([this] { telemetry_loop(); });
+  if (metrics_fd_ >= 0) {
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
   // Re-enqueue interrupted work from the journal now that workers can
   // drain the queue (the list may exceed the queue capacity). adopt()
   // (not admit()) re-accounts the in-flight budgets without a token
@@ -266,6 +369,13 @@ void Daemon::run() {
   accept_loop();
 
   // ---- shutdown sequence (drain, stop flag, or fail_after) ----
+  stop_telemetry_.store(true);
+  if (telemetry_thread_.joinable()) {
+    telemetry_thread_.join();
+  }
+  if (metrics_thread_.joinable()) {
+    metrics_thread_.join();
+  }
   queue_.close();
   for (std::thread& t : workers_) {
     t.join();
@@ -642,8 +752,32 @@ std::string Daemon::handle_request(const Request& req, bool* drain_out) {
                ",\"inflight_bytes\":" + bytes_buf + "}";
       }
       out += "}";
+      out += ",\"build\":{\"version\":\"" + obs::json_escape(build_.version) +
+             "\",\"compiler\":\"" + obs::json_escape(build_.compiler) +
+             "\",\"simd\":\"" + obs::json_escape(build_.simd) + "\"}";
+      if (slo_ != nullptr) {
+        out += ",\"slo\":";
+        out += slo_json(slo_->status());
+      }
       out += ",\"draining\":";
       out += draining_.load() ? "true" : "false";
+      out += "}\n";
+      return out;
+    }
+    case Verb::kMetrics: {
+      const std::string body = metrics_exposition();
+      std::string out = ok_head("metrics");
+      out += ",\"content_type\":\"";
+      out += obs::prometheus_content_type();
+      out += "\",\"body\":\"";
+      out += obs::json_escape(body);
+      out += "\"}\n";
+      return out;
+    }
+    case Verb::kSlo: {
+      std::string out = ok_head("slo");
+      out += ",\"objectives\":";
+      out += slo_ != nullptr ? slo_json(slo_->status()) : std::string("[]");
       out += "}\n";
       return out;
     }
@@ -913,6 +1047,123 @@ void Daemon::worker_loop(int worker_id) {
     if (interrupted_.load()) {
       queue_.close();
     }
+  }
+}
+
+double Daemon::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
+void Daemon::publish_runtime_gauges() {
+  obs::set_counter("serve.daemon.uptime_s", uptime_s());
+  obs::set_counter("serve.daemon.workers",
+                   static_cast<double>(config_.workers));
+  obs::set_counter("serve.daemon.queue_depth",
+                   static_cast<double>(queue_.depth()));
+  // Per-tenant tallies: the same gauges the shutdown path writes, kept
+  // live so a scrape mid-run sees current numbers (acceptance criterion
+  // for the telemetry-smoke job).
+  for (const auto& [name, usage] : governor_.usage()) {
+    const std::string prefix =
+        "serve.tenant." + (name.empty() ? std::string("anonymous") : name);
+    obs::set_counter((prefix + ".admitted").c_str(),
+                     static_cast<double>(usage.admitted));
+    obs::set_counter((prefix + ".rejected").c_str(),
+                     static_cast<double>(usage.rejected));
+    obs::set_counter((prefix + ".finished").c_str(),
+                     static_cast<double>(usage.finished));
+  }
+}
+
+std::string Daemon::metrics_exposition() {
+  publish_runtime_gauges();
+  obs::PrometheusOptions opts;
+  opts.build = build_;
+  return obs::prometheus_text(opts);
+}
+
+void Daemon::telemetry_loop() {
+  const double interval =
+      config_.telemetry_interval_s > 0.0 ? config_.telemetry_interval_s : 1.0;
+  double next_tick = 0.0;  // sample immediately so early scrapes see data
+  while (!stop_telemetry_.load()) {
+    const double now = uptime_s();
+    if (now >= next_tick) {
+      publish_runtime_gauges();
+      timeseries_.sample_now(now);
+      if (slo_ != nullptr) {
+        slo_->evaluate(now);
+      }
+      next_tick = now + interval;
+    }
+    if (config_.flight_flag != nullptr && config_.flight_flag->load() &&
+        flight_ != nullptr) {
+      config_.flight_flag->store(false);
+      flight_->dump("sigusr2", now);
+    }
+    // Short sleep slices keep shutdown and SIGUSR2 latency bounded
+    // without burning a core between ticks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void Daemon::metrics_loop() {
+  while (!stop_telemetry_.load()) {
+    pollfd pfd{};
+    pfd.fd = metrics_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    // One short-lived HTTP/1.0 exchange per connection, served inline:
+    // scrapes are rare (seconds apart) and the exposition is small, so
+    // a serial loop cannot back up. Read until the blank line ending
+    // the request head (or 4 KiB, whichever comes first).
+    std::string head;
+    char buffer[1024];
+    while (head.size() < 4096 && head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos) {
+      pollfd rfd{};
+      rfd.fd = fd;
+      rfd.events = POLLIN;
+      if (::poll(&rfd, 1, 1000) <= 0) {
+        break;
+      }
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        break;
+      }
+      head.append(buffer, static_cast<std::size_t>(n));
+    }
+    const bool is_get_metrics =
+        head.rfind("GET /metrics ", 0) == 0 ||
+        head.rfind("GET /metrics\r", 0) == 0 ||
+        head.rfind("GET /metrics\n", 0) == 0;
+    std::string response;
+    if (is_get_metrics) {
+      const std::string body = metrics_exposition();
+      response = "HTTP/1.0 200 OK\r\nContent-Type: ";
+      response += obs::prometheus_content_type();
+      response += "\r\nContent-Length: " + std::to_string(body.size());
+      response += "\r\nConnection: close\r\n\r\n";
+      response += body;
+      RRI_OBS_COUNTER("serve.daemon.metrics_scrapes", 1);
+    } else {
+      const std::string body = "only GET /metrics is served here\n";
+      response = "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n";
+      response += "Content-Length: " + std::to_string(body.size());
+      response += "\r\nConnection: close\r\n\r\n";
+      response += body;
+    }
+    send_all(fd, response);
+    ::close(fd);
   }
 }
 

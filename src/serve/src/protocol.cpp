@@ -77,6 +77,8 @@ const char* verb_name(Verb verb) noexcept {
     case Verb::kDrain: return "drain";
     case Verb::kStats: return "stats";
     case Verb::kPing: return "ping";
+    case Verb::kMetrics: return "metrics";
+    case Verb::kSlo: return "slo";
   }
   return "?";
 }
@@ -112,11 +114,15 @@ Request parse_request(const std::string& payload, const JobParams& defaults) {
     req.verb = Verb::kStats;
   } else if (name == "ping") {
     req.verb = Verb::kPing;
+  } else if (name == "metrics") {
+    req.verb = Verb::kMetrics;
+  } else if (name == "slo") {
+    req.verb = Verb::kSlo;
   } else {
     throw ProtocolError("bad_request", "unknown op \"" + name +
                                            "\" (known: submit, status, "
                                            "result, cancel, drain, stats, "
-                                           "ping)");
+                                           "ping, metrics, slo)");
   }
 
   if (const obs::JsonValue* id = doc.find("id")) {

@@ -8,7 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -724,6 +731,123 @@ TEST(DaemonE2E, StopFlagDrainsLikeSigterm) {
   stop.store(true);
   runner.join();
   EXPECT_EQ(daemon.stats().jobs.done, 1u);
+}
+
+// ------------------------------------------------- telemetry plane
+
+TEST(DaemonE2E, MetricsAndSloVerbsServeTelemetry) {
+  const std::string slo_path =
+      ::testing::TempDir() + "/daemon_test_slo.jsonl";
+  {
+    std::ofstream out(slo_path, std::ios::trunc);
+    out << "# daemon_test objective\n"
+        << "{\"name\":\"queue-p99\",\"kind\":\"latency\","
+           "\"histogram\":\"serve.queue_wait_s\",\"quantile\":0.99,"
+           "\"max_seconds\":10.0}\n";
+  }
+  DaemonConfig config;
+  config.slo_config = slo_path;
+  RunningDaemon server(config);
+
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  ASSERT_TRUE(
+      client.submit(make_job("j", "GGGAAACCC", "GGGUUUCCC")).get("ok")
+          .as_bool());
+  ASSERT_TRUE(client.result("j", /*wait=*/true).get("ok").as_bool());
+
+  // metrics verb: the full Prometheus exposition over the wire.
+  const obs::JsonValue metrics = client.metrics();
+  ASSERT_TRUE(metrics.get("ok").as_bool());
+  EXPECT_EQ(metrics.get("content_type").as_string(),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string body = metrics.get("body").as_string();
+  EXPECT_NE(body.find("rri_build_info{version="), std::string::npos);
+  EXPECT_NE(body.find("rri_serve_daemon_workers"), std::string::npos);
+  EXPECT_NE(body.find("rri_serve_jobs_served 1"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE rri_serve_queue_wait_s histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("rri_serve_queue_wait_s_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // slo verb: the configured objective with a live state.
+  const obs::JsonValue slo = client.slo();
+  ASSERT_TRUE(slo.get("ok").as_bool());
+  const auto& objectives = slo.get("objectives").as_array();
+  ASSERT_EQ(objectives.size(), 1u);
+  EXPECT_EQ(objectives[0].get("name").as_string(), "queue-p99");
+  EXPECT_EQ(objectives[0].get("kind").as_string(), "latency");
+  const std::string state = objectives[0].get("state").as_string();
+  EXPECT_TRUE(state == "ok" || state == "warning" || state == "breach");
+
+  // stats verb: build identity + slo section ride along.
+  const obs::JsonValue stats = client.stats();
+  ASSERT_TRUE(stats.get("ok").as_bool());
+  EXPECT_FALSE(stats.get("build").get("version").as_string().empty());
+  EXPECT_FALSE(stats.get("build").get("compiler").as_string().empty());
+  EXPECT_FALSE(stats.get("build").get("simd").as_string().empty());
+  EXPECT_EQ(stats.get("slo").as_array().size(), 1u);
+}
+
+TEST(DaemonE2E, StatsOmitsSloSectionWithoutConfig) {
+  DaemonConfig config;
+  RunningDaemon server(config);
+  DaemonClient client;
+  client.connect("127.0.0.1", server.port);
+  const obs::JsonValue stats = client.stats();
+  ASSERT_TRUE(stats.get("ok").as_bool());
+  EXPECT_NE(stats.find("build"), nullptr);
+  EXPECT_EQ(stats.find("slo"), nullptr);
+  // The slo verb still answers, with an empty objective list.
+  const obs::JsonValue slo = client.slo();
+  ASSERT_TRUE(slo.get("ok").as_bool());
+  EXPECT_TRUE(slo.get("objectives").as_array().empty());
+}
+
+TEST(DaemonE2E, MetricsHttpListenerServesScrapes) {
+  DaemonConfig config;
+  config.metrics_port = 0;  // ephemeral
+  RunningDaemon server(config);
+  ASSERT_GT(server.daemon.metrics_port(), 0);
+
+  const auto http_get = [&](const char* request_head) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(server.daemon.metrics_port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request = request_head;
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+      if (n <= 0) {
+        break;
+      }
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string ok =
+      http_get("GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK", 0), 0u) << ok.substr(0, 120);
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("rri_build_info{"), std::string::npos);
+  EXPECT_NE(ok.find("rri_serve_daemon_uptime_s"), std::string::npos);
+
+  const std::string missing =
+      http_get("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
 }
 
 }  // namespace

@@ -252,6 +252,66 @@ TEST_F(ObsTest, HistogramRecordsAndQuantiles) {
   EXPECT_LE(h.quantile(0.999), h.max_seconds);
 }
 
+TEST_F(ObsTest, HistogramQuantileEmptyIsZero) {
+  // The Prometheus encoder and the time-series sampler both call
+  // quantile() on histograms that may not have seen a sample yet; the
+  // defined answer is 0.0, never uninitialized bucket math.
+  const obs::HistogramStats empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileSingleSampleIsExact) {
+  // One sample: every quantile is that sample, exactly — the log2
+  // bucket's upper bound clamps down to the observed max (== min), so
+  // no bucket approximation leaks out.
+  obs::record_latency("one.sample_s", 3e-3);
+  const auto hists = obs::Registry::global().histogram_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramStats& h = hists[0];
+  ASSERT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3e-3);
+}
+
+TEST_F(ObsTest, HistogramQuantileAllInOneBucketCollapses) {
+  // Many identical samples land in one log2 bucket; min == max, so the
+  // whole quantile curve collapses to the single observed value.
+  for (int i = 0; i < 50; ++i) {
+    obs::record_latency("uniform.sample_s", 1.5e-3);
+  }
+  const auto hists = obs::Registry::global().histogram_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramStats& h = hists[0];
+  ASSERT_EQ(h.count, 50u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.5e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.5e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.5e-3);
+}
+
+TEST_F(ObsTest, HistogramQuantileClampsToObservedMinMax) {
+  // 1.1 ms and 1.9 ms share a log2 bucket ([2^20, 2^21) ns) whose upper
+  // bound is ~2.097 ms. Low quantiles must clamp up to the observed min
+  // (never report below any sample) and high ones down to the observed
+  // max (never report the bucket bound beyond any sample).
+  obs::record_latency("clamp.sample_s", 1.1e-3);
+  obs::record_latency("clamp.sample_s", 1.9e-3);
+  const auto hists = obs::Registry::global().histogram_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  const obs::HistogramStats& h = hists[0];
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.1e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.9e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.9e-3);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_GE(h.quantile(q), h.min_seconds);
+    EXPECT_LE(h.quantile(q), h.max_seconds);
+  }
+}
+
 TEST_F(ObsTest, HistogramJsonRoundTrip) {
   obs::record_latency("serve.queue_wait_s", 2e-6);
   obs::record_latency("serve.queue_wait_s", 8e-6);

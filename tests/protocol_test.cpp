@@ -193,10 +193,24 @@ TEST(ParseRequest, AcceptsEveryVerb) {
       {"{\"op\":\"drain\"}", Verb::kDrain},
       {"{\"op\":\"result\",\"id\":\"j\"}", Verb::kResult},
       {"{\"op\":\"cancel\",\"id\":\"j\"}", Verb::kCancel},
+      {"{\"op\":\"metrics\"}", Verb::kMetrics},
+      {"{\"op\":\"slo\"}", Verb::kSlo},
   };
   for (const auto& c : cases) {
     const Request req = parse_request(c.payload, JobParams{});
     EXPECT_EQ(req.verb, c.verb) << c.payload;
+  }
+}
+
+TEST(ParseRequest, VerbNamesRoundTrip) {
+  // verb_name() output fed back through "op" must parse to the same
+  // verb — the telemetry verbs ride the same table as the job verbs.
+  const Verb verbs[] = {Verb::kPing,   Verb::kStatus, Verb::kStats,
+                        Verb::kDrain,  Verb::kMetrics, Verb::kSlo};
+  for (const Verb v : verbs) {
+    const std::string payload =
+        std::string("{\"op\":\"") + verb_name(v) + "\"}";
+    EXPECT_EQ(parse_request(payload, JobParams{}).verb, v) << payload;
   }
 }
 

@@ -1,0 +1,502 @@
+/// Unit tests for the live telemetry plane (docs/observability.md,
+/// "Live telemetry"): the time-series ring sampler, the Prometheus
+/// text-exposition encoder, the SLO burn-rate engine, and the flight
+/// recorder. Everything here drives Registry::global() directly and
+/// samples with explicit monotonic timestamps, so the tests are
+/// deterministic — no sleeping, no daemon.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rri/obs/flight.hpp"
+#include "rri/obs/json.hpp"
+#include "rri/obs/metrics.hpp"
+#include "rri/obs/obs.hpp"
+#include "rri/obs/registry.hpp"
+#include "rri/obs/slo.hpp"
+#include "rri/obs/timeseries.hpp"
+
+namespace {
+
+using namespace rri;
+
+/// Each test starts from a clean global registry (the sampler, encoder,
+/// and SLO engine all read Registry::global()).
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Registry::global().reset(); }
+  void TearDown() override { obs::Registry::global().reset(); }
+
+  static bool contains(const std::string& text, const std::string& needle) {
+    return text.find(needle) != std::string::npos;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Timeseries
+
+TEST_F(TelemetryTest, TimeseriesDerivesSeriesNamesAndKinds) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.add_counter("t.count", 5.0);
+  reg.set_counter("t.gauge", 2.0);
+  reg.record_latency("t.lat_s", 1e-3);
+  reg.add_time(obs::Phase::kFill, 0.5, 1);
+
+  obs::Timeseries ts;
+  ts.sample_now(1.0);
+
+  const std::vector<std::string> names = ts.names();
+  const auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("t.count"));
+  EXPECT_TRUE(has("t.gauge"));
+  EXPECT_TRUE(has("phase.fill.seconds"));
+  EXPECT_TRUE(has("phase.fill.calls"));
+  EXPECT_TRUE(has("t.lat_s.count"));
+  EXPECT_TRUE(has("t.lat_s.sum_s"));
+  EXPECT_TRUE(has("t.lat_s.p50_s"));
+  EXPECT_TRUE(has("t.lat_s.p99_s"));
+
+  EXPECT_EQ(ts.kind("t.count"), obs::SeriesKind::kCounter);
+  EXPECT_EQ(ts.kind("t.gauge"), obs::SeriesKind::kGauge);
+  EXPECT_EQ(ts.kind("phase.fill.seconds"), obs::SeriesKind::kPhase);
+  EXPECT_EQ(ts.kind("t.lat_s.p99_s"), obs::SeriesKind::kHistogram);
+
+  const auto points = ts.points("t.count");
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].t_s, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].value, 5.0);
+}
+
+TEST_F(TelemetryTest, TimeseriesRingOverwritesOldest) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::TimeseriesConfig config;
+  config.retention = 4;
+  obs::Timeseries ts(config);
+  for (int t = 1; t <= 6; ++t) {
+    reg.add_counter("t.jobs", 10.0);
+    ts.sample_now(static_cast<double>(t));
+  }
+  EXPECT_EQ(ts.samples(), 6u);
+  const auto points = ts.points("t.jobs");
+  ASSERT_EQ(points.size(), 4u);  // retention caps the ring
+  EXPECT_DOUBLE_EQ(points.front().t_s, 3.0);  // 1 and 2 overwritten
+  EXPECT_DOUBLE_EQ(points.back().t_s, 6.0);
+  EXPECT_DOUBLE_EQ(points.back().value, 60.0);
+  // Oldest-first ordering across the wrap point.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].t_s, points[i].t_s);
+  }
+}
+
+TEST_F(TelemetryTest, TimeseriesRateAndWindowDelta) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Timeseries ts;
+  for (int t = 0; t <= 4; ++t) {
+    reg.add_counter("t.jobs", 10.0);
+    ts.sample_now(static_cast<double>(t));
+  }
+  // Cumulative values 10..50 at t = 0..4; over a 2 s trailing window the
+  // reference point is t=2 (value 30): rate (50-30)/2 = 10/s.
+  EXPECT_DOUBLE_EQ(ts.rate("t.jobs", 2.0), 10.0);
+  double delta = 0.0;
+  double dt = 0.0;
+  ASSERT_TRUE(ts.window_delta("t.jobs", 2.0, &delta, &dt));
+  EXPECT_DOUBLE_EQ(delta, 20.0);
+  EXPECT_DOUBLE_EQ(dt, 2.0);
+  // A window longer than retained history falls back to the oldest point.
+  EXPECT_DOUBLE_EQ(ts.rate("t.jobs", 100.0), 10.0);
+  // Unknown series and single-point series have no rate.
+  EXPECT_DOUBLE_EQ(ts.rate("t.unknown", 2.0), 0.0);
+  obs::Timeseries fresh;
+  reg.add_counter("t.jobs", 10.0);
+  fresh.sample_now(0.0);
+  EXPECT_DOUBLE_EQ(fresh.rate("t.jobs", 2.0), 0.0);
+  EXPECT_FALSE(fresh.window_delta("t.jobs", 2.0, &delta, &dt));
+}
+
+TEST_F(TelemetryTest, TimeseriesPointsWindowFilter) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Timeseries ts;
+  for (int t = 0; t <= 4; ++t) {
+    reg.add_counter("t.jobs", 1.0);
+    ts.sample_now(static_cast<double>(t));
+  }
+  const auto recent = ts.points("t.jobs", 1.5);
+  ASSERT_EQ(recent.size(), 2u);  // cutoff 4 - 1.5 = 2.5 keeps t=3, t=4
+  EXPECT_DOUBLE_EQ(recent.front().t_s, 3.0);
+  EXPECT_DOUBLE_EQ(recent.back().t_s, 4.0);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition
+
+TEST_F(TelemetryTest, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("serve.queue_wait_s"),
+            "rri_serve_queue_wait_s");
+  EXPECT_EQ(obs::prometheus_name("serve.tenant.a-b c.admitted"),
+            "rri_serve_tenant_a_b_c_admitted");
+  EXPECT_EQ(obs::prometheus_name("legal:colon_name"),
+            "rri_legal:colon_name");
+  // With no prefix, a leading digit gets the '_' guard.
+  EXPECT_EQ(obs::prometheus_name("9lives", ""), "_9lives");
+}
+
+TEST_F(TelemetryTest, PrometheusLabelValueEscaping) {
+  EXPECT_EQ(obs::prometheus_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::prometheus_label_value("plain"), "plain");
+}
+
+TEST_F(TelemetryTest, PrometheusExpositionGrammar) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.add_counter("t.count", 7.0);
+  reg.set_counter("t.gauge", 5.0);
+  for (int i = 0; i < 3; ++i) {
+    reg.record_latency("t.lat_s", 1e-3);
+  }
+  reg.add_time(obs::Phase::kFill, 0.25, 2);
+
+  obs::PrometheusOptions options;
+  options.build.version = "v1.2-test";
+  options.build.compiler = "gcc 12";
+  options.build.simd = "avx2";
+  const std::string text = obs::prometheus_text(options);
+
+  EXPECT_TRUE(contains(text, "# TYPE rri_build_info gauge"));
+  EXPECT_TRUE(contains(
+      text,
+      "rri_build_info{version=\"v1.2-test\",compiler=\"gcc 12\","
+      "simd=\"avx2\"} 1\n"));
+  EXPECT_TRUE(contains(text, "# TYPE rri_t_count counter"));
+  EXPECT_TRUE(contains(text, "\nrri_t_count 7\n"));
+  EXPECT_TRUE(contains(text, "# TYPE rri_t_gauge gauge"));
+  EXPECT_TRUE(contains(text, "\nrri_t_gauge 5\n"));
+  EXPECT_TRUE(contains(text, "# TYPE rri_phase_seconds_total counter"));
+  EXPECT_TRUE(contains(text, "rri_phase_seconds_total{phase=\"fill\"} 0.25"));
+  EXPECT_TRUE(contains(text, "rri_phase_calls_total{phase=\"fill\"} 2"));
+  EXPECT_TRUE(contains(text, "# TYPE rri_t_lat_s histogram"));
+  // All three samples share one log2 bucket: one finite le line carrying
+  // the full cumulative count, then the mandatory +Inf / _sum / _count.
+  EXPECT_TRUE(contains(text, "rri_t_lat_s_bucket{le=\""));
+  EXPECT_TRUE(contains(text, "rri_t_lat_s_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(text, "rri_t_lat_s_count 3\n"));
+  EXPECT_TRUE(contains(text, "rri_t_lat_s_sum 0.003"));
+  // Every sample line's family has a preceding # TYPE declaration.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    EXPECT_TRUE(line[0] == '#' || line.rfind("rri_", 0) == 0 ||
+                line.rfind("_", 0) == 0)
+        << "unexpected exposition line: " << line;
+  }
+  EXPECT_STREQ(obs::prometheus_content_type(),
+               "text/plain; version=0.0.4; charset=utf-8");
+}
+
+TEST_F(TelemetryTest, PrometheusBucketsAreCumulative) {
+  obs::Registry& reg = obs::Registry::global();
+  // Two widely separated latencies occupy two buckets; the second finite
+  // le line must carry the cumulative 2, not a per-bucket 1.
+  reg.record_latency("t.two_s", 1e-6);
+  reg.record_latency("t.two_s", 1e-1);
+  const std::string text = obs::prometheus_text();
+  std::vector<double> cumulative;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("rri_t_two_s_bucket", 0) == 0) {
+      cumulative.push_back(
+          std::strtod(line.substr(line.rfind(' ') + 1).c_str(), nullptr));
+    }
+  }
+  ASSERT_GE(cumulative.size(), 3u);  // two occupied buckets + +Inf
+  EXPECT_DOUBLE_EQ(cumulative.front(), 1.0);
+  EXPECT_DOUBLE_EQ(cumulative.back(), 2.0);
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+}
+
+TEST_F(TelemetryTest, PrometheusEmptyBuildInfoSuppressed) {
+  obs::Registry::global().add_counter("t.count", 1.0);
+  const std::string text = obs::prometheus_text();  // default: no build
+  EXPECT_FALSE(contains(text, "build_info"));
+  EXPECT_TRUE(contains(text, "rri_t_count 1"));
+}
+
+// ---------------------------------------------------------------------
+// SLO config + burn-rate engine
+
+TEST_F(TelemetryTest, SloConfigParsesObjectivesAndComments) {
+  const std::string jsonl =
+      "# latency objective\n"
+      "{\"name\":\"queue-p99\",\"kind\":\"latency\","
+      "\"histogram\":\"serve.queue_wait_s\",\"quantile\":0.99,"
+      "\"max_seconds\":0.05,\"fast_window_s\":60,\"slow_window_s\":300,"
+      "\"warn_burn\":1,\"breach_burn\":2}\n"
+      "\n"
+      "{\"name\":\"errors\",\"kind\":\"ratio\","
+      "\"numerator\":\"serve.daemon.jobs_failed\","
+      "\"denominator\":\"serve.daemon.jobs_submitted\","
+      "\"max_ratio\":0.01}\n";
+  const obs::SloConfig config = obs::SloConfig::parse(jsonl);
+  ASSERT_EQ(config.objectives.size(), 2u);
+  const obs::SloObjective& lat = config.objectives[0];
+  EXPECT_EQ(lat.name, "queue-p99");
+  EXPECT_EQ(lat.kind, obs::SloKind::kLatency);
+  EXPECT_EQ(lat.histogram, "serve.queue_wait_s");
+  EXPECT_DOUBLE_EQ(lat.max_seconds, 0.05);
+  EXPECT_NEAR(lat.budget(), 0.01, 1e-12);
+  const obs::SloObjective& ratio = config.objectives[1];
+  EXPECT_EQ(ratio.kind, obs::SloKind::kRatio);
+  EXPECT_DOUBLE_EQ(ratio.budget(), 0.01);
+  // Defaults applied when the line omits windows/burns.
+  EXPECT_DOUBLE_EQ(ratio.fast_window_s, 60.0);
+  EXPECT_DOUBLE_EQ(ratio.slow_window_s, 300.0);
+}
+
+TEST_F(TelemetryTest, SloConfigErrorsCarryLineNumbers) {
+  const auto message_of = [](const std::string& jsonl) {
+    try {
+      obs::SloConfig::parse(jsonl);
+    } catch (const obs::JsonError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  std::string msg = message_of(
+      "# comment\n{\"name\":\"x\",\"kind\":\"bogus\"}\n");
+  EXPECT_TRUE(contains(msg, "line 2"));
+  EXPECT_TRUE(contains(msg, "unknown kind"));
+  EXPECT_TRUE(contains(msg, "known: latency, ratio"));
+
+  msg = message_of("{\"kind\":\"latency\"}\n");
+  EXPECT_TRUE(contains(msg, "line 1"));
+  EXPECT_TRUE(contains(msg, "\"name\""));
+
+  msg = message_of(
+      "{\"name\":\"x\",\"kind\":\"latency\",\"histogram\":\"h\"}\n");
+  EXPECT_TRUE(contains(msg, "max_seconds"));
+
+  msg = message_of(
+      "{\"name\":\"x\",\"kind\":\"latency\",\"histogram\":\"h\","
+      "\"max_seconds\":0.1,\"fast_window_s\":60,\"slow_window_s\":30}\n");
+  EXPECT_TRUE(contains(msg, "fast_window_s <= slow_window_s"));
+
+  msg = message_of("{not json}\n");
+  EXPECT_TRUE(contains(msg, "line 1"));
+}
+
+TEST_F(TelemetryTest, HistogramSamplesOverInterpolates) {
+  obs::HistogramStats h;
+  // 10 samples in the [2^20, 2^21) ns bucket.
+  h.count = 10;
+  h.buckets[20] = 10;
+  const double lower = std::ldexp(1.0, 20) / 1e9;
+  const double upper = std::ldexp(1.0, 21) / 1e9;
+  // Threshold at/below the lower bound: the whole bucket is over.
+  EXPECT_DOUBLE_EQ(obs::histogram_samples_over(h, lower), 10.0);
+  // Threshold at the upper bound: nothing is over.
+  EXPECT_DOUBLE_EQ(obs::histogram_samples_over(h, upper), 0.0);
+  // Mid-bucket threshold: linear share.
+  EXPECT_NEAR(obs::histogram_samples_over(h, (lower + upper) / 2.0), 5.0,
+              1e-9);
+  // Non-positive threshold counts everything; empty histograms nothing.
+  EXPECT_DOUBLE_EQ(obs::histogram_samples_over(h, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_samples_over(obs::HistogramStats{}, 0.5),
+                   0.0);
+}
+
+TEST_F(TelemetryTest, SloEngineBreachesAndRecovers) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::SloConfig config = obs::SloConfig::parse(
+      "{\"name\":\"lat\",\"kind\":\"latency\",\"histogram\":\"t.lat_s\","
+      "\"quantile\":0.9,\"max_seconds\":0.01,"
+      "\"fast_window_s\":5,\"slow_window_s\":10,"
+      "\"warn_burn\":1,\"breach_burn\":2}\n");
+  obs::SloEngine engine(std::move(config));
+  ASSERT_FALSE(engine.empty());
+
+  int hook_fired = 0;
+  obs::SloStatus hook_status;
+  engine.set_breach_hook([&](const obs::SloStatus& st) {
+    ++hook_fired;
+    hook_status = st;
+    // The hook runs outside the engine lock: reading status back must
+    // not deadlock (this is the flight-recorder pattern).
+    EXPECT_FALSE(engine.status().empty());
+  });
+
+  engine.evaluate(0.0);  // single sample: no window yet, stays ok
+  EXPECT_EQ(engine.status()[0].state, obs::SloState::kOk);
+
+  // 100 latencies, all 10x over the 10 ms threshold: bad fraction 1.0
+  // against a 0.1 budget = burn 10 in both windows -> breach.
+  for (int i = 0; i < 100; ++i) {
+    reg.record_latency("t.lat_s", 0.1);
+  }
+  engine.evaluate(5.0);
+  obs::SloStatus st = engine.status()[0];
+  EXPECT_EQ(st.state, obs::SloState::kBreach);
+  EXPECT_GE(st.fast_burn, 2.0);
+  EXPECT_GE(st.slow_burn, 2.0);
+  EXPECT_EQ(st.transitions, 1u);
+  EXPECT_EQ(hook_fired, 1);
+  EXPECT_EQ(hook_status.name, "lat");
+  const auto counters = reg.counter_snapshot();
+  EXPECT_DOUBLE_EQ(counters.at("serve.slo.breaches"), 1.0);
+  EXPECT_DOUBLE_EQ(counters.at("serve.slo.state.lat"), 2.0);
+
+  // A flood of fast requests drowns the old bad ones out of the fast
+  // window: burn drops to ~0 and the objective recovers.
+  for (int i = 0; i < 10000; ++i) {
+    reg.record_latency("t.lat_s", 1e-6);
+  }
+  engine.evaluate(10.0);
+  st = engine.status()[0];
+  EXPECT_EQ(st.state, obs::SloState::kOk);
+  EXPECT_EQ(st.transitions, 2u);
+  EXPECT_EQ(hook_fired, 1);  // recovery does not re-fire the breach hook
+  EXPECT_DOUBLE_EQ(reg.counter_snapshot().at("serve.slo.state.lat"), 0.0);
+
+  // status_json mirrors status() for the wire.
+  const obs::JsonValue doc = engine.status_json();
+  ASSERT_EQ(doc.as_array().size(), 1u);
+  EXPECT_EQ(doc.as_array()[0].get("name").as_string(), "lat");
+  EXPECT_EQ(doc.as_array()[0].get("state").as_string(), "ok");
+  EXPECT_DOUBLE_EQ(doc.as_array()[0].get("transitions").as_number(), 2.0);
+}
+
+TEST_F(TelemetryTest, SloEngineRatioObjective) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::SloEngine engine(obs::SloConfig::parse(
+      "{\"name\":\"errors\",\"kind\":\"ratio\",\"numerator\":\"t.bad\","
+      "\"denominator\":\"t.total\",\"max_ratio\":0.05,"
+      "\"fast_window_s\":5,\"slow_window_s\":10,"
+      "\"warn_burn\":1,\"breach_burn\":2}\n"));
+
+  reg.add_counter("t.total", 100.0);
+  engine.evaluate(0.0);
+  EXPECT_EQ(engine.status()[0].state, obs::SloState::kOk);
+
+  // 50 failures out of the next 100: ratio 0.5 against a 0.05 budget =
+  // burn 10 -> breach.
+  reg.add_counter("t.total", 100.0);
+  reg.add_counter("t.bad", 50.0);
+  engine.evaluate(5.0);
+  EXPECT_EQ(engine.status()[0].state, obs::SloState::kBreach);
+
+  // No traffic in the window at all: burn is defined as 0, not NaN.
+  engine.evaluate(10.0);
+  engine.evaluate(15.0);
+  const obs::SloStatus st = engine.status()[0];
+  EXPECT_EQ(st.state, obs::SloState::kOk);
+  EXPECT_DOUBLE_EQ(st.fast_burn, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+
+TEST_F(TelemetryTest, FlightDumpWritesDecodableJson) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Timeseries ts;
+  for (int t = 0; t <= 3; ++t) {
+    reg.add_counter("t.jobs", 10.0);
+    reg.record_latency("t.lat_s", 1e-3);
+    ts.sample_now(static_cast<double>(t));
+  }
+  obs::SloEngine engine(obs::SloConfig::parse(
+      "{\"name\":\"lat\",\"kind\":\"latency\",\"histogram\":\"t.lat_s\","
+      "\"quantile\":0.9,\"max_seconds\":1.0}\n"));
+  engine.evaluate(3.0);
+
+  obs::FlightConfig config;
+  config.dir = ::testing::TempDir();
+  config.window_s = 10.0;
+  config.build.version = "v-test";
+  obs::FlightRecorder recorder(config, &ts, &engine);
+  const std::string path = recorder.dump("unit-test", 3.0);
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(contains(path, "rri-flight-"));
+  EXPECT_EQ(recorder.dumps(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::JsonValue doc = obs::json_parse(text.str());
+  EXPECT_EQ(doc.get("schema").as_string(), "rri-flight/1");
+  EXPECT_EQ(doc.get("reason").as_string(), "unit-test");
+  EXPECT_DOUBLE_EQ(doc.get("window_s").as_number(), 10.0);
+  EXPECT_EQ(doc.get("build").get("version").as_string(), "v-test");
+  const obs::JsonValue& series = doc.get("series");
+  const obs::JsonValue* jobs = series.find("t.jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->get("kind").as_string(), "counter");
+  EXPECT_EQ(jobs->get("points").as_array().size(), 4u);
+  EXPECT_NE(doc.get("counters").find("t.jobs"), nullptr);
+  ASSERT_GE(doc.get("histograms").as_array().size(), 1u);
+  ASSERT_EQ(doc.get("slo").as_array().size(), 1u);
+  EXPECT_EQ(doc.get("slo").as_array()[0].get("name").as_string(), "lat");
+  EXPECT_NE(doc.get("trace").find("recorded"), nullptr);
+  // Success bumps the dump counter for scrapers.
+  EXPECT_DOUBLE_EQ(reg.counter_snapshot().at("serve.flight.dumps"), 1.0);
+}
+
+TEST_F(TelemetryTest, FlightDumpWindowFiltersOldPoints) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Timeseries ts;
+  for (int t = 0; t <= 9; ++t) {
+    reg.add_counter("t.jobs", 1.0);
+    ts.sample_now(static_cast<double>(t));
+  }
+  obs::FlightConfig config;
+  config.dir = ::testing::TempDir();
+  config.window_s = 3.0;
+  obs::FlightRecorder recorder(config, &ts);
+  const std::string path = recorder.dump("window", 9.0);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::JsonValue doc = obs::json_parse(text.str());
+  // Only points with t >= 9 - 3 survive: t = 6, 7, 8, 9.
+  EXPECT_EQ(doc.get("series").get("t.jobs").get("points").as_array().size(),
+            4u);
+}
+
+TEST_F(TelemetryTest, FlightMaxDumpsGuardTrips) {
+  obs::Timeseries ts;
+  ts.sample_now(0.0);
+  obs::FlightConfig config;
+  config.dir = ::testing::TempDir();
+  config.max_dumps = 1;
+  obs::FlightRecorder recorder(config, &ts);
+  EXPECT_FALSE(recorder.dump("first", 1.0).empty());
+  EXPECT_TRUE(recorder.dump("second", 2.0).empty());
+  EXPECT_EQ(recorder.dumps(), 1u);
+}
+
+TEST_F(TelemetryTest, FlightDumpToUnwritableDirFailsCleanly) {
+  obs::Timeseries ts;
+  ts.sample_now(0.0);
+  obs::FlightConfig config;
+  config.dir = "/no/such/dir/for/flight/dumps";
+  obs::FlightRecorder recorder(config, &ts);
+  EXPECT_TRUE(recorder.dump("nowhere", 1.0).empty());
+  EXPECT_EQ(recorder.dumps(), 0u);
+}
+
+}  // namespace

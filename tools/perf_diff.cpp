@@ -120,6 +120,11 @@ int main(int argc, char** argv) {
                                  "reports (noise floor)", "0.001");
   args.add_flag("warn-only", "report regressions but always exit 0 (CI "
                              "smoke mode)");
+  args.add_flag("require-histograms", "fail (exit 2) unless both reports "
+                                      "carry a latency-histogram section; "
+                                      "use in CI jobs that gate on "
+                                      "percentile columns so a silently "
+                                      "histogram-less report cannot pass");
   args.add_flag("csv", "machine-readable CSV output");
 
   if (!args.parse(argc, argv, std::cerr)) {
@@ -260,6 +265,19 @@ int main(int argc, char** argv) {
   // Percentiles are compared informationally — shared-runner latency is
   // far too noisy to gate on.
   const bool hist_mode = base.has_histograms && cur.has_histograms;
+  if (!hist_mode && args.flag("require-histograms")) {
+    // A gating caller asked for percentile columns; comparing without
+    // them would silently pass on phase times alone. Fail loudly so the
+    // CI job surfaces the missing section instead of green-lighting it.
+    std::fprintf(stderr,
+                 "perf_diff: --require-histograms: %s report(s) lack the "
+                 "histograms section; regenerate with a build that records "
+                 "latency histograms\n",
+                 base.has_histograms || cur.has_histograms
+                     ? (base.has_histograms ? "current" : "baseline")
+                     : "both");
+    return 2;
+  }
   if (!hist_mode && (base.has_histograms || cur.has_histograms)) {
     notes.push_back(std::string("histograms: ") +
                     (base.has_histograms ? "baseline" : "current") +

@@ -9,6 +9,8 @@
 ///   rri_client --port N result --id j1 [--no-wait]
 ///   rri_client --port N cancel --id j1
 ///   rri_client --port N stats
+///   rri_client --port N metrics
+///   rri_client --port N slo
 ///   rri_client --port N drain
 ///
 /// `submit` (without --no-wait) submits every manifest job, then waits
@@ -119,7 +121,9 @@ int main(int argc, char** argv) {
       "Drive rri_served: submit manifests, wait for results, poke "
       "status/stats, cancel jobs, drain the daemon.");
   args.set_positional_usage(
-      "VERB (ping|submit|wait|status|result|cancel|stats|drain)", 1, 1);
+      "VERB (ping|submit|wait|status|result|cancel|stats|metrics|slo|"
+      "drain)",
+      1, 1);
   args.add_option("host", "daemon address", "127.0.0.1");
   args.add_option("port", "daemon TCP port", "0");
   args.add_option("port-file", "read the port from this file (written by "
@@ -319,13 +323,28 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (verb == "metrics") {
+      // Print the exposition body as scraped text, not the JSON frame —
+      // `rri_client metrics | promtool check metrics` just works.
+      const obs::JsonValue doc = client.metrics();
+      if (!doc.get("ok").as_bool()) {
+        std::fprintf(stderr, "rri_client: metrics: %s\n",
+                     doc.get("error").as_string().c_str());
+        return 1;
+      }
+      std::fputs(doc.get("body").as_string().c_str(), stdout);
+      return 0;
+    }
+
     if (verb == "status" || verb == "stats" || verb == "cancel" ||
-        verb == "drain") {
+        verb == "drain" || verb == "slo") {
       obs::JsonValue doc;
       if (verb == "status") {
         doc = client.status(args.option("id"));
       } else if (verb == "stats") {
         doc = client.stats();
+      } else if (verb == "slo") {
+        doc = client.slo();
       } else if (verb == "drain") {
         doc = client.drain();
       } else {
@@ -343,7 +362,8 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr,
                  "rri_client: unknown verb '%s' (ping, submit, wait, "
-                 "status, result, cancel, stats, drain)\n", verb.c_str());
+                 "status, result, cancel, stats, metrics, slo, drain)\n",
+                 verb.c_str());
     return 2;
   } catch (const rna::ParseError& e) {
     std::fprintf(stderr, "rri_client: %s\n", e.what());

@@ -30,8 +30,10 @@ namespace {
 using namespace rri;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_flight{false};
 
 void on_signal(int) { g_stop.store(true); }
+void on_flight_signal(int) { g_flight.store(true); }
 
 core::Variant parse_variant(const std::string& name, bool* ok) {
   *ok = true;
@@ -91,6 +93,27 @@ int main(int argc, char** argv) {
                                   "delivering bytes before it is closed "
                                   "with an idle_timeout error "
                                   "(0 = wait forever)", "0");
+  args.add_option("metrics-port", "Prometheus GET /metrics HTTP port on "
+                                  "the same host; 0 picks an ephemeral "
+                                  "one (printed, and written to "
+                                  "--metrics-port-file); -1 disables the "
+                                  "listener (the metrics verb still "
+                                  "works)", "-1");
+  args.add_option("metrics-port-file", "write the bound metrics port here "
+                                       "once listening", "");
+  args.add_option("slo-config", "JSONL SLO objectives evaluated every "
+                                "telemetry tick (docs/observability.md); "
+                                "omit for no objectives", "");
+  args.add_option("flight-dir", "flight-recorder output directory: "
+                                "SIGUSR2 or an SLO breach dumps the "
+                                "recent telemetry rings as an "
+                                "rri-flight/1 JSON file; omit to disable",
+                  "");
+  args.add_option("flight-window", "trailing seconds of series captured "
+                                   "per flight dump", "60");
+  args.add_option("telemetry-interval", "seconds between telemetry "
+                                        "samples / SLO evaluations",
+                  "1");
 
   if (!args.parse(argc, argv, std::cerr)) {
     return args.help_requested() ? 0 : 2;
@@ -131,6 +154,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.idle_timeout_s = idle_timeout_s;
+  config.metrics_port = args.option_int("metrics-port");
+  config.slo_config = args.option("slo-config");
+  config.flight_dir = args.option("flight-dir");
+  const double flight_window_s =
+      std::strtod(args.option("flight-window").c_str(), nullptr);
+  const double telemetry_interval_s =
+      std::strtod(args.option("telemetry-interval").c_str(), nullptr);
+  if (flight_window_s <= 0.0 || telemetry_interval_s <= 0.0) {
+    std::fprintf(stderr,
+                 "rri_served: --flight-window and --telemetry-interval "
+                 "must be > 0 s\n");
+    return 2;
+  }
+  config.flight_window_s = flight_window_s;
+  config.telemetry_interval_s = telemetry_interval_s;
+  config.flight_flag = &g_flight;
 
   std::unique_ptr<mpisim::FileBlobStore> store;
   const std::string journal_dir = args.option("journal");
@@ -158,6 +197,9 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
     std::signal(SIGPIPE, SIG_IGN);
+#ifdef SIGUSR2
+    std::signal(SIGUSR2, on_flight_signal);
+#endif
 
     const serve::DaemonStats boot = daemon.stats();
     if (boot.jobs_replayed + boot.jobs_requeued > 0) {
@@ -170,6 +212,10 @@ int main(int argc, char** argv) {
                 config.host.c_str(), port, config.workers,
                 journal_dir.empty() ? ", no journal"
                                     : (", journal " + journal_dir).c_str());
+    if (daemon.metrics_port() > 0) {
+      std::printf("rri_served: metrics on http://%s:%d/metrics\n",
+                  config.host.c_str(), daemon.metrics_port());
+    }
     std::fflush(stdout);
     const std::string port_file = args.option("port-file");
     if (!port_file.empty()) {
@@ -180,6 +226,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       out << port << "\n";
+    }
+    const std::string metrics_port_file = args.option("metrics-port-file");
+    if (!metrics_port_file.empty() && daemon.metrics_port() > 0) {
+      std::ofstream out(metrics_port_file);
+      if (!out) {
+        std::fprintf(stderr, "rri_served: cannot write %s\n",
+                     metrics_port_file.c_str());
+        return 2;
+      }
+      out << daemon.metrics_port() << "\n";
     }
 
     daemon.run();

@@ -1,0 +1,267 @@
+/// rri_top: live terminal summarizer for a running rri_served
+/// (docs/serving.md). Polls the `metrics` and `slo` verbs and renders a
+/// compact dashboard: uptime, job throughput, queue depth, queue-wait
+/// quantiles (recomputed from the scraped histogram buckets), SLO
+/// states, and per-tenant tallies.
+///
+///   rri_top --port-file port.txt                 # refresh until ^C
+///   rri_top --port 7641 --iterations 1 --no-clear  # one snapshot
+///
+/// The dashboard consumes the same Prometheus exposition any scraper
+/// sees — rri_top is deliberately a client of the public telemetry
+/// plane, not of daemon internals, so it doubles as a live check that
+/// the exposition carries everything an operator needs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rri/harness/args.hpp"
+#include "rri/serve/client.hpp"
+
+namespace {
+
+using namespace rri;
+
+/// One cumulative histogram bucket scraped from `<name>_bucket` lines.
+struct Bucket {
+  double le = 0.0;  ///< upper bound in seconds (+Inf folded to max)
+  double cumulative = 0.0;
+};
+
+/// Everything rri_top reads out of one exposition scrape.
+struct Scrape {
+  std::map<std::string, double> values;            ///< plain samples
+  std::map<std::string, std::vector<Bucket>> hist;  ///< _bucket families
+};
+
+/// Parse Prometheus text exposition: "name value" and
+/// "name{labels} value" lines; comments skipped. Bucket lines are
+/// folded into Scrape::hist keyed by the family name (sans _bucket).
+Scrape parse_exposition(const std::string& text) {
+  Scrape s;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      continue;
+    }
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    if (brace != std::string::npos && brace < space) {
+      const std::string name = line.substr(0, brace);
+      const std::string labels = line.substr(brace, space - brace);
+      const std::size_t le_at = labels.find("le=\"");
+      if (le_at != std::string::npos && name.size() > 7 &&
+          name.rfind("_bucket") == name.size() - 7) {
+        const std::size_t le_end = labels.find('"', le_at + 4);
+        const std::string le_text =
+            labels.substr(le_at + 4, le_end - le_at - 4);
+        Bucket b;
+        b.le = le_text == "+Inf" ? 1e300
+                                 : std::strtod(le_text.c_str(), nullptr);
+        b.cumulative = value;
+        s.hist[name.substr(0, name.size() - 7)].push_back(b);
+      }
+      continue;  // other labeled families (phases, build info) unused
+    }
+    s.values.emplace(line.substr(0, space), value);
+  }
+  return s;
+}
+
+/// Quantile from scraped cumulative buckets: the upper bound of the
+/// first bucket whose cumulative count crosses q * total.
+double bucket_quantile(const std::vector<Bucket>& buckets, double q) {
+  if (buckets.empty()) {
+    return 0.0;
+  }
+  const double total = buckets.back().cumulative;
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const double want = q * total;
+  for (const Bucket& b : buckets) {
+    if (b.cumulative >= want) {
+      return b.le >= 1e300 ? 0.0 : b.le;
+    }
+  }
+  return 0.0;
+}
+
+double value_or(const Scrape& s, const std::string& name, double fallback) {
+  const auto it = s.values.find(name);
+  return it == s.values.end() ? fallback : it->second;
+}
+
+void print_latency(const char* label, const std::vector<Bucket>* buckets) {
+  if (buckets == nullptr || buckets->empty()) {
+    std::printf("  %-22s (no samples yet)\n", label);
+    return;
+  }
+  std::printf("  %-22s p50 %8.3f ms   p90 %8.3f ms   p99 %8.3f ms\n",
+              label, bucket_quantile(*buckets, 0.50) * 1e3,
+              bucket_quantile(*buckets, 0.90) * 1e3,
+              bucket_quantile(*buckets, 0.99) * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ArgParser args(
+      "rri_top",
+      "Live dashboard over rri_served's metrics verb: uptime, job "
+      "rates, queue-wait quantiles, SLO states, tenant tallies.");
+  args.set_positional_usage("", 0, 0);
+  args.add_option("host", "daemon address", "127.0.0.1");
+  args.add_option("port", "daemon TCP port", "0");
+  args.add_option("port-file", "read the port from this file (written by "
+                               "rri_served --port-file)", "");
+  args.add_option("interval", "seconds between refreshes", "2");
+  args.add_option("iterations", "stop after this many refreshes "
+                                "(0 = run until interrupted)", "0");
+  args.add_option("timeout", "seconds to keep retrying the connection",
+                  "5");
+  args.add_flag("no-clear", "do not clear the terminal between refreshes "
+                            "(append snapshots; script-friendly)");
+
+  if (!args.parse(argc, argv, std::cerr)) {
+    return args.help_requested() ? 0 : 2;
+  }
+
+  const int timeout_s = std::max(0, args.option_int("timeout"));
+  int port = args.option_int("port");
+  const std::string port_file = args.option("port-file");
+  if (!port_file.empty()) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeout_s);
+    for (;;) {
+      std::ifstream in(port_file);
+      if (in && (in >> port) && port > 0) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "rri_top: cannot read a port from %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "rri_top: give --port or --port-file\n");
+    return 2;
+  }
+  const double interval_s = std::max(
+      0.1, std::strtod(args.option("interval").c_str(), nullptr));
+  const int iterations = args.option_int("iterations");
+  const bool clear = !args.flag("no-clear");
+
+  try {
+    serve::DaemonClient client;
+    client.connect(args.option("host"), port, timeout_s);
+
+    double prev_served = -1.0;
+    for (int tick = 0; iterations <= 0 || tick < iterations; ++tick) {
+      const obs::JsonValue metrics = client.metrics();
+      if (!metrics.get("ok").as_bool()) {
+        std::fprintf(stderr, "rri_top: metrics verb failed\n");
+        return 1;
+      }
+      const Scrape s = parse_exposition(metrics.get("body").as_string());
+      const obs::JsonValue slo = client.slo();
+
+      if (clear) {
+        std::fputs("\033[2J\033[H", stdout);
+      }
+      const double uptime = value_or(s, "rri_serve_daemon_uptime_s", 0.0);
+      const double served = value_or(s, "rri_serve_jobs_served", 0.0);
+      const double submitted =
+          value_or(s, "rri_serve_daemon_jobs_submitted", 0.0);
+      const double failed =
+          value_or(s, "rri_serve_daemon_jobs_failed", 0.0);
+      const double depth =
+          value_or(s, "rri_serve_daemon_queue_depth", 0.0);
+      const double rate = prev_served >= 0.0 && interval_s > 0.0
+                              ? (served - prev_served) / interval_s
+                              : 0.0;
+      prev_served = served;
+      std::printf("rri_top — %s:%d   uptime %.0fs   workers %.0f\n",
+                  args.option("host").c_str(), port, uptime,
+                  value_or(s, "rri_serve_daemon_workers", 0.0));
+      std::printf(
+          "  jobs: %.0f submitted, %.0f served, %.0f failed   "
+          "%.1f jobs/s   queue depth %.0f\n",
+          submitted, served, failed, rate, depth);
+      const auto qw = s.hist.find("rri_serve_queue_wait_s");
+      const auto ex = s.hist.find("rri_serve_execute_s");
+      print_latency("queue_wait",
+                    qw == s.hist.end() ? nullptr : &qw->second);
+      print_latency("execute",
+                    ex == s.hist.end() ? nullptr : &ex->second);
+
+      if (slo.get("ok").as_bool()) {
+        const auto& objectives = slo.get("objectives").as_array();
+        if (!objectives.empty()) {
+          std::printf("  slo:\n");
+          for (const obs::JsonValue& o : objectives) {
+            std::printf("    %-20s %-8s fast_burn %6.2f  slow_burn %6.2f\n",
+                        o.get("name").as_string().c_str(),
+                        o.get("state").as_string().c_str(),
+                        o.get("fast_burn").as_number(),
+                        o.get("slow_burn").as_number());
+          }
+        }
+      }
+
+      // Tenant tallies ride on gauges named serve.tenant.<name>.<what>.
+      bool tenant_header = false;
+      for (const auto& [name, value] : s.values) {
+        const std::string prefix = "rri_serve_tenant_";
+        if (name.rfind(prefix, 0) != 0 ||
+            name.rfind("_admitted") != name.size() - 9) {
+          continue;
+        }
+        const std::string tenant =
+            name.substr(prefix.size(),
+                        name.size() - prefix.size() - 9);
+        if (!tenant_header) {
+          std::printf("  tenants:\n");
+          tenant_header = true;
+        }
+        std::printf(
+            "    %-20s admitted %6.0f  finished %6.0f  rejected %6.0f\n",
+            tenant.c_str(), value,
+            value_or(s, prefix + tenant + "_finished", 0.0),
+            value_or(s, prefix + tenant + "_rejected", 0.0));
+      }
+      std::fflush(stdout);
+
+      if (iterations > 0 && tick + 1 >= iterations) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval_s));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rri_top: %s\n", e.what());
+    return 1;
+  }
+}

@@ -268,6 +268,28 @@ int main(int argc, char** argv) {
     instant_table.add_row({name, std::to_string(count)});
   }
 
+  // Telemetry-plane markers (docs/observability.md): SLO transitions and
+  // flight-recorder dumps are instant events named slo.* / flight.*. A
+  // trace that carries any gets a dedicated summary line — breaches in a
+  // trace are the first thing an operator wants surfaced.
+  std::size_t slo_breaches = 0;
+  std::size_t slo_warnings = 0;
+  std::size_t slo_recoveries = 0;
+  std::size_t flight_dumps = 0;
+  for (const auto& [name, count] : instants_by_name) {
+    if (name == "slo.breach") {
+      slo_breaches += count;
+    } else if (name == "slo.warning") {
+      slo_warnings += count;
+    } else if (name == "slo.recovered") {
+      slo_recoveries += count;
+    } else if (name.rfind("flight.", 0) == 0) {
+      flight_dumps += count;
+    }
+  }
+  const bool telemetry_markers =
+      slo_breaches + slo_warnings + slo_recoveries + flight_dumps > 0;
+
   if (csv) {
     span_table.print_csv(std::cout);
     lane_table.print_csv(std::cout);
@@ -289,6 +311,12 @@ int main(int argc, char** argv) {
   if (instants == 0) {
     std::cout << "note: no instant events; trace predates daemon "
                  "shed/quota/chaos markers\n";
+  }
+  if (telemetry_markers) {
+    std::cout << "slo: " << slo_breaches << " breach(es), " << slo_warnings
+              << " warning(s), " << slo_recoveries
+              << " recovery(ies); flight recorder: " << flight_dumps
+              << " dump(s)\n";
   }
 
   // Imbalance per process: how much busy time the least-loaded lane is
